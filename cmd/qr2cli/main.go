@@ -1,0 +1,155 @@
+// Command qr2cli is a command-line client for a running qr2server. It
+// submits one reranking query through the JSON API and pages through the
+// results with get-next, printing the statistics panel after each page.
+//
+// Usage:
+//
+//	qr2cli -server http://localhost:8080 -source bluenile \
+//	       -rank "price - 0.1*carat - 0.5*depth" \
+//	       -filter min.carat=1 -filter in.shape=Round -k 10 -pages 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+type rowDoc struct {
+	ID     int64          `json:"id"`
+	Values map[string]any `json:"values"`
+}
+
+type queryDoc struct {
+	QID       string   `json:"qid"`
+	Source    string   `json:"source"`
+	Rank      string   `json:"rank"`
+	Algorithm string   `json:"algorithm"`
+	Page      int      `json:"page"`
+	Rows      []rowDoc `json:"rows"`
+	Exhausted bool     `json:"exhausted"`
+	Stats     struct {
+		Queries          int64   `json:"queries"`
+		Batches          int64   `json:"batches"`
+		ParallelPct      float64 `json:"parallel_pct"`
+		SimElapsedMillis int64   `json:"sim_elapsed_ms"`
+		ElapsedMillis    int64   `json:"elapsed_ms"`
+		DenseHits        int64   `json:"dense_hits"`
+		DenseCrawls      int64   `json:"dense_crawls"`
+		SessionCacheSize int     `json:"session_cache_size"`
+	} `json:"stats"`
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var filters multiFlag
+	var (
+		server = flag.String("server", "http://localhost:8080", "qr2server base URL")
+		source = flag.String("source", "bluenile", "data source")
+		rank   = flag.String("rank", "price", "ranking expression, e.g. 'price - 0.3*sqft'")
+		algo   = flag.String("algo", "", "algorithm override: baseline, binary, rerank, ta")
+		k      = flag.Int("k", 10, "results per page")
+		pages  = flag.Int("pages", 1, "pages to fetch (get-next per extra page)")
+	)
+	flag.Var(&filters, "filter", "filter field, e.g. min.price=100 or in.cut=Ideal (repeatable)")
+	flag.Parse()
+
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Jar: jar}
+
+	form := url.Values{
+		"source": {*source},
+		"rank":   {*rank},
+		"k":      {fmt.Sprint(*k)},
+	}
+	if *algo != "" {
+		form.Set("algo", *algo)
+	}
+	for _, f := range filters {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			log.Fatalf("qr2cli: bad -filter %q (want key=value)", f)
+		}
+		form.Set(key, val)
+	}
+
+	doc := post(client, *server+"/api/query", form)
+	printPage(doc)
+	for p := 1; p < *pages && !doc.Exhausted; p++ {
+		doc = post(client, *server+"/api/next", url.Values{"qid": {doc.QID}})
+		printPage(doc)
+	}
+}
+
+func post(client *http.Client, target string, form url.Values) *queryDoc {
+	resp, err := client.PostForm(target, form)
+	if err != nil {
+		log.Fatalf("qr2cli: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("qr2cli: read response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ed struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &ed)
+		log.Fatalf("qr2cli: %s: %s", resp.Status, ed.Error)
+	}
+	var doc queryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		log.Fatalf("qr2cli: decode: %v", err)
+	}
+	return &doc
+}
+
+func printPage(doc *queryDoc) {
+	fmt.Printf("source %s, ranking %q (%s), page %d\n", doc.Source, doc.Rank, doc.Algorithm, doc.Page)
+	if len(doc.Rows) == 0 {
+		fmt.Println("  (no results)")
+	}
+	cols := columnOrder(doc.Rows)
+	for i, row := range doc.Rows {
+		var parts []string
+		for _, c := range cols {
+			parts = append(parts, fmt.Sprintf("%s=%v", c, row.Values[c]))
+		}
+		fmt.Printf("  %2d. #%-7d %s\n", i+1, row.ID, strings.Join(parts, "  "))
+	}
+	s := doc.Stats
+	fmt.Printf("  stats: %d queries in %d iterations (%.1f%% parallel), "+
+		"sim %dms, local %dms, dense hits %d, crawls %d, session cache %d tuples\n\n",
+		s.Queries, s.Batches, s.ParallelPct, s.SimElapsedMillis, s.ElapsedMillis,
+		s.DenseHits, s.DenseCrawls, s.SessionCacheSize)
+	if doc.Exhausted {
+		fmt.Println("  (result set exhausted)")
+	}
+}
+
+func columnOrder(rows []rowDoc) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := make([]string, 0, len(rows[0].Values))
+	for c := range rows[0].Values {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}

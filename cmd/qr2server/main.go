@@ -1,0 +1,145 @@
+// Command qr2server runs the QR2 reranking service.
+//
+// Sources can be in-process simulators (-sources) or remote web databases
+// reached through their public HTTP search interface (-remote), typically a
+// cmd/wdbserver instance. Dense-region indexes are persisted per source
+// under -dense so that on-the-fly indexing work survives restarts; the
+// cache is verified at boot, as the paper describes.
+//
+// Usage:
+//
+//	qr2server -addr :8080 -sources bluenile,zillow -dense /var/lib/qr2
+//	qr2server -addr :8080 -remote bluenile=http://localhost:8081
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/service"
+	"repro/internal/wdbhttp"
+)
+
+var popular = map[string][]string{
+	"bluenile": {"price", "price - 0.1*carat - 0.5*depth", "price + lwratio"},
+	"zillow":   {"price", "price - 0.3*sqft", "price + sqft"},
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		sources = flag.String("sources", "bluenile,zillow", "comma-separated in-process simulators")
+		remote  = flag.String("remote", "", "comma-separated name=url remote web databases")
+		n       = flag.Int("n", 20000, "in-process catalog size")
+		seed    = flag.Int64("seed", 7, "generator seed")
+		systemK = flag.Int("k", 50, "in-process system-k")
+		algo    = flag.String("algo", "rerank", "default algorithm: baseline, binary, rerank, ta")
+		dense   = flag.String("dense", "", "directory for persistent dense-region indexes (empty = in-memory)")
+		latency = flag.Duration("latency", 0, "simulated per-query latency for the statistics panel")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Sources:    map[string]service.SourceConfig{},
+		Algorithm:  core.Algorithm(*algo),
+		SimLatency: *latency,
+	}
+	if *sources != "" {
+		for _, name := range strings.Split(*sources, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			var cat *datagen.Catalog
+			switch name {
+			case "bluenile":
+				cat = datagen.BlueNile(*n, *seed)
+			case "zillow":
+				cat = datagen.Zillow(*n, *seed+1)
+			default:
+				log.Fatalf("qr2server: unknown source %q", name)
+			}
+			db, err := hidden.NewLocal(name, cat.Rel, *systemK, cat.Rank)
+			if err != nil {
+				log.Fatalf("qr2server: %v", err)
+			}
+			cfg.Sources[name] = service.SourceConfig{
+				DB:         db,
+				DenseStore: openDense(*dense, name),
+				Popular:    popular[name],
+			}
+			log.Printf("qr2server: source %s: %d tuples, system-k %d", name, cat.Rel.Len(), *systemK)
+		}
+	}
+	if *remote != "" {
+		for _, pair := range strings.Split(*remote, ",") {
+			name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				log.Fatalf("qr2server: bad -remote entry %q (want name=url)", pair)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			client, err := wdbhttp.Dial(ctx, url, nil)
+			cancel()
+			if err != nil {
+				log.Fatalf("qr2server: dial %s: %v", url, err)
+			}
+			cfg.Sources[name] = service.SourceConfig{
+				DB:         client,
+				DenseStore: openDense(*dense, name),
+				Popular:    popular[name],
+			}
+			log.Printf("qr2server: source %s: remote %s, system-k %d", name, url, client.SystemK())
+		}
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("qr2server: %v", err)
+	}
+	go func() {
+		for range time.Tick(time.Minute) {
+			if n := srv.Sessions().Sweep(); n > 0 {
+				log.Printf("qr2server: swept %d idle sessions", n)
+			}
+		}
+	}()
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("qr2server: listening on %s (default algorithm %s)", *addr, *algo)
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// openDense opens a persistent kvstore for one source's dense index, or nil
+// for in-memory operation.
+func openDense(dir, name string) kvstore.Store {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatalf("qr2server: create dense dir: %v", err)
+	}
+	store, err := kvstore.Open(filepath.Join(dir, name+".dense"))
+	if err != nil {
+		log.Fatalf("qr2server: open dense store for %s: %v", name, err)
+	}
+	// Reclaim superseded records from previous runs before serving.
+	if store.DeadBytes() > 0 {
+		if err := store.Compact(); err != nil {
+			log.Fatalf("qr2server: compact dense store for %s: %v", name, err)
+		}
+	}
+	return store
+}

@@ -1,0 +1,138 @@
+// Command wdbserver runs a simulated hidden web database over HTTP: a
+// synthetic Blue Nile or Zillow catalog behind the form-encoded top-k
+// search interface of internal/wdbhttp.
+//
+// QR2 (cmd/qr2server) can then be pointed at this server exactly as it
+// would be pointed at a real web database.
+//
+// Usage:
+//
+//	wdbserver -source bluenile -n 20000 -k 50 -addr :8081 -latency 300ms
+//	wdbserver -source zillow -dump /tmp/zillow            # snapshot and exit
+//	wdbserver -source zillow -load /tmp/zillow            # serve the snapshot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/relation"
+	"repro/internal/wdbhttp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8081", "listen address")
+		source  = flag.String("source", "bluenile", "catalog: bluenile or zillow")
+		n       = flag.Int("n", 20000, "catalog size")
+		seed    = flag.Int64("seed", 7, "generator seed")
+		systemK = flag.Int("k", 50, "system-k: tuples returned per search")
+		latency = flag.Duration("latency", 0, "artificial per-query latency")
+		dump    = flag.String("dump", "", "write schema.json + data.csv to this directory and exit")
+		load    = flag.String("load", "", "serve a catalog snapshot from this directory instead of generating")
+	)
+	flag.Parse()
+
+	var cat *datagen.Catalog
+	if *load != "" {
+		rel, err := loadSnapshot(*load, *source)
+		if err != nil {
+			log.Fatalf("wdbserver: %v", err)
+		}
+		// A snapshot replays the tuples; the proprietary ranking is
+		// reconstructed from the same generator family (it is a function
+		// of the tuples, not of the generator run).
+		cat = &datagen.Catalog{Rel: rel, Rank: rankFor(*source), Name: *source}
+	} else {
+		switch *source {
+		case "bluenile":
+			cat = datagen.BlueNile(*n, *seed)
+		case "zillow":
+			cat = datagen.Zillow(*n, *seed)
+		default:
+			log.Fatalf("wdbserver: unknown source %q (want bluenile or zillow)", *source)
+		}
+	}
+	if *dump != "" {
+		if err := dumpSnapshot(*dump, cat.Rel); err != nil {
+			log.Fatalf("wdbserver: %v", err)
+		}
+		log.Printf("wdbserver: snapshot of %s (%d tuples) written to %s", cat.Name, cat.Rel.Len(), *dump)
+		return
+	}
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, *systemK, cat.Rank, hidden.WithLatency(*latency))
+	if err != nil {
+		log.Fatalf("wdbserver: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           wdbhttp.NewServer(db),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("wdbserver: serving %s (%d tuples, system-k %d, latency %s) on %s",
+		cat.Name, cat.Rel.Len(), *systemK, *latency, *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// dumpSnapshot writes schema.json and data.csv into dir.
+func dumpSnapshot(dir string, rel *relation.Relation) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	schemaJSON, err := json.MarshalIndent(rel.Schema(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schema.json"), schemaJSON, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "data.csv"))
+	if err != nil {
+		return err
+	}
+	if err := rel.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadSnapshot reads a catalog written by dumpSnapshot.
+func loadSnapshot(dir, name string) (*relation.Relation, error) {
+	schemaJSON, err := os.ReadFile(filepath.Join(dir, "schema.json"))
+	if err != nil {
+		return nil, err
+	}
+	var schema relation.Schema
+	if err := json.Unmarshal(schemaJSON, &schema); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "data.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadCSV(f, name, &schema)
+}
+
+// rankFor rebuilds the proprietary ranking for a snapshot of a known
+// source. The generators derive their ranking from tuple values and IDs
+// only (attribute positions are fixed per source), so a snapshot ranks
+// identically to the original run.
+func rankFor(source string) func(relation.Tuple) float64 {
+	switch source {
+	case "bluenile":
+		return datagen.BlueNile(1, 1).Rank
+	case "zillow":
+		return datagen.Zillow(1, 1).Rank
+	default:
+		return func(t relation.Tuple) float64 { return float64(t.ID) }
+	}
+}

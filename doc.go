@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "QR2: A Third-party
+// Query Reranking Service Over Web Databases" (ICDE 2018 demo) and the
+// algorithm suite it demonstrates from "Query Reranking as a Service"
+// (VLDB 2016).
+//
+// The system answers ranked queries over a hidden web database — one that
+// exposes only a filter-in, system-ranked top-k-out search interface —
+// under any user-specified monotone linear ranking function, whether the
+// database supports it or not.
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for the reproduced evaluation.
+// The benchmark file bench_test.go in this directory regenerates every
+// figure and demonstration scenario of the paper.
+package repro

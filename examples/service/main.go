@@ -1,0 +1,119 @@
+// Full-stack example: a simulated web database served over HTTP, the QR2
+// service in front of it, and a client driving the JSON API — the complete
+// architecture of the paper's Fig 1 in one process.
+//
+//	client ── form POST ──> QR2 service ── form POST ──> web database
+//	                         (sessions, dense index,      (top-k interface)
+//	                          parallel processing)
+//
+// Run it with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/service"
+	"repro/internal/wdbhttp"
+)
+
+func main() {
+	// 1. The hidden web database, reachable only over HTTP.
+	cat := datagen.BlueNile(4000, 3)
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, 40, cat.Rank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wdb := httptest.NewServer(wdbhttp.NewServer(db))
+	defer wdb.Close()
+	fmt.Printf("web database listening at %s\n", wdb.URL)
+
+	// 2. QR2 dials the database through its public interface.
+	client, err := wdbhttp.Dial(context.Background(), wdb.URL, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qr2, err := service.New(service.Config{
+		Sources: map[string]service.SourceConfig{
+			"bluenile": {DB: client, Popular: []string{"price", "price - 0.1*carat - 0.5*depth"}},
+		},
+		Algorithm: core.Rerank,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := httptest.NewServer(qr2)
+	defer front.Close()
+	fmt.Printf("QR2 service listening at %s\n\n", front.URL)
+
+	// 3. A user issues a reranked query and pages with get-next.
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hc := &http.Client{Jar: jar}
+
+	page := postForm(hc, front.URL+"/api/query", url.Values{
+		"source":    {"bluenile"},
+		"rank":      {"price - 0.1*carat - 0.5*depth"},
+		"k":         {"5"},
+		"min.carat": {"1"},
+		"in.cut":    {"Ideal,Astor Ideal"},
+	})
+	printPage(page)
+
+	next := postForm(hc, front.URL+"/api/next", url.Values{"qid": {page.QID}})
+	printPage(next)
+}
+
+type pageDoc struct {
+	QID  string `json:"qid"`
+	Page int    `json:"page"`
+	Rows []struct {
+		ID     int64          `json:"id"`
+		Values map[string]any `json:"values"`
+	} `json:"rows"`
+	Stats struct {
+		Queries          int64   `json:"queries"`
+		ParallelPct      float64 `json:"parallel_pct"`
+		SessionCacheSize int     `json:"session_cache_size"`
+	} `json:"stats"`
+}
+
+func postForm(hc *http.Client, target string, form url.Values) *pageDoc {
+	resp, err := hc.PostForm(target, form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("request failed: %s", resp.Status)
+	}
+	var doc pageDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	return &doc
+}
+
+func printPage(doc *pageDoc) {
+	fmt.Printf("page %d:\n", doc.Page)
+	for i, row := range doc.Rows {
+		fmt.Printf("  %d. #%-6d $%v  %v carat  cut=%v\n", i+1, row.ID,
+			row.Values["price"], row.Values["carat"], row.Values["cut"])
+	}
+	fmt.Printf("  stats: %d web-DB queries so far, %.0f%% parallel, session cache %d tuples\n\n",
+		doc.Stats.Queries, doc.Stats.ParallelPct, doc.Stats.SessionCacheSize)
+}

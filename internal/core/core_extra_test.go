@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/dense"
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/ranking"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+// Concurrent streams over one Reranker share the dense index and the
+// normalisation; every stream must still be exact.
+func TestConcurrentStreamsShareIndex(t *testing.T) {
+	cat := denseFixture(t)
+	db := newDB(t, cat, 20)
+	ix, err := dense.Open(cat.Rel.Schema(), kvstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(db, Options{Algorithm: Rerank, DenseDepth: 9, DenseIndex: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := Query{Rank: ranking.Ascending("a0")}
+			if g%2 == 1 {
+				q.Rank = ranking.MustParse("a0 + 0.1*a1")
+			}
+			st, err := r.Rerank(ctx, q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := st.NextN(ctx, 8)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := BruteForceTop(cat.Rel, relation.Predicate{}, st.Scorer(), 8)
+			for i := range got {
+				if math.Abs(st.Scorer().Score(got[i])-st.Scorer().Score(want[i])) > 1e-9 {
+					t.Errorf("goroutine %d: position %d wrong", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// A mid-stream database failure must surface as an error without corrupting
+// the stream: a subsequent Next against a healed database succeeds and the
+// overall output remains exact.
+func TestStreamSurvivesTransientFailure(t *testing.T) {
+	cat := datagen.Uniform(800, 2, 21)
+	inner := mustLocalDB(t, cat, 15)
+	// Sequential execution keeps batches to one query, so a 1-in-4
+	// failure rate still leaves room to make progress between injections.
+	flaky := &hidden.Flaky{Inner: inner, FailEvery: 4}
+	r, err := New(flaky, Options{Algorithm: Binary, SequentialOnly: true, Normalization: normOf(cat)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := r.Rerank(ctx, Query{Rank: ranking.Descending("a0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []relation.Tuple
+	failures := 0
+	for len(got) < 10 {
+		tu, ok, err := st.Next(ctx)
+		if err != nil {
+			failures++
+			if failures > 100 {
+				t.Fatal("stream never recovers")
+			}
+			continue // retry: the injected failure is transient
+		}
+		if !ok {
+			t.Fatal("stream exhausted prematurely")
+		}
+		got = append(got, tu)
+	}
+	if failures == 0 {
+		t.Fatal("fault injection never fired; test fixture broken")
+	}
+	want := BruteForceTop(cat.Rel, relation.Predicate{}, st.Scorer(), 10)
+	for i := range got {
+		gs, ws := st.Scorer().Score(got[i]), st.Scorer().Score(want[i])
+		if math.Abs(gs-ws) > 1e-9 {
+			t.Fatalf("position %d: score %v, oracle %v", i, gs, ws)
+		}
+	}
+}
+
+// MaxParallel 1 degenerates parallel batches to sequential execution but
+// must stay correct.
+func TestMaxParallelOne(t *testing.T) {
+	cat := datagen.Uniform(400, 2, 22)
+	db := newDB(t, cat, 20)
+	assertMatchesBruteForce(t, cat, db, Options{Algorithm: Rerank, MaxParallel: 1},
+		Query{Rank: ranking.MustParse("a0 + a1")}, 10)
+}
+
+// Property (testing/quick): clipBelowContour is a sound cover — every point
+// of the rectangle scoring below s stays inside the clipped rectangle, and
+// the clip never grows the rectangle.
+func TestClipBelowContourSoundProperty(t *testing.T) {
+	type input struct {
+		Lo0, W0, Lo1, W1 float64
+		W                [2]float64
+		SFrac, P0, P1    float64
+	}
+	f := func(in input) bool {
+		lo0 := math.Mod(math.Abs(in.Lo0), 100)
+		w0 := math.Mod(math.Abs(in.W0), 100) + 0.1
+		lo1 := math.Mod(math.Abs(in.Lo1), 100)
+		w1 := math.Mod(math.Abs(in.W1), 100) + 0.1
+		weights := []float64{sanitizeWeight(in.W[0]), sanitizeWeight(in.W[1])}
+		r := region.MustNew([]int{0, 1}, []relation.Interval{
+			relation.Closed(lo0, lo0+w0), relation.Closed(lo1, lo1+w1)})
+		lo, hi := r.LinearMin(weights), r.LinearMax(weights)
+		s := lo + math.Mod(math.Abs(in.SFrac), 1)*(hi-lo)
+		clipped := clipBelowContour(r, weights, s)
+		// Never grows.
+		if !r.Covers(clipped) {
+			return false
+		}
+		// Sound: any in-rect point with f < s is inside the clip.
+		p0 := lo0 + math.Mod(math.Abs(in.P0), 1)*w0
+		p1 := lo1 + math.Mod(math.Abs(in.P1), 1)*w1
+		score := weights[0]*p0 + weights[1]*p1
+		tu := relation.Tuple{Values: []float64{p0, p1}}
+		if score < s && !clipped.ContainsTuple(tu) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeWeight(w float64) float64 {
+	w = math.Mod(w, 4)
+	if math.Abs(w) < 0.1 || math.IsNaN(w) {
+		return 0.5
+	}
+	return w
+}
+
+// A stream created before index warm-up and one created after must agree.
+func TestWarmAndColdStreamsAgree(t *testing.T) {
+	cat := denseFixture(t)
+	ix, err := dense.Open(cat.Rel.Schema(), kvstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Rank: ranking.Ascending("a0")}
+	run := func() []relation.Tuple {
+		db := newDB(t, cat, 20)
+		r, err := New(db, Options{Algorithm: Rerank, DenseDepth: 9, DenseIndex: ix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Rerank(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := st.NextN(context.Background(), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cold := run()
+	warm := run()
+	if len(cold) != len(warm) {
+		t.Fatalf("lengths differ: %d vs %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		if cold[i].ID != warm[i].ID {
+			t.Fatalf("position %d: cold tuple %d, warm tuple %d", i, cold[i].ID, warm[i].ID)
+		}
+	}
+}
+
+// Exhaustive small-world check: on a tiny database every algorithm must
+// produce the exact full ordering for every sign combination.
+func TestExhaustiveSmallWorld(t *testing.T) {
+	cat := datagen.Uniform(60, 2, 23)
+	for _, expr := range []string{"a0", "-a0", "a0 + a1", "a0 - a1", "-a0 - a1", "-a0 + 0.3*a1"} {
+		for _, algo := range allAlgorithms {
+			db := newDB(t, cat, 7)
+			r, err := New(db, Options{Algorithm: algo, Normalization: normOf(cat)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := r.Rerank(context.Background(), Query{Rank: ranking.MustParse(expr)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.NextN(context.Background(), 60)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, expr, err)
+			}
+			if len(got) != 60 {
+				t.Fatalf("%s/%s: produced %d of 60", algo, expr, len(got))
+			}
+			want := BruteForceTop(cat.Rel, relation.Predicate{}, st.Scorer(), 60)
+			for i := range got {
+				gs, ws := st.Scorer().Score(got[i]), st.Scorer().Score(want[i])
+				if math.Abs(gs-ws) > 1e-9 {
+					t.Fatalf("%s/%s: position %d: %v vs %v", algo, expr, i, gs, ws)
+				}
+			}
+		}
+	}
+}
+
+func mustLocalDB(t *testing.T, cat *datagen.Catalog, k int) *hidden.Local {
+	t.Helper()
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, k, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func normOf(cat *datagen.Catalog) *ranking.Normalization {
+	n := ranking.FromSchema(cat.Rel.Schema())
+	return &n
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dense"
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+var allAlgorithms = []Algorithm{Baseline, Binary, Rerank, TA}
+
+func newDB(t testing.TB, cat *datagen.Catalog, k int) *hidden.Local {
+	t.Helper()
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, k, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// assertMatchesBruteForce drains up to n tuples from a fresh stream and
+// checks them against the brute-force oracle: same length, per-position
+// scores equal within tolerance, all results matching and distinct.
+func assertMatchesBruteForce(t testing.TB, cat *datagen.Catalog, db *hidden.Local, opt Options, q Query, n int) *Stream {
+	t.Helper()
+	r, err := New(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := r.Rerank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.NextN(ctx, n)
+	if err != nil {
+		t.Fatalf("%s: NextN: %v", opt.Algorithm, err)
+	}
+	want := BruteForceTop(cat.Rel, q.Pred, st.Scorer(), n)
+	if len(got) != len(want) {
+		t.Fatalf("%s: produced %d tuples, oracle has %d", opt.Algorithm, len(got), len(want))
+	}
+	seen := map[int64]bool{}
+	for i := range got {
+		if !q.Pred.Match(got[i]) {
+			t.Fatalf("%s: position %d: tuple %d does not match the filter", opt.Algorithm, i, got[i].ID)
+		}
+		if seen[got[i].ID] {
+			t.Fatalf("%s: tuple %d produced twice", opt.Algorithm, got[i].ID)
+		}
+		seen[got[i].ID] = true
+		gs, ws := st.Scorer().Score(got[i]), st.Scorer().Score(want[i])
+		if math.Abs(gs-ws) > 1e-9 {
+			t.Fatalf("%s: position %d: score %.12f (tuple %d), oracle %.12f (tuple %d)",
+				opt.Algorithm, i, gs, got[i].ID, ws, want[i].ID)
+		}
+	}
+	return st
+}
+
+func Test1DGetNextMatchesBruteForce(t *testing.T) {
+	cat := datagen.Uniform(600, 2, 1)
+	for _, algo := range allAlgorithms {
+		for _, rank := range []ranking.Function{ranking.Ascending("a0"), ranking.Descending("a0")} {
+			t.Run(string(algo)+"/"+rank.String(), func(t *testing.T) {
+				db := newDB(t, cat, 25)
+				assertMatchesBruteForce(t, cat, db, Options{Algorithm: algo}, Query{Rank: rank}, 15)
+			})
+		}
+	}
+}
+
+func TestMDGetNextMatchesBruteForce(t *testing.T) {
+	cat := datagen.Uniform(500, 3, 2)
+	ranks := []string{
+		"a0 + a1",
+		"a0 - 0.5*a1",
+		"-a0 - a1",
+		"0.3*a0 + 0.7*a1 - 0.2*a2",
+	}
+	for _, algo := range allAlgorithms {
+		for _, expr := range ranks {
+			t.Run(string(algo)+"/"+expr, func(t *testing.T) {
+				db := newDB(t, cat, 25)
+				q := Query{Rank: ranking.MustParse(expr)}
+				assertMatchesBruteForce(t, cat, db, Options{Algorithm: algo}, q, 10)
+			})
+		}
+	}
+}
+
+func TestGetNextWithFilters(t *testing.T) {
+	cat := datagen.BlueNile(1500, 3)
+	s := cat.Rel.Schema()
+	pred, err := relation.NewBuilder(s).
+		Range("price", 500, 20000).
+		In("shape", "Round", "Oval").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range allAlgorithms {
+		t.Run(string(algo), func(t *testing.T) {
+			db := newDB(t, cat, 30)
+			q := Query{Pred: pred, Rank: ranking.MustParse("price - 0.1*carat - 0.5*depth")}
+			assertMatchesBruteForce(t, cat, db, Options{Algorithm: algo}, q, 10)
+		})
+	}
+}
+
+func TestGetNextTieGroups(t *testing.T) {
+	// Ranking ascending on the tied attribute forces tie-group crawling:
+	// far more than system-k tuples share the minimal interesting value.
+	cat := datagen.TieHeavy(1200, 0.3, 4)
+	pred := relation.Predicate{}.WithInterval(0, relation.Closed(400, 600))
+	for _, algo := range allAlgorithms {
+		t.Run(string(algo), func(t *testing.T) {
+			db := newDB(t, cat, 20)
+			q := Query{Pred: pred, Rank: ranking.Ascending("tied")}
+			assertMatchesBruteForce(t, cat, db, Options{Algorithm: algo}, q, 25)
+		})
+	}
+}
+
+func TestDrainProducesEverythingExactlyOnce(t *testing.T) {
+	cat := datagen.Uniform(300, 2, 5)
+	pred := relation.Predicate{}.WithInterval(0, relation.Closed(100, 700))
+	matches := cat.Rel.Select(pred)
+	for _, algo := range allAlgorithms {
+		t.Run(string(algo), func(t *testing.T) {
+			db := newDB(t, cat, 15)
+			r, err := New(db, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			st, err := r.Rerank(ctx, Query{Pred: pred, Rank: ranking.MustParse("a0 - a1")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.NextN(ctx, len(matches)+50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(matches) {
+				t.Fatalf("drained %d tuples, %d match", len(got), len(matches))
+			}
+			ids := map[int64]bool{}
+			prev := math.Inf(-1)
+			for _, tu := range got {
+				if ids[tu.ID] {
+					t.Fatalf("tuple %d produced twice", tu.ID)
+				}
+				ids[tu.ID] = true
+				s := st.Scorer().Score(tu)
+				if s < prev-1e-9 {
+					t.Fatalf("scores not non-decreasing: %v after %v", s, prev)
+				}
+				prev = s
+			}
+			// Exhausted stream stays exhausted.
+			if _, ok, err := st.Next(ctx); ok || err != nil {
+				t.Fatalf("exhausted stream returned ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// The heavyweight randomized cross-check: random catalogs, filters and
+// ranking functions; every algorithm must agree with the oracle.
+func TestGetNextRandomizedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	attrNames := []string{"a0", "a1", "a2"}
+	for trial := 0; trial < 12; trial++ {
+		cat := datagen.Uniform(200+r.Intn(400), 3, int64(100+trial))
+		k := 10 + r.Intn(25)
+		pred := relation.Predicate{}
+		if r.Intn(2) == 0 {
+			lo := r.Float64() * 600
+			pred = pred.WithInterval(r.Intn(3), relation.Closed(lo, lo+200+r.Float64()*300))
+		}
+		dims := 1 + r.Intn(3)
+		var fn ranking.Function
+		perm := r.Perm(3)
+		for d := 0; d < dims; d++ {
+			w := (r.Float64()*2 - 1)
+			if math.Abs(w) < 0.05 {
+				w = 0.3
+			}
+			fn.Terms = append(fn.Terms, ranking.Term{Attr: attrNames[perm[d]], Weight: w})
+		}
+		for _, algo := range allAlgorithms {
+			db := newDB(t, cat, k)
+			assertMatchesBruteForce(t, cat, db, Options{Algorithm: algo},
+				Query{Pred: pred, Rank: fn}, 8)
+		}
+	}
+}
+
+// denseFixture builds a catalog with a dense wall exactly where the ranked
+// order begins: 2000 tuples with a0 packed into [500, 502] and 500
+// background tuples with a0 in [600, 1000]. Ranking ascending on a0 makes
+// every narrow region at the wall overflow — the paper's dense-region case.
+func denseFixture(t *testing.T) *datagen.Catalog {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "a0", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+		relation.Attribute{Name: "a1", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+	)
+	rel := relation.NewRelation("densefix", schema)
+	rnd := rand.New(rand.NewSource(77))
+	id := int64(1)
+	add := func(x, y float64) {
+		rel.MustAppend(relation.Tuple{ID: id, Values: []float64{
+			math.Round(x*100) / 100, math.Round(y*100) / 100}})
+		id++
+	}
+	for i := 0; i < 2000; i++ {
+		add(500+rnd.Float64()*2, rnd.Float64()*1000)
+	}
+	for i := 0; i < 500; i++ {
+		add(600+rnd.Float64()*400, rnd.Float64()*1000)
+	}
+	rank := func(tu relation.Tuple) float64 { return float64(tu.ID % 977) }
+	return &datagen.Catalog{Rel: rel, Rank: rank, Name: "densefix"}
+}
+
+func TestRerankAmortizesViaDenseIndex(t *testing.T) {
+	// The ranked order starts inside the dense wall; after warming the
+	// shared index on one stream, an identical stream must cost fewer
+	// queries and register dense hits.
+	cat := denseFixture(t)
+	db := newDB(t, cat, 20)
+	ix, err := dense.Open(cat.Rel.Schema(), kvstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Algorithm: Rerank, DenseDepth: 9, DenseIndex: ix}
+	r, err := New(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{Rank: ranking.Ascending("a0")}
+
+	st1, err := r.Rerank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st1.NextN(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	cold := st1.TotalStats()
+
+	st2, err := r.Rerank(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.NextN(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := st2.TotalStats()
+
+	if cold.DenseCrawls == 0 {
+		t.Fatalf("expected dense crawls on a clustered catalog, stats %+v", cold)
+	}
+	if warm.DenseHits == 0 {
+		t.Fatal("second stream did not hit the dense index")
+	}
+	if warm.Queries >= cold.Queries {
+		t.Fatalf("no amortisation: cold %d queries, warm %d", cold.Queries, warm.Queries)
+	}
+	// Warm results still correct.
+	want := BruteForceTop(cat.Rel, q.Pred, st2.Scorer(), 10)
+	for i := range got {
+		if math.Abs(st2.Scorer().Score(got[i])-st2.Scorer().Score(want[i])) > 1e-9 {
+			t.Fatalf("warm result %d wrong", i)
+		}
+	}
+}
+
+func TestSessionCacheSeedsCandidates(t *testing.T) {
+	cat := datagen.Uniform(800, 2, 7)
+	q := Query{Rank: ranking.MustParse("a0 + 0.5*a1")}
+
+	run := func(cache TupleCache) OpStats {
+		db := newDB(t, cat, 20)
+		r, err := New(db, Options{Algorithm: Baseline, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Rerank(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.NextN(context.Background(), 5); err != nil {
+			t.Fatal(err)
+		}
+		return st.TotalStats()
+	}
+
+	cold := run(nil)
+	warm := &fakeCache{}
+	// Warm the cache with a previous identical query.
+	{
+		db := newDB(t, cat, 20)
+		r, _ := New(db, Options{Algorithm: Baseline, Cache: warm})
+		st, err := r.Rerank(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.NextN(context.Background(), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmStats := run(warm)
+	if warmStats.CacheCandidates == 0 {
+		t.Fatal("cache seeded no candidates")
+	}
+	if warmStats.Queries > cold.Queries {
+		t.Fatalf("warm cache increased cost: %d vs %d", warmStats.Queries, cold.Queries)
+	}
+}
+
+type fakeCache struct {
+	tuples map[int64]relation.Tuple
+}
+
+func (c *fakeCache) CacheTuples(ts ...relation.Tuple) {
+	if c.tuples == nil {
+		c.tuples = map[int64]relation.Tuple{}
+	}
+	for _, t := range ts {
+		c.tuples[t.ID] = t
+	}
+}
+
+func (c *fakeCache) CachedMatching(p relation.Predicate) []relation.Tuple {
+	var out []relation.Tuple
+	for _, t := range c.tuples {
+		if p.Match(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	cat := datagen.Uniform(3000, 2, 8)
+	db := newDB(t, cat, 10)
+	r, err := New(db, Options{Algorithm: Binary, MaxQueriesPerNext: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a fixed normalisation so discovery does not consume queries.
+	norm := ranking.FromSchema(cat.Rel.Schema())
+	r.norm = &norm
+	st, err := r.Rerank(context.Background(), Query{Rank: ranking.Descending("a0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.Next(context.Background())
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestNormalizationDiscoverySound(t *testing.T) {
+	cat := datagen.Zillow(2000, 9)
+	db := newDB(t, cat, 40)
+	r, err := New(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := r.Normalization(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NormalizationQueries() == 0 {
+		t.Fatal("discovery issued no queries")
+	}
+	s := cat.Rel.Schema()
+	for i := 0; i < s.Len(); i++ {
+		a := s.Attr(i)
+		if a.Kind != relation.Numeric {
+			continue
+		}
+		trueLo, trueHi, _ := cat.Rel.MinMax(i)
+		if norm.Min[i] > trueLo {
+			t.Errorf("%s: discovered min %v above true min %v (unsound)", a.Name, norm.Min[i], trueLo)
+		}
+		if norm.Max[i] < trueHi {
+			t.Errorf("%s: discovered max %v below true max %v (unsound)", a.Name, norm.Max[i], trueHi)
+		}
+		slack := a.Resolution
+		if slack <= 0 {
+			slack = (a.Max - a.Min) * 1e-6
+		}
+		if trueLo-norm.Min[i] > slack*2 {
+			t.Errorf("%s: min loose by %v", a.Name, trueLo-norm.Min[i])
+		}
+		if norm.Max[i]-trueHi > slack*2 {
+			t.Errorf("%s: max loose by %v", a.Name, norm.Max[i]-trueHi)
+		}
+	}
+	// Second call is cached.
+	before := r.NormalizationQueries()
+	if _, err := r.Normalization(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.NormalizationQueries() != before {
+		t.Fatal("normalisation recomputed")
+	}
+}
+
+func TestSequentialOnlyMatchesParallel(t *testing.T) {
+	cat := datagen.Uniform(400, 2, 10)
+	q := Query{Rank: ranking.MustParse("a0 - a1")}
+	db1 := newDB(t, cat, 20)
+	st1 := assertMatchesBruteForce(t, cat, db1, Options{Algorithm: Rerank}, q, 10)
+	db2 := newDB(t, cat, 20)
+	st2 := assertMatchesBruteForce(t, cat, db2, Options{Algorithm: Rerank, SequentialOnly: true}, q, 10)
+	if st2.TotalStats().ParallelBatches != 0 {
+		t.Fatal("sequential-only executor ran parallel batches")
+	}
+	if st1.TotalStats().Queries == 0 || st2.TotalStats().Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	cat := datagen.Uniform(500, 2, 11)
+	db := newDB(t, cat, 20)
+	st := assertMatchesBruteForce(t, cat, db, Options{Algorithm: Rerank}, Query{Rank: ranking.MustParse("a0 + a1")}, 10)
+	s := st.TotalStats()
+	var sum int64
+	for _, b := range s.BatchSizes {
+		sum += int64(b)
+	}
+	if sum != s.Queries {
+		t.Fatalf("batch sizes sum %d != queries %d", sum, s.Queries)
+	}
+	if f := s.ParallelQueryFraction(); f < 0 || f > 1 {
+		t.Fatalf("parallel fraction %v", f)
+	}
+	if s.Produced != 10 {
+		t.Fatalf("Produced = %d", s.Produced)
+	}
+}
+
+func TestRerankErrors(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 12)
+	db := newDB(t, cat, 10)
+	if _, err := New(db, Options{Algorithm: Algorithm("nope")}); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	r, err := New(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bad := relation.Predicate{}.WithInterval(0, relation.Closed(5, 1))
+	if _, err := r.Rerank(ctx, Query{Pred: bad, Rank: ranking.Ascending("a0")}); err == nil {
+		t.Fatal("unsatisfiable predicate accepted")
+	}
+	if _, err := r.Rerank(ctx, Query{Rank: ranking.Ascending("nope")}); err == nil {
+		t.Fatal("unknown ranking attribute accepted")
+	}
+	if _, err := r.Rerank(ctx, Query{Rank: ranking.Function{}}); err == nil {
+		t.Fatal("empty ranking function accepted")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 13)
+	pred := relation.Predicate{}.WithInterval(0, relation.Closed(2000, 3000)) // outside domain
+	for _, algo := range allAlgorithms {
+		db := newDB(t, cat, 10)
+		r, err := New(db, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.Rerank(context.Background(), Query{Pred: pred, Rank: ranking.Ascending("a0")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := st.Next(context.Background()); ok || err != nil {
+			t.Fatalf("%s: empty result: ok=%v err=%v", algo, ok, err)
+		}
+	}
+}
+
+func TestTADegeneratesTo1D(t *testing.T) {
+	cat := datagen.Uniform(300, 2, 14)
+	db := newDB(t, cat, 15)
+	assertMatchesBruteForce(t, cat, db, Options{Algorithm: TA},
+		Query{Rank: ranking.Ascending("a1")}, 10)
+}
+
+func TestContextCancellation(t *testing.T) {
+	cat := datagen.Uniform(2000, 2, 15)
+	db := newDB(t, cat, 10)
+	r, err := New(db, Options{Algorithm: Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Rerank(ctx, Query{Rank: ranking.Ascending("a0")}); err == nil {
+		t.Fatal("cancelled context accepted (normalisation discovery should fail)")
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/crawl"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+// leafState tracks a region's lifecycle in the worklist.
+type leafState uint8
+
+const (
+	// leafUnexplored regions have not been resolved yet.
+	leafUnexplored leafState = iota
+	// leafEnumerated regions are complete: every pred-matching tuple
+	// inside them is known (query underflow, dense-index hit, or crawl).
+	leafEnumerated
+)
+
+// leaf is one region of the worklist, in normalised ranking coordinates.
+type leaf struct {
+	rect  region.Rect
+	state leafState
+	depth int
+}
+
+// engine is the shared region-worklist machine behind (1D/MD)-BASELINE,
+// -BINARY and -RERANK. The three strategies differ only in how an
+// overflowing region is refined:
+//
+//   - Baseline clips the region against the rank contour of the best-known
+//     candidate and re-queries it, splitting only when clipping stalls; its
+//     worklist is rebuilt from the whole domain on every get-next.
+//   - Binary halves the region along its (relatively) widest dimension; the
+//     worklist persists across get-nexts, so previously enumerated regions
+//     are never re-queried.
+//   - Rerank behaves like Binary until a region narrower than the dense
+//     threshold still overflows; then the region is crawled completely,
+//     inserted into the shared dense index, and answered locally — as are
+//     all future regions the index covers.
+//
+// Every strategy falls back to a crawl when a region is unsplittable (a
+// point region still overflowing means more than system-k tuples share the
+// value — the paper's general-positioning fix).
+type engine struct {
+	st   *Stream
+	algo Algorithm
+
+	attrs     []int     // schema positions of the ranking attributes
+	weights   []float64 // aligned with attrs
+	domain    region.Rect
+	refWidths []float64 // domain widths, for relative width measures
+	minSplit  []float64 // minimal splittable width per dimension
+
+	leaves      []*leaf
+	initialized bool
+	empty       bool
+}
+
+func newEngine(st *Stream, algo Algorithm) (*engine, error) {
+	sc := st.scorer
+	norm := sc.Norm()
+	schema := st.r.db.Schema()
+	e := &engine{st: st, algo: algo, attrs: sc.Attrs(), weights: sc.Weights()}
+	ivs := make([]relation.Interval, len(e.attrs))
+	e.refWidths = make([]float64, len(e.attrs))
+	e.minSplit = make([]float64, len(e.attrs))
+	for i, a := range e.attrs {
+		filter := st.pred.Interval(a)
+		nIv := relation.Interval{
+			Lo: norm.Normalize(a, filter.Lo), LoOpen: filter.LoOpen,
+			Hi: norm.Normalize(a, filter.Hi), HiOpen: filter.HiOpen,
+		}
+		ivs[i] = relation.Closed(0, 1).Intersect(nIv)
+		if ivs[i].Empty() {
+			e.empty = true
+		}
+		e.refWidths[i] = ivs[i].Width()
+		span := norm.Max[a] - norm.Min[a]
+		res := schema.Attr(a).Resolution
+		switch {
+		case span <= 0:
+			e.minSplit[i] = math.Inf(1) // degenerate attribute: never split
+		case res > 0:
+			e.minSplit[i] = math.Max(res/span, 1e-12)
+		default:
+			e.minSplit[i] = 1e-9
+		}
+	}
+	rect, err := region.New(e.attrs, ivs)
+	if err != nil {
+		return nil, err
+	}
+	e.domain = rect
+	return e, nil
+}
+
+// rawRect converts a normalised rect into raw attribute coordinates.
+func (e *engine) rawRect(nr region.Rect) region.Rect {
+	norm := e.st.scorer.Norm()
+	out := nr.Clone()
+	for i, a := range out.Attrs {
+		out.Ivs[i].Lo = norm.Denormalize(a, out.Ivs[i].Lo)
+		out.Ivs[i].Hi = norm.Denormalize(a, out.Ivs[i].Hi)
+	}
+	return out
+}
+
+// queryPredicate is the web-database query for a region: the user filter
+// plus the region's raw bounds.
+func (e *engine) queryPredicate(nr region.Rect) relation.Predicate {
+	return e.rawRect(nr).Predicate(e.st.pred)
+}
+
+// next implements nextImpl.
+func (e *engine) next(ctx context.Context) (relation.Tuple, bool, error) {
+	if e.empty {
+		return relation.Tuple{}, false, nil
+	}
+	if !e.initialized || e.algo == Baseline {
+		// Baseline is stateless per get-next: broad queries over the whole
+		// remaining space every time. Binary/Rerank keep their worklist.
+		e.leaves = []*leaf{{rect: e.domain.Clone()}}
+		e.initialized = true
+	}
+	budget := e.st.r.opt.MaxQueriesPerNext
+	startQueries := e.st.exec.Stats().Queries
+	used := func() int { return int(e.st.exec.Stats().Queries - startQueries) }
+
+	specBudget := e.st.r.opt.MaxParallel
+	for iter := 0; iter < 1<<20; iter++ {
+		if err := ctx.Err(); err != nil {
+			return relation.Tuple{}, false, err
+		}
+		cand, candScore, haveCand := e.st.bestCandidate()
+
+		// Prune dead regions and assemble the frontier: the set of
+		// unexplored regions that could still contain a tuple beating the
+		// candidate. Querying all of them at once is the paper's parallel
+		// verification: together they cover every area in which a tuple
+		// may dominate the best-known one.
+		frontier, dormant := e.pruneAndFrontier(candScore, haveCand)
+		if len(frontier) == 0 {
+			if haveCand {
+				return cand, true, nil
+			}
+			return relation.Tuple{}, false, nil
+		}
+		// Speculative parallelism (§II-B): while the round trip for the
+		// mandatory frontier is in flight anyway, fill the batch with the
+		// dormant regions closest to the contour — they are the ones the
+		// next get-next will most likely need. This can issue queries a
+		// sequential run would avoid (the paper's stated trade-off) but
+		// converts their latency from future round trips into the
+		// current one. Bounded per get-next so speculation cannot run
+		// away.
+		if e.st.exec.Parallel() && specBudget > 0 && len(dormant) > 0 {
+			take := e.st.r.opt.MaxParallel - len(frontier)
+			if take > specBudget {
+				take = specBudget
+			}
+			if take > 0 {
+				sortLeavesByLinearMin(dormant, e.weights)
+				if take > len(dormant) {
+					take = len(dormant)
+				}
+				frontier = append(frontier, dormant[:take]...)
+				specBudget -= take
+			}
+		}
+
+		// Dense-index lookups resolve regions for free (Rerank only).
+		toQuery := frontier
+		if e.algo == Rerank {
+			toQuery = toQuery[:0:0]
+			for _, lf := range frontier {
+				hit, err := e.tryDenseIndex(lf)
+				if err != nil {
+					return relation.Tuple{}, false, err
+				}
+				if !hit {
+					toQuery = append(toQuery, lf)
+				}
+			}
+			if len(toQuery) == 0 {
+				continue
+			}
+		}
+
+		// Baseline tightens each region against the candidate's rank
+		// contour before spending a query on it.
+		if e.algo == Baseline && haveCand {
+			kept := toQuery[:0]
+			for _, lf := range toQuery {
+				lf.rect = clipBelowContour(lf.rect, e.weights, candScore)
+				if lf.rect.Empty() {
+					lf.state = leafEnumerated
+					continue
+				}
+				kept = append(kept, lf)
+			}
+			toQuery = kept
+			if len(toQuery) == 0 {
+				continue
+			}
+		}
+
+		if used()+len(toQuery) > budget {
+			return relation.Tuple{}, false, fmt.Errorf("%w (budget %d)", ErrBudget, budget)
+		}
+		preds := make([]relation.Predicate, len(toQuery))
+		for i, lf := range toQuery {
+			preds[i] = e.queryPredicate(lf.rect)
+		}
+		results, err := e.st.exec.SearchBatch(ctx, preds)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		for i, res := range results {
+			lf := toQuery[i]
+			e.st.observe(res.Tuples)
+			if !res.Overflow {
+				lf.state = leafEnumerated
+				continue
+			}
+			if err := e.refine(ctx, lf, budget-used()); err != nil {
+				return relation.Tuple{}, false, err
+			}
+		}
+	}
+	return relation.Tuple{}, false, fmt.Errorf("core: engine failed to converge")
+}
+
+// pruneAndFrontier drops dead leaves and splits the unexplored leaves into
+// the frontier (must be queried now) and the dormant rest. A leaf is dead
+// when every tuple in it scores strictly below the last produced score —
+// by the get-next invariant all such tuples have been produced. A leaf is
+// dormant when no tuple in it can beat the current candidate.
+func (e *engine) pruneAndFrontier(candScore float64, haveCand bool) (frontier, dormant []*leaf) {
+	live := e.leaves[:0]
+	for _, lf := range e.leaves {
+		if lf.state == leafEnumerated {
+			// Fully known; its tuples live in the stash. Dropping the
+			// leaf keeps the worklist small.
+			continue
+		}
+		if lf.rect.LinearMax(e.weights) < e.st.lastScore {
+			continue // dead: everything in it was already produced
+		}
+		live = append(live, lf)
+		if !haveCand || lf.rect.LinearMin(e.weights) < candScore {
+			frontier = append(frontier, lf)
+		} else {
+			dormant = append(dormant, lf)
+		}
+	}
+	e.leaves = live
+	return frontier, dormant
+}
+
+// sortLeavesByLinearMin orders leaves by ascending best-corner score.
+func sortLeavesByLinearMin(ls []*leaf, w []float64) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].rect.LinearMin(w) < ls[j-1].rect.LinearMin(w); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+// tryDenseIndex resolves a leaf from the dense-region index when an indexed
+// region covers it. Reports whether the leaf was resolved.
+func (e *engine) tryDenseIndex(lf *leaf) (bool, error) {
+	rr := e.rawRect(lf.rect)
+	entry, ok := e.st.r.ix.Find(rr)
+	if !ok {
+		return false, nil
+	}
+	tuples, err := e.st.r.ix.TopIn(entry.ID, rr, e.st.pred, nil, nil, 0)
+	if err != nil {
+		return false, err
+	}
+	e.st.observe(tuples)
+	lf.state = leafEnumerated
+	e.st.last.DenseHits++
+	return true, nil
+}
+
+// refine handles an overflowing leaf according to the strategy.
+func (e *engine) refine(ctx context.Context, lf *leaf, remaining int) error {
+	if e.algo == Baseline {
+		// The batch may have produced a better candidate; try clipping
+		// first — the classic baseline narrowing step.
+		if _, cs, ok := e.st.bestCandidate(); ok {
+			clipped := clipBelowContour(lf.rect, e.weights, cs)
+			if clipped.Empty() {
+				lf.state = leafEnumerated
+				return nil
+			}
+			if rectNarrower(clipped, lf.rect) {
+				lf.rect = clipped
+				return nil // re-query the narrowed region next iteration
+			}
+		}
+	}
+	dim := e.splittableDim(lf.rect)
+	dense := dim < 0 // unsplittable: forced crawl for every strategy
+	if !dense && e.algo == Rerank && lf.depth >= e.st.r.opt.DenseDepth {
+		// The region kept more than system-k tuples through DenseDepth
+		// halvings — evidence it is genuinely dense, so materialise it
+		// once instead of splitting further. Depth-based detection is
+		// robust to skewed domains, where any fixed width fraction either
+		// never fires or fires on huge swaths of the space.
+		dense = true
+	}
+	if dense {
+		return e.crawlLeaf(ctx, lf, remaining)
+	}
+	mid := lf.rect.Ivs[dim].Midpoint()
+	left, right := lf.rect.SplitAt(dim, mid)
+	lf.rect, lf.depth = left, lf.depth+1
+	e.leaves = append(e.leaves, &leaf{rect: right, depth: lf.depth})
+	return nil
+}
+
+// splittableDim picks the relatively widest dimension that can still be
+// halved, or -1.
+func (e *engine) splittableDim(r region.Rect) int {
+	best, bestW := -1, 0.0
+	for i, iv := range r.Ivs {
+		w := iv.Width()
+		if w <= e.minSplit[i] {
+			continue
+		}
+		rel := w
+		if e.refWidths[i] > 0 {
+			rel = w / e.refWidths[i]
+		}
+		if rel > bestW {
+			best, bestW = i, rel
+		}
+	}
+	return best
+}
+
+// crawlLeaf materialises a leaf completely. Rerank crawls without the user
+// filter so the result is reusable, and publishes it to the shared dense
+// index; the other strategies crawl the filtered region only.
+func (e *engine) crawlLeaf(ctx context.Context, lf *leaf, remaining int) error {
+	if remaining <= 0 {
+		return fmt.Errorf("%w (crawl)", ErrBudget)
+	}
+	reusable := e.algo == Rerank
+	var pred relation.Predicate
+	rr := e.rawRect(lf.rect)
+	if reusable {
+		pred = rr.Predicate(relation.Predicate{})
+	} else {
+		pred = rr.Predicate(e.st.pred)
+	}
+	tuples, cstats, err := crawl.All(ctx, e.st.exec, pred, crawl.Options{MaxQueries: remaining})
+	if err != nil {
+		return err
+	}
+	e.st.last.DenseCrawls++
+	e.st.last.CrawledTuples += int64(len(tuples))
+	e.st.last.Saturated += int64(cstats.Saturated)
+	all := make([]relation.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		all = append(all, t)
+	}
+	if reusable && cstats.Complete {
+		if _, err := e.st.r.ix.Insert(rr, all); err != nil {
+			return err
+		}
+	}
+	e.st.observe(all)
+	lf.state = leafEnumerated
+	return nil
+}
+
+// clipBelowContour returns a rectangle covering {x ∈ r : f(x) < s} for the
+// linear function f(x) = Σ w[i]·x[i]: along each dimension i the bound
+// (s - min over r of Σ_{j≠i} w[j]x[j]) / w[i] caps the coordinate. The
+// result is a superset of the sub-level set (sound for pruning) and never
+// larger than r.
+func clipBelowContour(r region.Rect, w []float64, s float64) region.Rect {
+	total := r.LinearMin(w)
+	out := r.Clone()
+	for i, iv := range out.Ivs {
+		var cornerTerm float64
+		if w[i] >= 0 {
+			cornerTerm = w[i] * iv.Lo
+		} else {
+			cornerTerm = w[i] * iv.Hi
+		}
+		others := total - cornerTerm
+		bound := (s - others) / w[i]
+		if w[i] > 0 {
+			if bound < iv.Hi || (bound == iv.Hi && !iv.HiOpen) {
+				out.Ivs[i].Hi, out.Ivs[i].HiOpen = bound, true
+			}
+		} else {
+			if bound > iv.Lo || (bound == iv.Lo && !iv.LoOpen) {
+				out.Ivs[i].Lo, out.Ivs[i].LoOpen = bound, true
+			}
+		}
+	}
+	return out
+}
+
+// rectNarrower reports whether a is strictly narrower than b on some
+// dimension (same attrs assumed).
+func rectNarrower(a, b region.Rect) bool {
+	for i := range a.Ivs {
+		ai, bi := a.Ivs[i], b.Ivs[i]
+		if ai.Lo != bi.Lo || ai.Hi != bi.Hi || ai.LoOpen != bi.LoOpen || ai.HiOpen != bi.HiOpen {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// Stream is a get-next cursor: an incrementally materialised ranked result
+// of one reranking query. Next discovers the best not-yet-produced tuple.
+// A Stream is not safe for concurrent use; sessions serialise access.
+type Stream struct {
+	r      *Reranker
+	pred   relation.Predicate
+	scorer *ranking.Scorer
+	exec   *parallel.Executor
+
+	// stash holds every tuple the stream has observed (query results,
+	// crawls, cache seeds), keyed by ID. Stash entries always match pred.
+	stash map[int64]relation.Tuple
+	// produced are the tuples already returned, in rank order.
+	produced    []relation.Tuple
+	producedSet map[int64]struct{}
+	// lastScore is the score of the most recently produced tuple; by the
+	// get-next invariant every matching tuple scoring strictly below it
+	// has been produced.
+	lastScore float64
+
+	impl nextImpl
+
+	total OpStats
+	last  OpStats
+}
+
+// nextImpl is the algorithm-specific part of a stream: it discovers the
+// best unproduced tuple or reports exhaustion.
+type nextImpl interface {
+	next(ctx context.Context) (relation.Tuple, bool, error)
+}
+
+// Rerank validates a query and opens a get-next stream for it using the
+// Reranker's configured algorithm.
+func (r *Reranker) Rerank(ctx context.Context, q Query) (*Stream, error) {
+	if q.Pred.Unsatisfiable() {
+		return nil, fmt.Errorf("core: query predicate is unsatisfiable")
+	}
+	norm, err := r.Normalization(ctx)
+	if err != nil {
+		return nil, err
+	}
+	scorer, err := ranking.Bind(q.Rank, r.db.Schema(), norm)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{
+		r:           r,
+		pred:        q.Pred,
+		scorer:      scorer,
+		exec:        r.newExecutor(),
+		stash:       make(map[int64]relation.Tuple),
+		producedSet: make(map[int64]struct{}),
+		lastScore:   negInf,
+	}
+	// Seed the stash from the user-level session cache (§II-A): every
+	// cached tuple matching the filter is a warm candidate.
+	if r.opt.Cache != nil {
+		seeds := r.opt.Cache.CachedMatching(q.Pred)
+		for _, t := range seeds {
+			st.stash[t.ID] = t
+		}
+		st.total.CacheCandidates += int64(len(seeds))
+	}
+	algo := r.opt.Algorithm
+	if algo == TA && scorer.Dims() > 1 {
+		impl, err := newTAEngine(ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		st.impl = impl
+	} else {
+		if algo == TA {
+			algo = Rerank // 1D TA degenerates to 1D-Rerank
+		}
+		impl, err := newEngine(st, algo)
+		if err != nil {
+			return nil, err
+		}
+		st.impl = impl
+	}
+	return st, nil
+}
+
+// Scorer returns the stream's bound ranking function (with the discovered
+// normalisation), which defines the exact order the stream produces.
+func (st *Stream) Scorer() *ranking.Scorer { return st.scorer }
+
+// Pred returns the stream's filter predicate.
+func (st *Stream) Pred() relation.Predicate { return st.pred }
+
+// Produced returns the tuples produced so far, in rank order. The slice
+// must not be modified.
+func (st *Stream) Produced() []relation.Tuple { return st.produced }
+
+// LastStats describes the most recent Next call; TotalStats accumulates
+// the stream's whole history (including cache seeding).
+func (st *Stream) LastStats() OpStats  { return st.last }
+func (st *Stream) TotalStats() OpStats { return st.total }
+
+// Next performs one get-next: it returns the matching tuple with the
+// smallest score not yet produced, or ok=false when the result set is
+// exhausted.
+func (st *Stream) Next(ctx context.Context) (t relation.Tuple, ok bool, err error) {
+	// Engine-internal counters (crawls, dense hits, TA sub-stream work)
+	// are booked directly into st.last by the impl during next; the
+	// executor delta is merged on top afterwards.
+	st.last = OpStats{}
+	start := time.Now()
+	before := st.exec.Stats()
+	t, ok, err = st.impl.next(ctx)
+	delta := execDelta(before, st.exec.Stats())
+	delta.Elapsed = time.Since(start)
+	if err == nil && ok {
+		delta.Produced = 1
+		st.produce(t)
+	}
+	st.last.add(delta)
+	st.total.add(st.last)
+	return t, ok, err
+}
+
+// produce registers a tuple as returned to the user.
+func (st *Stream) produce(t relation.Tuple) {
+	st.produced = append(st.produced, t)
+	st.producedSet[t.ID] = struct{}{}
+	st.lastScore = st.scorer.Score(t)
+	if st.r.opt.Cache != nil {
+		st.r.opt.Cache.CacheTuples(t)
+	}
+}
+
+// NextN returns up to n further tuples — one result page of QR2's UI.
+func (st *Stream) NextN(ctx context.Context, n int) ([]relation.Tuple, error) {
+	var out []relation.Tuple
+	for len(out) < n {
+		t, ok, err := st.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// observe stores query-result tuples into the stash and the session cache.
+// Only tuples matching the stream predicate are retained.
+func (st *Stream) observe(ts []relation.Tuple) {
+	for _, t := range ts {
+		if _, ok := st.stash[t.ID]; ok {
+			continue
+		}
+		if !st.pred.Match(t) {
+			continue
+		}
+		st.stash[t.ID] = t
+	}
+	if st.r.opt.Cache != nil {
+		st.r.opt.Cache.CacheTuples(ts...)
+	}
+}
+
+// bestCandidate scans the stash for the unproduced tuple with the smallest
+// (score, ID).
+func (st *Stream) bestCandidate() (relation.Tuple, float64, bool) {
+	var (
+		best  relation.Tuple
+		score float64
+		found bool
+	)
+	for id, t := range st.stash {
+		if _, done := st.producedSet[id]; done {
+			continue
+		}
+		s := st.scorer.Score(t)
+		if !found || s < score || (s == score && t.ID < best.ID) {
+			best, score, found = t, s, true
+		}
+	}
+	return best, score, found
+}

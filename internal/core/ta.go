@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// taEngine implements MD-TA: Fagin's Threshold Algorithm with sorted access
+// provided by per-attribute 1D-Rerank streams (the paper's footnote 3).
+//
+// For each ranking attribute Aᵢ a 1D stream produces the matching tuples in
+// the direction of the weight's sign, so the contribution wᵢ·xᵢ of the last
+// tuple pulled from stream i is non-decreasing. The threshold
+// τ = Σᵢ wᵢ·x̄ᵢ lower-bounds the score of every tuple not yet pulled from
+// any stream; once the best pulled-but-unproduced tuple scores no worse
+// than τ, it is the true next tuple. Because the web database returns whole
+// tuples, no random access phase is needed.
+type taEngine struct {
+	st       *Stream
+	subs     []*Stream
+	frontier []float64 // wᵢ·x̄ᵢ per stream
+	started  []bool
+	done     []bool
+	lastSub  []OpStats // last TotalStats snapshot per sub, for delta booking
+	rr       int
+	allSeen  bool
+}
+
+func newTAEngine(ctx context.Context, st *Stream) (*taEngine, error) {
+	attrs, weights := st.scorer.Attrs(), st.scorer.Weights()
+	schema := st.r.db.Schema()
+	norm := st.scorer.Norm()
+	e := &taEngine{
+		st:       st,
+		frontier: make([]float64, len(attrs)),
+		started:  make([]bool, len(attrs)),
+		done:     make([]bool, len(attrs)),
+		lastSub:  make([]OpStats, len(attrs)),
+	}
+	for i, a := range attrs {
+		name := schema.Attr(a).Name
+		fn := ranking.Ascending(name)
+		if weights[i] < 0 {
+			fn = ranking.Descending(name)
+		}
+		subOpt := st.r.opt
+		subOpt.Algorithm = Rerank
+		subOpt.DenseIndex = st.r.ix
+		subOpt.Normalization = &norm
+		sub, err := New(st.r.db, subOpt)
+		if err != nil {
+			return nil, err
+		}
+		subStream, err := sub.Rerank(ctx, Query{Pred: st.pred, Rank: fn})
+		if err != nil {
+			return nil, fmt.Errorf("core: MD-TA sorted access on %q: %w", name, err)
+		}
+		e.subs = append(e.subs, subStream)
+	}
+	return e, nil
+}
+
+// next implements nextImpl.
+func (e *taEngine) next(ctx context.Context) (relation.Tuple, bool, error) {
+	attrs, weights := e.st.scorer.Attrs(), e.st.scorer.Weights()
+	norm := e.st.scorer.Norm()
+	for iter := 0; iter < 1<<22; iter++ {
+		if err := ctx.Err(); err != nil {
+			return relation.Tuple{}, false, err
+		}
+		cand, candScore, haveCand := e.st.bestCandidate()
+		if e.allSeen {
+			// Some stream drained completely, so the stash holds every
+			// matching tuple: answer directly.
+			if haveCand {
+				return cand, true, nil
+			}
+			return relation.Tuple{}, false, nil
+		}
+		if haveCand && e.allStarted() {
+			tau := 0.0
+			for _, f := range e.frontier {
+				tau += f
+			}
+			if tau >= candScore-1e-12 {
+				return cand, true, nil
+			}
+		}
+		// Pull one tuple from the next live stream (round-robin).
+		pulled := false
+		for tries := 0; tries < len(e.subs); tries++ {
+			i := e.rr
+			e.rr = (e.rr + 1) % len(e.subs)
+			if e.done[i] {
+				continue
+			}
+			t, ok, err := e.pullSub(ctx, i)
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			if !ok {
+				e.done[i] = true
+				e.allSeen = true
+				break
+			}
+			e.started[i] = true
+			e.frontier[i] = weights[i] * norm.Normalize(attrs[i], t.Values[attrs[i]])
+			e.st.observe([]relation.Tuple{t})
+			pulled = true
+			break
+		}
+		if !pulled && !e.allSeen {
+			// Every stream is done.
+			e.allSeen = true
+		}
+	}
+	return relation.Tuple{}, false, fmt.Errorf("core: MD-TA failed to converge")
+}
+
+// pullSub advances sorted access on stream i, booking its work (queries,
+// batches, crawls) into the TA stream's per-call statistics.
+func (e *taEngine) pullSub(ctx context.Context, i int) (relation.Tuple, bool, error) {
+	t, ok, err := e.subs[i].Next(ctx)
+	delta := diffStats(e.subs[i].TotalStats(), e.lastSub[i])
+	e.lastSub[i] = e.subs[i].TotalStats()
+	// The sub-stream's produced count and internal wall time are not
+	// user-visible work of the TA stream.
+	delta.Produced = 0
+	delta.Elapsed = 0
+	e.st.last.add(delta)
+	return t, ok, err
+}
+
+func (e *taEngine) allStarted() bool {
+	for _, s := range e.started {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// diffStats subtracts an earlier cumulative snapshot from a later one.
+func diffStats(after, before OpStats) OpStats {
+	return OpStats{
+		Queries:           after.Queries - before.Queries,
+		Batches:           after.Batches - before.Batches,
+		ParallelBatches:   after.ParallelBatches - before.ParallelBatches,
+		QueriesInParallel: after.QueriesInParallel - before.QueriesInParallel,
+		BatchSizes:        append([]int(nil), after.BatchSizes[len(before.BatchSizes):]...),
+		SimElapsed:        after.SimElapsed - before.SimElapsed,
+		Elapsed:           after.Elapsed - before.Elapsed,
+		DenseHits:         after.DenseHits - before.DenseHits,
+		DenseCrawls:       after.DenseCrawls - before.DenseCrawls,
+		CrawledTuples:     after.CrawledTuples - before.CrawledTuples,
+		CacheCandidates:   after.CacheCandidates - before.CacheCandidates,
+		Produced:          after.Produced - before.Produced,
+		Saturated:         after.Saturated - before.Saturated,
+	}
+}

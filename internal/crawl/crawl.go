@@ -1,0 +1,182 @@
+// Package crawl enumerates every tuple of a hidden web database that
+// matches a predicate, using only the public top-k interface.
+//
+// QR2 needs a complete crawl in two situations the paper calls out:
+//
+//   - the general positioning assumption fails — more than system-k tuples
+//     share one value on the ranking attribute (the paper's example: ~20%
+//     of Blue Nile stones have LengthWidthRatio = 1.00), so no interval
+//     query on that attribute can ever underflow; and
+//   - a dense region is being materialised into the on-the-fly index by
+//     (1D/MD)-RERANK.
+//
+// The algorithm follows the recursive partitioning idea of Sheng et al.,
+// "Optimal algorithms for crawling a hidden database in the web" (VLDB
+// 2012), reference [8] of the paper: query a region; if it overflows, split
+// it along an attribute that still has slack — including attributes other
+// than the ones that defined the region, which is what makes tie groups
+// crawlable — and recurse until every leaf underflows. Sibling regions are
+// independent, so each wave of leaves is issued as one parallel batch.
+package crawl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/relation"
+)
+
+// ErrBudget is returned when the crawl hits its query budget before
+// completing. The partial result map is still returned.
+var ErrBudget = errors.New("crawl: query budget exhausted")
+
+// Stats describes one crawl.
+type Stats struct {
+	// Queries issued to the web database by this crawl.
+	Queries int
+	// Splits performed.
+	Splits int
+	// Complete reports that the result holds every matching tuple.
+	Complete bool
+	// Saturated regions could not be split further (identical tuples
+	// beyond system-k); their excess tuples are unreachable through the
+	// public interface.
+	Saturated int
+}
+
+// Options tunes a crawl.
+type Options struct {
+	// MaxQueries bounds the number of queries (0 means 50_000).
+	MaxQueries int
+	// Wave bounds how many leaf regions are queried per parallel batch
+	// (0 means 8).
+	Wave int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueries <= 0 {
+		o.MaxQueries = 50_000
+	}
+	if o.Wave <= 0 {
+		o.Wave = 8
+	}
+	return o
+}
+
+// All returns every tuple matching base, keyed by tuple ID.
+//
+// When Stats.Complete is true the map is exactly the match set. The map is
+// partial when the budget runs out (error ErrBudget) or when some region is
+// saturated: more than system-k tuples identical on every searchable
+// attribute, which no sequence of interface queries can separate
+// (Stats.Saturated counts such regions; the paper accepts this limitation).
+func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, opts Options) (map[int64]relation.Tuple, Stats, error) {
+	opts = opts.withDefaults()
+	schema := ex.DB().Schema()
+	out := make(map[int64]relation.Tuple)
+	stats := Stats{Complete: true}
+
+	stack := []relation.Predicate{base}
+	for len(stack) > 0 {
+		// Take one wave of leaves from the stack.
+		wave := len(stack)
+		if wave > opts.Wave {
+			wave = opts.Wave
+		}
+		if stats.Queries+wave > opts.MaxQueries {
+			stats.Complete = false
+			return out, stats, fmt.Errorf("%w after %d queries", ErrBudget, stats.Queries)
+		}
+		// Copy the wave out of the stack: pushing children below would
+		// otherwise overwrite the slice the loop is still reading.
+		batch := append([]relation.Predicate(nil), stack[len(stack)-wave:]...)
+		stack = stack[:len(stack)-wave]
+		results, err := ex.SearchBatch(ctx, batch)
+		if err != nil {
+			stats.Complete = false
+			return out, stats, err
+		}
+		stats.Queries += wave
+		for i, res := range results {
+			for _, t := range res.Tuples {
+				out[t.ID] = t
+			}
+			if !res.Overflow {
+				continue
+			}
+			left, right, ok := split(schema, batch[i])
+			if !ok {
+				// Identical beyond system-k on every searchable
+				// attribute: unreachable remainder.
+				stats.Saturated++
+				stats.Complete = false
+				continue
+			}
+			stats.Splits++
+			stack = append(stack, left, right)
+		}
+	}
+	return out, stats, nil
+}
+
+// split partitions a predicate's region in two along the attribute with the
+// most slack: the numeric attribute with the widest remaining interval
+// relative to its domain, falling back to halving a categorical attribute's
+// allowed set. ok is false when nothing can be split.
+func split(schema *relation.Schema, p relation.Predicate) (left, right relation.Predicate, ok bool) {
+	bestAttr, bestScore := -1, 0.0
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		if a.Kind != relation.Numeric {
+			continue
+		}
+		iv := p.Interval(i).Intersect(a.Domain())
+		minWidth := a.Resolution
+		if minWidth <= 0 {
+			minWidth = (a.Max - a.Min) * 1e-12
+		}
+		if iv.Empty() || iv.Width() <= minWidth {
+			continue
+		}
+		score := iv.Width() / max(a.Max-a.Min, 1e-300)
+		if score > bestScore {
+			bestAttr, bestScore = i, score
+		}
+	}
+	if bestAttr >= 0 {
+		a := schema.Attr(bestAttr)
+		iv := p.Interval(bestAttr).Intersect(a.Domain())
+		l, r := iv.SplitAt(iv.Midpoint())
+		return p.WithInterval(bestAttr, l), p.WithInterval(bestAttr, r), true
+	}
+	// No numeric slack: halve a categorical set.
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		if a.Kind != relation.Categorical {
+			continue
+		}
+		cats := allowedCats(a, p, i)
+		if len(cats) < 2 {
+			continue
+		}
+		mid := len(cats) / 2
+		return p.WithCategories(i, cats[:mid]), p.WithCategories(i, cats[mid:]), true
+	}
+	return relation.Predicate{}, relation.Predicate{}, false
+}
+
+// allowedCats returns the category codes predicate p permits on attribute i.
+func allowedCats(a relation.Attribute, p relation.Predicate, attr int) []int {
+	for _, c := range p.Conditions() {
+		if c.Attr == attr && c.Cats != nil {
+			return c.Cats
+		}
+	}
+	all := make([]int, len(a.Categories))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

@@ -1,0 +1,199 @@
+package crawl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/parallel"
+	"repro/internal/relation"
+)
+
+func exec(t *testing.T, cat *datagen.Catalog, k int) *parallel.Executor {
+	t.Helper()
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, k, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parallel.New(db)
+}
+
+func assertComplete(t *testing.T, cat *datagen.Catalog, pred relation.Predicate, got map[int64]relation.Tuple) {
+	t.Helper()
+	want := cat.Rel.Select(pred)
+	if len(got) != len(want) {
+		t.Fatalf("crawl returned %d tuples, %d match", len(got), len(want))
+	}
+	for _, tu := range want {
+		if _, ok := got[tu.ID]; !ok {
+			t.Fatalf("crawl missed tuple %d", tu.ID)
+		}
+	}
+}
+
+func TestCrawlWholeDatabase(t *testing.T) {
+	cat := datagen.Uniform(800, 2, 1)
+	ex := exec(t, cat, 25)
+	got, stats, err := All(context.Background(), ex, relation.Predicate{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatal("crawl of a splittable database must complete")
+	}
+	assertComplete(t, cat, relation.Predicate{}, got)
+	if stats.Queries < 800/25 {
+		t.Fatalf("suspiciously few queries: %d", stats.Queries)
+	}
+}
+
+func TestCrawlFilteredRegion(t *testing.T) {
+	cat := datagen.Uniform(1000, 3, 2)
+	ex := exec(t, cat, 20)
+	pred := relation.Predicate{}.
+		WithInterval(0, relation.Closed(200, 600)).
+		WithInterval(1, relation.Closed(0, 500))
+	got, stats, err := All(context.Background(), ex, pred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatal("expected complete crawl")
+	}
+	assertComplete(t, cat, pred, got)
+}
+
+func TestCrawlTieGroupUsesOtherAttributes(t *testing.T) {
+	// All tuples share tied=500 inside the crawled region: the crawler
+	// must partition on the free attribute to enumerate them.
+	cat := datagen.TieHeavy(3000, 0.35, 3)
+	ex := exec(t, cat, 30)
+	pred := relation.Predicate{}.WithInterval(0, relation.Point(500))
+	got, stats, err := All(context.Background(), ex, pred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatalf("tie-group crawl incomplete: %+v", stats)
+	}
+	assertComplete(t, cat, pred, got)
+	if len(got) <= 30 {
+		t.Fatalf("tie group only has %d tuples; fixture too small to be meaningful", len(got))
+	}
+}
+
+func TestCrawlCategoricalSplit(t *testing.T) {
+	// Schema with one numeric point attribute and one categorical: once
+	// the numeric attribute is exhausted, the crawler must halve the
+	// category set.
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "v", Kind: relation.Numeric, Min: 0, Max: 10, Resolution: 1},
+		relation.Attribute{Name: "c", Kind: relation.Categorical, Categories: []string{"a", "b", "c", "d"}},
+	)
+	rel := relation.NewRelation("catsplit", schema)
+	id := int64(1)
+	for cat := 0; cat < 4; cat++ {
+		for i := 0; i < 9; i++ {
+			rel.MustAppend(relation.Tuple{ID: id, Values: []float64{5, float64(cat)}})
+			id++
+		}
+	}
+	db, err := hidden.NewLocal("catsplit", rel, 10, func(t relation.Tuple) float64 { return float64(t.ID) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := parallel.New(db)
+	pred := relation.Predicate{}.WithInterval(0, relation.Point(5))
+	got, stats, err := All(context.Background(), ex, pred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatalf("categorical crawl incomplete: %+v", stats)
+	}
+	if len(got) != 36 {
+		t.Fatalf("got %d tuples, want 36", len(got))
+	}
+}
+
+func TestCrawlSaturatedRegion(t *testing.T) {
+	// 40 tuples identical on every searchable attribute with system-k 10:
+	// the interface can never reveal more than 10 of them.
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "v", Kind: relation.Numeric, Min: 0, Max: 10, Resolution: 1},
+	)
+	rel := relation.NewRelation("saturated", schema)
+	for i := int64(1); i <= 40; i++ {
+		rel.MustAppend(relation.Tuple{ID: i, Values: []float64{5}})
+	}
+	db, err := hidden.NewLocal("saturated", rel, 10, func(t relation.Tuple) float64 { return float64(t.ID) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := All(context.Background(), parallel.New(db), relation.Predicate{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Complete {
+		t.Fatal("saturated crawl must report incomplete")
+	}
+	if stats.Saturated == 0 {
+		t.Fatal("saturated region not counted")
+	}
+	if len(got) == 0 {
+		t.Fatal("crawl should still return the reachable tuples")
+	}
+}
+
+func TestCrawlBudget(t *testing.T) {
+	cat := datagen.Uniform(5000, 2, 4)
+	ex := exec(t, cat, 10)
+	_, stats, err := All(context.Background(), ex, relation.Predicate{}, Options{MaxQueries: 20})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Complete {
+		t.Fatal("budget-limited crawl cannot be complete")
+	}
+	if stats.Queries > 20 {
+		t.Fatalf("crawl exceeded budget: %d queries", stats.Queries)
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	cat := datagen.Uniform(1000, 2, 5)
+	ex := exec(t, cat, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := All(ctx, ex, relation.Predicate{}, Options{}); err == nil {
+		t.Fatal("cancelled crawl succeeded")
+	}
+}
+
+// Property: crawls over random filter boxes on random catalogs are complete
+// and exact.
+func TestCrawlCompletenessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		cat := datagen.Uniform(300+r.Intn(500), 2+r.Intn(2), int64(trial))
+		ex := exec(t, cat, 5+r.Intn(30))
+		pred := relation.Predicate{}
+		for a := 0; a < cat.Rel.Schema().Len(); a++ {
+			if r.Intn(2) == 0 {
+				lo := r.Float64() * 800
+				pred = pred.WithInterval(a, relation.Closed(lo, lo+100+r.Float64()*200))
+			}
+		}
+		got, stats, err := All(context.Background(), ex, pred, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !stats.Complete {
+			t.Fatalf("trial %d incomplete: %+v", trial, stats)
+		}
+		assertComplete(t, cat, pred, got)
+	}
+}

@@ -1,0 +1,333 @@
+// Package dense implements QR2's on-the-fly dense-region index.
+//
+// (1D/MD)-RERANK resolve the weakness of the binary algorithms in dense
+// regions: when a region keeps overflowing although it has become very
+// narrow, the region is crawled once, completely, and remembered. Future
+// get-next operations — by the same user or any other, for any filter —
+// whose region of interest lies inside an indexed region are answered from
+// the index without touching the web database. The index is shared by all
+// sessions and persisted (the paper uses MySQL; here a kvstore log), and is
+// verified at boot before the service starts.
+//
+// An entry is authoritative: it stores every tuple of the web database
+// inside its rectangle (entries are only written for complete crawls), so
+// membership plus a client-side filter answers any query whose region the
+// entry covers.
+package dense
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/kvstore"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+// Entry describes one indexed dense region.
+type Entry struct {
+	// ID is the entry's stable identifier in the store.
+	ID uint64
+	// Rect is the covered region, in raw attribute coordinates.
+	Rect region.Rect
+	// Count is the number of tuples materialised for the region.
+	Count int
+}
+
+// Stats reports index effectiveness for the amortisation experiments.
+type Stats struct {
+	Entries      int
+	TuplesStored int
+	Hits         int64
+	Misses       int64
+}
+
+// Index is a shared, persistent directory of crawled dense regions.
+// It is safe for concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	store   kvstore.Store
+	schema  *relation.Schema
+	entries map[uint64]Entry
+	nextID  uint64
+	tuples  int
+	hits    int64
+	misses  int64
+}
+
+// Open loads the index directory from the store, verifying that every
+// entry decodes cleanly — the paper's boot-time cache verification. A fresh
+// store yields an empty index.
+func Open(schema *relation.Schema, store kvstore.Store) (*Index, error) {
+	ix := &Index{store: store, schema: schema, entries: make(map[uint64]Entry)}
+	var corrupt [][]byte
+	err := store.Range(func(key, value []byte) bool {
+		if len(key) < 2 || key[0] != 'e' {
+			return true
+		}
+		e, derr := decodeEntry(value)
+		if derr != nil {
+			// A corrupt directory record is dropped rather than trusted;
+			// the region will simply be re-crawled on demand.
+			corrupt = append(corrupt, append([]byte(nil), key...))
+			return true
+		}
+		ix.entries[e.ID] = e
+		ix.tuples += e.Count
+		if e.ID >= ix.nextID {
+			ix.nextID = e.ID + 1
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range corrupt {
+		_ = store.Delete(key)
+	}
+	// Verify tuple blobs exist and decode for every directory entry;
+	// drop entries whose data is missing or unreadable.
+	for id, e := range ix.entries {
+		if _, terr := ix.Tuples(id); terr != nil {
+			delete(ix.entries, id)
+			ix.tuples -= e.Count
+			_ = ix.store.Delete(entryKey(id))
+			_ = ix.store.Delete(tuplesKey(id))
+		}
+	}
+	return ix, nil
+}
+
+// Find returns an entry covering the query rectangle, if any. Among
+// covering entries the one with the fewest tuples wins (cheapest to scan).
+// Hit/miss counters feed the amortisation experiment.
+func (ix *Index) Find(r region.Rect) (Entry, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	best, found := Entry{}, false
+	for _, e := range ix.entries {
+		if e.Rect.Covers(r) && (!found || e.Count < best.Count) {
+			best, found = e, true
+		}
+	}
+	if found {
+		ix.hits++
+	} else {
+		ix.misses++
+	}
+	return best, found
+}
+
+// Insert persists a completely crawled region and its tuples, returning the
+// new entry. Regions already covered by an existing entry are deduplicated:
+// the existing entry is returned unchanged.
+func (ix *Index) Insert(r region.Rect, tuples []relation.Tuple) (Entry, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range ix.entries {
+		if e.Rect.Covers(r) {
+			return e, nil
+		}
+	}
+	e := Entry{ID: ix.nextID, Rect: r.Clone(), Count: len(tuples)}
+	if err := ix.store.Put(tuplesKey(e.ID), encodeTuples(tuples)); err != nil {
+		return Entry{}, fmt.Errorf("dense: store tuples: %w", err)
+	}
+	if err := ix.store.Put(entryKey(e.ID), encodeEntry(e)); err != nil {
+		return Entry{}, fmt.Errorf("dense: store entry: %w", err)
+	}
+	if err := ix.store.Sync(); err != nil {
+		return Entry{}, fmt.Errorf("dense: sync: %w", err)
+	}
+	ix.nextID++
+	ix.entries[e.ID] = e
+	ix.tuples += e.Count
+	return e, nil
+}
+
+// Tuples loads the materialised tuples of an entry.
+func (ix *Index) Tuples(id uint64) ([]relation.Tuple, error) {
+	blob, ok, err := ix.store.Get(tuplesKey(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("dense: entry %d has no tuple data", id)
+	}
+	return decodeTuples(blob)
+}
+
+// TopIn returns the tuples of entry id that lie inside rect, match pred and
+// are not excluded, sorted by (score, ID) ascending, up to limit (limit <= 0
+// means all). This is the oracle call: it replaces any number of web
+// database queries inside an indexed region.
+func (ix *Index) TopIn(id uint64, rect region.Rect, pred relation.Predicate,
+	score func(relation.Tuple) float64, excluded func(int64) bool, limit int) ([]relation.Tuple, error) {
+	tuples, err := ix.Tuples(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for _, t := range tuples {
+		if !rect.ContainsTuple(t) || !pred.Match(t) {
+			continue
+		}
+		if excluded != nil && excluded(t.ID) {
+			continue
+		}
+		out = append(out, t)
+	}
+	sortByScore(out, score)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+func sortByScore(ts []relation.Tuple, score func(relation.Tuple) float64) {
+	if score == nil {
+		score = func(relation.Tuple) float64 { return 0 }
+	}
+	// Insertion sort is fine: dense regions hold at most a few thousand
+	// tuples and the slice is usually small after filtering.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			sj, sp := score(ts[j]), score(ts[j-1])
+			if sj < sp || (sj == sp && ts[j].ID < ts[j-1].ID) {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries)
+}
+
+// Stats returns a snapshot of index effectiveness counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return Stats{Entries: len(ix.entries), TuplesStored: ix.tuples, Hits: ix.hits, Misses: ix.misses}
+}
+
+func entryKey(id uint64) []byte {
+	k := make([]byte, 10)
+	k[0], k[1] = 'e', '/'
+	binary.BigEndian.PutUint64(k[2:], id)
+	return k
+}
+
+func tuplesKey(id uint64) []byte {
+	k := make([]byte, 10)
+	k[0], k[1] = 't', '/'
+	binary.BigEndian.PutUint64(k[2:], id)
+	return k
+}
+
+const codecVersion = 1
+
+// encodeEntry serialises an entry's directory record.
+func encodeEntry(e Entry) []byte {
+	buf := make([]byte, 0, 16+25*len(e.Rect.Attrs))
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, e.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Count))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Rect.Attrs)))
+	for i, a := range e.Rect.Attrs {
+		iv := e.Rect.Ivs[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(iv.Lo))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(iv.Hi))
+		var flags byte
+		if iv.LoOpen {
+			flags |= 1
+		}
+		if iv.HiOpen {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+	}
+	return buf
+}
+
+func decodeEntry(buf []byte) (Entry, error) {
+	if len(buf) < 15 || buf[0] != codecVersion {
+		return Entry{}, fmt.Errorf("bad entry header")
+	}
+	e := Entry{ID: binary.LittleEndian.Uint64(buf[1:9]), Count: int(binary.LittleEndian.Uint32(buf[9:13]))}
+	dims := int(binary.LittleEndian.Uint16(buf[13:15]))
+	off := 15
+	attrs := make([]int, 0, dims)
+	ivs := make([]relation.Interval, 0, dims)
+	for d := 0; d < dims; d++ {
+		if len(buf) < off+21 {
+			return Entry{}, fmt.Errorf("truncated entry rect")
+		}
+		a := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4 : off+12]))
+		hi := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12 : off+20]))
+		flags := buf[off+20]
+		attrs = append(attrs, a)
+		ivs = append(ivs, relation.Interval{Lo: lo, Hi: hi, LoOpen: flags&1 != 0, HiOpen: flags&2 != 0})
+		off += 21
+	}
+	r, err := region.New(attrs, ivs)
+	if err != nil {
+		return Entry{}, err
+	}
+	e.Rect = r
+	return e, nil
+}
+
+// encodeTuples serialises a tuple slice.
+func encodeTuples(ts []relation.Tuple) []byte {
+	size := 4
+	for _, t := range ts {
+		size += 8 + 2 + 8*len(t.Values)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts)))
+	for _, t := range ts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.ID))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Values)))
+		for _, v := range t.Values {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+func decodeTuples(buf []byte) ([]relation.Tuple, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("truncated tuple blob")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	off := 4
+	out := make([]relation.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < off+10 {
+			return nil, fmt.Errorf("truncated tuple %d", i)
+		}
+		id := int64(binary.LittleEndian.Uint64(buf[off : off+8]))
+		nv := int(binary.LittleEndian.Uint16(buf[off+8 : off+10]))
+		off += 10
+		if len(buf) < off+8*nv {
+			return nil, fmt.Errorf("truncated tuple %d values", i)
+		}
+		vals := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off : off+8]))
+			off += 8
+		}
+		out = append(out, relation.Tuple{ID: id, Values: vals})
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package dense
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+func schema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Attribute{Name: "x", Kind: relation.Numeric, Min: 0, Max: 1000},
+		relation.Attribute{Name: "y", Kind: relation.Numeric, Min: 0, Max: 1000},
+	)
+}
+
+func mkTuples(n int, seed int64) []relation.Tuple {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple{ID: int64(i + 1), Values: []float64{r.Float64() * 100, r.Float64() * 100}}
+	}
+	return out
+}
+
+func TestInsertFindTuples(t *testing.T) {
+	ix, err := Open(schema(t), kvstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	tuples := mkTuples(50, 1)
+	e, err := ix.Insert(rect, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count != 50 {
+		t.Fatalf("Count = %d", e.Count)
+	}
+	inner := region.MustNew([]int{0}, []relation.Interval{relation.Closed(10, 20)})
+	got, ok := ix.Find(inner)
+	if !ok || got.ID != e.ID {
+		t.Fatalf("Find = %+v, %v", got, ok)
+	}
+	outer := region.MustNew([]int{0}, []relation.Interval{relation.Closed(10, 200)})
+	if _, ok := ix.Find(outer); ok {
+		t.Fatal("Find matched a rect the entry does not cover")
+	}
+	back, err := ix.Tuples(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 50 {
+		t.Fatalf("Tuples = %d", len(back))
+	}
+	for i := range back {
+		if back[i].ID != tuples[i].ID || back[i].Values[0] != tuples[i].Values[0] {
+			t.Fatalf("tuple %d corrupted in round trip", i)
+		}
+	}
+	s := ix.Stats()
+	if s.Entries != 1 || s.TuplesStored != 50 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestInsertDeduplicatesCoveredRegions(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	big := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	e1, err := ix.Insert(big, mkTuples(30, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := region.MustNew([]int{0}, []relation.Interval{relation.Closed(40, 50)})
+	e2, err := ix.Insert(small, mkTuples(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ID != e1.ID {
+		t.Fatal("covered region was not deduplicated")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestTopIn(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	tuples := []relation.Tuple{
+		{ID: 1, Values: []float64{50, 5}},
+		{ID: 2, Values: []float64{10, 9}},
+		{ID: 3, Values: []float64{10, 1}},
+		{ID: 4, Values: []float64{70, 2}},
+		{ID: 5, Values: []float64{200, 2}}, // outside query rect below
+	}
+	e, err := ix.Insert(rect.Clone(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 80)})
+	pred := relation.Predicate{}.WithInterval(1, relation.Closed(0, 8)) // y<=8 kills ID 2
+	score := func(tu relation.Tuple) float64 { return tu.Values[0] }
+	got, err := ix.TopIn(e.ID, q, pred, score, func(id int64) bool { return id == 4 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remaining: 1 (50), 3 (10) → sorted by x: 3, 1.
+	if len(got) != 2 || got[0].ID != 3 || got[1].ID != 1 {
+		t.Fatalf("TopIn = %+v", got)
+	}
+	lim, err := ix.TopIn(e.ID, q, relation.Predicate{}, score, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lim) != 2 || lim[0].ID != 2 && lim[0].ID != 3 {
+		t.Fatalf("limited TopIn = %+v", lim)
+	}
+}
+
+func TestTopInTieBreaksByID(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	tuples := []relation.Tuple{
+		{ID: 9, Values: []float64{10, 0}},
+		{ID: 2, Values: []float64{10, 0}},
+		{ID: 5, Values: []float64{10, 0}},
+	}
+	e, _ := ix.Insert(rect.Clone(), tuples)
+	got, err := ix.TopIn(e.ID, rect, relation.Predicate{}, func(relation.Tuple) float64 { return 0 }, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 2 || got[1].ID != 5 || got[2].ID != 9 {
+		t.Fatalf("tie break order = %v %v %v", got[0].ID, got[1].ID, got[2].ID)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dense.log")
+	store, err := kvstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema(t)
+	ix, err := Open(s, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := region.MustNew([]int{0, 1}, []relation.Interval{
+		relation.OpenLo(0, 100), relation.Closed(5, 10)})
+	tuples := mkTuples(25, 4)
+	e, err := ix.Insert(rect, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := kvstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	ix2, err := Open(s, store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 1 {
+		t.Fatalf("reopened Len = %d", ix2.Len())
+	}
+	got, ok := ix2.Find(region.MustNew([]int{0, 1}, []relation.Interval{
+		relation.Closed(10, 20), relation.Closed(6, 7)}))
+	if !ok || got.ID != e.ID {
+		t.Fatalf("Find after reopen = %+v, %v", got, ok)
+	}
+	// Open flags must survive the round trip.
+	if !got.Rect.Ivs[0].LoOpen || got.Rect.Ivs[0].HiOpen {
+		t.Fatalf("interval flags lost: %v", got.Rect.Ivs[0])
+	}
+	back, err := ix2.Tuples(e.ID)
+	if err != nil || len(back) != 25 {
+		t.Fatalf("Tuples after reopen = %d, %v", len(back), err)
+	}
+	// A second insert must not collide with the recovered ID space.
+	e2, err := ix2.Insert(region.MustNew([]int{0}, []relation.Interval{relation.Closed(500, 600)}), mkTuples(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ID == e.ID {
+		t.Fatal("ID collision after reopen")
+	}
+}
+
+func TestOpenDropsEntriesWithMissingData(t *testing.T) {
+	store := kvstore.NewMemory()
+	s := schema(t)
+	ix, _ := Open(s, store)
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 10)})
+	e, err := ix.Insert(rect, mkTuples(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate partial loss: the tuple blob vanishes.
+	if err := store.Delete([]byte{'t', '/', 0, 0, 0, 0, 0, 0, 0, byte(e.ID)}); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(s, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 0 {
+		t.Fatalf("entry with missing data survived boot verification: %d", ix2.Len())
+	}
+}
+
+func TestOpenDropsCorruptDirectory(t *testing.T) {
+	store := kvstore.NewMemory()
+	if err := store.Put([]byte("e/garbage"), []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(schema(t), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 {
+		t.Fatal("corrupt entry decoded")
+	}
+	if _, ok, _ := store.Get([]byte("e/garbage")); ok {
+		t.Fatal("corrupt entry not removed from store")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(40)
+		ts := make([]relation.Tuple, n)
+		for i := range ts {
+			vals := make([]float64, 1+r.Intn(5))
+			for j := range vals {
+				vals[j] = r.NormFloat64() * 1e6
+			}
+			ts[i] = relation.Tuple{ID: r.Int63(), Values: vals}
+		}
+		back, err := decodeTuples(encodeTuples(ts))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(back), len(ts))
+		}
+		for i := range ts {
+			if back[i].ID != ts[i].ID || len(back[i].Values) != len(ts[i].Values) {
+				t.Fatalf("trial %d tuple %d mismatch", trial, i)
+			}
+			for j := range ts[i].Values {
+				if back[i].Values[j] != ts[i].Values[j] {
+					t.Fatalf("trial %d tuple %d value %d mismatch", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeTuplesTruncated(t *testing.T) {
+	blob := encodeTuples(mkTuples(3, 8))
+	for cut := 0; cut < len(blob); cut += 3 {
+		if cut >= 4 && cut < len(blob) {
+			if _, err := decodeTuples(blob[:cut]); err == nil && cut < len(blob) {
+				// Truncation inside the tuple array must error; a cut at
+				// exactly 4 bytes with count>0 must also error.
+				t.Fatalf("truncated blob (%d bytes) decoded without error", cut)
+			}
+		}
+	}
+	if _, err := decodeTuples(nil); err == nil {
+		t.Fatal("nil blob decoded")
+	}
+}

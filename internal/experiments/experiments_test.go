@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickRunner uses small catalogs so the whole suite runs in test time.
+func quickRunner() *Runner {
+	return NewRunner(Config{Quick: true, TopH: 5})
+}
+
+func cell(t *testing.T, tab Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d):\n%s", tab.ID, row, col, tab.Format())
+	}
+	return tab.Rows[row][col]
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an integer", s)
+	}
+	return n
+}
+
+func TestIDsRunnable(t *testing.T) {
+	r := quickRunner()
+	ctx := context.Background()
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			tab, err := r.Run(ctx, id)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if tab.ID != id || len(tab.Rows) == 0 || len(tab.Header) == 0 {
+				t.Fatalf("table malformed: %+v", tab)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("row arity %d != header %d in %s", len(row), len(tab.Header), id)
+				}
+			}
+			out := tab.Format()
+			if !strings.Contains(out, id) || !strings.Contains(out, tab.Header[0]) {
+				t.Fatalf("Format output malformed:\n%s", out)
+			}
+		})
+	}
+	if _, err := r.Run(ctx, "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig2ParallelFractionShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "F2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: the overwhelming majority of queries go out in
+	// parallel. Verify via the summary note.
+	var summary string
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "submitted in parallel") {
+			summary = n
+		}
+	}
+	if summary == "" {
+		t.Fatalf("no parallel summary note:\n%s", tab.Format())
+	}
+	// Extract the percentage.
+	open := strings.Index(summary, "(")
+	close := strings.Index(summary, "%)")
+	if open < 0 || close < 0 {
+		t.Fatalf("summary unparsable: %s", summary)
+	}
+	pct, err := strconv.ParseFloat(summary[open+1:close], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 50 {
+		t.Fatalf("parallel query fraction %.1f%%, paper reports >90%% — shape lost", pct)
+	}
+}
+
+func TestScenarioIndexingAmortizes(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := atoi(t, cell(t, tab, 0, 2))
+	last := atoi(t, cell(t, tab, len(tab.Rows)-1, 2))
+	if last >= first {
+		t.Fatalf("rerank cost did not fall over the sequence: first %d, last %d\n%s",
+			first, last, tab.Format())
+	}
+	entries := atoi(t, cell(t, tab, len(tab.Rows)-1, 4))
+	if entries == 0 {
+		t.Fatalf("no dense index entries were built:\n%s", tab.Format())
+	}
+}
+
+func TestScenarioBestWorstShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst1 := atoi(t, cell(t, tab, 0, 4))
+	worst2 := atoi(t, cell(t, tab, 1, 4))
+	best := atoi(t, cell(t, tab, 2, 4))
+	if best >= worst1 {
+		t.Fatalf("best case (%d queries) not cheaper than worst case (%d)\n%s", best, worst1, tab.Format())
+	}
+	if worst2 >= worst1 {
+		t.Fatalf("worst case run 2 (%d) not amortised vs run 1 (%d)\n%s", worst2, worst1, tab.Format())
+	}
+	crawled := atoi(t, cell(t, tab, 0, 5))
+	if crawled == 0 {
+		t.Fatalf("worst case crawled nothing — tie group not exercised\n%s", tab.Format())
+	}
+}
+
+func TestAblationParallelShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in pairs (parallel, sequential): parallel sim time must
+	// never be worse, and must be strictly better somewhere (small 2D
+	// searches can be too short to batch).
+	improved := false
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		par, seq := tab.Rows[i], tab.Rows[i+1]
+		pt := parseSecs(t, par[5])
+		st := parseSecs(t, seq[5])
+		if pt > st {
+			t.Fatalf("parallel sim time %v above sequential %v\n%s", pt, st, tab.Format())
+		}
+		if pt < st {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Fatalf("parallelism never improved simulated time:\n%s", tab.Format())
+	}
+}
+
+func parseSecs(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not seconds", s)
+	}
+	return v
+}
+
+func TestAblationTiesShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "A3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tie-free run crawls nothing and is cheap; enumerating a heavy
+	// tie group (by crawl or by overlapping region queries) costs several
+	// times more.
+	if c := atoi(t, cell(t, tab, 0, 3)); c != 0 {
+		t.Fatalf("tie-free run crawled %d tuples\n%s", c, tab.Format())
+	}
+	base := atoi(t, cell(t, tab, 0, 2))
+	heavy := atoi(t, cell(t, tab, len(tab.Rows)-1, 2))
+	if heavy < 2*base {
+		t.Fatalf("heavy tie group cost %d not well above tie-free cost %d\n%s", heavy, base, tab.Format())
+	}
+}
+
+func TestAblationSessionCacheHelps(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "A4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the second query on, the cached run must see candidates and
+	// never pay more than a small overhead over the cold run.
+	sawCandidates := false
+	for i := 1; i < len(tab.Rows); i++ {
+		if atoi(t, cell(t, tab, i, 3)) > 0 {
+			sawCandidates = true
+		}
+	}
+	if !sawCandidates {
+		t.Fatalf("session cache never seeded candidates:\n%s", tab.Format())
+	}
+}

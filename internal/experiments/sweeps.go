@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/hidden"
+	"repro/internal/ranking"
+)
+
+// SweepSystemK measures get-next cost as a function of the web database's
+// system-k — the page size the public interface allows. The underlying
+// VLDB'16 evaluation varies k: larger pages mean each query reveals more of
+// the database, so reranking gets cheaper for every algorithm.
+func (r *Runner) SweepSystemK(ctx context.Context) (Table, error) {
+	t := Table{
+		ID:    "A5",
+		Title: f("query cost vs system-k (Blue Nile, price - 0.1*carat - 0.5*depth, top-%d)", r.cfg.TopH),
+		PaperClaim: "substrate evaluation axis of the underlying VLDB'16 paper: larger interface " +
+			"pages reduce the number of queries every algorithm needs",
+		Header: []string{"system-k", "baseline", "binary", "rerank", "ta"},
+	}
+	cat := r.catalog("bluenile")
+	norm, err := r.norm(ctx, "bluenile")
+	if err != nil {
+		return Table{}, err
+	}
+	q := core.Query{Rank: ranking.MustParse("price - 0.1*carat - 0.5*depth")}
+	for _, k := range []int{10, 25, 50, 100, 200} {
+		row := []string{f("%d", k)}
+		for _, algo := range mdAlgos {
+			db, err := hidden.NewLocal("bluenile", cat.Rel, k, cat.Rank)
+			if err != nil {
+				return Table{}, err
+			}
+			rr, err := core.New(db, core.Options{Algorithm: algo, Normalization: &norm,
+				SimLatency: r.cfg.SimLatency, MaxQueriesPerNext: 200000})
+			if err != nil {
+				return Table{}, err
+			}
+			st, err := rr.Rerank(ctx, q)
+			if err != nil {
+				return Table{}, err
+			}
+			if _, err := st.NextN(ctx, r.cfg.TopH); err != nil {
+				return Table{}, err
+			}
+			row = append(row, f("%d", st.TotalStats().Queries))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "cells are queries issued to the web database")
+	return t, nil
+}
+
+// SweepGetNext measures how get-next cost evolves as a stream is drained
+// page by page — the incremental-reranking primitive the paper's get-next
+// button exposes. Early pages pay for discovery; later pages ride on the
+// enumerated regions, the stash and (for RERANK) the dense index.
+func (r *Runner) SweepGetNext(ctx context.Context) (Table, error) {
+	const pages, pageSize = 6, 10
+	t := Table{
+		ID:    "A6",
+		Title: f("per-page get-next cost over %d pages of %d results (Zillow, price - 0.3*sqft)", pages, pageSize),
+		PaperClaim: "the get-next primitive provides incremental reranking: subsequent pages " +
+			"reuse the session state built for earlier ones",
+		Header: []string{"page", "baseline", "binary", "rerank"},
+	}
+	norm, err := r.norm(ctx, "zillow")
+	if err != nil {
+		return Table{}, err
+	}
+	q := core.Query{Rank: ranking.MustParse("price - 0.3*sqft")}
+	algos := []core.Algorithm{core.Baseline, core.Binary, core.Rerank}
+	streams := make([]*core.Stream, len(algos))
+	for i, algo := range algos {
+		rr, err := core.New(r.db("zillow"), core.Options{Algorithm: algo, Normalization: &norm,
+			SimLatency: r.cfg.SimLatency, MaxQueriesPerNext: 200000})
+		if err != nil {
+			return Table{}, err
+		}
+		streams[i], err = rr.Rerank(ctx, q)
+		if err != nil {
+			return Table{}, err
+		}
+	}
+	for page := 1; page <= pages; page++ {
+		row := []string{f("%d", page)}
+		for _, st := range streams {
+			before := st.TotalStats().Queries
+			if _, err := st.NextN(ctx, pageSize); err != nil {
+				return Table{}, err
+			}
+			row = append(row, f("%d", st.TotalStats().Queries-before))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "cells are queries issued for that page alone; page 1 includes initial discovery")
+	return t, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSweepSystemKMonotone(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "A5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 20x larger page must not make any algorithm more expensive —
+	// compare the first and last k for each algorithm column.
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	for col := 1; col < len(tab.Header); col++ {
+		lo := atoi(t, last[col])
+		hi := atoi(t, first[col])
+		if lo > hi {
+			t.Fatalf("%s: k=%s costs %d, k=%s costs %d — larger pages must not cost more\n%s",
+				tab.Header[col], last[0], lo, first[0], hi, tab.Format())
+		}
+	}
+}
+
+func TestSweepGetNextLaterPagesCheaper(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "A6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the stateful algorithms (binary, rerank) the average cost of
+	// pages 2..n must not exceed page 1: the worklist persists.
+	for col := 2; col <= 3; col++ {
+		firstPage := atoi(t, cell(t, tab, 0, col))
+		total := 0
+		for i := 1; i < len(tab.Rows); i++ {
+			total += atoi(t, cell(t, tab, i, col))
+		}
+		avg := total / (len(tab.Rows) - 1)
+		if avg > firstPage && firstPage > 0 {
+			t.Fatalf("%s: later pages average %d vs first page %d\n%s",
+				tab.Header[col], avg, firstPage, tab.Format())
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package hidden simulates a hidden web database: a data store reachable
+// only through a public top-k search interface.
+//
+// This is the substrate the QR2 paper assumes. A client submits a
+// conjunctive filter query; the database returns at most system-k matching
+// tuples ordered by a proprietary system ranking function, together with an
+// overflow flag telling the client whether matches were cut off. Nothing
+// else about the database — its size, its ranking function, its value
+// distributions — is observable.
+//
+// The reranking algorithms in internal/core are written against the DB
+// interface and therefore work identically over the in-process simulator
+// (Local), the HTTP facade in internal/wdbhttp, or any other implementation.
+package hidden
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Result is the response of one top-k search.
+type Result struct {
+	// Tuples holds at most system-k matching tuples in system-rank order
+	// (best first). When Overflow is false it is the complete match set.
+	Tuples []relation.Tuple
+	// Overflow reports that more matching tuples exist than were returned.
+	Overflow bool
+}
+
+// DB is the public search interface of a hidden web database — the only
+// capability QR2 may use.
+type DB interface {
+	// Name identifies the data source ("bluenile", "zillow").
+	Name() string
+	// Schema describes the searchable attributes, as published on the
+	// database's search form.
+	Schema() *relation.Schema
+	// SystemK is the maximum number of tuples one search returns.
+	SystemK() int
+	// Search runs one top-k query.
+	Search(ctx context.Context, p relation.Predicate) (Result, error)
+}
+
+// Counter is implemented by databases that count the queries issued to
+// them; the experiment harness uses it for the paper's query-cost metric.
+type Counter interface {
+	QueryCount() int64
+	ResetQueryCount()
+}
+
+// Local is an in-process hidden database over an in-memory relation.
+//
+// Internally it holds the tuples pre-sorted by the proprietary system
+// ranking, so a search is a scan in rank order that stops as soon as
+// system-k matches plus one witness for the overflow flag are found. That
+// implementation detail is invisible through the interface, exactly as a
+// real web database's internals are.
+type Local struct {
+	name    string
+	rel     *relation.Relation
+	k       int
+	order   []int // tuple positions in ascending system-score order
+	latency time.Duration
+	queries atomic.Int64
+}
+
+// Option configures a Local database.
+type Option func(*Local)
+
+// WithLatency makes every search sleep for d before answering, simulating
+// network and server time of a real web database. Use zero (the default)
+// for tests and simulated-time experiments.
+func WithLatency(d time.Duration) Option {
+	return func(l *Local) { l.latency = d }
+}
+
+// NewLocal builds a hidden database from a relation, a system-k limit and
+// the proprietary ranking function (lower scores returned first, ties broken
+// by tuple ID).
+func NewLocal(name string, rel *relation.Relation, systemK int, rank func(relation.Tuple) float64, opts ...Option) (*Local, error) {
+	if systemK <= 0 {
+		return nil, fmt.Errorf("hidden: system-k must be positive, got %d", systemK)
+	}
+	if rank == nil {
+		return nil, fmt.Errorf("hidden: nil system ranking function")
+	}
+	l := &Local{
+		name:  name,
+		rel:   rel,
+		k:     systemK,
+		order: rel.SortedBy(rank),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
+}
+
+// Name implements DB.
+func (l *Local) Name() string { return l.name }
+
+// Schema implements DB.
+func (l *Local) Schema() *relation.Schema { return l.rel.Schema() }
+
+// SystemK implements DB.
+func (l *Local) SystemK() int { return l.k }
+
+// Search implements DB. Results are the true top-k of the matching set
+// under the system ranking; Overflow is set iff more than k tuples match.
+func (l *Local) Search(ctx context.Context, p relation.Predicate) (Result, error) {
+	l.queries.Add(1)
+	if l.latency > 0 {
+		select {
+		case <-time.After(l.latency):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if p.Unsatisfiable() {
+		return Result{}, nil
+	}
+	var res Result
+	for i, pos := range l.order {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		t := l.rel.Tuple(pos)
+		if !p.Match(t) {
+			continue
+		}
+		if len(res.Tuples) == l.k {
+			res.Overflow = true
+			break
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+	return res, nil
+}
+
+// QueryCount implements Counter.
+func (l *Local) QueryCount() int64 { return l.queries.Load() }
+
+// ResetQueryCount implements Counter.
+func (l *Local) ResetQueryCount() { l.queries.Store(0) }
+
+// Flaky wraps a DB and injects an error every Nth search. It exists for
+// failure-path testing of the middleware: a real web database throttles and
+// times out, and QR2 must surface that cleanly.
+type Flaky struct {
+	Inner DB
+	// FailEvery makes every FailEvery-th query (1-based) fail. Zero
+	// disables injection.
+	FailEvery int64
+	calls     atomic.Int64
+}
+
+// Name implements DB.
+func (f *Flaky) Name() string { return f.Inner.Name() }
+
+// Schema implements DB.
+func (f *Flaky) Schema() *relation.Schema { return f.Inner.Schema() }
+
+// SystemK implements DB.
+func (f *Flaky) SystemK() int { return f.Inner.SystemK() }
+
+// Search implements DB, failing on the configured cadence.
+func (f *Flaky) Search(ctx context.Context, p relation.Predicate) (Result, error) {
+	n := f.calls.Add(1)
+	if f.FailEvery > 0 && n%f.FailEvery == 0 {
+		return Result{}, fmt.Errorf("hidden: injected failure on query %d", n)
+	}
+	return f.Inner.Search(ctx, p)
+}

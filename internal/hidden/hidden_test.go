@@ -1,0 +1,190 @@
+package hidden
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func newTestDB(t *testing.T, n, k int, seed int64) (*Local, *datagen.Catalog) {
+	t.Helper()
+	cat := datagen.Uniform(n, 2, seed)
+	db, err := NewLocal(cat.Name, cat.Rel, k, cat.Rank)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	return db, cat
+}
+
+func TestNewLocalValidation(t *testing.T) {
+	cat := datagen.Uniform(10, 2, 1)
+	if _, err := NewLocal("x", cat.Rel, 0, cat.Rank); err == nil {
+		t.Fatal("system-k 0 accepted")
+	}
+	if _, err := NewLocal("x", cat.Rel, 5, nil); err == nil {
+		t.Fatal("nil rank accepted")
+	}
+}
+
+func TestSearchUnderflowReturnsAllMatches(t *testing.T) {
+	db, cat := newTestDB(t, 500, 50, 1)
+	p := relation.Predicate{}.WithInterval(0, relation.Closed(0, 50))
+	res, err := db.Search(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cat.Rel.Select(p)
+	if res.Overflow && len(want) <= 50 {
+		t.Fatalf("overflow reported with only %d matches", len(want))
+	}
+	if !res.Overflow && len(res.Tuples) != len(want) {
+		t.Fatalf("underflow returned %d tuples, %d match", len(res.Tuples), len(want))
+	}
+}
+
+func TestSearchTopKIsSystemRanked(t *testing.T) {
+	db, cat := newTestDB(t, 2000, 25, 2)
+	p := relation.Predicate{}.WithInterval(0, relation.Closed(100, 900))
+	res, err := db.Search(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overflow {
+		t.Fatal("expected overflow on a broad query over 2000 tuples")
+	}
+	if len(res.Tuples) != 25 {
+		t.Fatalf("returned %d tuples, want system-k=25", len(res.Tuples))
+	}
+	// The returned tuples must be exactly the k best matches by system rank.
+	matches := cat.Rel.Select(p)
+	sort.Slice(matches, func(i, j int) bool {
+		si, sj := cat.Rank(matches[i]), cat.Rank(matches[j])
+		if si != sj {
+			return si < sj
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	for i, tu := range res.Tuples {
+		if tu.ID != matches[i].ID {
+			t.Fatalf("rank position %d: got tuple %d, want %d", i, tu.ID, matches[i].ID)
+		}
+	}
+}
+
+// Property: for random predicates, overflow iff matches > k, and results are
+// always a prefix of the system-ranked match list.
+func TestSearchContractProperty(t *testing.T) {
+	db, cat := newTestDB(t, 1000, 20, 3)
+	r := rand.New(rand.NewSource(4))
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		lo := r.Float64() * 1000
+		hi := lo + r.Float64()*(1000-lo)
+		p := relation.Predicate{}.WithInterval(r.Intn(2), relation.Closed(lo, hi))
+		res, err := db.Search(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches := cat.Rel.Select(p)
+		if got, want := res.Overflow, len(matches) > 20; got != want {
+			t.Fatalf("overflow=%v, want %v (%d matches)", got, want, len(matches))
+		}
+		if res.Overflow && len(res.Tuples) != 20 {
+			t.Fatalf("overflowing result has %d tuples", len(res.Tuples))
+		}
+		if !res.Overflow && len(res.Tuples) != len(matches) {
+			t.Fatalf("underflow returned %d of %d matches", len(res.Tuples), len(matches))
+		}
+		for _, tu := range res.Tuples {
+			if !p.Match(tu) {
+				t.Fatalf("returned tuple %d does not match predicate", tu.ID)
+			}
+		}
+	}
+}
+
+func TestSearchUnsatisfiable(t *testing.T) {
+	db, _ := newTestDB(t, 100, 10, 5)
+	p := relation.Predicate{}.WithInterval(0, relation.Closed(10, 5))
+	res, err := db.Search(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow || len(res.Tuples) != 0 {
+		t.Fatalf("unsatisfiable predicate returned %+v", res)
+	}
+}
+
+func TestQueryCount(t *testing.T) {
+	db, _ := newTestDB(t, 100, 10, 6)
+	ctx := context.Background()
+	for i := 0; i < 7; i++ {
+		if _, err := db.Search(ctx, relation.Predicate{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.QueryCount() != 7 {
+		t.Fatalf("QueryCount = %d, want 7", db.QueryCount())
+	}
+	db.ResetQueryCount()
+	if db.QueryCount() != 0 {
+		t.Fatal("ResetQueryCount failed")
+	}
+}
+
+func TestSearchContextCancel(t *testing.T) {
+	db, _ := newTestDB(t, 100, 10, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Search(ctx, relation.Predicate{}); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestSearchLatency(t *testing.T) {
+	cat := datagen.Uniform(50, 2, 8)
+	db, err := NewLocal("x", cat.Rel, 10, cat.Rank, WithLatency(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := db.Search(context.Background(), relation.Predicate{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+	// Cancellation interrupts the latency sleep.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if _, err := db.Search(ctx, relation.Predicate{}); err == nil {
+		t.Fatal("expected context deadline during latency sleep")
+	}
+	if d := time.Since(start); d > 25*time.Millisecond {
+		t.Fatalf("cancellation did not interrupt sleep: %v", d)
+	}
+}
+
+func TestFlaky(t *testing.T) {
+	db, _ := newTestDB(t, 100, 10, 9)
+	f := &Flaky{Inner: db, FailEvery: 3}
+	ctx := context.Background()
+	var fails int
+	for i := 0; i < 9; i++ {
+		if _, err := f.Search(ctx, relation.Predicate{}); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("fails = %d, want 3", fails)
+	}
+	if f.Name() != db.Name() || f.SystemK() != db.SystemK() || f.Schema() != db.Schema() {
+		t.Fatal("Flaky does not forward metadata")
+	}
+}

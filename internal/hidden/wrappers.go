@@ -1,0 +1,181 @@
+package hidden
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// RateLimited wraps a DB with a token-bucket rate limit. A third-party
+// service like QR2 must be a polite client of the web databases it rides
+// on: even with parallel verification queries, the aggregate request rate
+// has to stay below what the site tolerates. Search blocks until a token
+// is available or the context is cancelled.
+type RateLimited struct {
+	inner DB
+
+	mu     sync.Mutex
+	tokens float64
+	rate   float64 // tokens per second
+	burst  float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(context.Context, time.Duration) error
+}
+
+// NewRateLimited allows rate queries per second with the given burst.
+func NewRateLimited(inner DB, ratePerSec float64, burst int) (*RateLimited, error) {
+	if ratePerSec <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("hidden: rate %v and burst %d must be positive", ratePerSec, burst)
+	}
+	return &RateLimited{
+		inner:  inner,
+		tokens: float64(burst),
+		rate:   ratePerSec,
+		burst:  float64(burst),
+		now:    time.Now,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}, nil
+}
+
+// setClock overrides time for tests.
+func (r *RateLimited) setClock(now func() time.Time, sleep func(context.Context, time.Duration) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+	r.sleep = sleep
+	r.last = now()
+}
+
+// Name implements DB.
+func (r *RateLimited) Name() string { return r.inner.Name() }
+
+// Schema implements DB.
+func (r *RateLimited) Schema() *relation.Schema { return r.inner.Schema() }
+
+// SystemK implements DB.
+func (r *RateLimited) SystemK() int { return r.inner.SystemK() }
+
+// Search implements DB, waiting for a token first.
+func (r *RateLimited) Search(ctx context.Context, p relation.Predicate) (Result, error) {
+	for {
+		wait, ok := r.take()
+		if ok {
+			return r.inner.Search(ctx, p)
+		}
+		if err := r.sleep(ctx, wait); err != nil {
+			return Result{}, err
+		}
+	}
+}
+
+// take attempts to consume a token; when none is available it reports how
+// long until one will be.
+func (r *RateLimited) take() (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if r.last.IsZero() {
+		r.last = now
+	}
+	r.tokens += now.Sub(r.last).Seconds() * r.rate
+	if r.tokens > r.burst {
+		r.tokens = r.burst
+	}
+	r.last = now
+	if r.tokens >= 1 {
+		r.tokens--
+		return 0, true
+	}
+	deficit := 1 - r.tokens
+	return time.Duration(deficit / r.rate * float64(time.Second)), false
+}
+
+// Retry wraps a DB with bounded exponential-backoff retries. Real web
+// databases throttle and time out; the middleware should absorb transient
+// failures instead of surfacing every one of them as a failed get-next.
+type Retry struct {
+	inner DB
+	// Attempts is the maximum number of tries per search (min 1).
+	Attempts int
+	// BaseDelay is the first backoff delay, doubled per retry.
+	BaseDelay time.Duration
+	// sleep is injectable for tests.
+	sleep func(context.Context, time.Duration) error
+}
+
+// NewRetry wraps inner with attempts tries and the given base delay.
+func NewRetry(inner DB, attempts int, baseDelay time.Duration) (*Retry, error) {
+	if attempts < 1 {
+		return nil, fmt.Errorf("hidden: retry attempts %d must be at least 1", attempts)
+	}
+	return &Retry{
+		inner:     inner,
+		Attempts:  attempts,
+		BaseDelay: baseDelay,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			if d <= 0 {
+				return ctx.Err()
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}, nil
+}
+
+// Name implements DB.
+func (r *Retry) Name() string { return r.inner.Name() }
+
+// Schema implements DB.
+func (r *Retry) Schema() *relation.Schema { return r.inner.Schema() }
+
+// SystemK implements DB.
+func (r *Retry) SystemK() int { return r.inner.SystemK() }
+
+// Search implements DB with retries. Context cancellation is never
+// retried; the last error is returned when every attempt fails.
+func (r *Retry) Search(ctx context.Context, p relation.Predicate) (Result, error) {
+	var lastErr error
+	delay := r.BaseDelay
+	for attempt := 0; attempt < r.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := r.sleep(ctx, delay); err != nil {
+				return Result{}, err
+			}
+			delay *= 2
+		}
+		res, err := r.inner.Search(ctx, p)
+		if err == nil {
+			return res, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("hidden: all %d attempts failed: %w", r.Attempts, lastErr)
+}
+
+var (
+	_ DB = (*RateLimited)(nil)
+	_ DB = (*Retry)(nil)
+)

@@ -1,0 +1,176 @@
+package hidden
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func TestRateLimitedValidation(t *testing.T) {
+	db, _ := newTestDB(t, 10, 5, 1)
+	if _, err := NewRateLimited(db, 0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewRateLimited(db, 1, 0); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+}
+
+func TestRateLimitedThrottles(t *testing.T) {
+	db, _ := newTestDB(t, 100, 10, 2)
+	rl, err := NewRateLimited(db, 10, 2) // 10 qps, burst 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic clock: time advances only through sleeps.
+	var (
+		mu    sync.Mutex
+		clock = time.Unix(0, 0)
+		slept time.Duration
+	)
+	rl.setClock(
+		func() time.Time { mu.Lock(); defer mu.Unlock(); return clock },
+		func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			defer mu.Unlock()
+			clock = clock.Add(d)
+			slept += d
+			return nil
+		},
+	)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := rl.Search(ctx, relation.Predicate{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst covers 2 queries; the remaining 4 need 4 tokens at 10/s.
+	mu.Lock()
+	total := slept
+	mu.Unlock()
+	if total < 350*time.Millisecond || total > 450*time.Millisecond {
+		t.Fatalf("slept %v, want ~400ms", total)
+	}
+	if db.QueryCount() != 6 {
+		t.Fatalf("inner saw %d queries", db.QueryCount())
+	}
+}
+
+func TestRateLimitedCancellation(t *testing.T) {
+	db, _ := newTestDB(t, 100, 10, 3)
+	rl, err := NewRateLimited(db, 0.001, 1) // effectively frozen after burst
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := rl.Search(ctx, relation.Predicate{}); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := rl.Search(cctx, relation.Predicate{}); err == nil {
+		t.Fatal("blocked search survived cancellation")
+	}
+}
+
+func TestRateLimitedForwardsMetadata(t *testing.T) {
+	db, _ := newTestDB(t, 10, 5, 4)
+	rl, err := NewRateLimited(db, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Name() != db.Name() || rl.SystemK() != db.SystemK() || rl.Schema() != db.Schema() {
+		t.Fatal("metadata not forwarded")
+	}
+}
+
+func TestRetrySucceedsThroughTransientFailures(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 5)
+	inner := mustLocal(t, cat)
+	flaky := &Flaky{Inner: inner, FailEvery: 2} // every second query fails
+	r, err := NewRetry(flaky, 3, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := r.Search(ctx, relation.Predicate{}); err != nil {
+			t.Fatalf("query %d failed despite retries: %v", i, err)
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 6)
+	inner := mustLocal(t, cat)
+	flaky := &Flaky{Inner: inner, FailEvery: 1} // every query fails
+	r, err := NewRetry(flaky, 3, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Search(context.Background(), relation.Predicate{}); err == nil {
+		t.Fatal("all-failing search succeeded")
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 7)
+	inner := mustLocal(t, cat)
+	r, err := NewRetry(inner, 5, time.Hour) // huge backoff would hang if retried
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := r.Search(ctx, relation.Predicate{}); err == nil {
+		t.Fatal("cancelled search succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation was retried with backoff")
+	}
+}
+
+func TestRetryValidation(t *testing.T) {
+	db, _ := newTestDB(t, 10, 5, 8)
+	if _, err := NewRetry(db, 0, 0); err == nil {
+		t.Fatal("zero attempts accepted")
+	}
+}
+
+func TestRetryBackoffDoubles(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 9)
+	flaky := &Flaky{Inner: mustLocal(t, cat), FailEvery: 1}
+	r, err := NewRetry(flaky, 4, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delays []time.Duration
+	r.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	_, _ = r.Search(context.Background(), relation.Predicate{})
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v", delays)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+func mustLocal(t *testing.T, cat *datagen.Catalog) *Local {
+	t.Helper()
+	db, err := NewLocal(cat.Name, cat.Rel, 10, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

@@ -1,0 +1,346 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is a durable Store backed by a single append-only log file.
+//
+// Record layout (little endian):
+//
+//	crc32  uint32   — IEEE CRC of everything after this field
+//	op     uint8    — 1 put, 2 delete
+//	klen   uint32
+//	vlen   uint32   — 0 for deletes
+//	key    klen bytes
+//	value  vlen bytes
+//
+// Recovery scans the log from the 8-byte magic header; the first record with
+// a bad CRC or a short read marks a torn tail, which is truncated away so
+// the log is append-safe again. Compaction rewrites the live set into a
+// fresh log and atomically renames it over the old one.
+type File struct {
+	mu        sync.RWMutex
+	f         *os.File
+	path      string
+	index     map[string]recordRef
+	tail      int64 // append offset
+	liveBytes int64 // bytes occupied by live records
+	deadBytes int64 // bytes occupied by superseded records and tombstones
+	closed    bool
+}
+
+type recordRef struct {
+	off  int64 // offset of the record start
+	size int64 // total record size in bytes
+	vlen uint32
+}
+
+const (
+	fileMagic  = "QR2KV\x00\x01\n"
+	headerSize = 4 + 1 + 4 + 4 // crc + op + klen + vlen
+	opPut      = 1
+	opDelete   = 2
+	// maxEntrySize guards recovery against corrupt length fields.
+	maxEntrySize = 1 << 30
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Open opens or creates the log at path, replaying it into memory.
+// A torn tail (from a crash mid-append) is detected via CRC and truncated.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	s := &File{f: f, path: path, index: make(map[string]recordRef)}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *File) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("kvstore: stat: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := s.f.Write([]byte(fileMagic)); err != nil {
+			return fmt.Errorf("kvstore: write magic: %w", err)
+		}
+		s.tail = int64(len(fileMagic))
+		return nil
+	}
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, 0, info.Size()), 1<<16)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != fileMagic {
+		return fmt.Errorf("kvstore: %s is not a kvstore log", s.path)
+	}
+	off := int64(len(fileMagic))
+	header := make([]byte, headerSize)
+	var key, value []byte
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			break // clean EOF or torn header: truncate at off
+		}
+		crc := binary.LittleEndian.Uint32(header[0:4])
+		op := header[4]
+		klen := binary.LittleEndian.Uint32(header[5:9])
+		vlen := binary.LittleEndian.Uint32(header[9:13])
+		if (op != opPut && op != opDelete) || klen > maxEntrySize || vlen > maxEntrySize {
+			break
+		}
+		key = grow(key, int(klen))
+		value = grow(value, int(vlen))
+		if _, err := io.ReadFull(r, key); err != nil {
+			break
+		}
+		if _, err := io.ReadFull(r, value); err != nil {
+			break
+		}
+		h := crc32.NewIEEE()
+		h.Write(header[4:])
+		h.Write(key)
+		h.Write(value)
+		if h.Sum32() != crc {
+			break
+		}
+		size := int64(headerSize) + int64(klen) + int64(vlen)
+		s.apply(op, string(key), recordRef{off: off, size: size, vlen: vlen})
+		off += size
+	}
+	if off != info.Size() {
+		// Torn tail: drop everything from the first bad record on.
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("kvstore: truncate torn tail: %w", err)
+		}
+	}
+	s.tail = off
+	return nil
+}
+
+// apply updates the index and byte accounting for one replayed or appended
+// record.
+func (s *File) apply(op byte, key string, ref recordRef) {
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= old.size
+		s.deadBytes += old.size
+	}
+	switch op {
+	case opPut:
+		s.index[key] = ref
+		s.liveBytes += ref.size
+	case opDelete:
+		delete(s.index, key)
+		s.deadBytes += ref.size // the tombstone itself is dead weight
+	}
+}
+
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+func encodeRecord(op byte, key, value []byte) []byte {
+	rec := make([]byte, headerSize+len(key)+len(value))
+	rec[4] = op
+	binary.LittleEndian.PutUint32(rec[5:9], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[9:13], uint32(len(value)))
+	copy(rec[headerSize:], key)
+	copy(rec[headerSize+len(key):], value)
+	binary.LittleEndian.PutUint32(rec[0:4], crc32.ChecksumIEEE(rec[4:]))
+	return rec
+}
+
+func (s *File) append(op byte, key, value []byte) error {
+	rec := encodeRecord(op, key, value)
+	if _, err := s.f.WriteAt(rec, s.tail); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	ref := recordRef{off: s.tail, size: int64(len(rec)), vlen: uint32(len(value))}
+	s.tail += ref.size
+	s.apply(op, string(key), ref)
+	return nil
+}
+
+// Get implements Store.
+func (s *File) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	ref, ok := s.index[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	value := make([]byte, ref.vlen)
+	voff := ref.off + int64(headerSize) + int64(len(key))
+	if _, err := s.f.ReadAt(value, voff); err != nil {
+		return nil, false, fmt.Errorf("kvstore: read value: %w", err)
+	}
+	return value, true, nil
+}
+
+// Put implements Store.
+func (s *File) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.append(opPut, key, value)
+}
+
+// Delete implements Store.
+func (s *File) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[string(key)]; !ok {
+		return nil
+	}
+	return s.append(opDelete, key, nil)
+}
+
+// Range implements Store.
+func (s *File) Range(fn func(key, value []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for k, ref := range s.index {
+		value := make([]byte, ref.vlen)
+		voff := ref.off + int64(headerSize) + int64(len(k))
+		if _, err := s.f.ReadAt(value, voff); err != nil {
+			return fmt.Errorf("kvstore: read value: %w", err)
+		}
+		if !fn([]byte(k), value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (s *File) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Sync implements Store.
+func (s *File) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close implements Store.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// DeadBytes reports the log space held by superseded records and
+// tombstones; Compact reclaims it.
+func (s *File) DeadBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deadBytes
+}
+
+// Compact rewrites the live set into a fresh log and atomically replaces
+// the old file. Readers and writers are blocked for the duration.
+func (s *File) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after successful rename
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err := w.WriteString(fileMagic); err != nil {
+		tmp.Close()
+		return err
+	}
+	newIndex := make(map[string]recordRef, len(s.index))
+	off := int64(len(fileMagic))
+	var live int64
+	for k, ref := range s.index {
+		value := make([]byte, ref.vlen)
+		voff := ref.off + int64(headerSize) + int64(len(k))
+		if _, err := s.f.ReadAt(value, voff); err != nil {
+			tmp.Close()
+			return fmt.Errorf("kvstore: compact read: %w", err)
+		}
+		rec := encodeRecord(opPut, []byte(k), value)
+		if _, err := w.Write(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("kvstore: compact write: %w", err)
+		}
+		newIndex[k] = recordRef{off: off, size: int64(len(rec)), vlen: ref.vlen}
+		off += int64(len(rec))
+		live += int64(len(rec))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kvstore: compact rename: %w", err)
+	}
+	// Durably record the rename in the parent directory.
+	if dir, err := os.Open(filepath.Dir(s.path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	old := s.f
+	s.f = tmp
+	s.index = newIndex
+	s.tail = off
+	s.liveBytes = live
+	s.deadBytes = 0
+	return old.Close()
+}
+
+var _ Store = (*File)(nil)

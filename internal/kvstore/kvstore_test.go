@@ -1,0 +1,375 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stores returns one of each Store implementation, File backed by a temp
+// dir that the test cleans up.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	f, err := Open(filepath.Join(t.TempDir(), "test.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return map[string]Store{"memory": NewMemory(), "file": f}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, _ := s.Get([]byte("k")); ok {
+				t.Fatal("get on empty store found a key")
+			}
+			if err := s.Put([]byte("k"), []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get([]byte("k"))
+			if err != nil || !ok || string(v) != "v1" {
+				t.Fatalf("Get = %q, %v, %v", v, ok, err)
+			}
+			if err := s.Put([]byte("k"), []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = s.Get([]byte("k"))
+			if string(v) != "v2" {
+				t.Fatalf("overwrite lost: %q", v)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			if err := s.Delete([]byte("k")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get([]byte("k")); ok {
+				t.Fatal("deleted key still present")
+			}
+			if err := s.Delete([]byte("absent")); err != nil {
+				t.Fatalf("deleting absent key: %v", err)
+			}
+			if s.Len() != 0 {
+				t.Fatalf("Len after delete = %d", s.Len())
+			}
+		})
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put([]byte("k"), []byte("abc")); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ := s.Get([]byte("k"))
+			v[0] = 'X'
+			v2, _, _ := s.Get([]byte("k"))
+			if string(v2) != "abc" {
+				t.Fatal("Get does not return a private copy")
+			}
+		})
+	}
+}
+
+func TestRange(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			want := map[string]string{}
+			for i := 0; i < 20; i++ {
+				k := fmt.Sprintf("key-%02d", i)
+				v := fmt.Sprintf("val-%02d", i)
+				want[k] = v
+				if err := s.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := map[string]string{}
+			if err := s.Range(func(k, v []byte) bool {
+				got[string(k)] = string(v)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Range saw %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %s: got %q want %q", k, got[k], v)
+				}
+			}
+			// Early exit.
+			n := 0
+			_ = s.Range(func(k, v []byte) bool { n++; return false })
+			if n != 1 {
+				t.Fatalf("early exit visited %d", n)
+			}
+		})
+	}
+}
+
+func TestFileReopenRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes must replay correctly too.
+	if err := s.Put([]byte("k5"), []byte("v5b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete([]byte("k7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("recovered Len = %d, want 99", s2.Len())
+	}
+	v, ok, _ := s2.Get([]byte("k5"))
+	if !ok || string(v) != "v5b" {
+		t.Fatalf("k5 = %q, %v", v, ok)
+	}
+	if _, ok, _ := s2.Get([]byte("k7")); ok {
+		t.Fatal("deleted key resurrected")
+	}
+}
+
+func TestFileTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: chop bytes off the tail.
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-13); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 9 {
+		t.Fatalf("recovered Len = %d, want 9 (torn record dropped)", s2.Len())
+	}
+	// The store must be appendable again after truncation.
+	if err := s2.Put([]byte("new"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s2.Get([]byte("new"))
+	if !ok || string(v) != "value" {
+		t.Fatal("append after torn-tail recovery failed")
+	}
+}
+
+func TestFileCorruptMiddleStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Flip a byte in the third record's value region.
+	data, _ := os.ReadFile(path)
+	data[len(fileMagic)+2*(headerSize+3)+headerSize+1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("Len after mid-log corruption = %d, want 2 (replay stops at corruption)", s2.Len())
+	}
+}
+
+func TestFileNotAStoreLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus")
+	if err := os.WriteFile(path, []byte("definitely not a kv log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("bogus file opened as store")
+	}
+}
+
+func TestFileCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		for rev := 0; rev < 4; rev++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("rev%d", rev))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.DeadBytes() == 0 {
+		t.Fatal("expected dead bytes before compaction")
+	}
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before.Size(), after.Size())
+	}
+	if s.DeadBytes() != 0 {
+		t.Fatal("dead bytes remain after compaction")
+	}
+	if s.Len() != 40 {
+		t.Fatalf("Len after compact = %d, want 40", s.Len())
+	}
+	for i := 10; i < 50; i++ {
+		v, ok, err := s.Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || !ok || string(v) != "rev3" {
+			t.Fatalf("k%d = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	// Store must remain usable and durable after compaction.
+	if err := s.Put([]byte("post"), []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 41 {
+		t.Fatalf("reopened Len = %d, want 41", s2.Len())
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put on closed = %v", err)
+	}
+	if _, _, err := s.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get on closed = %v", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed = %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Fatalf("Compact on closed = %v", err)
+	}
+}
+
+// Model-based property test: a random operation sequence applied to the
+// file store matches a plain map, across a reopen in the middle.
+func TestFileModelProperty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(99))
+	key := func() []byte { return []byte(fmt.Sprintf("k%02d", r.Intn(40))) }
+	for step := 0; step < 4000; step++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // put
+			k, v := key(), []byte(fmt.Sprintf("v%d", step))
+			if err := s.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[string(k)] = string(v)
+		case 6, 7: // delete
+			k := key()
+			if err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, string(k))
+		case 8: // get + compare
+			k := key()
+			v, ok, err := s.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv, mok := model[string(k)]
+			if ok != mok || (ok && string(v) != mv) {
+				t.Fatalf("step %d: Get(%s) = %q,%v; model %q,%v", step, k, v, ok, mv, mok)
+			}
+		case 9:
+			if step%7 == 0 {
+				if err := s.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if step == 2000 { // crash-free reopen mid-sequence
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if s, err = Open(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	defer s.Close()
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", s.Len(), len(model))
+	}
+	_ = s.Range(func(k, v []byte) bool {
+		if model[string(k)] != string(v) {
+			t.Fatalf("Range mismatch at %s", k)
+		}
+		return true
+	})
+}

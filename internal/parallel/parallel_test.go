@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+func newExec(t *testing.T, opts ...Option) (*Executor, hidden.DB) {
+	t.Helper()
+	cat := datagen.Uniform(500, 2, 1)
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, 20, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, opts...), db
+}
+
+func TestSearchSingle(t *testing.T) {
+	e, db := newExec(t)
+	res, err := e.Search(context.Background(), relation.Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 20 || !res.Overflow {
+		t.Fatalf("unexpected result: %d tuples overflow=%v", len(res.Tuples), res.Overflow)
+	}
+	if db.(*hidden.Local).QueryCount() != 1 {
+		t.Fatal("query not issued")
+	}
+	s := e.Stats()
+	if s.Queries != 1 || s.Batches != 1 || s.ParallelBatches != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSearchBatchResultsAligned(t *testing.T) {
+	e, _ := newExec(t)
+	preds := []relation.Predicate{
+		relation.Predicate{}.WithInterval(0, relation.Closed(0, 100)),
+		relation.Predicate{}.WithInterval(0, relation.Closed(900, 1000)),
+		relation.Predicate{}.WithInterval(0, relation.Closed(10, 5)), // empty
+	}
+	res, err := e.SearchBatch(context.Background(), preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, p := range preds[:2] {
+		for _, tu := range res[i].Tuples {
+			if !p.Match(tu) {
+				t.Fatalf("result %d contains tuple for wrong predicate", i)
+			}
+		}
+	}
+	if len(res[2].Tuples) != 0 {
+		t.Fatal("empty predicate returned tuples")
+	}
+}
+
+func TestBatchStatsParallelVsSequential(t *testing.T) {
+	lat := 100 * time.Millisecond
+	par, _ := newExec(t, WithSimLatency(lat), WithMaxParallel(4))
+	seq, _ := newExec(t, WithSimLatency(lat), WithParallel(false))
+	preds := make([]relation.Predicate, 6)
+	ctx := context.Background()
+	if _, err := par.SearchBatch(ctx, preds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.SearchBatch(ctx, preds); err != nil {
+		t.Fatal(err)
+	}
+	ps, ss := par.Stats(), seq.Stats()
+	if ps.Queries != 6 || ss.Queries != 6 {
+		t.Fatalf("query counts: %d, %d", ps.Queries, ss.Queries)
+	}
+	// Parallel: 6 queries over 4 max-parallel = 2 waves.
+	if ps.SimElapsed != 2*lat {
+		t.Fatalf("parallel SimElapsed = %v, want %v", ps.SimElapsed, 2*lat)
+	}
+	if ss.SimElapsed != 6*lat {
+		t.Fatalf("sequential SimElapsed = %v, want %v", ss.SimElapsed, 6*lat)
+	}
+	if ps.ParallelBatches != 1 || ps.QueriesInParallel != 6 {
+		t.Fatalf("parallel stats = %+v", ps)
+	}
+	if ss.ParallelBatches != 0 || ss.QueriesInParallel != 0 {
+		t.Fatalf("sequential stats = %+v", ss)
+	}
+	if f := ps.ParallelQueryFraction(); f != 1 {
+		t.Fatalf("ParallelQueryFraction = %v", f)
+	}
+	if f := ss.ParallelQueryFraction(); f != 0 {
+		t.Fatalf("sequential ParallelQueryFraction = %v", f)
+	}
+}
+
+func TestBatchSizesLog(t *testing.T) {
+	e, _ := newExec(t)
+	ctx := context.Background()
+	_, _ = e.SearchBatch(ctx, make([]relation.Predicate, 3))
+	_, _ = e.Search(ctx, relation.Predicate{})
+	_, _ = e.SearchBatch(ctx, make([]relation.Predicate, 2))
+	s := e.Stats()
+	want := []int{3, 1, 2}
+	if len(s.BatchSizes) != len(want) {
+		t.Fatalf("BatchSizes = %v", s.BatchSizes)
+	}
+	for i := range want {
+		if s.BatchSizes[i] != want[i] {
+			t.Fatalf("BatchSizes = %v, want %v", s.BatchSizes, want)
+		}
+	}
+	if s.MaxBatch != 3 {
+		t.Fatalf("MaxBatch = %d", s.MaxBatch)
+	}
+	e.Reset()
+	if s := e.Stats(); s.Queries != 0 || len(s.BatchSizes) != 0 {
+		t.Fatalf("Reset left stats %+v", s)
+	}
+}
+
+func TestParallelRespectsMaxInFlight(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 2)
+	var inFlight, peak atomic.Int64
+	probe := &probeDB{Local: mustLocal(t, cat), inFlight: &inFlight, peak: &peak}
+	e := New(probe, WithMaxParallel(3))
+	if _, err := e.SearchBatch(context.Background(), make([]relation.Predicate, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak in-flight = %d, want <= 3", p)
+	}
+}
+
+func TestBatchErrorPropagates(t *testing.T) {
+	cat := datagen.Uniform(100, 2, 3)
+	flaky := &hidden.Flaky{Inner: mustLocal(t, cat), FailEvery: 2}
+	e := New(flaky)
+	_, err := e.SearchBatch(context.Background(), make([]relation.Predicate, 4))
+	if err == nil {
+		t.Fatal("batch with failing query succeeded")
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	e, _ := newExec(t)
+	res, err := e.SearchBatch(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	if s := e.Stats(); s.Batches != 0 {
+		t.Fatal("empty batch recorded")
+	}
+}
+
+func TestBatchContextCancel(t *testing.T) {
+	e, _ := newExec(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchBatch(ctx, make([]relation.Predicate, 3)); err == nil {
+		t.Fatal("cancelled batch succeeded")
+	}
+}
+
+type probeDB struct {
+	*hidden.Local
+	inFlight, peak *atomic.Int64
+}
+
+func (p *probeDB) Search(ctx context.Context, pred relation.Predicate) (hidden.Result, error) {
+	n := p.inFlight.Add(1)
+	for {
+		cur := p.peak.Load()
+		if n <= cur || p.peak.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	defer p.inFlight.Add(-1)
+	return p.Local.Search(ctx, pred)
+}
+
+func mustLocal(t *testing.T, cat *datagen.Catalog) *hidden.Local {
+	t.Helper()
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, 20, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

@@ -1,0 +1,147 @@
+package ranking
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a ranking expression in the syntax QR2's popular-functions
+// list uses:
+//
+//	expr   := ['-'] term (('+' | '-') term)*
+//	term   := [number ['*']] attribute
+//	number := decimal constant, e.g. 0.3
+//	attr   := identifier (letters, digits, '_', starting with a letter)
+//
+// Examples: "price", "-carat", "price - 0.3*sqft", "price + 0.1 carat".
+// Duplicate attributes are merged by summing their weights; a merged weight
+// of zero is an error (the attribute would not constrain the ranking).
+func Parse(expr string) (Function, error) {
+	toks, err := tokenize(expr)
+	if err != nil {
+		return Function{}, err
+	}
+	if len(toks) == 0 {
+		return Function{}, fmt.Errorf("ranking: empty expression")
+	}
+	var (
+		terms []Term
+		order []string
+		byA   = map[string]int{}
+		i     = 0
+	)
+	sign := 1.0
+	if toks[0].kind == tokOp {
+		switch toks[0].text {
+		case "-":
+			sign = -1
+		case "+":
+		default:
+			return Function{}, fmt.Errorf("ranking: expression cannot start with %q", toks[0].text)
+		}
+		i++
+	}
+	for {
+		w := sign
+		if i < len(toks) && toks[i].kind == tokNumber {
+			f, err := strconv.ParseFloat(toks[i].text, 64)
+			if err != nil {
+				return Function{}, fmt.Errorf("ranking: bad number %q", toks[i].text)
+			}
+			w *= f
+			i++
+			if i < len(toks) && toks[i].kind == tokOp && toks[i].text == "*" {
+				i++
+			}
+		}
+		if i >= len(toks) || toks[i].kind != tokIdent {
+			return Function{}, fmt.Errorf("ranking: expected attribute name in %q", expr)
+		}
+		attr := toks[i].text
+		i++
+		if j, ok := byA[attr]; ok {
+			terms[j].Weight += w
+		} else {
+			byA[attr] = len(terms)
+			terms = append(terms, Term{Attr: attr, Weight: w})
+			order = append(order, attr)
+		}
+		if i == len(toks) {
+			break
+		}
+		if toks[i].kind != tokOp || (toks[i].text != "+" && toks[i].text != "-") {
+			return Function{}, fmt.Errorf("ranking: expected + or - before %q", toks[i].text)
+		}
+		sign = 1
+		if toks[i].text == "-" {
+			sign = -1
+		}
+		i++
+	}
+	_ = order
+	f := Function{Terms: terms}
+	if err := f.Validate(); err != nil {
+		return Function{}, err
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for tests and static examples.
+func MustParse(expr string) Function {
+	f, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind uint8
+
+const (
+	tokNumber tokKind = iota
+	tokIdent
+	tokOp
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func tokenize(expr string) ([]token, error) {
+	var toks []token
+	rs := []rune(expr)
+	for i := 0; i < len(rs); {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '+' || r == '-' || r == '*':
+			toks = append(toks, token{tokOp, string(r)})
+			i++
+		case unicode.IsDigit(r) || r == '.':
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.') {
+				j++
+			}
+			text := string(rs[i:j])
+			if strings.Count(text, ".") > 1 {
+				return nil, fmt.Errorf("ranking: malformed number %q", text)
+			}
+			toks = append(toks, token{tokNumber, text})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(rs[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("ranking: unexpected character %q in expression", string(r))
+		}
+	}
+	return toks, nil
+}

@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a possibly half-open interval over a numeric attribute domain.
+// The zero value is the degenerate closed interval [0, 0].
+type Interval struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Closed returns the closed interval [lo, hi].
+func Closed(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// OpenLo returns the half-open interval (lo, hi].
+func OpenLo(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi, LoOpen: true} }
+
+// OpenHi returns the half-open interval [lo, hi).
+func OpenHi(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi, HiOpen: true} }
+
+// Full returns the interval covering every float64 value.
+func Full() Interval { return Closed(math.Inf(-1), math.Inf(1)) }
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Closed(v, v) }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool {
+	if v < iv.Lo || (v == iv.Lo && iv.LoOpen) {
+		return false
+	}
+	if v > iv.Hi || (v == iv.Hi && iv.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// Empty reports whether the interval contains no point.
+func (iv Interval) Empty() bool {
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen) {
+		return true
+	}
+	return false
+}
+
+// IsPoint reports whether the interval contains exactly one value.
+func (iv Interval) IsPoint() bool {
+	return iv.Lo == iv.Hi && !iv.LoOpen && !iv.HiOpen
+}
+
+// Width returns Hi - Lo (zero for empty intervals).
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Intersect returns the overlap of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.Lo > out.Lo || (o.Lo == out.Lo && o.LoOpen) {
+		out.Lo, out.LoOpen = o.Lo, o.LoOpen
+	}
+	if o.Hi < out.Hi || (o.Hi == out.Hi && o.HiOpen) {
+		out.Hi, out.HiOpen = o.Hi, o.HiOpen
+	}
+	return out
+}
+
+// SplitAt cuts the interval at mid into left = [Lo, mid] and
+// right = (mid, Hi]. The two halves partition the interval exactly: every
+// contained value falls in precisely one half. mid should lie inside the
+// interval; callers typically use the midpoint of Lo and Hi.
+func (iv Interval) SplitAt(mid float64) (left, right Interval) {
+	left = Interval{Lo: iv.Lo, LoOpen: iv.LoOpen, Hi: mid, HiOpen: false}
+	right = Interval{Lo: mid, LoOpen: true, Hi: iv.Hi, HiOpen: iv.HiOpen}
+	return left, right
+}
+
+// Midpoint returns the midpoint of the interval, guarding against overflow
+// for very large bounds.
+func (iv Interval) Midpoint() float64 {
+	return iv.Lo + (iv.Hi-iv.Lo)/2
+}
+
+// ContainsInterval reports whether o is fully inside iv.
+func (iv Interval) ContainsInterval(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	if o.Lo < iv.Lo || (o.Lo == iv.Lo && iv.LoOpen && !o.LoOpen) {
+		return false
+	}
+	if o.Hi > iv.Hi || (o.Hi == iv.Hi && iv.HiOpen && !o.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// String implements fmt.Stringer using standard interval notation.
+func (iv Interval) String() string {
+	lb, rb := "[", "]"
+	if iv.LoOpen {
+		lb = "("
+	}
+	if iv.HiOpen {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%g, %g%s", lb, iv.Lo, iv.Hi, rb)
+}

@@ -1,0 +1,185 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		v    float64
+		want bool
+	}{
+		{Closed(0, 10), 0, true},
+		{Closed(0, 10), 10, true},
+		{Closed(0, 10), 5, true},
+		{Closed(0, 10), -0.001, false},
+		{Closed(0, 10), 10.001, false},
+		{OpenLo(0, 10), 0, false},
+		{OpenLo(0, 10), 0.0001, true},
+		{OpenHi(0, 10), 10, false},
+		{OpenHi(0, 10), 9.9999, true},
+		{Point(3), 3, true},
+		{Point(3), 3.0000001, false},
+		{Full(), math.Inf(-1), true},
+		{Full(), math.Inf(1), true},
+		{Full(), 0, true},
+	}
+	for _, c := range cases {
+		if got := c.iv.Contains(c.v); got != c.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", c.iv, c.v, got, c.want)
+		}
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Closed(1, 0), true},
+		{Closed(0, 0), false},
+		{OpenLo(0, 0), true},
+		{OpenHi(0, 0), true},
+		{Interval{Lo: 0, Hi: 0, LoOpen: true, HiOpen: true}, true},
+		{Closed(0, 1), false},
+	}
+	for _, c := range cases {
+		if got := c.iv.Empty(); got != c.want {
+			t.Errorf("%v.Empty() = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIsPoint(t *testing.T) {
+	if !Point(2).IsPoint() {
+		t.Error("Point(2) should be a point")
+	}
+	if Closed(1, 2).IsPoint() {
+		t.Error("[1,2] is not a point")
+	}
+	if OpenLo(2, 2).IsPoint() {
+		t.Error("(2,2] is not a point")
+	}
+}
+
+func TestIntervalSplitPartition(t *testing.T) {
+	iv := Closed(0, 10)
+	left, right := iv.SplitAt(5)
+	for _, v := range []float64{0, 2.5, 5, 5.0001, 7, 10} {
+		inL, inR := left.Contains(v), right.Contains(v)
+		if inL == inR {
+			t.Errorf("value %v: left=%v right=%v, want exactly one", v, inL, inR)
+		}
+		if !iv.Contains(v) {
+			t.Errorf("test value %v should be inside %v", v, iv)
+		}
+	}
+	if left.Contains(11) || right.Contains(11) {
+		t.Error("value outside the parent must be outside both halves")
+	}
+}
+
+// Property: SplitAt partitions the parent exactly — every value inside the
+// parent is in exactly one half, every value outside is in neither.
+func TestIntervalSplitPartitionProperty(t *testing.T) {
+	f := func(loRaw, spanRaw, midFrac, probe float64) bool {
+		lo := math.Mod(loRaw, 1e6)
+		span := math.Abs(math.Mod(spanRaw, 1e6))
+		iv := Closed(lo, lo+span)
+		mid := lo + span*clamp01(math.Abs(math.Mod(midFrac, 1)))
+		v := lo - span + math.Abs(math.Mod(probe, 3*span+1))
+		left, right := iv.SplitAt(mid)
+		inParent := iv.Contains(v)
+		inL, inR := left.Contains(v), right.Contains(v)
+		if inParent {
+			return inL != inR
+		}
+		return !inL && !inR
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Property: Intersect(a, b).Contains(v) == a.Contains(v) && b.Contains(v).
+func TestIntervalIntersectProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	randIv := func() Interval {
+		lo := r.Float64()*20 - 10
+		hi := lo + r.Float64()*10
+		return Interval{Lo: lo, Hi: hi, LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0}
+	}
+	for i := 0; i < 5000; i++ {
+		a, b := randIv(), randIv()
+		x := a.Intersect(b)
+		v := r.Float64()*24 - 12
+		want := a.Contains(v) && b.Contains(v)
+		if got := x.Contains(v); got != want {
+			t.Fatalf("intersect(%v, %v)=%v: Contains(%v)=%v want %v", a, b, x, v, got, want)
+		}
+	}
+}
+
+func TestIntervalContainsInterval(t *testing.T) {
+	cases := []struct {
+		outer, inner Interval
+		want         bool
+	}{
+		{Closed(0, 10), Closed(2, 5), true},
+		{Closed(0, 10), Closed(0, 10), true},
+		{Closed(0, 10), Closed(-1, 5), false},
+		{Closed(0, 10), Closed(5, 11), false},
+		{OpenLo(0, 10), Closed(0, 5), false},
+		{OpenLo(0, 10), OpenLo(0, 5), true},
+		{Closed(0, 10), Closed(5, 1), true}, // empty inner always contained
+		{OpenHi(0, 10), Closed(0, 10), false},
+		{OpenHi(0, 10), OpenHi(0, 10), true},
+	}
+	for _, c := range cases {
+		if got := c.outer.ContainsInterval(c.inner); got != c.want {
+			t.Errorf("%v.ContainsInterval(%v) = %v, want %v", c.outer, c.inner, got, c.want)
+		}
+	}
+}
+
+func TestIntervalWidthAndMidpoint(t *testing.T) {
+	if w := Closed(2, 6).Width(); w != 4 {
+		t.Errorf("width = %v, want 4", w)
+	}
+	if w := Closed(6, 2).Width(); w != 0 {
+		t.Errorf("empty width = %v, want 0", w)
+	}
+	if m := Closed(2, 6).Midpoint(); m != 4 {
+		t.Errorf("midpoint = %v, want 4", m)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{Closed(0, 1), "[0, 1]"},
+		{OpenLo(0, 1), "(0, 1]"},
+		{OpenHi(0, 1), "[0, 1)"},
+	}
+	for _, c := range cases {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

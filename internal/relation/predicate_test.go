@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPredicateZeroMatchesAll(t *testing.T) {
+	var p Predicate
+	if !p.Match(Tuple{Values: []float64{1, 2, 3}}) {
+		t.Fatal("zero predicate must match everything")
+	}
+	if p.Unsatisfiable() {
+		t.Fatal("zero predicate is satisfiable")
+	}
+	if p.String() != "true" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPredicateWithIntervalIntersects(t *testing.T) {
+	p := Predicate{}.WithInterval(0, Closed(0, 10)).WithInterval(0, Closed(5, 20))
+	iv := p.Interval(0)
+	if iv.Lo != 5 || iv.Hi != 10 {
+		t.Fatalf("intersected interval = %v", iv)
+	}
+	// The original predicate value must be unchanged (value semantics).
+	q := Predicate{}.WithInterval(0, Closed(0, 10))
+	_ = q.WithInterval(0, Closed(5, 6))
+	if iv := q.Interval(0); iv.Lo != 0 || iv.Hi != 10 {
+		t.Fatalf("WithInterval mutated receiver: %v", iv)
+	}
+}
+
+func TestPredicateIntervalUnconstrained(t *testing.T) {
+	var p Predicate
+	iv := p.Interval(3)
+	if !iv.Contains(-1e300) || !iv.Contains(1e300) {
+		t.Fatal("unconstrained attribute should report Full interval")
+	}
+}
+
+func TestPredicateCategorical(t *testing.T) {
+	p := Predicate{}.WithCategories(2, []int{2, 0, 2})
+	if !p.Match(Tuple{Values: []float64{0, 0, 0}}) {
+		t.Fatal("category 0 should match")
+	}
+	if p.Match(Tuple{Values: []float64{0, 0, 1}}) {
+		t.Fatal("category 1 should not match")
+	}
+	p2 := p.WithCategories(2, []int{1, 2})
+	if !p2.Match(Tuple{Values: []float64{0, 0, 2}}) || p2.Match(Tuple{Values: []float64{0, 0, 0}}) {
+		t.Fatal("intersection of category sets wrong")
+	}
+	p3 := p2.WithCategories(2, []int{0})
+	if !p3.Unsatisfiable() {
+		t.Fatal("empty category set should be unsatisfiable")
+	}
+}
+
+func TestPredicateUnsatisfiableInterval(t *testing.T) {
+	p := Predicate{}.WithInterval(0, Closed(0, 10)).WithInterval(0, Closed(20, 30))
+	if !p.Unsatisfiable() {
+		t.Fatal("disjoint intervals should be unsatisfiable")
+	}
+}
+
+func TestPredicateMultiAttribute(t *testing.T) {
+	p := Predicate{}.
+		WithInterval(1, Closed(1, 2)).
+		WithInterval(0, Closed(100, 200)).
+		WithCategories(2, []int{1})
+	conds := p.Conditions()
+	if len(conds) != 3 || conds[0].Attr != 0 || conds[1].Attr != 1 || conds[2].Attr != 2 {
+		t.Fatalf("conditions not sorted by attr: %+v", conds)
+	}
+	if !p.Match(Tuple{Values: []float64{150, 1.5, 1}}) {
+		t.Fatal("matching tuple rejected")
+	}
+	if p.Match(Tuple{Values: []float64{150, 2.5, 1}}) {
+		t.Fatal("non-matching tuple accepted")
+	}
+}
+
+// Property: Match of combined predicate equals conjunction of the parts.
+func TestPredicateConjunctionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		ivA := Closed(r.Float64()*10, r.Float64()*10+5)
+		ivB := Closed(r.Float64()*10, r.Float64()*10+5)
+		cats := []int{r.Intn(3), r.Intn(3)}
+		p := Predicate{}.WithInterval(0, ivA).WithInterval(1, ivB).WithCategories(2, cats)
+		tu := Tuple{Values: []float64{r.Float64() * 15, r.Float64() * 15, float64(r.Intn(3))}}
+		want := ivA.Contains(tu.Values[0]) && ivB.Contains(tu.Values[1]) &&
+			(float64(cats[0]) == tu.Values[2] || float64(cats[1]) == tu.Values[2])
+		if got := p.Match(tu); got != want {
+			t.Fatalf("Match=%v want %v for %v under %v", got, want, tu, p)
+		}
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	s := testSchema(t)
+	p, err := NewBuilder(s).
+		Range("price", 100, 500).
+		AtLeast("carat", 1).
+		AtMost("carat", 3).
+		In("cut", "Ideal", "Good").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !p.Match(Tuple{Values: []float64{200, 2, 2}}) {
+		t.Fatal("matching tuple rejected")
+	}
+	if p.Match(Tuple{Values: []float64{200, 2, 0}}) {
+		t.Fatal("cut=Fair should be rejected")
+	}
+	if p.Match(Tuple{Values: []float64{200, 0.5, 2}}) {
+		t.Fatal("carat below bound accepted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		build func(*Builder) *Builder
+		want  string
+	}{
+		{func(b *Builder) *Builder { return b.Range("nope", 0, 1) }, "unknown attribute"},
+		{func(b *Builder) *Builder { return b.Range("cut", 0, 1) }, "not numeric"},
+		{func(b *Builder) *Builder { return b.Range("price", 5, 1) }, "lo"},
+		{func(b *Builder) *Builder { return b.In("price", "x") }, "not categorical"},
+		{func(b *Builder) *Builder { return b.In("cut", "Shiny") }, "no category"},
+		{func(b *Builder) *Builder { return b.In("nope", "x") }, "unknown attribute"},
+	}
+	for i, c := range cases {
+		_, err := c.build(NewBuilder(s)).Build()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: err = %v, want containing %q", i, err, c.want)
+		}
+	}
+	// First error wins and later valid calls don't clear it.
+	_, err := NewBuilder(s).Range("nope", 0, 1).Range("price", 0, 1).Build()
+	if err == nil || !strings.Contains(err.Error(), "unknown attribute") {
+		t.Fatalf("first error not preserved: %v", err)
+	}
+}
+
+func TestPredicateDescribe(t *testing.T) {
+	s := testSchema(t)
+	p, err := NewBuilder(s).Range("price", 1, 2).In("cut", "Ideal").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Describe(s)
+	if !strings.Contains(d, "price in [1, 2]") || !strings.Contains(d, "cut in {Ideal}") {
+		t.Fatalf("Describe = %q", d)
+	}
+}

@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Snapshot I/O: schemas serialise to JSON, relations to CSV with category
+// labels spelled out. Together they let a generated catalog be dumped once
+// and replayed by cmd/wdbserver, so experiments can be repeated against a
+// byte-identical database without carrying generator code around.
+
+// schemaDoc is the JSON wire form of a schema.
+type schemaDoc struct {
+	Attrs []attrDoc `json:"attrs"`
+}
+
+type attrDoc struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Min        float64  `json:"min,omitempty"`
+	Max        float64  `json:"max,omitempty"`
+	Resolution float64  `json:"resolution,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Schema.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	doc := schemaDoc{Attrs: make([]attrDoc, 0, s.Len())}
+	for i := 0; i < s.Len(); i++ {
+		a := s.Attr(i)
+		doc.Attrs = append(doc.Attrs, attrDoc{
+			Name: a.Name, Kind: a.Kind.String(),
+			Min: a.Min, Max: a.Max, Resolution: a.Resolution,
+			Categories: a.Categories,
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Schema, validating the
+// decoded attributes exactly like NewSchema.
+func (s *Schema) UnmarshalJSON(data []byte) error {
+	var doc schemaDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("relation: decode schema: %w", err)
+	}
+	attrs := make([]Attribute, 0, len(doc.Attrs))
+	for _, ad := range doc.Attrs {
+		kind := Numeric
+		switch ad.Kind {
+		case Numeric.String():
+		case Categorical.String():
+			kind = Categorical
+		default:
+			return fmt.Errorf("relation: unknown attribute kind %q", ad.Kind)
+		}
+		attrs = append(attrs, Attribute{
+			Name: ad.Name, Kind: kind,
+			Min: ad.Min, Max: ad.Max, Resolution: ad.Resolution,
+			Categories: ad.Categories,
+		})
+	}
+	decoded, err := NewSchema(attrs...)
+	if err != nil {
+		return err
+	}
+	*s = *decoded
+	return nil
+}
+
+// WriteCSV dumps the relation: a header row of "id" plus attribute names,
+// then one row per tuple. Categorical values are written as their labels.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, r.schema.Names()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, t := range r.tuples {
+		row[0] = strconv.FormatInt(t.ID, 10)
+		for i, v := range t.Values {
+			a := r.schema.Attr(i)
+			if a.Kind == Categorical {
+				label, ok := a.Category(v)
+				if !ok {
+					return fmt.Errorf("relation: tuple %d has invalid category on %q", t.ID, a.Name)
+				}
+				row[i+1] = label
+			} else {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a relation previously written by WriteCSV. The header must
+// match the schema's attribute names in order.
+func ReadCSV(rd io.Reader, name string, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = schema.Len() + 1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %w", err)
+	}
+	if header[0] != "id" {
+		return nil, fmt.Errorf("relation: csv must start with an id column, got %q", header[0])
+	}
+	for i, want := range schema.Names() {
+		if header[i+1] != want {
+			return nil, fmt.Errorf("relation: csv column %d is %q, schema expects %q", i+1, header[i+1], want)
+		}
+	}
+	rel := NewRelation(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read csv line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: bad id %q", line, rec[0])
+		}
+		vals := make([]float64, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			a := schema.Attr(i)
+			cell := rec[i+1]
+			if a.Kind == Categorical {
+				code, ok := a.CategoryIndex(cell)
+				if !ok {
+					return nil, fmt.Errorf("relation: line %d: %q is not a category of %q", line, cell, a.Name)
+				}
+				vals[i] = float64(code)
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d: bad number %q for %q", line, cell, a.Name)
+			}
+			vals[i] = v
+		}
+		if err := rel.Append(Tuple{ID: id, Values: vals}); err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}

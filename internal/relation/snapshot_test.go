@@ -1,0 +1,109 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func snapshotFixture(t *testing.T) *Relation {
+	t.Helper()
+	s := testSchema(t)
+	r := NewRelation("snap", s)
+	r.MustAppend(Tuple{ID: 1, Values: []float64{100, 1.5, 2}})
+	r.MustAppend(Tuple{ID: 2, Values: []float64{250.25, 0.33, 0}})
+	r.MustAppend(Tuple{ID: 3, Values: []float64{999, 4.99, 1}})
+	return r
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("arity %d vs %d", back.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, b := s.Attr(i), back.Attr(i)
+		if a.Name != b.Name || a.Kind != b.Kind || a.Min != b.Min ||
+			a.Max != b.Max || a.Resolution != b.Resolution || len(a.Categories) != len(b.Categories) {
+			t.Fatalf("attr %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSchemaJSONRejectsInvalid(t *testing.T) {
+	var s Schema
+	if err := json.Unmarshal([]byte(`{"attrs":[{"name":"a","kind":"telepathic"}]}`), &s); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"attrs":[{"name":"","kind":"numeric"}]}`), &s); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &s); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "id,price,carat,cut\n") {
+		t.Fatalf("csv header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "Ideal") || !strings.Contains(out, "Fair") {
+		t.Fatal("categorical labels not written")
+	}
+	back, err := ReadCSV(&buf, "snap", r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("Len %d vs %d", back.Len(), r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		a, b := r.Tuple(i), back.Tuple(i)
+		if a.ID != b.ID {
+			t.Fatalf("tuple %d: id %d vs %d", i, a.ID, b.ID)
+		}
+		for j := range a.Values {
+			if a.Values[j] != b.Values[j] {
+				t.Fatalf("tuple %d attr %d: %v vs %v", i, j, a.Values[j], b.Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"bad header order", "id,carat,price,cut\n"},
+		{"no id column", "price,carat,cut,id\n"},
+		{"bad id", "id,price,carat,cut\nx,1,1,Fair\n"},
+		{"bad number", "id,price,carat,cut\n1,cheap,1,Fair\n"},
+		{"bad category", "id,price,carat,cut\n1,1,1,Shiny\n"},
+		{"wrong arity", "id,price,carat,cut\n1,1,1\n"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.csv), "x", s); err == nil {
+				t.Fatalf("accepted: %q", c.csv)
+			}
+		})
+	}
+}

@@ -1,0 +1,526 @@
+// Package service implements the QR2 web service — the central component of
+// the paper's architecture (Fig 1).
+//
+// Users connect, pick a data source, and submit a query made of the three
+// UI sections of Fig 3: a filtering section (range and membership filters),
+// a ranking section (an expression such as "price - 0.3*sqft", equivalent
+// to the paper's weight sliders), and a results section with the get-next
+// button and a statistics panel (Fig 4) reporting query cost and processing
+// time.
+//
+// The service keeps one session per user (the seen-tuple cache plus the
+// open get-next cursors), shares one dense-region index per data source
+// across all users, and processes web database queries in parallel.
+//
+// Endpoints:
+//
+//	GET  /api/sources        data sources, their schemas, popular functions
+//	POST /api/query          run a reranking query, returns page 1 + stats
+//	POST /api/next           next page for a previous query (qid)
+//	GET  /                   minimal HTML UI over the same operations
+//	POST /ui/query, /ui/next HTML form variants
+//	GET  /healthz            liveness
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/session"
+	"repro/internal/wdbhttp"
+)
+
+// SessionCookie is the name of the QR2 session cookie.
+const SessionCookie = "qr2_session"
+
+// SourceConfig describes one web database behind the service.
+type SourceConfig struct {
+	// DB is the database's public interface (local simulator or an
+	// wdbhttp.Client for a remote one).
+	DB hidden.DB
+	// DenseStore persists the source's dense-region index. Nil means a
+	// fresh in-memory store.
+	DenseStore kvstore.Store
+	// Popular lists suggested ranking expressions shown in the UI.
+	Popular []string
+}
+
+// Config configures the service.
+type Config struct {
+	// Sources maps source names to their configuration.
+	Sources map[string]SourceConfig
+	// Algorithm is the default get-next strategy (default core.Rerank);
+	// requests may override it with the "algo" field.
+	Algorithm core.Algorithm
+	// SessionTTL expires idle sessions (default 30 minutes).
+	SessionTTL time.Duration
+	// DefaultPageSize is the results-per-page default (default 10).
+	DefaultPageSize int
+	// MaxPageSize caps the "k" request field (default 100).
+	MaxPageSize int
+	// MaxParallel, SimLatency, DenseDepth and MaxQueriesPerNext are
+	// forwarded to core.Options.
+	MaxParallel       int
+	SimLatency        time.Duration
+	DenseDepth        int
+	MaxQueriesPerNext int
+}
+
+// Server is the QR2 HTTP service.
+type Server struct {
+	cfg      Config
+	sessions *session.Manager
+	sources  map[string]*source
+	mux      *http.ServeMux
+}
+
+// source is the shared per-database state: the dense index and the
+// discovered normalisation, both shared by every user session.
+type source struct {
+	name    string
+	db      hidden.DB
+	ix      *dense.Index
+	popular []string
+
+	normMu sync.Mutex
+	norm   *ranking.Normalization
+}
+
+// cursor is an open get-next stream owned by one session.
+type cursor struct {
+	mu        sync.Mutex
+	stream    *core.Stream
+	source    *source
+	k         int
+	page      int
+	exhausted bool
+}
+
+// New builds the service, opening (and boot-verifying) each source's dense
+// index.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, fmt.Errorf("service: no sources configured")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = core.Rerank
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 30 * time.Minute
+	}
+	if cfg.DefaultPageSize <= 0 {
+		cfg.DefaultPageSize = 10
+	}
+	if cfg.MaxPageSize <= 0 {
+		cfg.MaxPageSize = 100
+	}
+	s := &Server{
+		cfg:      cfg,
+		sessions: session.NewManager(cfg.SessionTTL, 0),
+		sources:  make(map[string]*source),
+		mux:      http.NewServeMux(),
+	}
+	for name, sc := range cfg.Sources {
+		store := sc.DenseStore
+		if store == nil {
+			store = kvstore.NewMemory()
+		}
+		ix, err := dense.Open(sc.DB.Schema(), store)
+		if err != nil {
+			return nil, fmt.Errorf("service: open dense index for %q: %w", name, err)
+		}
+		s.sources[name] = &source{name: name, db: sc.DB, ix: ix, popular: sc.Popular}
+	}
+	s.mux.HandleFunc("GET /api/sources", s.handleSources)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/next", s.handleNext)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.registerUI()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Sessions exposes the session manager (for sweeping by the daemon).
+func (s *Server) Sessions() *session.Manager { return s.sessions }
+
+// normalization lazily discovers a source's min/max bounds once.
+func (s *Server) normalization(ctx context.Context, src *source) (ranking.Normalization, error) {
+	src.normMu.Lock()
+	defer src.normMu.Unlock()
+	if src.norm != nil {
+		return *src.norm, nil
+	}
+	probe, err := core.New(src.db, core.Options{
+		Algorithm:   s.cfg.Algorithm,
+		MaxParallel: s.cfg.MaxParallel,
+	})
+	if err != nil {
+		return ranking.Normalization{}, err
+	}
+	norm, err := probe.Normalization(ctx)
+	if err != nil {
+		return ranking.Normalization{}, err
+	}
+	src.norm = &norm
+	return norm, nil
+}
+
+type sourceDoc struct {
+	Name    string   `json:"name"`
+	SystemK int      `json:"system_k"`
+	Attrs   []string `json:"attrs"`
+	Popular []string `json:"popular"`
+}
+
+type rowDoc struct {
+	ID     int64          `json:"id"`
+	Values map[string]any `json:"values"`
+}
+
+type statsDoc struct {
+	Queries          int64   `json:"queries"`
+	Batches          int64   `json:"batches"`
+	ParallelPct      float64 `json:"parallel_pct"`
+	SimElapsedMillis int64   `json:"sim_elapsed_ms"`
+	ElapsedMillis    int64   `json:"elapsed_ms"`
+	DenseHits        int64   `json:"dense_hits"`
+	DenseCrawls      int64   `json:"dense_crawls"`
+	CrawledTuples    int64   `json:"crawled_tuples"`
+	CacheCandidates  int64   `json:"cache_candidates"`
+	SessionCacheSize int     `json:"session_cache_size"`
+}
+
+type queryDoc struct {
+	Session   string   `json:"session"`
+	QID       string   `json:"qid"`
+	Source    string   `json:"source"`
+	Rank      string   `json:"rank"`
+	Algorithm string   `json:"algorithm"`
+	Page      int      `json:"page"`
+	Rows      []rowDoc `json:"rows"`
+	Exhausted bool     `json:"exhausted"`
+	Stats     statsDoc `json:"stats"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	var docs []sourceDoc
+	for name, src := range s.sources {
+		docs = append(docs, sourceDoc{
+			Name:    name,
+			SystemK: src.db.SystemK(),
+			Attrs:   src.db.Schema().Names(),
+			Popular: src.popular,
+		})
+	}
+	// Stable order for clients.
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			if docs[j].Name < docs[i].Name {
+				docs[i], docs[j] = docs[j], docs[i]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+// getSession resolves the request's session (creating one if needed) and
+// ensures the response carries the cookie.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) (*session.Session, error) {
+	var id string
+	if c, err := r.Cookie(SessionCookie); err == nil {
+		id = c.Value
+	}
+	sess, err := s.sessions.GetOrNew(id)
+	if err != nil {
+		return nil, err
+	}
+	if sess.ID() != id {
+		http.SetCookie(w, &http.Cookie{
+			Name: SessionCookie, Value: sess.ID(),
+			Path: "/", HttpOnly: true, SameSite: http.SameSiteLaxMode,
+		})
+	}
+	return sess, nil
+}
+
+// parseQueryRequest decodes the filtering and ranking sections of a request
+// form into a core query.
+func (s *Server) parseQueryRequest(form url.Values) (*source, core.Query, core.Algorithm, int, error) {
+	srcName := form.Get("source")
+	src, ok := s.sources[srcName]
+	if !ok {
+		return nil, core.Query{}, "", 0, fmt.Errorf("unknown source %q", srcName)
+	}
+	rankExpr := form.Get("rank")
+	fn, err := parseRanking(src.db.Schema(), rankExpr, form)
+	if err != nil {
+		return nil, core.Query{}, "", 0, err
+	}
+	pred, err := parseFilters(src.db.Schema(), form)
+	if err != nil {
+		return nil, core.Query{}, "", 0, err
+	}
+	algo := s.cfg.Algorithm
+	if v := form.Get("algo"); v != "" {
+		switch core.Algorithm(v) {
+		case core.Baseline, core.Binary, core.Rerank, core.TA:
+			algo = core.Algorithm(v)
+		default:
+			return nil, core.Query{}, "", 0, fmt.Errorf("unknown algorithm %q", v)
+		}
+	}
+	k := s.cfg.DefaultPageSize
+	if v := form.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return nil, core.Query{}, "", 0, fmt.Errorf("bad page size %q", v)
+		}
+		if n > s.cfg.MaxPageSize {
+			n = s.cfg.MaxPageSize
+		}
+		k = n
+	}
+	return src, core.Query{Pred: pred, Rank: fn}, algo, k, nil
+}
+
+// parseRanking accepts either a "rank" expression or per-attribute weight
+// sliders w.<attr>=<weight> (the MD ranking section of the UI).
+func parseRanking(schema *relation.Schema, expr string, form url.Values) (ranking.Function, error) {
+	var fn ranking.Function
+	if expr != "" {
+		parsed, err := ranking.Parse(expr)
+		if err != nil {
+			return ranking.Function{}, err
+		}
+		fn = parsed
+	}
+	for key, vals := range form {
+		name, ok := strings.CutPrefix(key, "w.")
+		if !ok || len(vals) == 0 {
+			continue
+		}
+		wv, err := strconv.ParseFloat(vals[len(vals)-1], 64)
+		if err != nil {
+			return ranking.Function{}, fmt.Errorf("bad weight %q for %q", vals[len(vals)-1], name)
+		}
+		if wv == 0 {
+			continue // a centred slider contributes nothing
+		}
+		fn.Terms = append(fn.Terms, ranking.Term{Attr: name, Weight: wv})
+	}
+	if err := fn.Validate(); err != nil {
+		return ranking.Function{}, err
+	}
+	_ = schema
+	return fn, nil
+}
+
+// parseFilters is wdbhttp's form grammar plus label support for
+// categorical membership: in.cut=Ideal,Premium also works.
+func parseFilters(schema *relation.Schema, form url.Values) (relation.Predicate, error) {
+	translated := url.Values{}
+	for key, vals := range form {
+		prefix, attrName, ok := strings.Cut(key, ".")
+		if !ok || prefix != "in" || len(vals) == 0 {
+			if ok && (prefix == "min" || prefix == "max" || prefix == "minx" || prefix == "maxx") {
+				translated[key] = vals
+			}
+			continue
+		}
+		idx, found := schema.Lookup(attrName)
+		if !found {
+			return relation.Predicate{}, fmt.Errorf("unknown attribute %q", attrName)
+		}
+		a := schema.Attr(idx)
+		var codes []string
+		for _, part := range strings.Split(vals[len(vals)-1], ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if code, err := strconv.Atoi(part); err == nil && code >= 0 && code < len(a.Categories) {
+				codes = append(codes, strconv.Itoa(code))
+				continue
+			}
+			code, ok := a.CategoryIndex(part)
+			if !ok {
+				return relation.Predicate{}, fmt.Errorf("attribute %q has no category %q", attrName, part)
+			}
+			codes = append(codes, strconv.Itoa(code))
+		}
+		translated.Set(key, strings.Join(codes, ","))
+	}
+	return wdbhttp.ParseFilterForm(schema, translated)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "malformed form: " + err.Error()})
+		return
+	}
+	sess, err := s.getSession(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	doc, status, err := s.runQuery(r.Context(), sess, r.Form)
+	if err != nil {
+		writeJSON(w, status, errorDoc{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// runQuery executes the filtering+ranking request and opens a cursor for
+// get-next. It is shared by the JSON API and the HTML UI.
+func (s *Server) runQuery(ctx context.Context, sess *session.Session, form url.Values) (*queryDoc, int, error) {
+	src, q, algo, k, err := s.parseQueryRequest(form)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	norm, err := s.normalization(ctx, src)
+	if err != nil {
+		return nil, http.StatusBadGateway, fmt.Errorf("normalisation discovery: %w", err)
+	}
+	rr, err := core.New(src.db, core.Options{
+		Algorithm:         algo,
+		MaxParallel:       s.cfg.MaxParallel,
+		SimLatency:        s.cfg.SimLatency,
+		DenseDepth:        s.cfg.DenseDepth,
+		MaxQueriesPerNext: s.cfg.MaxQueriesPerNext,
+		DenseIndex:        src.ix,
+		Cache:             sess,
+		Normalization:     &norm,
+	})
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	stream, err := rr.Rerank(ctx, q)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	cur := &cursor{stream: stream, source: src, k: k}
+	qid := fmt.Sprintf("q%s-%d", sess.ID()[:8], time.Now().UnixNano())
+	sess.SetCursor(qid, cur)
+	doc, err := s.advance(ctx, sess, qid, cur)
+	if err != nil {
+		return nil, http.StatusBadGateway, err
+	}
+	doc.Rank = q.Rank.String()
+	doc.Algorithm = string(algo)
+	return doc, http.StatusOK, nil
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "malformed form: " + err.Error()})
+		return
+	}
+	sess, err := s.getSession(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	doc, status, err := s.runNext(r.Context(), sess, r.Form.Get("qid"))
+	if err != nil {
+		writeJSON(w, status, errorDoc{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) runNext(ctx context.Context, sess *session.Session, qid string) (*queryDoc, int, error) {
+	v, ok := sess.Cursor(qid)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown query id %q", qid)
+	}
+	cur, ok := v.(*cursor)
+	if !ok {
+		return nil, http.StatusInternalServerError, fmt.Errorf("corrupt cursor %q", qid)
+	}
+	doc, err := s.advance(ctx, sess, qid, cur)
+	if err != nil {
+		return nil, http.StatusBadGateway, err
+	}
+	return doc, http.StatusOK, nil
+}
+
+// advance produces the next page on a cursor and assembles the response,
+// including the statistics panel.
+func (s *Server) advance(ctx context.Context, sess *session.Session, qid string, cur *cursor) (*queryDoc, error) {
+	cur.mu.Lock()
+	defer cur.mu.Unlock()
+	rows, err := cur.stream.NextN(ctx, cur.k)
+	if err != nil {
+		return nil, err
+	}
+	cur.page++
+	if len(rows) < cur.k {
+		cur.exhausted = true
+	}
+	schema := cur.source.db.Schema()
+	doc := &queryDoc{
+		Session:   sess.ID(),
+		QID:       qid,
+		Source:    cur.source.name,
+		Page:      cur.page,
+		Rows:      make([]rowDoc, 0, len(rows)),
+		Exhausted: cur.exhausted,
+	}
+	for _, t := range rows {
+		vals := make(map[string]any, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			a := schema.Attr(i)
+			if a.Kind == relation.Categorical {
+				label, _ := a.Category(t.Values[i])
+				vals[a.Name] = label
+			} else {
+				vals[a.Name] = t.Values[i]
+			}
+		}
+		doc.Rows = append(doc.Rows, rowDoc{ID: t.ID, Values: vals})
+	}
+	st := cur.stream.TotalStats()
+	doc.Stats = statsDoc{
+		Queries:          st.Queries,
+		Batches:          st.Batches,
+		ParallelPct:      100 * st.ParallelQueryFraction(),
+		SimElapsedMillis: st.SimElapsed.Milliseconds(),
+		ElapsedMillis:    st.Elapsed.Milliseconds(),
+		DenseHits:        st.DenseHits,
+		DenseCrawls:      st.DenseCrawls,
+		CrawledTuples:    st.CrawledTuples,
+		CacheCandidates:  st.CacheCandidates,
+		SessionCacheSize: sess.CacheSize(),
+	}
+	return doc, nil
+}

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+// testService spins up a QR2 service over small Blue Nile and Zillow
+// simulators and returns a cookie-keeping client.
+func testService(t *testing.T) (*httptest.Server, *http.Client, map[string]*datagen.Catalog) {
+	t.Helper()
+	cats := map[string]*datagen.Catalog{
+		"bluenile": datagen.BlueNile(1200, 1),
+		"zillow":   datagen.Zillow(1200, 2),
+	}
+	sources := map[string]SourceConfig{}
+	for name, cat := range cats {
+		db, err := hidden.NewLocal(name, cat.Rel, 30, cat.Rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[name] = SourceConfig{DB: db, Popular: []string{"price"}}
+	}
+	srv, err := New(Config{Sources: sources, Algorithm: core.Rerank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	jar := &cookieJar{cookies: map[string][]*http.Cookie{}}
+	client := &http.Client{Jar: jar}
+	return ts, client, cats
+}
+
+// cookieJar is a minimal jar keyed by host.
+type cookieJar struct {
+	cookies map[string][]*http.Cookie
+}
+
+func (j *cookieJar) SetCookies(u *url.URL, cs []*http.Cookie) {
+	j.cookies[u.Host] = append(j.cookies[u.Host], cs...)
+}
+
+func (j *cookieJar) Cookies(u *url.URL) []*http.Cookie { return j.cookies[u.Host] }
+
+func postForm(t *testing.T, c *http.Client, url string, form url.Values) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := c.PostForm(url, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestSourcesEndpoint(t *testing.T) {
+	ts, client, _ := testService(t)
+	resp, err := client.Get(ts.URL + "/api/sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var docs []sourceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Name != "bluenile" || docs[1].Name != "zillow" {
+		t.Fatalf("sources = %+v", docs)
+	}
+	if docs[0].SystemK != 30 || len(docs[0].Attrs) == 0 || len(docs[0].Popular) == 0 {
+		t.Fatalf("source doc incomplete: %+v", docs[0])
+	}
+}
+
+func TestQueryEndToEndMatchesBruteForce(t *testing.T) {
+	ts, client, cats := testService(t)
+	form := url.Values{
+		"source":    {"bluenile"},
+		"rank":      {"price"},
+		"k":         {"10"},
+		"min.carat": {"1"},
+		"in.shape":  {"Round"},
+	}
+	resp, body := postForm(t, client, ts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc queryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 10 || doc.Page != 1 || doc.QID == "" || doc.Session == "" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Stats.Queries == 0 {
+		t.Fatal("statistics panel reports zero queries")
+	}
+	// Oracle: cheapest 10 round diamonds with carat >= 1.
+	cat := cats["bluenile"]
+	s := cat.Rel.Schema()
+	pred, err := relation.NewBuilder(s).AtLeast("carat", 1).In("shape", "Round").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prices []float64
+	cat.Rel.Scan(func(tu relation.Tuple) bool {
+		if pred.Match(tu) {
+			prices = append(prices, tu.Values[0])
+		}
+		return true
+	})
+	sort.Float64s(prices)
+	for i, row := range doc.Rows {
+		got := row.Values["price"].(float64)
+		if got != prices[i] {
+			t.Fatalf("row %d: price %v, oracle %v", i, got, prices[i])
+		}
+		if row.Values["shape"] != "Round" {
+			t.Fatalf("row %d: shape %v, want Round (labels expected)", i, row.Values["shape"])
+		}
+	}
+}
+
+func TestGetNextPagination(t *testing.T) {
+	ts, client, cats := testService(t)
+	form := url.Values{"source": {"zillow"}, "rank": {"price"}, "k": {"5"}}
+	resp, body := postForm(t, client, ts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var page1 queryDoc
+	if err := json.Unmarshal(body, &page1); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postForm(t, client, ts.URL+"/api/next", url.Values{"qid": {page1.QID}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("next status %d: %s", resp.StatusCode, body)
+	}
+	var page2 queryDoc
+	if err := json.Unmarshal(body, &page2); err != nil {
+		t.Fatal(err)
+	}
+	if page2.Page != 2 || len(page2.Rows) != 5 {
+		t.Fatalf("page2 = %+v", page2)
+	}
+	// Combined pages are the global top-10 by price.
+	cat := cats["zillow"]
+	var prices []float64
+	cat.Rel.Scan(func(tu relation.Tuple) bool {
+		prices = append(prices, tu.Values[0])
+		return true
+	})
+	sort.Float64s(prices)
+	all := append(append([]rowDoc{}, page1.Rows...), page2.Rows...)
+	seen := map[int64]bool{}
+	for i, row := range all {
+		if seen[row.ID] {
+			t.Fatalf("row %d duplicated across pages", row.ID)
+		}
+		seen[row.ID] = true
+		if got := row.Values["price"].(float64); got != prices[i] {
+			t.Fatalf("combined position %d: price %v, oracle %v", i, got, prices[i])
+		}
+	}
+}
+
+func TestSessionPersistsAcrossQueries(t *testing.T) {
+	ts, client, _ := testService(t)
+	form := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"5"}}
+	_, body := postForm(t, client, ts.URL+"/api/query", form)
+	var first queryDoc
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	_, body = postForm(t, client, ts.URL+"/api/query", form)
+	var second queryDoc
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Session != second.Session {
+		t.Fatal("cookie did not keep the session")
+	}
+	if second.Stats.SessionCacheSize == 0 {
+		t.Fatal("session cache empty after two queries")
+	}
+	if second.Stats.CacheCandidates == 0 {
+		t.Fatal("second identical query used no cached candidates")
+	}
+	if second.Stats.Queries > first.Stats.Queries {
+		t.Fatalf("warm session cost more queries: %d vs %d", second.Stats.Queries, first.Stats.Queries)
+	}
+}
+
+func TestWeightSliderRanking(t *testing.T) {
+	ts, client, _ := testService(t)
+	form := url.Values{
+		"source":  {"bluenile"},
+		"w.price": {"1"},
+		"w.carat": {"-0.1"},
+		"w.depth": {"-0.5"},
+		"k":       {"5"},
+	}
+	resp, body := postForm(t, client, ts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc queryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 5 {
+		t.Fatalf("rows = %d", len(doc.Rows))
+	}
+	if !strings.Contains(doc.Rank, "price") || !strings.Contains(doc.Rank, "depth") {
+		t.Fatalf("echoed rank = %q", doc.Rank)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, client, _ := testService(t)
+	cases := []struct {
+		form   url.Values
+		status int
+	}{
+		{url.Values{"source": {"nope"}, "rank": {"price"}}, http.StatusBadRequest},
+		{url.Values{"source": {"bluenile"}, "rank": {""}}, http.StatusBadRequest},
+		{url.Values{"source": {"bluenile"}, "rank": {"bogusattr"}}, http.StatusBadRequest},
+		{url.Values{"source": {"bluenile"}, "rank": {"price"}, "algo": {"magic"}}, http.StatusBadRequest},
+		{url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"-3"}}, http.StatusBadRequest},
+		{url.Values{"source": {"bluenile"}, "rank": {"price"}, "in.shape": {"Blob"}}, http.StatusBadRequest},
+		{url.Values{"source": {"bluenile"}, "rank": {"price"}, "min.price": {"abc"}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp, body := postForm(t, client, ts.URL+"/api/query", c.form)
+		if resp.StatusCode != c.status {
+			t.Errorf("case %d: status %d, want %d (%s)", i, resp.StatusCode, c.status, body)
+		}
+	}
+	// Unknown qid.
+	resp, _ := postForm(t, client, ts.URL+"/api/next", url.Values{"qid": {"bogus"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown qid status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := client.Get(ts.URL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/query status = %d", getResp.StatusCode)
+	}
+}
+
+func TestAlgorithmOverride(t *testing.T) {
+	ts, client, _ := testService(t)
+	for _, algo := range []string{"baseline", "binary", "rerank", "ta"} {
+		form := url.Values{"source": {"zillow"}, "rank": {"-sqft"}, "algo": {algo}, "k": {"3"}}
+		resp, body := postForm(t, client, ts.URL+"/api/query", form)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", algo, resp.StatusCode, body)
+		}
+		var doc queryDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Algorithm != algo {
+			t.Fatalf("echoed algorithm %q, want %q", doc.Algorithm, algo)
+		}
+		if len(doc.Rows) != 3 {
+			t.Fatalf("%s: rows = %d", algo, len(doc.Rows))
+		}
+	}
+}
+
+func TestUIEndpoints(t *testing.T) {
+	ts, client, _ := testService(t)
+	resp, err := client.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(home), "Ranking section") {
+		t.Fatalf("home page broken: %d", resp.StatusCode)
+	}
+	form := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}}
+	resp, body := postForm(t, client, ts.URL+"/ui/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ui query status %d", resp.StatusCode)
+	}
+	html := string(body)
+	if !strings.Contains(html, "Search results") || !strings.Contains(html, "Statistics") {
+		t.Fatalf("ui results page missing sections: %s", html[:200])
+	}
+	if !strings.Contains(html, "Get next") {
+		t.Fatal("ui results page missing get-next button")
+	}
+	// UI error path renders, not 500s.
+	resp, body = postForm(t, client, ts.URL+"/ui/query", url.Values{"source": {"nope"}})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "unknown source") {
+		t.Fatalf("ui error page: %d %s", resp.StatusCode, body[:100])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, client, _ := testService(t)
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+)
+
+// The HTML UI mirrors the three sections of the paper's Fig 3: filtering,
+// ranking, and search results with the statistics panel and a get-next
+// button. It is deliberately plain — the measurable behaviour lives in the
+// JSON API; this page makes the demo interactive.
+var uiTemplate = template.Must(template.New("ui").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<title>QR2 — Query Reranking Service</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 70em; }
+fieldset { margin-bottom: 1em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 0.3em 0.6em; }
+.stats { background: #f4f4f4; padding: 0.8em; margin-top: 1em; }
+.error { color: #a00; }
+</style>
+</head>
+<body>
+<h1>QR2 — third-party query reranking</h1>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+<form method="POST" action="/ui/query">
+  <fieldset>
+    <legend>Data source</legend>
+    <select name="source">
+      {{range .Sources}}<option value="{{.Name}}">{{.Name}}</option>{{end}}
+    </select>
+  </fieldset>
+  <fieldset>
+    <legend>Filtering section</legend>
+    <p>Bounds as <code>min.&lt;attr&gt;</code> / <code>max.&lt;attr&gt;</code>,
+       categories as <code>in.&lt;attr&gt;=Label1,Label2</code>.</p>
+    <input name="min.price" placeholder="min.price">
+    <input name="max.price" placeholder="max.price">
+    <input name="extra" placeholder="(use the JSON API for full filters)" size="40">
+  </fieldset>
+  <fieldset>
+    <legend>Ranking section</legend>
+    <input name="rank" size="50" placeholder="e.g. price - 0.3*sqft">
+    <select name="algo">
+      <option value="">default</option>
+      <option>baseline</option><option>binary</option>
+      <option>rerank</option><option>ta</option>
+    </select>
+    results per page <input name="k" size="4" value="10">
+    {{range .Sources}}{{if .Popular}}
+      <p>popular on {{.Name}}: {{range .Popular}}<code>{{.}}</code> {{end}}</p>
+    {{end}}{{end}}
+  </fieldset>
+  <button type="submit">Search</button>
+</form>
+{{if .Result}}
+<h2>Search results — {{.Result.Source}} (page {{.Result.Page}})</h2>
+<table>
+<tr><th>#</th>{{range $.Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range $i, $row := .Result.Rows}}
+<tr><td>{{$row.ID}}</td>{{range $.Columns}}<td>{{index $row.Values .}}</td>{{end}}</tr>
+{{end}}
+</table>
+{{if not .Result.Exhausted}}
+<form method="POST" action="/ui/next">
+  <input type="hidden" name="qid" value="{{.Result.QID}}">
+  <button type="submit">Get next</button>
+</form>
+{{end}}
+<div class="stats">
+  <strong>Statistics</strong> — queries issued to the web database:
+  {{.Result.Stats.Queries}}, iterations: {{.Result.Stats.Batches}},
+  parallel: {{printf "%.1f" .Result.Stats.ParallelPct}}%,
+  processing time (simulated web DB latency): {{.Result.Stats.SimElapsedMillis}} ms,
+  local time: {{.Result.Stats.ElapsedMillis}} ms,
+  dense-index hits: {{.Result.Stats.DenseHits}},
+  crawls: {{.Result.Stats.DenseCrawls}} ({{.Result.Stats.CrawledTuples}} tuples),
+  session cache: {{.Result.Stats.SessionCacheSize}} tuples.
+</div>
+{{end}}
+</body>
+</html>`))
+
+type uiData struct {
+	Sources []sourceDoc
+	Result  *queryDoc
+	Columns []string
+	Error   string
+}
+
+func (s *Server) registerUI() {
+	s.mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		s.renderUI(w, nil, "")
+	})
+	s.mux.HandleFunc("POST /ui/query", func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			s.renderUI(w, nil, "malformed form: "+err.Error())
+			return
+		}
+		sess, err := s.getSession(w, r)
+		if err != nil {
+			s.renderUI(w, nil, err.Error())
+			return
+		}
+		doc, _, err := s.runQuery(r.Context(), sess, r.Form)
+		if err != nil {
+			s.renderUI(w, nil, err.Error())
+			return
+		}
+		s.renderUI(w, doc, "")
+	})
+	s.mux.HandleFunc("POST /ui/next", func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			s.renderUI(w, nil, "malformed form: "+err.Error())
+			return
+		}
+		sess, err := s.getSession(w, r)
+		if err != nil {
+			s.renderUI(w, nil, err.Error())
+			return
+		}
+		doc, _, err := s.runNext(r.Context(), sess, r.Form.Get("qid"))
+		if err != nil {
+			s.renderUI(w, nil, err.Error())
+			return
+		}
+		s.renderUI(w, doc, "")
+	})
+}
+
+func (s *Server) renderUI(w http.ResponseWriter, result *queryDoc, errMsg string) {
+	data := uiData{Result: result, Error: errMsg}
+	for name, src := range s.sources {
+		data.Sources = append(data.Sources, sourceDoc{
+			Name: name, Attrs: src.db.Schema().Names(), Popular: src.popular,
+		})
+	}
+	sort.Slice(data.Sources, func(i, j int) bool { return data.Sources[i].Name < data.Sources[j].Name })
+	if result != nil {
+		if src, ok := s.sources[result.Source]; ok {
+			data.Columns = src.db.Schema().Names()
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := uiTemplate.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,346 @@
+// Package wdbhttp exposes a hidden web database over HTTP and provides the
+// matching Go client.
+//
+// The QR2 paper's whole premise is that the middleware talks to the web
+// database through its public, form-based search interface. This package
+// makes that literal: Server publishes a database's search form as an
+// application/x-www-form-urlencoded endpoint (filters in form fields,
+// system-ranked top-k out as JSON), and Client implements hidden.DB over
+// that wire format. Every reranking algorithm therefore runs unchanged
+// against a remote database.
+//
+// Form fields understood by POST /search (and GET with a query string):
+//
+//	min.<attr>=v    inclusive lower bound on a numeric attribute
+//	minx.<attr>=v   exclusive lower bound
+//	max.<attr>=v    inclusive upper bound
+//	maxx.<attr>=v   exclusive upper bound
+//	in.<attr>=a,b   allowed category codes of a categorical attribute
+//
+// GET /schema describes the searchable attributes and the system-k limit.
+package wdbhttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+// schemaDoc is the JSON document served by GET /schema.
+type schemaDoc struct {
+	Name    string    `json:"name"`
+	SystemK int       `json:"system_k"`
+	Attrs   []attrDoc `json:"attrs"`
+}
+
+type attrDoc struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Min        float64  `json:"min,omitempty"`
+	Max        float64  `json:"max,omitempty"`
+	Resolution float64  `json:"resolution,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+// searchDoc is the JSON document served by /search.
+type searchDoc struct {
+	Overflow bool       `json:"overflow"`
+	Tuples   []tupleDoc `json:"tuples"`
+}
+
+type tupleDoc struct {
+	ID     int64     `json:"id"`
+	Values []float64 `json:"values"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// Server publishes a hidden database over HTTP.
+type Server struct {
+	db  hidden.DB
+	mux *http.ServeMux
+}
+
+// NewServer wraps a database.
+func NewServer(db hidden.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	schema := s.db.Schema()
+	doc := schemaDoc{Name: s.db.Name(), SystemK: s.db.SystemK()}
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		doc.Attrs = append(doc.Attrs, attrDoc{
+			Name: a.Name, Kind: a.Kind.String(),
+			Min: a.Min, Max: a.Max, Resolution: a.Resolution,
+			Categories: a.Categories,
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "malformed form: " + err.Error()})
+		return
+	}
+	pred, err := ParseFilterForm(s.db.Schema(), r.Form)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	res, err := s.db.Search(r.Context(), pred)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	doc := searchDoc{Overflow: res.Overflow, Tuples: make([]tupleDoc, 0, len(res.Tuples))}
+	for _, t := range res.Tuples {
+		doc.Tuples = append(doc.Tuples, tupleDoc{ID: t.ID, Values: t.Values})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// ParseFilterForm decodes the filter form fields into a predicate. It is
+// shared by this server and the QR2 service's own filtering section.
+func ParseFilterForm(schema *relation.Schema, form url.Values) (relation.Predicate, error) {
+	var pred relation.Predicate
+	for key, vals := range form {
+		prefix, attrName, ok := strings.Cut(key, ".")
+		if !ok || len(vals) == 0 {
+			continue
+		}
+		var kind string
+		switch prefix {
+		case "min", "minx", "max", "maxx", "in":
+			kind = prefix
+		default:
+			continue
+		}
+		idx, found := schema.Lookup(attrName)
+		if !found {
+			return relation.Predicate{}, fmt.Errorf("wdbhttp: unknown attribute %q", attrName)
+		}
+		a := schema.Attr(idx)
+		raw := vals[len(vals)-1] // last value wins, like HTML forms
+		if kind == "in" {
+			if a.Kind != relation.Categorical {
+				return relation.Predicate{}, fmt.Errorf("wdbhttp: attribute %q is not categorical", attrName)
+			}
+			var cats []int
+			for _, part := range strings.Split(raw, ",") {
+				part = strings.TrimSpace(part)
+				if part == "" {
+					continue
+				}
+				code, err := strconv.Atoi(part)
+				if err != nil || code < 0 || code >= len(a.Categories) {
+					return relation.Predicate{}, fmt.Errorf("wdbhttp: bad category code %q for %q", part, attrName)
+				}
+				cats = append(cats, code)
+			}
+			pred = pred.WithCategories(idx, cats)
+			continue
+		}
+		if a.Kind != relation.Numeric {
+			return relation.Predicate{}, fmt.Errorf("wdbhttp: attribute %q is not numeric", attrName)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return relation.Predicate{}, fmt.Errorf("wdbhttp: bad bound %q for %q", raw, attrName)
+		}
+		var iv relation.Interval
+		switch kind {
+		case "min":
+			iv = relation.Full()
+			iv.Lo = v
+		case "minx":
+			iv = relation.Full()
+			iv.Lo, iv.LoOpen = v, true
+		case "max":
+			iv = relation.Full()
+			iv.Hi = v
+		case "maxx":
+			iv = relation.Full()
+			iv.Hi, iv.HiOpen = v, true
+		}
+		pred = pred.WithInterval(idx, iv)
+	}
+	return pred, nil
+}
+
+// EncodeFilterForm renders a predicate as the form fields ParseFilterForm
+// understands. Infinite bounds are omitted.
+func EncodeFilterForm(schema *relation.Schema, pred relation.Predicate) url.Values {
+	form := url.Values{}
+	for _, c := range pred.Conditions() {
+		name := schema.Attr(c.Attr).Name
+		if c.Cats != nil {
+			parts := make([]string, len(c.Cats))
+			for i, code := range c.Cats {
+				parts[i] = strconv.Itoa(code)
+			}
+			form.Set("in."+name, strings.Join(parts, ","))
+			continue
+		}
+		iv := c.Iv
+		if !isInf(iv.Lo, -1) {
+			key := "min." + name
+			if iv.LoOpen {
+				key = "minx." + name
+			}
+			form.Set(key, strconv.FormatFloat(iv.Lo, 'g', -1, 64))
+		}
+		if !isInf(iv.Hi, 1) {
+			key := "max." + name
+			if iv.HiOpen {
+				key = "maxx." + name
+			}
+			form.Set(key, strconv.FormatFloat(iv.Hi, 'g', -1, 64))
+		}
+	}
+	return form
+}
+
+func isInf(v float64, sign int) bool {
+	return (sign < 0 && v < -1.7e308) || (sign > 0 && v > 1.7e308)
+}
+
+// Client is a hidden.DB implementation over the wire format above.
+type Client struct {
+	base    string
+	hc      *http.Client
+	name    string
+	schema  *relation.Schema
+	systemK int
+	queries atomic.Int64
+}
+
+// Dial fetches the remote schema and returns a ready client.
+func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error) {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/schema", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("wdbhttp: fetch schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wdbhttp: schema endpoint returned %s", resp.Status)
+	}
+	var doc schemaDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("wdbhttp: decode schema: %w", err)
+	}
+	attrs := make([]relation.Attribute, 0, len(doc.Attrs))
+	for _, ad := range doc.Attrs {
+		kind := relation.Numeric
+		if ad.Kind == relation.Categorical.String() {
+			kind = relation.Categorical
+		}
+		attrs = append(attrs, relation.Attribute{
+			Name: ad.Name, Kind: kind,
+			Min: ad.Min, Max: ad.Max, Resolution: ad.Resolution,
+			Categories: ad.Categories,
+		})
+	}
+	schema, err := relation.NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("wdbhttp: remote schema invalid: %w", err)
+	}
+	c.name, c.schema, c.systemK = doc.Name, schema, doc.SystemK
+	if c.systemK <= 0 {
+		return nil, fmt.Errorf("wdbhttp: remote system-k %d invalid", c.systemK)
+	}
+	return c, nil
+}
+
+// Name implements hidden.DB.
+func (c *Client) Name() string { return c.name }
+
+// Schema implements hidden.DB.
+func (c *Client) Schema() *relation.Schema { return c.schema }
+
+// SystemK implements hidden.DB.
+func (c *Client) SystemK() int { return c.systemK }
+
+// Search implements hidden.DB by POSTing the filter form.
+func (c *Client) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	c.queries.Add(1)
+	form := EncodeFilterForm(c.schema, p)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/search",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return hidden.Result{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return hidden.Result{}, fmt.Errorf("wdbhttp: search: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ed errorDoc
+		_ = json.NewDecoder(resp.Body).Decode(&ed)
+		return hidden.Result{}, fmt.Errorf("wdbhttp: search returned %s: %s", resp.Status, ed.Error)
+	}
+	var doc searchDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return hidden.Result{}, fmt.Errorf("wdbhttp: decode search result: %w", err)
+	}
+	res := hidden.Result{Overflow: doc.Overflow}
+	for _, td := range doc.Tuples {
+		if len(td.Values) != c.schema.Len() {
+			return hidden.Result{}, fmt.Errorf("wdbhttp: tuple %d has %d values, schema has %d",
+				td.ID, len(td.Values), c.schema.Len())
+		}
+		res.Tuples = append(res.Tuples, relation.Tuple{ID: td.ID, Values: td.Values})
+	}
+	return res, nil
+}
+
+// QueryCount implements hidden.Counter.
+func (c *Client) QueryCount() int64 { return c.queries.Load() }
+
+// ResetQueryCount implements hidden.Counter.
+func (c *Client) ResetQueryCount() { c.queries.Store(0) }
+
+var (
+	_ hidden.DB      = (*Client)(nil)
+	_ hidden.Counter = (*Client)(nil)
+)

@@ -1,0 +1,173 @@
+// Package workload builds the evaluation workloads of the paper's
+// demonstration plan (§III-B): combinations of databases, filtering
+// conditions and — most importantly — ranking functions that are positively
+// correlated, independent, or negatively correlated with the web database's
+// proprietary system ranking.
+//
+// Correlation is measured, not assumed: each workload item carries the
+// Spearman rank correlation between the user score and the system score
+// over the catalog, so experiment tables can be grouped by the same axes
+// the paper uses. The measurement uses generator-side knowledge (the system
+// ranking), which is legitimate for the harness but never leaks to the
+// algorithms.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// Class buckets a workload by its correlation with the system ranking.
+type Class string
+
+const (
+	Positive    Class = "positive"
+	Independent Class = "independent"
+	Negative    Class = "negative"
+)
+
+// Classify maps a Spearman coefficient to a Class using the conventional
+// ±0.3 cutoffs.
+func Classify(rho float64) Class {
+	switch {
+	case rho >= 0.3:
+		return Positive
+	case rho <= -0.3:
+		return Negative
+	default:
+		return Independent
+	}
+}
+
+// Item is one evaluation query: a filter, a ranking function and its
+// measured relationship to the system ranking.
+type Item struct {
+	// Name labels the item in experiment tables.
+	Name string
+	// Query is the reranking request.
+	Query core.Query
+	// Rho is the Spearman correlation of the user score with the system
+	// score over the (filtered) catalog.
+	Rho float64
+	// Class buckets Rho.
+	Class Class
+}
+
+// Spearman computes the Spearman rank correlation between two aligned
+// samples. It returns 0 for degenerate inputs.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	rx, ry := ranks(xs), ranks(ys)
+	return pearson(rx, ry)
+}
+
+func ranks(vals []float64) []float64 {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	out := make([]float64, len(vals))
+	for pos := 0; pos < len(idx); {
+		end := pos
+		for end+1 < len(idx) && vals[idx[end+1]] == vals[idx[pos]] {
+			end++
+		}
+		// Average rank for ties.
+		r := float64(pos+end)/2 + 1
+		for i := pos; i <= end; i++ {
+			out[idx[i]] = r
+		}
+		pos = end + 1
+	}
+	return out
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Measure computes the Spearman correlation between a bound user ranking
+// and the catalog's system ranking over the tuples matching pred (sampled
+// down to at most sample tuples for large catalogs; 0 means 2000).
+func Measure(cat *datagen.Catalog, sc *ranking.Scorer, pred relation.Predicate, sample int) float64 {
+	if sample <= 0 {
+		sample = 2000
+	}
+	var user, system []float64
+	step := 1
+	if cat.Rel.Len() > sample {
+		step = cat.Rel.Len() / sample
+	}
+	for i := 0; i < cat.Rel.Len(); i += step {
+		t := cat.Rel.Tuple(i)
+		if !pred.Match(t) {
+			continue
+		}
+		user = append(user, sc.Score(t))
+		system = append(system, cat.Rank(t))
+	}
+	return Spearman(user, system)
+}
+
+// Build resolves ranking expressions into measured workload items over a
+// catalog. Expressions that fail to bind (for example, unknown attributes)
+// are reported as errors.
+func Build(cat *datagen.Catalog, norm ranking.Normalization, pred relation.Predicate, exprs []string) ([]Item, error) {
+	var out []Item
+	for _, expr := range exprs {
+		fn, err := ranking.Parse(expr)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: %w", expr, err)
+		}
+		sc, err := ranking.Bind(fn, cat.Rel.Schema(), norm)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: %w", expr, err)
+		}
+		rho := Measure(cat, sc, pred, 0)
+		out = append(out, Item{
+			Name:  expr,
+			Query: core.Query{Pred: pred, Rank: fn},
+			Rho:   rho,
+			Class: Classify(rho),
+		})
+	}
+	return out, nil
+}
+
+// OneD builds ascending and descending single-attribute workloads for the
+// given attributes — the paper's 1D demonstration scenario ("to construct
+// the rankings with different correlations with the system ranking
+// function, we will test ... both ascending and descending orders").
+func OneD(cat *datagen.Catalog, norm ranking.Normalization, pred relation.Predicate, attrs []string) ([]Item, error) {
+	var exprs []string
+	for _, a := range attrs {
+		exprs = append(exprs, a, "-"+a)
+	}
+	return Build(cat, norm, pred, exprs)
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+func TestSpearmanKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if rho := Spearman(xs, []float64{10, 20, 30, 40, 50}); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("perfect positive rho = %v", rho)
+	}
+	if rho := Spearman(xs, []float64{50, 40, 30, 20, 10}); math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("perfect negative rho = %v", rho)
+	}
+	// Monotone but non-linear is still rho = 1 (rank correlation).
+	if rho := Spearman(xs, []float64{1, 8, 27, 64, 125}); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("monotone rho = %v", rho)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 3000)
+	ys := make([]float64, 3000)
+	for i := range xs {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	if rho := Spearman(xs, ys); math.Abs(rho) > 0.07 {
+		t.Fatalf("independent rho = %v", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// All-equal x: degenerate, rho = 0.
+	if rho := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); rho != 0 {
+		t.Fatalf("degenerate rho = %v", rho)
+	}
+	// Ties get averaged ranks; correlation stays within [-1, 1].
+	rho := Spearman([]float64{1, 1, 2, 2, 3}, []float64{1, 2, 2, 3, 3})
+	if rho < 0.5 || rho > 1 {
+		t.Fatalf("tied rho = %v", rho)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("single sample should yield 0")
+	}
+	if Spearman([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("mismatched lengths should yield 0")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		rho  float64
+		want Class
+	}{
+		{0.9, Positive}, {0.3, Positive}, {0.29, Independent},
+		{-0.29, Independent}, {-0.3, Negative}, {-0.9, Negative}, {0, Independent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.rho); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.rho, got, c.want)
+		}
+	}
+}
+
+func TestMeasureDirectionality(t *testing.T) {
+	// The Blue Nile system ranking is strongly price-driven, so ascending
+	// price must measure positive and descending price negative.
+	cat := datagen.BlueNile(3000, 1)
+	norm := ranking.FromSchema(cat.Rel.Schema())
+	asc, err := ranking.Bind(ranking.Ascending("price"), cat.Rel.Schema(), norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := ranking.Bind(ranking.Descending("price"), cat.Rel.Schema(), norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoAsc := Measure(cat, asc, relation.Predicate{}, 0)
+	rhoDesc := Measure(cat, desc, relation.Predicate{}, 0)
+	if rhoAsc < 0.5 {
+		t.Fatalf("ascending price rho = %v, want strongly positive", rhoAsc)
+	}
+	if rhoDesc > -0.5 {
+		t.Fatalf("descending price rho = %v, want strongly negative", rhoDesc)
+	}
+	if math.Abs(rhoAsc+rhoDesc) > 1e-9 {
+		t.Fatalf("asc and desc should be exact opposites: %v vs %v", rhoAsc, rhoDesc)
+	}
+}
+
+func TestBuildAndOneD(t *testing.T) {
+	cat := datagen.Zillow(2000, 2)
+	norm := ranking.FromSchema(cat.Rel.Schema())
+	items, err := Build(cat, norm, relation.Predicate{}, []string{"price", "-price", "price - 0.3*sqft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Class != Positive || items[1].Class != Negative {
+		t.Fatalf("price classes = %v, %v", items[0].Class, items[1].Class)
+	}
+	for _, it := range items {
+		if it.Name == "" || len(it.Query.Rank.Terms) == 0 {
+			t.Fatalf("malformed item %+v", it)
+		}
+	}
+
+	oneD, err := OneD(cat, norm, relation.Predicate{}, []string{"price", "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneD) != 4 {
+		t.Fatalf("OneD items = %d", len(oneD))
+	}
+
+	if _, err := Build(cat, norm, relation.Predicate{}, []string{"nope"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := Build(cat, norm, relation.Predicate{}, []string{"price +"}); err == nil {
+		t.Fatal("malformed expression accepted")
+	}
+}
+
+func TestMeasureRespectsFilter(t *testing.T) {
+	cat := datagen.Zillow(3000, 3)
+	norm := ranking.FromSchema(cat.Rel.Schema())
+	sc, err := ranking.Bind(ranking.Ascending("price"), cat.Rel.Schema(), norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := cat.Rel.Schema().Lookup("price")
+	narrow := relation.Predicate{}.WithInterval(idx, relation.Closed(200000, 210000))
+	rhoNarrow := Measure(cat, sc, narrow, 0)
+	rhoFull := Measure(cat, sc, relation.Predicate{}, 0)
+	// Restricting price to a sliver weakens the price-driven correlation.
+	if math.Abs(rhoNarrow) >= math.Abs(rhoFull) {
+		t.Fatalf("narrow rho %v should be weaker than full rho %v", rhoNarrow, rhoFull)
+	}
+}
