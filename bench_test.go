@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/parallel"
+	"repro/internal/qcache"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 )
@@ -85,6 +87,10 @@ func BenchmarkScenarioIndexing(b *testing.B) { benchExperiment(b, "S3", 2, "wdbq
 
 // BenchmarkScenarioBestWorst regenerates §III-B "Best vs worst cases".
 func BenchmarkScenarioBestWorst(b *testing.B) { benchExperiment(b, "S4", 4, "wdbqueries") }
+
+// BenchmarkScenarioConcurrentUsers regenerates S5: concurrent users over
+// the shared answer cache (metric: cached-run web-DB queries).
+func BenchmarkScenarioConcurrentUsers(b *testing.B) { benchExperiment(b, "S5", 2, "wdbqueries") }
 
 // BenchmarkAblationParallel regenerates A1: parallel vs sequential.
 func BenchmarkAblationParallel(b *testing.B) { benchExperiment(b, "A1", 3, "wdbqueries") }
@@ -154,6 +160,81 @@ func BenchmarkGetNext(b *testing.B) {
 			b.ReportMetric(float64(queries), "wdbqueries")
 		})
 	}
+}
+
+// BenchmarkQCacheHitPath compares one top-k search against a simulated web
+// database with a 200µs round trip, uncached vs through a warm answer
+// cache. The cached sub-benchmark must come in far under the round trip:
+// the hit path never touches the web database.
+func BenchmarkQCacheHitPath(b *testing.B) {
+	cat := datagen.Zillow(10000, 3)
+	idx, _ := cat.Rel.Schema().Lookup("price")
+	pred := relation.Predicate{}.WithInterval(idx, relation.Closed(100000, 300000))
+	ctx := context.Background()
+	const roundTrip = 200 * time.Microsecond
+	newDB := func(b *testing.B) *hidden.Local {
+		b.Helper()
+		db, err := hidden.NewLocal(cat.Name, cat.Rel, 50, cat.Rank, hidden.WithLatency(roundTrip))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("uncached", func(b *testing.B) {
+		db := newDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Search(ctx, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(db.QueryCount())/float64(b.N), "wdbqueries/op")
+	})
+	b.Run("cached", func(b *testing.B) {
+		db := newDB(b)
+		c, err := qcache.New(db, qcache.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Search(ctx, pred); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Search(ctx, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(db.QueryCount())/float64(b.N), "wdbqueries/op")
+	})
+}
+
+// BenchmarkQCacheCoalesce measures contended identical searches: every
+// goroutine asks the same question at once and the web database answers
+// it exactly once, however high the parallelism.
+func BenchmarkQCacheCoalesce(b *testing.B) {
+	cat := datagen.Zillow(10000, 3)
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, 50, cat.Rank, hidden.WithLatency(100*time.Microsecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := qcache.New(db, qcache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, _ := cat.Rel.Schema().Lookup("price")
+	pred := relation.Predicate{}.WithInterval(idx, relation.Closed(100000, 300000))
+	ctx := context.Background()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Search(ctx, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(db.QueryCount()), "wdbqueries")
 }
 
 // BenchmarkParallelBatch measures an 8-query parallel batch end to end.

@@ -6,10 +6,17 @@
 // under -dense so that on-the-fly indexing work survives restarts; the
 // cache is verified at boot, as the paper describes.
 //
+// Every source is fronted by a shared answer cache (internal/qcache) that
+// memoizes top-k searches across all sessions and coalesces identical
+// in-flight queries. -cache-bytes sizes it (0 disables), -cache-ttl bounds
+// staleness against live databases, and -cache persists it across restarts
+// next to the dense indexes.
+//
 // Usage:
 //
 //	qr2server -addr :8080 -sources bluenile,zillow -dense /var/lib/qr2
 //	qr2server -addr :8080 -remote bluenile=http://localhost:8081
+//	qr2server -cache /var/lib/qr2 -cache-bytes 268435456 -cache-ttl 10m
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
+	"repro/internal/qcache"
 	"repro/internal/service"
 	"repro/internal/wdbhttp"
 )
@@ -46,8 +54,23 @@ func main() {
 		algo    = flag.String("algo", "rerank", "default algorithm: baseline, binary, rerank, ta")
 		dense   = flag.String("dense", "", "directory for persistent dense-region indexes (empty = in-memory)")
 		latency = flag.Duration("latency", 0, "simulated per-query latency for the statistics panel")
+
+		cacheBytes = flag.Int64("cache-bytes", qcache.DefaultMaxBytes, "shared answer cache budget per source in bytes (0 disables)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "shared answer cache entry TTL (0 = never expire)")
+		cacheDir   = flag.String("cache", "", "directory for persistent answer caches (empty = in-memory)")
 	)
 	flag.Parse()
+
+	cacheFor := func(name string) *qcache.Config {
+		if *cacheBytes == 0 {
+			return nil
+		}
+		return &qcache.Config{
+			MaxBytes: *cacheBytes,
+			TTL:      *cacheTTL,
+			Store:    openStore(*cacheDir, name+".qcache"),
+		}
+	}
 
 	cfg := service.Config{
 		Sources:    map[string]service.SourceConfig{},
@@ -75,7 +98,8 @@ func main() {
 			}
 			cfg.Sources[name] = service.SourceConfig{
 				DB:         db,
-				DenseStore: openDense(*dense, name),
+				DenseStore: openStore(*dense, name+".dense"),
+				Cache:      cacheFor(name),
 				Popular:    popular[name],
 			}
 			log.Printf("qr2server: source %s: %d tuples, system-k %d", name, cat.Rel.Len(), *systemK)
@@ -95,7 +119,8 @@ func main() {
 			}
 			cfg.Sources[name] = service.SourceConfig{
 				DB:         client,
-				DenseStore: openDense(*dense, name),
+				DenseStore: openStore(*dense, name+".dense"),
+				Cache:      cacheFor(name),
 				Popular:    popular[name],
 			}
 			log.Printf("qr2server: source %s: remote %s, system-k %d", name, url, client.SystemK())
@@ -122,23 +147,23 @@ func main() {
 	log.Fatal(httpSrv.ListenAndServe())
 }
 
-// openDense opens a persistent kvstore for one source's dense index, or nil
-// for in-memory operation.
-func openDense(dir, name string) kvstore.Store {
+// openStore opens a persistent kvstore file under dir (dense index or
+// answer cache), or nil for in-memory operation.
+func openStore(dir, file string) kvstore.Store {
 	if dir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatalf("qr2server: create dense dir: %v", err)
+		log.Fatalf("qr2server: create store dir: %v", err)
 	}
-	store, err := kvstore.Open(filepath.Join(dir, name+".dense"))
+	store, err := kvstore.Open(filepath.Join(dir, file))
 	if err != nil {
-		log.Fatalf("qr2server: open dense store for %s: %v", name, err)
+		log.Fatalf("qr2server: open store %s: %v", file, err)
 	}
 	// Reclaim superseded records from previous runs before serving.
 	if store.DeadBytes() > 0 {
 		if err := store.Compact(); err != nil {
-			log.Fatalf("qr2server: compact dense store for %s: %v", name, err)
+			log.Fatalf("qr2server: compact store %s: %v", file, err)
 		}
 	}
 	return store

@@ -5,11 +5,17 @@
 // QR2 (cmd/qr2server) can then be pointed at this server exactly as it
 // would be pointed at a real web database.
 //
+// A server-side answer cache (internal/qcache) can be enabled with
+// -cache-bytes: repeated top-k searches are then answered without paying
+// the simulated latency, and identical concurrent searches are coalesced —
+// the behaviour of a web database with its own result cache.
+//
 // Usage:
 //
 //	wdbserver -source bluenile -n 20000 -k 50 -addr :8081 -latency 300ms
 //	wdbserver -source zillow -dump /tmp/zillow            # snapshot and exit
 //	wdbserver -source zillow -load /tmp/zillow            # serve the snapshot
+//	wdbserver -cache-bytes 67108864 -cache-ttl 5m -cache /tmp/bn.qcache
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/qcache"
 	"repro/internal/relation"
 	"repro/internal/wdbhttp"
 )
@@ -37,6 +45,10 @@ func main() {
 		latency = flag.Duration("latency", 0, "artificial per-query latency")
 		dump    = flag.String("dump", "", "write schema.json + data.csv to this directory and exit")
 		load    = flag.String("load", "", "serve a catalog snapshot from this directory instead of generating")
+
+		cacheBytes = flag.Int64("cache-bytes", 0, "server-side answer cache budget in bytes (0 disables)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "answer cache entry TTL (0 = never expire)")
+		cachePath  = flag.String("cache", "", "file persisting the answer cache across restarts (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -67,9 +79,36 @@ func main() {
 		log.Printf("wdbserver: snapshot of %s (%d tuples) written to %s", cat.Name, cat.Rel.Len(), *dump)
 		return
 	}
-	db, err := hidden.NewLocal(cat.Name, cat.Rel, *systemK, cat.Rank, hidden.WithLatency(*latency))
+	local, err := hidden.NewLocal(cat.Name, cat.Rel, *systemK, cat.Rank, hidden.WithLatency(*latency))
 	if err != nil {
 		log.Fatalf("wdbserver: %v", err)
+	}
+	var db hidden.DB = local
+	if *cacheBytes == 0 && (*cachePath != "" || *cacheTTL != 0) {
+		log.Fatalf("wdbserver: -cache and -cache-ttl need the cache enabled; set -cache-bytes > 0")
+	}
+	if *cacheBytes != 0 {
+		var store kvstore.Store
+		if *cachePath != "" {
+			s, err := kvstore.Open(*cachePath)
+			if err != nil {
+				log.Fatalf("wdbserver: open answer cache: %v", err)
+			}
+			// Reclaim superseded records from previous runs.
+			if s.DeadBytes() > 0 {
+				if err := s.Compact(); err != nil {
+					log.Fatalf("wdbserver: compact answer cache: %v", err)
+				}
+			}
+			store = s
+		}
+		cached, err := qcache.New(db, qcache.Config{MaxBytes: *cacheBytes, TTL: *cacheTTL, Store: store})
+		if err != nil {
+			log.Fatalf("wdbserver: %v", err)
+		}
+		db = cached
+		log.Printf("wdbserver: answer cache enabled (%d bytes, ttl %s, %d warm entries)",
+			*cacheBytes, *cacheTTL, cached.Stats().Warmed)
 	}
 	srv := &http.Server{
 		Addr:              *addr,

@@ -8,6 +8,15 @@
 // under any user-specified monotone linear ranking function, whether the
 // database supports it or not.
 //
+// Because the service is third-party and multi-user, its operating cost is
+// the number of top-k queries it issues to the web databases it rides on.
+// Three caching layers attack that cost at different granularities: the
+// per-user session cache (internal/session) memoizes seen tuples, the
+// shared dense-region index (internal/dense) memoizes crawled regions, and
+// the shared answer cache (internal/qcache) memoizes whole search answers
+// across all users, coalescing identical in-flight searches into a single
+// web-database query.
+//
 // See README.md for the architecture, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for the reproduced evaluation.
 // The benchmark file bench_test.go in this directory regenerates every

@@ -10,6 +10,7 @@
 //	S2   §III-B "MD": algorithms × weight-sign combinations, 2D and 3D
 //	S3   §III-B "On-the-fly indexing": amortisation over a query sequence
 //	S4   §III-B "Best vs worst cases": price+LengthWidthRatio vs price+sqft
+//	S5   concurrent users sharing the answer cache (internal/qcache)
 //	A1   ablation: parallel vs sequential processing
 //	A2   ablation: dense-region threshold sweep
 //	A3   ablation: tie-group mass vs crawling cost
@@ -157,7 +158,7 @@ func (r *Runner) Config() Config { return r.cfg }
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "A1", "A2", "A3", "A4", "A5", "A6"}
+	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "A1", "A2", "A3", "A4", "A5", "A6"}
 }
 
 // Run regenerates one experiment by ID.
@@ -177,6 +178,8 @@ func (r *Runner) Run(ctx context.Context, id string) (Table, error) {
 		return r.ScenarioIndexing(ctx)
 	case "S4":
 		return r.ScenarioBestWorst(ctx)
+	case "S5":
+		return r.ScenarioConcurrentUsers(ctx)
 	case "A1":
 		return r.AblationParallel(ctx)
 	case "A2":

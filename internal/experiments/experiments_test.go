@@ -128,6 +128,36 @@ func TestScenarioBestWorstShape(t *testing.T) {
 	}
 }
 
+func TestScenarioConcurrentUsersSharedCache(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached run must issue strictly fewer web-database queries than
+	// the uncached baseline whenever workloads overlap (users >= 2), and
+	// N users together must not cost more than one uncached user.
+	oneUserUncached := atoi(t, cell(t, tab, 0, 1))
+	for i := 0; i < len(tab.Rows); i++ {
+		users := atoi(t, cell(t, tab, i, 0))
+		uncached := atoi(t, cell(t, tab, i, 1))
+		cached := atoi(t, cell(t, tab, i, 2))
+		if users >= 2 {
+			if cached >= uncached {
+				t.Fatalf("%d users: cached run issued %d queries, uncached %d — no savings\n%s",
+					users, cached, uncached, tab.Format())
+			}
+			if reused := atoi(t, cell(t, tab, i, 3)); reused == 0 {
+				t.Fatalf("%d users: no answers reused\n%s", users, tab.Format())
+			}
+		}
+		if cached > oneUserUncached {
+			t.Fatalf("%d users through the cache cost %d queries, above one uncached user's %d\n%s",
+				users, cached, oneUserUncached, tab.Format())
+		}
+	}
+}
+
 func TestAblationParallelShape(t *testing.T) {
 	r := quickRunner()
 	tab, err := r.Run(context.Background(), "A1")

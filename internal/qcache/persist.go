@@ -1,0 +1,202 @@
+package qcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+// Persistence layout. The store holds one fingerprint record describing
+// the source the cache was filled from, plus one record per cached search:
+//
+//	m/src        sha256(name, system-k, schema JSON)
+//	q/<key>      codecVersion, storedAt (unixnano), overflow, tuples
+//
+// At boot the fingerprint is compared against the live database; any
+// mismatch (different catalog, different system-k, changed schema) wipes
+// the store, because every cached answer was produced by a source that no
+// longer exists. This mirrors the boot-time cache verification QR2
+// performs on the dense-region index.
+
+const codecVersion = 1
+
+var fingerprintKey = []byte("m/src")
+
+func storeKey(key string) []byte {
+	k := make([]byte, 0, 2+len(key))
+	k = append(k, 'q', '/')
+	return append(k, key...)
+}
+
+// fingerprint hashes the identity of the source behind the cache.
+func fingerprint(db hidden.DB) ([]byte, error) {
+	schemaJSON, err := json.Marshal(db.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("qcache: fingerprint schema: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00", db.Name(), db.SystemK())
+	h.Write(schemaJSON)
+	return h.Sum(nil), nil
+}
+
+// openStore verifies the fingerprint (wiping a stale store) and loads the
+// surviving entries oldest-first, so the LRU ends up newest-at-front and
+// the byte budget drops the oldest answers.
+func (c *Cache) openStore() error {
+	want, err := fingerprint(c.inner)
+	if err != nil {
+		return err
+	}
+	got, ok, err := c.store.Get(fingerprintKey)
+	if err != nil {
+		return fmt.Errorf("qcache: read fingerprint: %w", err)
+	}
+	if !ok || !bytes.Equal(got, want) {
+		if err := c.wipeStore(); err != nil {
+			return err
+		}
+		if err := c.store.Put(fingerprintKey, want); err != nil {
+			return fmt.Errorf("qcache: write fingerprint: %w", err)
+		}
+		return nil
+	}
+
+	type warmEntry struct {
+		key      string
+		res      hidden.Result
+		storedAt time.Time
+	}
+	var (
+		warm    []warmEntry
+		corrupt [][]byte
+	)
+	now := c.now()
+	err = c.store.Range(func(key, value []byte) bool {
+		if len(key) < 2 || key[0] != 'q' || key[1] != '/' {
+			return true
+		}
+		res, at, derr := decodeStored(value)
+		if derr != nil {
+			// A corrupt record is dropped rather than trusted; the
+			// search will simply be re-issued on demand.
+			corrupt = append(corrupt, append([]byte(nil), key...))
+			return true
+		}
+		if c.ttl > 0 && now.Sub(at) > c.ttl {
+			corrupt = append(corrupt, append([]byte(nil), key...))
+			return true
+		}
+		warm = append(warm, warmEntry{key: string(key[2:]), res: res, storedAt: at})
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("qcache: load store: %w", err)
+	}
+	for _, key := range corrupt {
+		_ = c.store.Delete(key)
+	}
+	sort.Slice(warm, func(i, j int) bool { return warm[i].storedAt.Before(warm[j].storedAt) })
+	var overflow []string // records the budget could not readmit
+	for _, w := range warm {
+		sh := c.shardFor(w.key)
+		sh.mu.Lock()
+		admitted, victims := c.insertLocked(sh, w.key, w.res, w.storedAt)
+		sh.mu.Unlock()
+		if !admitted {
+			overflow = append(overflow, w.key)
+		}
+		overflow = append(overflow, victims...)
+	}
+	for _, key := range overflow {
+		_ = c.store.Delete(storeKey(key))
+	}
+	c.warmed = c.Len()
+	return nil
+}
+
+// persist writes one filled entry to the store, best-effort: a failed
+// write only costs warmth after the next restart. Durability rides on the
+// store's own crash recovery; no explicit sync per entry.
+func (c *Cache) persist(key string, res hidden.Result) {
+	_ = c.store.Put(storeKey(key), encodeStored(res, c.now()))
+}
+
+// wipeStore removes every record, fingerprint included.
+func (c *Cache) wipeStore() error {
+	var keys [][]byte
+	err := c.store.Range(func(key, _ []byte) bool {
+		keys = append(keys, append([]byte(nil), key...))
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("qcache: wipe store: %w", err)
+	}
+	for _, k := range keys {
+		if err := c.store.Delete(k); err != nil {
+			return fmt.Errorf("qcache: wipe store: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeStored serialises one search result with its fill time.
+func encodeStored(res hidden.Result, at time.Time) []byte {
+	size := 1 + 8 + 1 + 4
+	for _, t := range res.Tuples {
+		size += 10 + 8*len(t.Values)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(at.UnixNano()))
+	var overflow byte
+	if res.Overflow {
+		overflow = 1
+	}
+	buf = append(buf, overflow)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(res.Tuples)))
+	for _, t := range res.Tuples {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.ID))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Values)))
+		for _, v := range t.Values {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+func decodeStored(buf []byte) (hidden.Result, time.Time, error) {
+	if len(buf) < 14 || buf[0] != codecVersion {
+		return hidden.Result{}, time.Time{}, fmt.Errorf("bad record header")
+	}
+	at := time.Unix(0, int64(binary.LittleEndian.Uint64(buf[1:9])))
+	res := hidden.Result{Overflow: buf[9] != 0}
+	n := int(binary.LittleEndian.Uint32(buf[10:14]))
+	off := 14
+	for i := 0; i < n; i++ {
+		if len(buf) < off+10 {
+			return hidden.Result{}, time.Time{}, fmt.Errorf("truncated tuple %d", i)
+		}
+		id := int64(binary.LittleEndian.Uint64(buf[off : off+8]))
+		nv := int(binary.LittleEndian.Uint16(buf[off+8 : off+10]))
+		off += 10
+		if len(buf) < off+8*nv {
+			return hidden.Result{}, time.Time{}, fmt.Errorf("truncated tuple %d values", i)
+		}
+		vals := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off : off+8]))
+			off += 8
+		}
+		res.Tuples = append(res.Tuples, relation.Tuple{ID: id, Values: vals})
+	}
+	return res, at, nil
+}

@@ -1,0 +1,402 @@
+// Package qcache is a shared, concurrency-safe answer cache for hidden
+// web databases.
+//
+// QR2 is a third-party service: its entire operating cost is the number of
+// top-k queries it issues to the web databases it rides on, and it serves
+// many users at once. Concurrent sessions exploring overlapping regions of
+// the same source repeatedly pay for identical searches. Cache wraps any
+// hidden.DB as a decorator and memoizes Search results keyed by a
+// canonical serialisation of the filter predicate, so semantically
+// identical filters from different users resolve to one entry.
+//
+// The cache is sharded for high-QPS multi-user traffic: each shard owns an
+// LRU list under its own mutex, with a configurable total byte budget and
+// an optional TTL. Identical searches that are in flight at the same time
+// are coalesced singleflight-style — N concurrent users asking the same
+// question cost exactly one web-database query, which is the cheapest
+// query of all.
+//
+// Entries can optionally be persisted through a kvstore.Store so a warm
+// cache survives restarts; the store is fingerprinted against the source
+// (name, system-k, schema) and wiped when the source changes, mirroring
+// the boot-time cache verification of the dense-region index.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/relation"
+)
+
+// DefaultMaxBytes is the byte budget used when Config.MaxBytes is zero.
+const DefaultMaxBytes = 64 << 20
+
+// defaultShards is the shard count used when Config.Shards is zero.
+const defaultShards = 16
+
+// Config sizes a Cache.
+type Config struct {
+	// MaxBytes is the total in-memory budget across all shards
+	// (default DefaultMaxBytes). Negative admits no entries, leaving
+	// only in-flight coalescing active.
+	MaxBytes int64
+	// TTL expires entries this long after they were filled. Zero means
+	// entries never expire. A snapshot database never changes, but a
+	// live web database does; the TTL bounds staleness.
+	TTL time.Duration
+	// Shards is the number of independent LRU shards (default 16,
+	// rounded up to a power of two).
+	Shards int
+	// Store persists entries so a warm cache survives restarts. Nil
+	// keeps the cache memory-only. The store is wiped when its recorded
+	// source fingerprint no longer matches the database.
+	Store kvstore.Store
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Hits counts searches answered from a resident entry.
+	Hits int64 `json:"hits"`
+	// Misses counts searches that had to query the inner database.
+	Misses int64 `json:"misses"`
+	// Coalesced counts searches that joined an identical in-flight
+	// search instead of issuing their own.
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Expired counts entries dropped because their TTL ran out.
+	Expired int64 `json:"expired"`
+	// Entries and Bytes describe current residency.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Warmed counts entries loaded from the persistent store at boot.
+	Warmed int `json:"warmed"`
+}
+
+// HitRate returns hits / (hits + misses), or zero before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached search result.
+type entry struct {
+	key      string
+	res      hidden.Result
+	size     int64
+	storedAt time.Time
+}
+
+// flight is one in-progress inner search that identical concurrent
+// searches wait on.
+type flight struct {
+	done chan struct{}
+	res  hidden.Result
+	err  error
+}
+
+// shard is one independently locked slice of the key space.
+type shard struct {
+	mu       sync.Mutex
+	elems    map[string]*list.Element // key -> *entry element
+	lru      *list.List               // front = most recently used
+	bytes    int64
+	maxBytes int64
+	flights  map[string]*flight
+}
+
+// Cache decorates a hidden.DB with a shared answer cache. It implements
+// hidden.DB and is safe for concurrent use by any number of sessions.
+type Cache struct {
+	inner  hidden.DB
+	ttl    time.Duration
+	shards []*shard
+	mask   uint64
+	store  kvstore.Store
+	now    func() time.Time
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	expired   atomic.Int64
+	warmed    int
+}
+
+// New builds a cache over inner. When cfg.Store is non-nil the store is
+// verified against the source fingerprint (wiping stale contents) and any
+// surviving entries are loaded, newest first, up to the byte budget.
+func New(inner hidden.DB, cfg Config) (*Cache, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("qcache: nil inner database")
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("qcache: negative TTL %v", cfg.TTL)
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	for n&(n-1) != 0 {
+		n++
+	}
+	c := &Cache{
+		inner:  inner,
+		ttl:    cfg.TTL,
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		store:  cfg.Store,
+		now:    time.Now,
+	}
+	per := cfg.MaxBytes / int64(n)
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			elems:    make(map[string]*list.Element),
+			lru:      list.New(),
+			maxBytes: per,
+			flights:  make(map[string]*flight),
+		}
+	}
+	if c.store != nil {
+		if err := c.openStore(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// setClock overrides time for TTL tests.
+func (c *Cache) setClock(now func() time.Time) { c.now = now }
+
+// Name implements hidden.DB.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Schema implements hidden.DB.
+func (c *Cache) Schema() *relation.Schema { return c.inner.Schema() }
+
+// SystemK implements hidden.DB.
+func (c *Cache) SystemK() int { return c.inner.SystemK() }
+
+// shardFor picks the shard by an FNV-1a hash of the key.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return c.shards[h&c.mask]
+}
+
+// Search implements hidden.DB. A resident entry answers immediately; an
+// identical in-flight search is joined; otherwise the caller becomes the
+// leader, queries the inner database once and publishes the result.
+func (c *Cache) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	key := KeyOf(p)
+	sh := c.shardFor(key)
+	for {
+		sh.mu.Lock()
+		if res, ok := c.lookupLocked(sh, key); ok {
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return res, nil
+		}
+		if fl, ok := sh.flights[key]; ok {
+			sh.mu.Unlock()
+			c.coalesced.Add(1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return hidden.Result{}, ctx.Err()
+			}
+			if fl.err == nil {
+				return copyResult(fl.res), nil
+			}
+			// The leader failed. When it died with its own context
+			// while ours is still live, retry as a fresh leader
+			// rather than surfacing someone else's cancellation.
+			if isContextErr(fl.err) && ctx.Err() == nil {
+				continue
+			}
+			return hidden.Result{}, fl.err
+		}
+		fl := &flight{done: make(chan struct{})}
+		sh.flights[key] = fl
+		sh.mu.Unlock()
+		c.misses.Add(1)
+
+		res, err := c.inner.Search(ctx, p)
+		fl.res, fl.err = res, err
+
+		var (
+			admitted bool
+			victims  []string
+		)
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		if err == nil {
+			admitted, victims = c.insertLocked(sh, key, res, c.now())
+		}
+		sh.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return hidden.Result{}, err
+		}
+		if c.store != nil {
+			// Store I/O happens outside the shard lock; only admitted
+			// entries are written, so the store never outgrows the
+			// budget's reach.
+			for _, v := range victims {
+				_ = c.store.Delete(storeKey(v))
+			}
+			if admitted {
+				c.persist(key, res)
+			}
+		}
+		return copyResult(res), nil
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lookupLocked returns the resident result for key, refreshing its LRU
+// position. Expired entries are dropped and reported as absent; the
+// caller's refill overwrites any stale persisted record for the same key,
+// and boot-time loading drops expired records, so no store I/O is needed
+// under the lock.
+func (c *Cache) lookupLocked(sh *shard, key string) (hidden.Result, bool) {
+	el, ok := sh.elems[key]
+	if !ok {
+		return hidden.Result{}, false
+	}
+	e := el.Value.(*entry)
+	if c.ttl > 0 && c.now().Sub(e.storedAt) > c.ttl {
+		c.removeLocked(sh, el)
+		c.expired.Add(1)
+		return hidden.Result{}, false
+	}
+	sh.lru.MoveToFront(el)
+	return copyResult(e.res), true
+}
+
+// insertLocked adds (or replaces) an entry and evicts from the cold end
+// until the shard respects its byte budget. An entry larger than the whole
+// shard budget is not admitted. It reports whether the entry was admitted
+// and which keys were evicted, so the caller can mirror both onto the
+// persistent store outside the lock.
+func (c *Cache) insertLocked(sh *shard, key string, res hidden.Result, at time.Time) (admitted bool, victims []string) {
+	if el, ok := sh.elems[key]; ok {
+		c.removeLocked(sh, el)
+	}
+	e := &entry{key: key, res: res, size: entrySize(key, res), storedAt: at}
+	if e.size > sh.maxBytes {
+		return false, nil
+	}
+	sh.elems[key] = sh.lru.PushFront(e)
+	sh.bytes += e.size
+	for sh.bytes > sh.maxBytes {
+		cold := sh.lru.Back()
+		if cold == nil {
+			break
+		}
+		victims = append(victims, cold.Value.(*entry).key)
+		c.removeLocked(sh, cold)
+		c.evictions.Add(1)
+	}
+	return true, victims
+}
+
+func (c *Cache) removeLocked(sh *shard, el *list.Element) {
+	e := el.Value.(*entry)
+	sh.lru.Remove(el)
+	delete(sh.elems, e.key)
+	sh.bytes -= e.size
+}
+
+// entrySize estimates the resident footprint of one entry: the key, the
+// tuple payload and a fixed per-entry overhead for the map and list cells.
+func entrySize(key string, res hidden.Result) int64 {
+	const overhead = 96
+	size := int64(len(key)) + overhead
+	for _, t := range res.Tuples {
+		size += 16 + 8*int64(len(t.Values))
+	}
+	return size
+}
+
+// copyResult returns a result whose tuple slice the caller may append to
+// or reorder without corrupting the cached copy. Tuples themselves are
+// shared, matching the immutability convention of hidden.Local.
+func copyResult(res hidden.Result) hidden.Result {
+	return hidden.Result{
+		Tuples:   append([]relation.Tuple(nil), res.Tuples...),
+		Overflow: res.Overflow,
+	}
+}
+
+// Stats returns a snapshot of the cache counters and residency.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Warmed:    c.warmed,
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Entries += len(sh.elems)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.elems)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every resident entry (and, when persistent, every stored
+// one). Counters are preserved.
+func (c *Cache) Purge() error {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.elems = make(map[string]*list.Element)
+		sh.lru = list.New()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+	if c.store == nil {
+		return nil
+	}
+	return c.wipeStore()
+}
+
+var _ hidden.DB = (*Cache)(nil)

@@ -12,11 +12,28 @@
 // open get-next cursors), shares one dense-region index per data source
 // across all users, and processes web database queries in parallel.
 //
+// # Shared answer cache
+//
+// Each data source can additionally be fronted by an internal/qcache
+// answer cache (SourceConfig.Cache), installed once per source and shared
+// by every session. The cache decorates the source's hidden.DB, so the
+// reranking engines underneath are unaware of it: repeated top-k searches
+// — the same user paging, or different users exploring overlapping
+// regions — are answered locally, and identical searches in flight at the
+// same moment are coalesced into a single web-database query. This sits
+// below the per-user session cache (which memoizes seen tuples, not
+// answers) and beside the dense-region index (which memoizes crawled
+// regions): the three layers attack the paper's query-cost metric at the
+// tuple, answer and region granularities respectively. Per-source cache
+// effectiveness is reported on GET /api/stats and in every statistics
+// panel.
+//
 // Endpoints:
 //
 //	GET  /api/sources        data sources, their schemas, popular functions
 //	POST /api/query          run a reranking query, returns page 1 + stats
 //	POST /api/next           next page for a previous query (qid)
+//	GET  /api/stats          per-source cache and dense-index statistics
 //	GET  /                   minimal HTML UI over the same operations
 //	POST /ui/query, /ui/next HTML form variants
 //	GET  /healthz            liveness
@@ -37,6 +54,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
+	"repro/internal/qcache"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/session"
@@ -54,6 +72,9 @@ type SourceConfig struct {
 	// DenseStore persists the source's dense-region index. Nil means a
 	// fresh in-memory store.
 	DenseStore kvstore.Store
+	// Cache configures the shared answer cache installed in front of DB
+	// and used by every session. Nil disables it.
+	Cache *qcache.Config
 	// Popular lists suggested ranking expressions shown in the UI.
 	Popular []string
 }
@@ -87,11 +108,13 @@ type Server struct {
 	mux      *http.ServeMux
 }
 
-// source is the shared per-database state: the dense index and the
-// discovered normalisation, both shared by every user session.
+// source is the shared per-database state: the answer cache, the dense
+// index and the discovered normalisation, all shared by every user
+// session.
 type source struct {
 	name    string
-	db      hidden.DB
+	db      hidden.DB // the served database; the cache when one is configured
+	cache   *qcache.Cache
 	ix      *dense.Index
 	popular []string
 
@@ -142,11 +165,21 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("service: open dense index for %q: %w", name, err)
 		}
-		s.sources[name] = &source{name: name, db: sc.DB, ix: ix, popular: sc.Popular}
+		db := sc.DB
+		var cache *qcache.Cache
+		if sc.Cache != nil {
+			cache, err = qcache.New(db, *sc.Cache)
+			if err != nil {
+				return nil, fmt.Errorf("service: open answer cache for %q: %w", name, err)
+			}
+			db = cache
+		}
+		s.sources[name] = &source{name: name, db: db, cache: cache, ix: ix, popular: sc.Popular}
 	}
 	s.mux.HandleFunc("GET /api/sources", s.handleSources)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/next", s.handleNext)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -207,6 +240,11 @@ type statsDoc struct {
 	CrawledTuples    int64   `json:"crawled_tuples"`
 	CacheCandidates  int64   `json:"cache_candidates"`
 	SessionCacheSize int     `json:"session_cache_size"`
+	// Shared answer cache counters for the query's source, cumulative
+	// across all sessions. Zero when the source has no cache.
+	SharedCacheHits      int64 `json:"shared_cache_hits"`
+	SharedCacheMisses    int64 `json:"shared_cache_misses"`
+	SharedCacheCoalesced int64 `json:"shared_cache_coalesced"`
 }
 
 type queryDoc struct {
@@ -250,6 +288,48 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, docs)
+}
+
+// sourceStatsDoc is one source's operational counters on GET /api/stats.
+type sourceStatsDoc struct {
+	SystemK      int           `json:"system_k"`
+	Cache        *qcache.Stats `json:"cache,omitempty"`
+	CacheHitRate float64       `json:"cache_hit_rate"`
+	DenseEntries int           `json:"dense_entries"`
+	DenseTuples  int           `json:"dense_tuples"`
+	DenseHits    int64         `json:"dense_hits"`
+	DenseMisses  int64         `json:"dense_misses"`
+}
+
+type serviceStatsDoc struct {
+	Sessions int                       `json:"sessions"`
+	Sources  map[string]sourceStatsDoc `json:"sources"`
+}
+
+// handleStats reports per-source cache and dense-index effectiveness so
+// operators can watch hit rates in production.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	doc := serviceStatsDoc{
+		Sessions: s.sessions.Len(),
+		Sources:  make(map[string]sourceStatsDoc, len(s.sources)),
+	}
+	for name, src := range s.sources {
+		ds := src.ix.Stats()
+		sd := sourceStatsDoc{
+			SystemK:      src.db.SystemK(),
+			DenseEntries: ds.Entries,
+			DenseTuples:  ds.TuplesStored,
+			DenseHits:    ds.Hits,
+			DenseMisses:  ds.Misses,
+		}
+		if src.cache != nil {
+			cs := src.cache.Stats()
+			sd.Cache = &cs
+			sd.CacheHitRate = cs.HitRate()
+		}
+		doc.Sources[name] = sd
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // getSession resolves the request's session (creating one if needed) and
@@ -521,6 +601,12 @@ func (s *Server) advance(ctx context.Context, sess *session.Session, qid string,
 		CrawledTuples:    st.CrawledTuples,
 		CacheCandidates:  st.CacheCandidates,
 		SessionCacheSize: sess.CacheSize(),
+	}
+	if cur.source.cache != nil {
+		cs := cur.source.cache.Stats()
+		doc.Stats.SharedCacheHits = cs.Hits
+		doc.Stats.SharedCacheMisses = cs.Misses
+		doc.Stats.SharedCacheCoalesced = cs.Coalesced
 	}
 	return doc, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/hidden"
+	"repro/internal/qcache"
 	"repro/internal/relation"
 )
 
@@ -333,5 +334,129 @@ func TestHealthz(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("empty config accepted")
+	}
+}
+
+// cachedService spins up a single-source service with the shared answer
+// cache enabled, returning the underlying simulator for query counting.
+func cachedService(t *testing.T) (*httptest.Server, *hidden.Local) {
+	t.Helper()
+	cat := datagen.BlueNile(1200, 1)
+	db, err := hidden.NewLocal("bluenile", cat.Rel, 30, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Sources: map[string]SourceConfig{
+			"bluenile": {DB: db, Cache: &qcache.Config{}, Popular: []string{"price"}},
+		},
+		Algorithm: core.Rerank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func TestSharedCacheAcrossUsers(t *testing.T) {
+	ts, db := cachedService(t)
+	form := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"5"}, "min.carat": {"1"}}
+
+	// Two different users (no shared cookie jar) run the identical query.
+	alice := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+	bob := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+	resp, body := postForm(t, alice, ts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice: status %d: %s", resp.StatusCode, body)
+	}
+	var first queryDoc
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	cold := db.QueryCount()
+	if cold == 0 {
+		t.Fatal("cold query reached no web database")
+	}
+
+	resp, body = postForm(t, bob, ts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob: status %d: %s", resp.StatusCode, body)
+	}
+	var second queryDoc
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Session == second.Session {
+		t.Fatal("test clients unexpectedly shared a session")
+	}
+	warm := db.QueryCount() - cold
+	if warm != 0 {
+		t.Fatalf("bob's identical query issued %d web-DB queries, want 0 (all cached)", warm)
+	}
+	if second.Stats.SharedCacheHits == 0 {
+		t.Fatalf("statistics panel reports no shared-cache hits: %+v", second.Stats)
+	}
+	if len(second.Rows) != len(first.Rows) {
+		t.Fatalf("cached answer differs: %d rows vs %d", len(second.Rows), len(first.Rows))
+	}
+	for i := range second.Rows {
+		if second.Rows[i].ID != first.Rows[i].ID {
+			t.Fatalf("row %d: ID %d vs %d", i, second.Rows[i].ID, first.Rows[i].ID)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := cachedService(t)
+	client := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+	form := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"5"}}
+	if resp, body := postForm(t, client, ts.URL+"/api/query", form); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	resp, err := client.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var doc serviceStatsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	sd, ok := doc.Sources["bluenile"]
+	if !ok {
+		t.Fatalf("stats missing source: %+v", doc)
+	}
+	if sd.Cache == nil {
+		t.Fatal("cached source reports no cache stats")
+	}
+	if sd.Cache.Misses == 0 {
+		t.Fatalf("cache saw no traffic: %+v", sd.Cache)
+	}
+	if doc.Sessions == 0 {
+		t.Fatal("no sessions counted")
+	}
+	if sd.SystemK != 30 {
+		t.Fatalf("system_k = %d", sd.SystemK)
+	}
+}
+
+func TestStatsEndpointUncachedSource(t *testing.T) {
+	ts, client, _ := testService(t)
+	resp, err := client.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc serviceStatsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if sd := doc.Sources["bluenile"]; sd.Cache != nil {
+		t.Fatal("uncached source reports cache stats")
 	}
 }

@@ -78,7 +78,10 @@ td, th { border: 1px solid #999; padding: 0.3em 0.6em; }
   local time: {{.Result.Stats.ElapsedMillis}} ms,
   dense-index hits: {{.Result.Stats.DenseHits}},
   crawls: {{.Result.Stats.DenseCrawls}} ({{.Result.Stats.CrawledTuples}} tuples),
-  session cache: {{.Result.Stats.SessionCacheSize}} tuples.
+  session cache: {{.Result.Stats.SessionCacheSize}} tuples,
+  shared answer cache (all users): {{.Result.Stats.SharedCacheHits}} hits /
+  {{.Result.Stats.SharedCacheMisses}} misses /
+  {{.Result.Stats.SharedCacheCoalesced}} coalesced.
 </div>
 {{end}}
 </body>
