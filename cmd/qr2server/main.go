@@ -10,7 +10,10 @@
 // memoizes top-k searches across all sessions and coalesces identical
 // in-flight queries. -cache-bytes sizes it (0 disables), -cache-ttl bounds
 // staleness against live databases, and -cache persists it across restarts
-// next to the dense indexes.
+// next to the dense indexes. -cache-reuse (default on) additionally serves
+// strictly narrower predicates from complete cached answers without any
+// web-database query. -dense-resident-bytes budgets the decoded tuples each
+// dense index keeps in memory for store-free hit serving.
 //
 // Usage:
 //
@@ -55,9 +58,14 @@ func main() {
 		dense   = flag.String("dense", "", "directory for persistent dense-region indexes (empty = in-memory)")
 		latency = flag.Duration("latency", 0, "simulated per-query latency for the statistics panel")
 
+		denseResident = flag.Int64("dense-resident-bytes", 0,
+			"decoded-tuple residency budget per dense index (0 = default 256 MiB, negative disables residency)")
+
 		cacheBytes = flag.Int64("cache-bytes", qcache.DefaultMaxBytes, "shared answer cache budget per source in bytes (0 disables)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "shared answer cache entry TTL (0 = never expire)")
 		cacheDir   = flag.String("cache", "", "directory for persistent answer caches (empty = in-memory)")
+		cacheReuse = flag.Bool("cache-reuse", true,
+			"serve strictly narrower predicates from complete cached answers (overflow-aware reuse)")
 	)
 	flag.Parse()
 
@@ -66,9 +74,10 @@ func main() {
 			return nil
 		}
 		return &qcache.Config{
-			MaxBytes: *cacheBytes,
-			TTL:      *cacheTTL,
-			Store:    openStore(*cacheDir, name+".qcache"),
+			MaxBytes:           *cacheBytes,
+			TTL:                *cacheTTL,
+			Store:              openStore(*cacheDir, name+".qcache"),
+			DisableContainment: !*cacheReuse,
 		}
 	}
 
@@ -97,10 +106,11 @@ func main() {
 				log.Fatalf("qr2server: %v", err)
 			}
 			cfg.Sources[name] = service.SourceConfig{
-				DB:         db,
-				DenseStore: openStore(*dense, name+".dense"),
-				Cache:      cacheFor(name),
-				Popular:    popular[name],
+				DB:                 db,
+				DenseStore:         openStore(*dense, name+".dense"),
+				DenseResidentBytes: *denseResident,
+				Cache:              cacheFor(name),
+				Popular:            popular[name],
 			}
 			log.Printf("qr2server: source %s: %d tuples, system-k %d", name, cat.Rel.Len(), *systemK)
 		}
@@ -118,10 +128,11 @@ func main() {
 				log.Fatalf("qr2server: dial %s: %v", url, err)
 			}
 			cfg.Sources[name] = service.SourceConfig{
-				DB:         client,
-				DenseStore: openStore(*dense, name+".dense"),
-				Cache:      cacheFor(name),
-				Popular:    popular[name],
+				DB:                 client,
+				DenseStore:         openStore(*dense, name+".dense"),
+				DenseResidentBytes: *denseResident,
+				Cache:              cacheFor(name),
+				Popular:            popular[name],
 			}
 			log.Printf("qr2server: source %s: remote %s, system-k %d", name, url, client.SystemK())
 		}

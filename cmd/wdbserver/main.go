@@ -49,6 +49,8 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 0, "server-side answer cache budget in bytes (0 disables)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "answer cache entry TTL (0 = never expire)")
 		cachePath  = flag.String("cache", "", "file persisting the answer cache across restarts (empty = in-memory)")
+		cacheReuse = flag.Bool("cache-reuse", true,
+			"serve strictly narrower predicates from complete cached answers (overflow-aware reuse)")
 	)
 	flag.Parse()
 
@@ -102,7 +104,10 @@ func main() {
 			}
 			store = s
 		}
-		cached, err := qcache.New(db, qcache.Config{MaxBytes: *cacheBytes, TTL: *cacheTTL, Store: store})
+		cached, err := qcache.New(db, qcache.Config{
+			MaxBytes: *cacheBytes, TTL: *cacheTTL, Store: store,
+			DisableContainment: !*cacheReuse,
+		})
 		if err != nil {
 			log.Fatalf("wdbserver: %v", err)
 		}

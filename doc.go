@@ -15,7 +15,16 @@
 // shared dense-region index (internal/dense) memoizes crawled regions, and
 // the shared answer cache (internal/qcache) memoizes whole search answers
 // across all users, coalescing identical in-flight searches into a single
-// web-database query.
+// web-database query and serving strictly narrower predicates from
+// complete (non-overflowing) answers by client-side filtering.
+//
+// The dense-index read path is memory-speed and concurrent: covering
+// lookups go through a spatial directory (a packed R-tree per attribute
+// signature) under a read lock, decoded tuples stay resident under a
+// configurable byte budget with LRU eviction back to the kvstore, and
+// per-attribute tuple orderings are computed once per entry and reused by
+// every 1D-Rerank substream. Operational counters for all three layers are
+// exported on GET /api/stats (JSON) and GET /metrics (Prometheus text).
 //
 // See README.md for the architecture, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for the reproduced evaluation.

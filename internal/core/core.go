@@ -94,6 +94,11 @@ type Options struct {
 	// DenseIndex is the shared on-the-fly index. When nil, Rerank gets a
 	// fresh in-memory index private to this Reranker.
 	DenseIndex *dense.Index
+	// DenseResidentBytes sizes the decoded-tuple residency of a private
+	// dense index (zero = dense.DefaultResidentBytes, negative disables).
+	// Ignored when DenseIndex is provided: a shared index carries its own
+	// budget.
+	DenseResidentBytes int64
 	// Cache is the per-user session cache (may be nil).
 	Cache TupleCache
 	// Normalization overrides interface-based min/max discovery. Leave
@@ -148,7 +153,7 @@ func New(db hidden.DB, opt Options) (*Reranker, error) {
 	}
 	r := &Reranker{db: db, opt: opt, ix: opt.DenseIndex}
 	if r.ix == nil {
-		ix, err := dense.Open(db.Schema(), kvstore.NewMemory())
+		ix, err := dense.Open(db.Schema(), kvstore.NewMemory(), dense.WithResidentBytes(opt.DenseResidentBytes))
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/crawl"
 	"repro/internal/region"
@@ -26,6 +27,9 @@ type leaf struct {
 	rect  region.Rect
 	state leafState
 	depth int
+	// linMin caches rect.LinearMin(weights) for the current prune pass; it
+	// is refreshed by pruneAndFrontier and reused by the dormant sort.
+	linMin float64
 }
 
 // engine is the shared region-worklist machine behind (1D/MD)-BASELINE,
@@ -164,7 +168,7 @@ func (e *engine) next(ctx context.Context) (relation.Tuple, bool, error) {
 				take = specBudget
 			}
 			if take > 0 {
-				sortLeavesByLinearMin(dormant, e.weights)
+				sortLeavesByLinearMin(dormant)
 				if take > len(dormant) {
 					take = len(dormant)
 				}
@@ -252,7 +256,10 @@ func (e *engine) pruneAndFrontier(candScore float64, haveCand bool) (frontier, d
 			continue // dead: everything in it was already produced
 		}
 		live = append(live, lf)
-		if !haveCand || lf.rect.LinearMin(e.weights) < candScore {
+		// One LinearMin evaluation per leaf per pass: the frontier test and
+		// the dormant speculation sort both reuse it.
+		lf.linMin = lf.rect.LinearMin(e.weights)
+		if !haveCand || lf.linMin < candScore {
 			frontier = append(frontier, lf)
 		} else {
 			dormant = append(dormant, lf)
@@ -262,24 +269,32 @@ func (e *engine) pruneAndFrontier(candScore float64, haveCand bool) (frontier, d
 	return frontier, dormant
 }
 
-// sortLeavesByLinearMin orders leaves by ascending best-corner score.
-func sortLeavesByLinearMin(ls []*leaf, w []float64) {
-	for i := 1; i < len(ls); i++ {
-		for j := i; j > 0 && ls[j].rect.LinearMin(w) < ls[j-1].rect.LinearMin(w); j-- {
-			ls[j], ls[j-1] = ls[j-1], ls[j]
-		}
-	}
+// sortLeavesByLinearMin orders leaves by ascending best-corner score, using
+// the linMin values precomputed by the prune pass.
+func sortLeavesByLinearMin(ls []*leaf) {
+	sort.Slice(ls, func(a, b int) bool { return ls[a].linMin < ls[b].linMin })
 }
 
 // tryDenseIndex resolves a leaf from the dense-region index when an indexed
-// region covers it. Reports whether the leaf was resolved.
+// region covers it. Reports whether the leaf was resolved. Single-attribute
+// rankings — every 1D stream, including the per-attribute sorted-access
+// substreams of MD-TA — go through the index's cached per-attribute
+// ordering instead of an ad-hoc sort.
 func (e *engine) tryDenseIndex(lf *leaf) (bool, error) {
 	rr := e.rawRect(lf.rect)
 	entry, ok := e.st.r.ix.Find(rr)
 	if !ok {
 		return false, nil
 	}
-	tuples, err := e.st.r.ix.TopIn(entry.ID, rr, e.st.pred, nil, nil, 0)
+	var (
+		tuples []relation.Tuple
+		err    error
+	)
+	if len(e.attrs) == 1 {
+		tuples, err = e.st.r.ix.TopInByAttr(entry.ID, rr, e.st.pred, e.attrs[0], e.weights[0] < 0, nil, 0)
+	} else {
+		tuples, err = e.st.r.ix.TopIn(entry.ID, rr, e.st.pred, nil, nil, 0)
+	}
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,138 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+// benchIndex builds an index holding entries disjoint unit regions of
+// tuplesPer tuples each along the x axis, over a memory kvstore.
+func benchIndex(b *testing.B, entries, tuplesPer int) (*Index, []region.Rect) {
+	b.Helper()
+	ix, err := Open(relation.MustSchema(
+		relation.Attribute{Name: "x", Kind: relation.Numeric, Min: 0, Max: float64(entries)},
+		relation.Attribute{Name: "y", Kind: relation.Numeric, Min: 0, Max: 1000},
+	), kvstore.NewMemory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	rects := make([]region.Rect, entries)
+	id := int64(1)
+	for i := 0; i < entries; i++ {
+		lo := float64(i)
+		rects[i] = region.MustNew([]int{0}, []relation.Interval{relation.OpenHi(lo, lo+1)})
+		ts := make([]relation.Tuple, tuplesPer)
+		for j := range ts {
+			ts[j] = relation.Tuple{ID: id, Values: []float64{lo + r.Float64(), r.Float64() * 1000}}
+			id++
+		}
+		if _, err := ix.Insert(rects[i], ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ix, rects
+}
+
+// queryRect is a strictly narrower sub-rectangle of rects[i] selecting
+// roughly width of the unit entry, starting at off.
+func queryRect(rects []region.Rect, i int, off, width float64) region.Rect {
+	lo := rects[i].Ivs[0].Lo
+	return region.MustNew([]int{0}, []relation.Interval{relation.Closed(lo+off, lo+off+width)})
+}
+
+// BenchmarkDenseHit is the full dense-hit path of one covered get-next
+// lookup: a covering Find over many entries plus a TopIn over the winning
+// entry's tuples — the operation MD-TA's substreams issue per frontier
+// leaf. The narrow shape (a leaf selecting ~10% of the entry) is the
+// production-representative case; the wide shape stresses the output copy.
+func BenchmarkDenseHit(b *testing.B) {
+	for _, shape := range []struct {
+		name            string
+		entries, tuples int
+		off, width      float64
+	}{
+		{"narrow/entries=16,tuples=2000", 16, 2000, 0.45, 0.1},
+		{"narrow/entries=256,tuples=500", 256, 500, 0.45, 0.1},
+		{"wide/entries=16,tuples=2000", 16, 2000, 0.1, 0.8},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			ix, rects := benchIndex(b, shape.entries, shape.tuples)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queryRect(rects, i%shape.entries, shape.off, shape.width)
+				e, ok := ix.Find(q)
+				if !ok {
+					b.Fatal("miss")
+				}
+				out, err := ix.TopIn(e.ID, q, relation.Predicate{}, nil, nil, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) == 0 {
+					b.Fatal("empty region")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDenseFind isolates the covering lookup over a large directory.
+func BenchmarkDenseFind(b *testing.B) {
+	const entries = 1024
+	ix, rects := benchIndex(b, entries, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ix.Find(queryRect(rects, i%entries, 0.1, 0.8)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkDenseHitParallel measures read-path scalability: every goroutine
+// performs independent Find+TopIn hits. Before this optimisation pass the
+// index serialized all readers behind one exclusive mutex.
+func BenchmarkDenseHitParallel(b *testing.B) {
+	const entries = 64
+	ix, rects := benchIndex(b, entries, 500)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			q := queryRect(rects, r.Intn(entries), 0.45, 0.1)
+			e, ok := ix.Find(q)
+			if !ok {
+				b.Fatal("miss")
+			}
+			if _, err := ix.TopIn(e.ID, q, relation.Predicate{}, nil, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTopInByAttr measures a 1D-substream probe: attribute-ordered
+// tuples of a narrow covered range, served from the cached per-attribute
+// ordering via binary search.
+func BenchmarkTopInByAttr(b *testing.B) {
+	ix, rects := benchIndex(b, 16, 2000)
+	e, ok := ix.Find(queryRect(rects, 0, 0.45, 0.1))
+	if !ok {
+		b.Fatal("miss")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queryRect(rects, 0, 0.45, 0.1)
+		out, err := ix.TopInByAttr(e.ID, q, relation.Predicate{}, 0, i%2 == 0, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -13,13 +13,26 @@
 // inside its rectangle (entries are only written for complete crawls), so
 // membership plus a client-side filter answers any query whose region the
 // entry covers.
+//
+// The read path is built for memory-speed concurrent service. Covering
+// lookups go through a spatial directory (a packed R-tree per attribute
+// signature — see rtree.go) under a read lock, so any number of sessions
+// probe simultaneously; hit/miss counters are atomic. Entry tuples are kept
+// decoded in memory under a configurable byte budget with LRU eviction
+// (resident.go); the kvstore remains the durable source of truth and is
+// touched only on insert, at boot, and to re-load evicted entries. TopIn on
+// a resident entry is a filter walk over pre-sorted tuples — no store I/O,
+// no decode, no per-call sort.
 package dense
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/kvstore"
 	"repro/internal/region"
@@ -36,32 +49,68 @@ type Entry struct {
 	Count int
 }
 
-// Stats reports index effectiveness for the amortisation experiments.
+// Stats reports index effectiveness for the amortisation experiments and
+// the operational metrics endpoint.
 type Stats struct {
 	Entries      int
 	TuplesStored int
 	Hits         int64
 	Misses       int64
+	// ResidentEntries and ResidentBytes describe the decoded-tuple cache.
+	ResidentEntries int
+	ResidentBytes   int64
+	// ResidentLoads counts store fetches forced by residency misses on the
+	// read path; ResidentEvictions counts entries pushed back to the store
+	// to respect the byte budget.
+	ResidentLoads     int64
+	ResidentEvictions int64
 }
 
 // Index is a shared, persistent directory of crawled dense regions.
-// It is safe for concurrent use.
+// It is safe for concurrent use; lookups take a read lock and scale with
+// the number of readers.
 type Index struct {
-	mu      sync.RWMutex
+	mu      sync.RWMutex // guards entries, dir, nextID, tuples
 	store   kvstore.Store
 	schema  *relation.Schema
 	entries map[uint64]Entry
+	dir     *directory
 	nextID  uint64
 	tuples  int
-	hits    int64
-	misses  int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	res *residency
+}
+
+// Option configures an Index at Open time.
+type Option func(*Index)
+
+// WithResidentBytes sets the decoded-tuple residency budget in bytes.
+// Zero (the default) selects DefaultResidentBytes; a negative budget
+// disables residency so every lookup re-reads the store (useful for
+// measurements and very memory-tight deployments).
+func WithResidentBytes(n int64) Option {
+	return func(ix *Index) { ix.res = newResidency(n) }
 }
 
 // Open loads the index directory from the store, verifying that every
 // entry decodes cleanly — the paper's boot-time cache verification. A fresh
-// store yields an empty index.
-func Open(schema *relation.Schema, store kvstore.Store) (*Index, error) {
-	ix := &Index{store: store, schema: schema, entries: make(map[uint64]Entry)}
+// store yields an empty index. The tuples decoded during verification are
+// kept as the initial resident set (up to the residency budget) instead of
+// being thrown away and decoded again on first use.
+func Open(schema *relation.Schema, store kvstore.Store, opts ...Option) (*Index, error) {
+	ix := &Index{
+		store:   store,
+		schema:  schema,
+		entries: make(map[uint64]Entry),
+		dir:     newDirectory(),
+		res:     newResidency(0),
+	}
+	for _, o := range opts {
+		o(ix)
+	}
 	var corrupt [][]byte
 	err := store.Range(func(key, value []byte) bool {
 		if len(key) < 2 || key[0] != 'e' {
@@ -87,49 +136,62 @@ func Open(schema *relation.Schema, store kvstore.Store) (*Index, error) {
 	for _, key := range corrupt {
 		_ = store.Delete(key)
 	}
-	// Verify tuple blobs exist and decode for every directory entry;
-	// drop entries whose data is missing or unreadable.
+	// Verify tuple blobs exist and decode for every directory entry; drop
+	// entries whose data is missing or unreadable, and admit the decoded
+	// tuples of the survivors as the warm resident set.
+	live := make([]Entry, 0, len(ix.entries))
 	for id, e := range ix.entries {
-		if _, terr := ix.Tuples(id); terr != nil {
+		ts, terr := ix.Tuples(id)
+		if terr != nil {
 			delete(ix.entries, id)
 			ix.tuples -= e.Count
 			_ = ix.store.Delete(entryKey(id))
 			_ = ix.store.Delete(tuplesKey(id))
+			continue
 		}
+		sortTuplesByID(ts)
+		ix.res.admit(id, packTuples(ts))
+		live = append(live, e)
 	}
+	ix.dir.bulk(live)
 	return ix, nil
 }
 
 // Find returns an entry covering the query rectangle, if any. Among
 // covering entries the one with the fewest tuples wins (cheapest to scan).
-// Hit/miss counters feed the amortisation experiment.
+// Concurrent Finds proceed in parallel under a read lock; hit/miss
+// counters feed the amortisation experiment.
 func (ix *Index) Find(r region.Rect) (Entry, bool) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	best, found := Entry{}, false
-	for _, e := range ix.entries {
-		if e.Rect.Covers(r) && (!found || e.Count < best.Count) {
-			best, found = e, true
+	ix.mu.RLock()
+	best, found := ix.dir.findBestCovering(r)
+	if !found && r.Empty() {
+		// Degenerate query: an empty rectangle is covered by every entry,
+		// which the projection-based directory does not model.
+		for _, e := range ix.entries {
+			if !found || e.Count < best.Count {
+				best, found = e, true
+			}
 		}
 	}
+	ix.mu.RUnlock()
 	if found {
-		ix.hits++
+		ix.hits.Add(1)
 	} else {
-		ix.misses++
+		ix.misses.Add(1)
 	}
 	return best, found
 }
 
 // Insert persists a completely crawled region and its tuples, returning the
 // new entry. Regions already covered by an existing entry are deduplicated:
-// the existing entry is returned unchanged.
+// the existing entry is returned unchanged. The freshly crawled tuples are
+// admitted to residency immediately — the session that paid for the crawl
+// is about to read them back.
 func (ix *Index) Insert(r region.Rect, tuples []relation.Tuple) (Entry, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	for _, e := range ix.entries {
-		if e.Rect.Covers(r) {
-			return e, nil
-		}
+	if e, ok := ix.dir.findBestCovering(r); ok {
+		return e, nil
 	}
 	e := Entry{ID: ix.nextID, Rect: r.Clone(), Count: len(tuples)}
 	if err := ix.store.Put(tuplesKey(e.ID), encodeTuples(tuples)); err != nil {
@@ -144,10 +206,16 @@ func (ix *Index) Insert(r region.Rect, tuples []relation.Tuple) (Entry, error) {
 	ix.nextID++
 	ix.entries[e.ID] = e
 	ix.tuples += e.Count
+	ix.dir.add(e)
+	sorted := append([]relation.Tuple(nil), tuples...)
+	sortTuplesByID(sorted)
+	ix.res.admit(e.ID, packTuples(sorted))
 	return e, nil
 }
 
-// Tuples loads the materialised tuples of an entry.
+// Tuples loads the materialised tuples of an entry from the store, in the
+// order they were crawled. This is the durable view; the read path uses the
+// resident (ID-sorted) view instead.
 func (ix *Index) Tuples(id uint64) ([]relation.Tuple, error) {
 	blob, ok, err := ix.store.Get(tuplesKey(id))
 	if err != nil {
@@ -159,18 +227,163 @@ func (ix *Index) Tuples(id uint64) ([]relation.Tuple, error) {
 	return decodeTuples(blob)
 }
 
+// resident returns the in-memory view of an entry, loading and admitting
+// it from the store on a residency miss.
+func (ix *Index) resident(id uint64) (*resident, error) {
+	if r, ok := ix.res.get(id); ok {
+		return r, nil
+	}
+	ts, err := ix.Tuples(id)
+	if err != nil {
+		return nil, err
+	}
+	ix.res.noteLoad()
+	sortTuplesByID(ts)
+	return ix.res.admit(id, packTuples(ts)), nil
+}
+
 // TopIn returns the tuples of entry id that lie inside rect, match pred and
 // are not excluded, sorted by (score, ID) ascending, up to limit (limit <= 0
 // means all). This is the oracle call: it replaces any number of web
-// database queries inside an indexed region.
+// database queries inside an indexed region. A nil score ranks by ID alone.
+//
+// The lookup is adaptive, the way a database picks an access path: when the
+// query rectangle selects a narrow slice of the entry along its first
+// constrained attribute, a binary search over the cached attribute ordering
+// bounds the candidates and only the slice is filtered; otherwise the
+// pre-sorted resident tuples are swept sequentially (which for a nil score
+// also needs no output sort).
 func (ix *Index) TopIn(id uint64, rect region.Rect, pred relation.Predicate,
 	score func(relation.Tuple) float64, excluded func(int64) bool, limit int) ([]relation.Tuple, error) {
-	tuples, err := ix.Tuples(id)
+	r, err := ix.resident(id)
 	if err != nil {
 		return nil, err
 	}
 	var out []relation.Tuple
-	for _, t := range tuples {
+	if cands, ok := r.narrowCandidates(ix.res, rect); ok {
+		// Mark the surviving candidate positions in a bitset and sweep it:
+		// the resident slice is ID-ascending, so position order IS ID
+		// order, recovered in O(n/64 + k) without any sort.
+		words := make([]uint64, (len(r.tuples)+63)/64)
+		kept := 0
+		for _, ci := range cands {
+			t := r.tuples[ci]
+			if !rect.ContainsTuple(t) || !pred.Match(t) {
+				continue
+			}
+			if excluded != nil && excluded(t.ID) {
+				continue
+			}
+			words[ci>>6] |= 1 << (uint(ci) & 63)
+			kept++
+		}
+		out = make([]relation.Tuple, 0, kept)
+		for wi, w := range words {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				out = append(out, r.tuples[wi<<6|b])
+			}
+		}
+	} else {
+		out = filterTuples(r.tuples, rect, pred, excluded)
+	}
+	if score != nil {
+		sort.Slice(out, func(a, b int) bool {
+			sa, sb := score(out[a]), score(out[b])
+			if sa != sb {
+				return sa < sb
+			}
+			return out[a].ID < out[b].ID
+		})
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// narrowSelectivity is the index-scan threshold: the ordered range must
+// select at most 1/narrowSelectivity of the entry for the binary-search
+// path to beat the sequential sweep (random candidate access plus an
+// output sort versus a linear pass).
+const narrowSelectivity = 4
+
+// narrowCandidates binary-searches the cached ordering of the query's
+// first constrained attribute for the tuples inside its interval. ok is
+// false when the range is too wide to beat a sequential sweep, or the
+// rectangle constrains nothing.
+func (r *resident) narrowCandidates(rs *residency, rect region.Rect) ([]int32, bool) {
+	if len(rect.Attrs) == 0 || len(r.tuples) < 64 {
+		return nil, false
+	}
+	attr, iv := rect.Attrs[0], rect.Ivs[0]
+	ord := r.orderFor(rs, attr)
+	lo, hi := searchRange(r.tuples, ord, attr, iv)
+	if (hi-lo)*narrowSelectivity > len(ord) {
+		return nil, false
+	}
+	return ord[lo:hi], true
+}
+
+// TopInByAttr is TopIn ranked by a single attribute: tuples inside rect
+// matching pred, ordered by Values[attr] ascending (descending=false) or
+// descending, up to limit. Ties iterate in ID order for ascending walks and
+// reverse-ID order for descending ones. The per-attribute ordering is
+// computed once per resident entry and reused by every 1D-Rerank substream
+// that probes it.
+func (ix *Index) TopInByAttr(id uint64, rect region.Rect, pred relation.Predicate,
+	attr int, descending bool, excluded func(int64) bool, limit int) ([]relation.Tuple, error) {
+	r, err := ix.resident(id)
+	if err != nil {
+		return nil, err
+	}
+	if attr < 0 || ix.schema != nil && attr >= ix.schema.Len() {
+		return nil, fmt.Errorf("dense: ordering attribute %d out of range", attr)
+	}
+	ord := r.orderFor(ix.res, attr)
+	// When the query rectangle constrains the ranking attribute — the
+	// common case, a frontier leaf is an interval of exactly that attribute
+	// — a binary search bounds the walk to the covered slice.
+	for i, a := range rect.Attrs {
+		if a == attr {
+			lo, hi := searchRange(r.tuples, ord, attr, rect.Ivs[i])
+			ord = ord[lo:hi]
+			break
+		}
+	}
+	out := make([]relation.Tuple, 0, 16)
+	emit := func(t relation.Tuple) bool {
+		if !rect.ContainsTuple(t) || !pred.Match(t) {
+			return true
+		}
+		if excluded != nil && excluded(t.ID) {
+			return true
+		}
+		out = append(out, t)
+		return limit <= 0 || len(out) < limit
+	}
+	if descending {
+		for i := len(ord) - 1; i >= 0; i-- {
+			if !emit(r.tuples[ord[i]]) {
+				break
+			}
+		}
+	} else {
+		for _, oi := range ord {
+			if !emit(r.tuples[oi]) {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// filterTuples walks an ID-sorted resident slice and keeps the tuples
+// inside rect that match pred and are not excluded.
+func filterTuples(ts []relation.Tuple, rect region.Rect, pred relation.Predicate, excluded func(int64) bool) []relation.Tuple {
+	var out []relation.Tuple
+	for _, t := range ts {
 		if !rect.ContainsTuple(t) || !pred.Match(t) {
 			continue
 		}
@@ -179,29 +392,7 @@ func (ix *Index) TopIn(id uint64, rect region.Rect, pred relation.Predicate,
 		}
 		out = append(out, t)
 	}
-	sortByScore(out, score)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
-}
-
-func sortByScore(ts []relation.Tuple, score func(relation.Tuple) float64) {
-	if score == nil {
-		score = func(relation.Tuple) float64 { return 0 }
-	}
-	// Insertion sort is fine: dense regions hold at most a few thousand
-	// tuples and the slice is usually small after filtering.
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0; j-- {
-			sj, sp := score(ts[j]), score(ts[j-1])
-			if sj < sp || (sj == sp && ts[j].ID < ts[j-1].ID) {
-				ts[j], ts[j-1] = ts[j-1], ts[j]
-			} else {
-				break
-			}
-		}
-	}
+	return out
 }
 
 // Len returns the number of entries.
@@ -214,8 +405,12 @@ func (ix *Index) Len() int {
 // Stats returns a snapshot of index effectiveness counters.
 func (ix *Index) Stats() Stats {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return Stats{Entries: len(ix.entries), TuplesStored: ix.tuples, Hits: ix.hits, Misses: ix.misses}
+	s := Stats{Entries: len(ix.entries), TuplesStored: ix.tuples}
+	ix.mu.RUnlock()
+	s.Hits = ix.hits.Load()
+	s.Misses = ix.misses.Load()
+	ix.res.stats(&s)
+	return s
 }
 
 func entryKey(id uint64) []byte {

@@ -3,6 +3,7 @@ package dense
 import (
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/kvstore"
@@ -233,6 +234,294 @@ func TestOpenDropsCorruptDirectory(t *testing.T) {
 	}
 	if _, ok, _ := store.Get([]byte("e/garbage")); ok {
 		t.Fatal("corrupt entry not removed from store")
+	}
+}
+
+// TestFindMatchesBruteForce drives the spatial directory against the
+// original O(entries) covering scan on random rectangles.
+func TestFindMatchesBruteForce(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	r := rand.New(rand.NewSource(21))
+	var inserted []Entry
+	for i := 0; i < 120; i++ {
+		var rect region.Rect
+		switch i % 3 {
+		case 0: // 1D on x
+			lo := r.Float64() * 900
+			rect = region.MustNew([]int{0}, []relation.Interval{relation.Closed(lo, lo+20+r.Float64()*80)})
+		case 1: // 1D on y
+			lo := r.Float64() * 900
+			rect = region.MustNew([]int{1}, []relation.Interval{relation.OpenLo(lo, lo+20+r.Float64()*80)})
+		default: // 2D
+			lx, ly := r.Float64()*900, r.Float64()*900
+			rect = region.MustNew([]int{0, 1}, []relation.Interval{
+				relation.Closed(lx, lx+30+r.Float64()*100),
+				relation.OpenHi(ly, ly+30+r.Float64()*100),
+			})
+		}
+		e, err := ix.Insert(rect, mkTuples(1+r.Intn(8), int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, e)
+	}
+	brute := func(q region.Rect) (Entry, bool) {
+		best, found := Entry{}, false
+		for _, e := range inserted {
+			if e.Rect.Covers(q) && (!found || e.Count < best.Count) {
+				best, found = e, true
+			}
+		}
+		return best, found
+	}
+	for trial := 0; trial < 500; trial++ {
+		var q region.Rect
+		if trial%2 == 0 {
+			lo := r.Float64() * 1000
+			q = region.MustNew([]int{r.Intn(2)}, []relation.Interval{relation.Closed(lo, lo+r.Float64()*60)})
+		} else {
+			lx, ly := r.Float64()*1000, r.Float64()*1000
+			q = region.MustNew([]int{0, 1}, []relation.Interval{
+				relation.Closed(lx, lx+r.Float64()*60), relation.Closed(ly, ly+r.Float64()*60)})
+		}
+		want, wantOK := brute(q)
+		got, gotOK := ix.Find(q)
+		if gotOK != wantOK {
+			t.Fatalf("trial %d: Find ok=%v, brute ok=%v for %v", trial, gotOK, wantOK, q)
+		}
+		// Insert dedupe means several entries can share a covering shape;
+		// any entry with the minimal count is a correct answer.
+		if gotOK && (got.Count != want.Count || !got.Rect.Covers(q)) {
+			t.Fatalf("trial %d: Find=%+v want count %d covering %v", trial, got, want.Count, q)
+		}
+	}
+}
+
+// TestFindEmptyQueryRect preserves the degenerate-case contract: an empty
+// rectangle is covered by every entry.
+func TestFindEmptyQueryRect(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 10)})
+	if _, err := ix.Insert(rect, mkTuples(4, 31)); err != nil {
+		t.Fatal(err)
+	}
+	empty := region.MustNew([]int{0}, []relation.Interval{relation.OpenLo(5, 5)})
+	if _, ok := ix.Find(empty); !ok {
+		t.Fatal("empty query rect should hit any entry")
+	}
+}
+
+// TestTopInByAttr checks both directions of the cached-ordering walk.
+func TestTopInByAttr(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	tuples := []relation.Tuple{
+		{ID: 1, Values: []float64{50, 5}},
+		{ID: 2, Values: []float64{10, 9}},
+		{ID: 3, Values: []float64{10, 1}},
+		{ID: 4, Values: []float64{70, 2}},
+	}
+	e, err := ix.Insert(rect.Clone(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc, err := ix.TopInByAttr(e.ID, rect, relation.Predicate{}, 0, false, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAsc := []int64{2, 3, 1, 4} // x asc, ties by ID asc
+	for i, w := range wantAsc {
+		if asc[i].ID != w {
+			t.Fatalf("asc[%d].ID = %d, want %d", i, asc[i].ID, w)
+		}
+	}
+	desc, err := ix.TopInByAttr(e.ID, rect, relation.Predicate{}, 0, true, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 2 || desc[0].ID != 4 || desc[1].ID != 1 {
+		t.Fatalf("desc = %+v", desc)
+	}
+	// Filtered + excluded walk.
+	pred := relation.Predicate{}.WithInterval(1, relation.Closed(0, 8))
+	got, err := ix.TopInByAttr(e.ID, rect, pred, 0, false, func(id int64) bool { return id == 3 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 4 {
+		t.Fatalf("filtered TopInByAttr = %+v", got)
+	}
+}
+
+// TestResidencyBudgetEviction forces a tiny budget and checks entries
+// round-trip through the store after eviction, with stats moving.
+func TestResidencyBudgetEviction(t *testing.T) {
+	ix, err := Open(schema(t), kvstore.NewMemory(), WithResidentBytes(1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	for i := 0; i < 6; i++ {
+		lo := float64(i * 10)
+		rect := region.MustNew([]int{0}, []relation.Interval{relation.OpenHi(lo, lo+10)})
+		ts := make([]relation.Tuple, 20)
+		for j := range ts {
+			ts[j] = relation.Tuple{ID: int64(i*100 + j), Values: []float64{lo + float64(j)*0.5, 0}}
+		}
+		e, err := ix.Insert(rect, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	st := ix.Stats()
+	if st.ResidentBytes > 1200 {
+		t.Fatalf("resident bytes %d exceed budget", st.ResidentBytes)
+	}
+	if st.ResidentEvictions == 0 {
+		t.Fatal("expected evictions under a 1200-byte budget")
+	}
+	// Every entry, resident or evicted, must still answer correctly.
+	for i, e := range entries {
+		q := region.MustNew([]int{0}, []relation.Interval{relation.Closed(float64(i*10), float64(i*10)+9)})
+		got, err := ix.TopIn(e.ID, q, relation.Predicate{}, nil, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 19 { // j=19 lands at lo+9.5, outside [lo, lo+9]
+			t.Fatalf("entry %d: %d tuples after eviction round trip", i, len(got))
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j].ID <= got[j-1].ID {
+				t.Fatalf("entry %d: tuples not ID-sorted", i)
+			}
+		}
+	}
+	if ix.Stats().ResidentLoads == 0 {
+		t.Fatal("expected store loads after eviction")
+	}
+}
+
+// TestResidencyDisabled checks that a negative budget serves correct
+// results straight from the store.
+func TestResidencyDisabled(t *testing.T) {
+	ix, err := Open(schema(t), kvstore.NewMemory(), WithResidentBytes(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	e, err := ix.Insert(rect, mkTuples(30, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.TopIn(e.ID, rect, relation.Predicate{}, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("TopIn = %d tuples", len(got))
+	}
+	if st := ix.Stats(); st.ResidentEntries != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("disabled residency retained entries: %+v", st)
+	}
+}
+
+// TestOpenWarmsResidency verifies boot-time verification doubles as the
+// initial resident set instead of decoding twice and discarding.
+func TestOpenWarmsResidency(t *testing.T) {
+	store := kvstore.NewMemory()
+	ix, _ := Open(schema(t), store)
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	e, err := ix.Insert(rect, mkTuples(25, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(schema(t), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix2.Stats()
+	if st.ResidentEntries != 1 || st.ResidentBytes == 0 {
+		t.Fatalf("boot verification did not warm residency: %+v", st)
+	}
+	if st.ResidentLoads != 0 {
+		t.Fatalf("boot warm counted as read-path loads: %+v", st)
+	}
+	if _, err := ix2.TopIn(e.ID, rect, relation.Predicate{}, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix2.Stats().ResidentLoads; got != 0 {
+		t.Fatalf("resident TopIn hit the store: %d loads", got)
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers Find/TopIn/Insert from many
+// goroutines; run with -race. Readers must observe consistent entries.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory(), WithResidentBytes(1<<16))
+	// Seed a few entries so readers hit from the start.
+	for i := 0; i < 4; i++ {
+		lo := float64(i * 100)
+		rect := region.MustNew([]int{0}, []relation.Interval{relation.OpenHi(lo, lo+100)})
+		if _, err := ix.Insert(rect, mkTuples(50, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const (
+		readers = 8
+		writers = 2
+		iters   = 300
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+writers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				lo := float64(r.Intn(4)*100) + r.Float64()*50
+				q := region.MustNew([]int{0}, []relation.Interval{relation.Closed(lo, lo+10)})
+				e, ok := ix.Find(q)
+				if !ok {
+					continue
+				}
+				if i%2 == 0 {
+					if _, err := ix.TopIn(e.ID, q, relation.Predicate{}, nil, nil, 0); err != nil {
+						errc <- err
+						return
+					}
+				} else {
+					if _, err := ix.TopInByAttr(e.ID, q, relation.Predicate{}, 1, r.Intn(2) == 0, nil, 0); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(1000 + seed))
+			for i := 0; i < iters/10; i++ {
+				lo := 400 + r.Float64()*500
+				rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(lo, lo+5)})
+				if _, err := ix.Insert(rect, mkTuples(10, seed*1000+int64(i))); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if ix.Len() == 0 || ix.Stats().Hits == 0 {
+		t.Fatalf("concurrent run did no work: %+v", ix.Stats())
 	}
 }
 

@@ -1,0 +1,205 @@
+package dense
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+// The spatial directory replaces the O(entries) covering scan of the
+// original index: Find must locate, among potentially thousands of crawled
+// rectangles, the cheapest one covering a query rectangle, on every dense
+// probe of every frontier leaf of every concurrent session.
+//
+// Entries are grouped by attribute signature (the exact set of schema
+// attributes the rectangle constrains); within a group every rectangle has
+// the same dimensionality, and covering the query reduces to containing the
+// query's projection onto the group's attributes. Each group holds a small
+// packed R-tree over its rectangles. The containment query prunes on the
+// minimum bounding box: a node's box is the hull of everything below it, so
+// a subtree can only contain an entry covering the query if the box itself
+// covers the query. Groups are rebuilt by bulk-loading on insert — inserts
+// happen once per region crawl and are many orders of magnitude rarer than
+// lookups.
+
+// rtreeFanout is the node width of the packed R-tree. Small enough to keep
+// boxes tight, large enough that a thousand entries fit in three levels.
+const rtreeFanout = 16
+
+// directory indexes entry rectangles for covering queries.
+type directory struct {
+	groups map[string]*group
+}
+
+// group holds every entry with one attribute signature.
+type group struct {
+	attrs   []int
+	entries []Entry
+	root    *rnode
+}
+
+// rnode is one packed R-tree node. Leaves carry entry indices into
+// group.entries; interior nodes carry children. box is the hull of the
+// subtree, aligned with group.attrs.
+type rnode struct {
+	box      []relation.Interval
+	children []*rnode
+	leaves   []int
+}
+
+func newDirectory() *directory {
+	return &directory{groups: make(map[string]*group)}
+}
+
+// signature is the map key of an attribute set.
+func signature(attrs []int) string {
+	buf := make([]byte, 0, 4*len(attrs))
+	for _, a := range attrs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+	}
+	return string(buf)
+}
+
+// add inserts an entry and rebuilds its signature group.
+func (d *directory) add(e Entry) {
+	sig := signature(e.Rect.Attrs)
+	g, ok := d.groups[sig]
+	if !ok {
+		g = &group{attrs: append([]int(nil), e.Rect.Attrs...)}
+		d.groups[sig] = g
+	}
+	g.entries = append(g.entries, e)
+	g.rebuild()
+}
+
+// bulk inserts many entries, rebuilding each touched group once.
+func (d *directory) bulk(entries []Entry) {
+	touched := make(map[string]*group)
+	for _, e := range entries {
+		sig := signature(e.Rect.Attrs)
+		g, ok := d.groups[sig]
+		if !ok {
+			g = &group{attrs: append([]int(nil), e.Rect.Attrs...)}
+			d.groups[sig] = g
+		}
+		g.entries = append(g.entries, e)
+		touched[sig] = g
+	}
+	for _, g := range touched {
+		g.rebuild()
+	}
+}
+
+// findBestCovering returns the covering entry with the fewest tuples.
+func (d *directory) findBestCovering(r region.Rect) (Entry, bool) {
+	best, found := Entry{}, false
+	for _, g := range d.groups {
+		e, ok := g.findBestCovering(r)
+		if ok && (!found || e.Count < best.Count) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// rebuild bulk-loads the packed R-tree: entries sorted by their centre
+// along the first dimension, packed into leaves of rtreeFanout, parents
+// built bottom-up over the hulls.
+func (g *group) rebuild() {
+	idx := make([]int, len(g.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(g.attrs) > 0 {
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := g.entries[idx[a]].Rect.Ivs[0], g.entries[idx[b]].Rect.Ivs[0]
+			return ia.Lo+ia.Hi < ib.Lo+ib.Hi
+		})
+	}
+	var level []*rnode
+	for lo := 0; lo < len(idx); lo += rtreeFanout {
+		hi := lo + rtreeFanout
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		n := &rnode{leaves: append([]int(nil), idx[lo:hi]...)}
+		for _, ei := range n.leaves {
+			n.grow(g.entries[ei].Rect.Ivs)
+		}
+		level = append(level, n)
+	}
+	for len(level) > 1 {
+		var parents []*rnode
+		for lo := 0; lo < len(level); lo += rtreeFanout {
+			hi := lo + rtreeFanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			p := &rnode{children: level[lo:hi]}
+			for _, c := range p.children {
+				p.grow(c.box)
+			}
+			parents = append(parents, p)
+		}
+		level = parents
+	}
+	if len(level) == 1 {
+		g.root = level[0]
+	} else {
+		g.root = nil
+	}
+}
+
+// grow widens the node box to the hull with ivs.
+func (n *rnode) grow(ivs []relation.Interval) {
+	if n.box == nil {
+		n.box = append([]relation.Interval(nil), ivs...)
+		return
+	}
+	for i := range n.box {
+		n.box[i] = n.box[i].Hull(ivs[i])
+	}
+}
+
+// findBestCovering searches the group for the covering entry with the
+// fewest tuples. q is projected onto the group attributes once; a subtree
+// is descended only when its bounding box contains the projection.
+func (g *group) findBestCovering(q region.Rect) (Entry, bool) {
+	if g.root == nil {
+		return Entry{}, false
+	}
+	proj := make([]relation.Interval, len(g.attrs))
+	for i, a := range g.attrs {
+		proj[i] = q.Interval(a)
+	}
+	best, found := Entry{}, false
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if !containsAll(n.box, proj) {
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+		for _, ei := range n.leaves {
+			e := g.entries[ei]
+			if (!found || e.Count < best.Count) && containsAll(e.Rect.Ivs, proj) {
+				best, found = e, true
+			}
+		}
+	}
+	walk(g.root)
+	return best, found
+}
+
+// containsAll reports whether box contains q on every dimension.
+func containsAll(box, q []relation.Interval) bool {
+	for i := range box {
+		if !box[i].ContainsInterval(q[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package qcache
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+// Overflow-aware answer reuse. A cached result with Overflow=false is the
+// complete match set of its predicate: the web database returned every
+// tuple satisfying it, in system-rank order. Such an answer can serve not
+// just the identical predicate but any strictly narrower one — filtering
+// the complete set client-side yields exactly the tuples, in exactly the
+// order, the database would return, with Overflow necessarily false again.
+// This includes the negative result: a complete empty answer proves every
+// narrower predicate empty too.
+//
+// completeDir is the containment directory over complete answers — the
+// answer-granularity analogue of the dense-region index, including its
+// pruning idea: entries are grouped by the attribute signature their
+// predicate constrains. Canonical keys never contain full-interval
+// conditions, so a predicate p can only cover q when every attribute p
+// constrains is constrained by q too; a lookup therefore skips every group
+// whose signature is not a subset of the query's attribute set. It is
+// keyed by the canonical predicate key and consulted after an exact-key
+// miss; entries enter when a complete answer is admitted to a shard and
+// leave when that shard evicts or replaces it.
+
+// completeEntry is one complete answer available for containment reuse.
+type completeEntry struct {
+	pred     relation.Predicate
+	res      hidden.Result
+	storedAt time.Time
+}
+
+// completeGroup holds the complete answers sharing one attribute
+// signature.
+type completeGroup struct {
+	attrs   []int // ascending attribute positions the predicates constrain
+	entries map[string]completeEntry
+}
+
+// completeDir indexes complete answers for containment lookups. Its lock
+// is ordered after the shard locks: shards register and unregister while
+// holding their own mutex; lookups take only the directory lock.
+type completeDir struct {
+	mu     sync.RWMutex
+	groups map[string]*completeGroup // signature -> group
+	sigs   map[string]string         // canonical key -> signature
+}
+
+func newCompleteDir() *completeDir {
+	return &completeDir{
+		groups: make(map[string]*completeGroup),
+		sigs:   make(map[string]string),
+	}
+}
+
+// condAttrs returns the ascending attribute positions p constrains.
+func condAttrs(p relation.Predicate) []int {
+	conds := p.Conditions()
+	out := make([]int, len(conds))
+	for i, c := range conds {
+		out[i] = c.Attr
+	}
+	return out
+}
+
+// sigOf encodes an attribute set as a map key.
+func sigOf(attrs []int) string {
+	buf := make([]byte, 0, 4*len(attrs))
+	for _, a := range attrs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+	}
+	return string(buf)
+}
+
+// subsetInts reports whether every element of a occurs in b (both sorted
+// ascending).
+func subsetInts(a, b []int) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// register records a complete answer under its canonical key. Overflowing
+// answers are ignored: a truncated match set answers nothing but itself.
+func (d *completeDir) register(key string, res hidden.Result, at time.Time) {
+	if res.Overflow {
+		return
+	}
+	pred, ok := PredicateOfKey(key)
+	if !ok {
+		return
+	}
+	attrs := condAttrs(pred)
+	sig := sigOf(attrs)
+	d.mu.Lock()
+	g, ok := d.groups[sig]
+	if !ok {
+		g = &completeGroup{attrs: attrs, entries: make(map[string]completeEntry)}
+		d.groups[sig] = g
+	}
+	g.entries[key] = completeEntry{pred: pred, res: res, storedAt: at}
+	d.sigs[key] = sig
+	d.mu.Unlock()
+}
+
+// unregister drops the record for key, if any.
+func (d *completeDir) unregister(key string) {
+	d.mu.Lock()
+	if sig, ok := d.sigs[key]; ok {
+		delete(d.sigs, key)
+		if g, ok := d.groups[sig]; ok {
+			delete(g.entries, key)
+			if len(g.entries) == 0 {
+				delete(d.groups, sig)
+			}
+		}
+	}
+	d.mu.Unlock()
+}
+
+// lookup finds a complete answer whose predicate covers p and assembles
+// the narrower result client-side. Only groups whose signature is a
+// subset of p's constrained attributes are scanned; among covering
+// answers the smallest match set wins (cheapest to filter). Entries older
+// than ttl (when positive) are skipped; the owning shard expires them on
+// its own schedule.
+func (d *completeDir) lookup(p relation.Predicate, ttl time.Duration, now time.Time) (hidden.Result, bool) {
+	pa := condAttrs(p)
+	d.mu.RLock()
+	var (
+		best  completeEntry
+		found bool
+	)
+	for _, g := range d.groups {
+		if !subsetInts(g.attrs, pa) {
+			continue
+		}
+		for _, e := range g.entries {
+			if ttl > 0 && now.Sub(e.storedAt) > ttl {
+				continue
+			}
+			if (!found || len(e.res.Tuples) < len(best.res.Tuples)) && e.pred.Covers(p) {
+				best, found = e, true
+			}
+		}
+	}
+	d.mu.RUnlock()
+	if !found {
+		return hidden.Result{}, false
+	}
+	out := hidden.Result{Tuples: make([]relation.Tuple, 0, len(best.res.Tuples))}
+	for _, t := range best.res.Tuples {
+		if p.Match(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, true
+}
+
+// len reports the number of registered complete answers.
+func (d *completeDir) len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.sigs)
+}
+
+// purge drops every registered answer.
+func (d *completeDir) purge() {
+	d.mu.Lock()
+	d.groups = make(map[string]*completeGroup)
+	d.sigs = make(map[string]string)
+	d.mu.Unlock()
+}
+
+// PredicateOfKey reconstructs the predicate serialised by AppendKey. The
+// canonical key is a faithful encoding of every constraining condition, so
+// the round trip loses nothing the cache ever distinguished. ok is false
+// for malformed keys.
+func PredicateOfKey(key string) (relation.Predicate, bool) {
+	var p relation.Predicate
+	buf := []byte(key)
+	for len(buf) > 0 {
+		switch buf[0] {
+		case 'c':
+			if len(buf) < 9 {
+				return relation.Predicate{}, false
+			}
+			attr := int(binary.LittleEndian.Uint32(buf[1:5]))
+			n := int(binary.LittleEndian.Uint32(buf[5:9]))
+			buf = buf[9:]
+			if n < 0 || len(buf) < 4*n {
+				return relation.Predicate{}, false
+			}
+			cats := make([]int, n)
+			for i := 0; i < n; i++ {
+				cats[i] = int(binary.LittleEndian.Uint32(buf[4*i : 4*i+4]))
+			}
+			buf = buf[4*n:]
+			p = p.WithCategories(attr, cats)
+		case 'n':
+			if len(buf) < 22 {
+				return relation.Predicate{}, false
+			}
+			attr := int(binary.LittleEndian.Uint32(buf[1:5]))
+			iv := relation.Interval{
+				Lo:     math.Float64frombits(binary.LittleEndian.Uint64(buf[5:13])),
+				Hi:     math.Float64frombits(binary.LittleEndian.Uint64(buf[13:21])),
+				LoOpen: buf[21]&1 != 0,
+				HiOpen: buf[21]&2 != 0,
+			}
+			buf = buf[22:]
+			p = p.WithInterval(attr, iv)
+		default:
+			return relation.Predicate{}, false
+		}
+	}
+	return p, true
+}

@@ -16,6 +16,13 @@
 // question cost exactly one web-database query, which is the cheapest
 // query of all.
 //
+// Beyond exact matches, the cache performs overflow-aware reuse: an answer
+// whose Overflow flag is false is the complete match set of its predicate,
+// so any strictly narrower predicate is answered by filtering it
+// client-side — byte-identical to what the database would return,
+// including the negative (empty) result — via a containment directory over
+// complete answers (see contain.go).
+//
 // Entries can optionally be persisted through a kvstore.Store so a warm
 // cache survives restarts; the store is fingerprinted against the source
 // (name, system-k, schema) and wiped when the source changes, mirroring
@@ -59,12 +66,22 @@ type Config struct {
 	// keeps the cache memory-only. The store is wiped when its recorded
 	// source fingerprint no longer matches the database.
 	Store kvstore.Store
+	// DisableContainment turns off overflow-aware reuse: by default a
+	// resident answer with Overflow=false (the complete match set of its
+	// predicate) also serves every strictly narrower predicate by
+	// client-side filtering, without touching the inner database.
+	DisableContainment bool
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
-	// Hits counts searches answered from a resident entry.
+	// Hits counts searches answered from a resident entry with the exact
+	// same canonical predicate.
 	Hits int64 `json:"hits"`
+	// ContainmentHits counts searches answered by filtering a resident
+	// complete (non-overflowing) answer for a broader predicate —
+	// overflow-aware reuse. Disjoint from Hits.
+	ContainmentHits int64 `json:"containment_hits"`
 	// Misses counts searches that had to query the inner database.
 	Misses int64 `json:"misses"`
 	// Coalesced counts searches that joined an identical in-flight
@@ -77,17 +94,22 @@ type Stats struct {
 	// Entries and Bytes describe current residency.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// CompleteEntries counts resident answers available for containment
+	// reuse (complete match sets).
+	CompleteEntries int `json:"complete_entries"`
 	// Warmed counts entries loaded from the persistent store at boot.
 	Warmed int `json:"warmed"`
 }
 
-// HitRate returns hits / (hits + misses), or zero before any lookup.
+// HitRate returns the share of searches answered without the inner
+// database: (hits + containment hits) / all searches. Zero before any
+// lookup.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.ContainmentHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.ContainmentHits) / float64(total)
 }
 
 // entry is one cached search result.
@@ -119,14 +141,15 @@ type shard struct {
 // Cache decorates a hidden.DB with a shared answer cache. It implements
 // hidden.DB and is safe for concurrent use by any number of sessions.
 type Cache struct {
-	inner  hidden.DB
-	ttl    time.Duration
-	shards []*shard
-	mask   uint64
-	store  kvstore.Store
-	now    func() time.Time
-
+	inner     hidden.DB
+	ttl       time.Duration
+	shards    []*shard
+	mask      uint64
+	store     kvstore.Store
+	now       func() time.Time
+	complete  *completeDir // nil when containment reuse is disabled
 	hits      atomic.Int64
+	contained atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
 	evictions atomic.Int64
@@ -161,6 +184,9 @@ func New(inner hidden.DB, cfg Config) (*Cache, error) {
 		mask:   uint64(n - 1),
 		store:  cfg.Store,
 		now:    time.Now,
+	}
+	if !cfg.DisableContainment {
+		c.complete = newCompleteDir()
 	}
 	per := cfg.MaxBytes / int64(n)
 	for i := range c.shards {
@@ -205,18 +231,35 @@ func (c *Cache) shardFor(key string) *shard {
 	return c.shards[h&c.mask]
 }
 
-// Search implements hidden.DB. A resident entry answers immediately; an
-// identical in-flight search is joined; otherwise the caller becomes the
-// leader, queries the inner database once and publishes the result.
+// Search implements hidden.DB. A resident entry answers immediately; a
+// resident complete answer for a broader predicate answers by client-side
+// filtering (overflow-aware reuse); an identical in-flight search is
+// joined; otherwise the caller becomes the leader, queries the inner
+// database once and publishes the result.
 func (c *Cache) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
 	key := KeyOf(p)
 	sh := c.shardFor(key)
+	// The containment scan must not run under the shard mutex — it would
+	// serialize every other lookup on the shard behind a directory walk.
+	// It is attempted once, lock-free, after the first exact miss; the
+	// loop then re-checks the shard, which may have gained the entry or an
+	// in-flight leader in the meantime.
+	triedContainment := c.complete == nil
 	for {
 		sh.mu.Lock()
 		if res, ok := c.lookupLocked(sh, key); ok {
 			sh.mu.Unlock()
 			c.hits.Add(1)
 			return res, nil
+		}
+		if !triedContainment {
+			sh.mu.Unlock()
+			triedContainment = true
+			if res, ok := c.complete.lookup(p, c.ttl, c.now()); ok {
+				c.contained.Add(1)
+				return res, nil
+			}
+			continue
 		}
 		if fl, ok := sh.flights[key]; ok {
 			sh.mu.Unlock()
@@ -313,6 +356,9 @@ func (c *Cache) insertLocked(sh *shard, key string, res hidden.Result, at time.T
 	}
 	sh.elems[key] = sh.lru.PushFront(e)
 	sh.bytes += e.size
+	if c.complete != nil {
+		c.complete.register(key, res, at)
+	}
 	for sh.bytes > sh.maxBytes {
 		cold := sh.lru.Back()
 		if cold == nil {
@@ -330,6 +376,9 @@ func (c *Cache) removeLocked(sh *shard, el *list.Element) {
 	sh.lru.Remove(el)
 	delete(sh.elems, e.key)
 	sh.bytes -= e.size
+	if c.complete != nil {
+		c.complete.unregister(e.key)
+	}
 }
 
 // entrySize estimates the resident footprint of one entry: the key, the
@@ -356,18 +405,22 @@ func copyResult(res hidden.Result) hidden.Result {
 // Stats returns a snapshot of the cache counters and residency.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Expired:   c.expired.Load(),
-		Warmed:    c.warmed,
+		Hits:            c.hits.Load(),
+		ContainmentHits: c.contained.Load(),
+		Misses:          c.misses.Load(),
+		Coalesced:       c.coalesced.Load(),
+		Evictions:       c.evictions.Load(),
+		Expired:         c.expired.Load(),
+		Warmed:          c.warmed,
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		st.Entries += len(sh.elems)
 		st.Bytes += sh.bytes
 		sh.mu.Unlock()
+	}
+	if c.complete != nil {
+		st.CompleteEntries = c.complete.len()
 	}
 	return st
 }
@@ -392,6 +445,9 @@ func (c *Cache) Purge() error {
 		sh.lru = list.New()
 		sh.bytes = 0
 		sh.mu.Unlock()
+	}
+	if c.complete != nil {
+		c.complete.purge()
 	}
 	if c.store == nil {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -590,5 +591,236 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(testDB(t, 10, 5), Config{TTL: -time.Second}); err == nil {
 		t.Fatal("negative TTL accepted")
+	}
+}
+
+// TestPredicateOfKeyRoundTrip: the canonical key decodes back to a
+// predicate with the identical canonical key.
+func TestPredicateOfKeyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		var p relation.Predicate
+		for a := 0; a < 4; a++ {
+			switch r.Intn(3) {
+			case 0:
+			case 1:
+				lo := r.Float64()*100 - 50
+				p = p.WithInterval(a, relation.Interval{
+					Lo: lo, Hi: lo + r.Float64()*40,
+					LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0,
+				})
+			case 2:
+				cats := make([]int, 1+r.Intn(4))
+				for j := range cats {
+					cats[j] = r.Intn(6)
+				}
+				p = p.WithCategories(a, cats)
+			}
+		}
+		key := KeyOf(p)
+		back, ok := PredicateOfKey(key)
+		if !ok {
+			t.Fatalf("trial %d: key %q did not decode", i, key)
+		}
+		if KeyOf(back) != key {
+			t.Fatalf("trial %d: round trip changed key", i)
+		}
+	}
+	if _, ok := PredicateOfKey("x-garbage"); ok {
+		t.Fatal("garbage key decoded")
+	}
+}
+
+// TestContainmentReuse: a complete answer serves a strictly narrower
+// predicate without touching the inner database.
+func TestContainmentReuse(t *testing.T) {
+	db := testDB(t, 100, 40) // [100, 140) has 40 tuples: complete, not overflowing... see below
+	c, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// [10, 40] matches 31 tuples < systemK 40: complete.
+	broad := pricePred(10, 40)
+	if res, err := c.Search(ctx, broad); err != nil || res.Overflow {
+		t.Fatalf("broad fill: %v overflow=%v", err, res.Overflow)
+	}
+	before := db.QueryCount()
+	narrow := pricePred(15, 25)
+	got, err := c.Search(ctx, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.QueryCount() != before {
+		t.Fatalf("containment hit still queried the web database (%d -> %d)", before, db.QueryCount())
+	}
+	want, err := db.Search(ctx, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != len(want.Tuples) || got.Overflow != want.Overflow {
+		t.Fatalf("containment answer differs: %d/%v vs %d/%v",
+			len(got.Tuples), got.Overflow, len(want.Tuples), want.Overflow)
+	}
+	for i := range want.Tuples {
+		if got.Tuples[i].ID != want.Tuples[i].ID {
+			t.Fatalf("tuple %d: ID %d vs %d", i, got.Tuples[i].ID, want.Tuples[i].ID)
+		}
+	}
+	st := c.Stats()
+	if st.ContainmentHits != 1 || st.CompleteEntries == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("containment hits must count into the hit rate: %+v", st)
+	}
+}
+
+// TestContainmentNotUsedForOverflowingAnswers: a truncated answer must
+// never serve a narrower predicate.
+func TestContainmentNotUsedForOverflowingAnswers(t *testing.T) {
+	db := testDB(t, 100, 10)
+	c, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	broad := pricePred(0, 90) // 91 matches >> systemK 10: overflow
+	if res, err := c.Search(ctx, broad); err != nil || !res.Overflow {
+		t.Fatalf("broad fill: %v overflow=%v", err, res.Overflow)
+	}
+	before := db.QueryCount()
+	// The narrower range [50, 60] has matches the truncated answer lacks.
+	got, err := c.Search(ctx, pricePred(50, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.QueryCount() == before {
+		t.Fatal("narrower predicate served from a truncated answer")
+	}
+	if len(got.Tuples) != 10 {
+		t.Fatalf("got %d tuples", len(got.Tuples))
+	}
+	if st := c.Stats(); st.ContainmentHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestContainmentReuseProperty: for random base regions whose answer is
+// complete, every random strictly narrower predicate (numeric and
+// categorical narrowing) is answered with zero web-database queries and
+// byte-identical results to a direct query.
+func TestContainmentReuseProperty(t *testing.T) {
+	db := testDB(t, 500, 60)
+	truth := testDB(t, 500, 60) // identical twin: the uncached oracle
+	c, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(47))
+	reused := 0
+	for trial := 0; trial < 200; trial++ {
+		lo := r.Float64() * 450
+		width := r.Float64() * 55 // <= 55 matching tuples: usually complete
+		base := pricePred(lo, lo+width)
+		res, err := c.Search(ctx, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Overflow {
+			continue
+		}
+		// Narrow numerically and, on odd trials, categorically too.
+		nlo := lo + r.Float64()*width/2
+		nhi := nlo + r.Float64()*(lo+width-nlo)
+		narrow := pricePred(nlo, nhi)
+		if trial%2 == 1 {
+			narrow = narrow.WithCategories(1, []int{r.Intn(3), r.Intn(3)})
+		}
+		before := db.QueryCount()
+		got, err := c.Search(ctx, narrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.QueryCount() != before {
+			t.Fatalf("trial %d: narrower predicate paid a web query", trial)
+		}
+		reused++
+		want, err := truth.Search(ctx, narrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("trial %d: %d/%v vs direct %d/%v", trial,
+				len(got.Tuples), got.Overflow, len(want.Tuples), want.Overflow)
+		}
+		for i := range want.Tuples {
+			if got.Tuples[i].ID != want.Tuples[i].ID {
+				t.Fatalf("trial %d tuple %d: ID %d vs %d", trial, i, got.Tuples[i].ID, want.Tuples[i].ID)
+			}
+			for j := range want.Tuples[i].Values {
+				if got.Tuples[i].Values[j] != want.Tuples[i].Values[j] {
+					t.Fatalf("trial %d tuple %d value %d differs", trial, i, j)
+				}
+			}
+		}
+	}
+	if reused < 50 {
+		t.Fatalf("only %d containment reuses exercised; property too weak", reused)
+	}
+}
+
+// TestContainmentDisabled: the config switch turns the path off.
+func TestContainmentDisabled(t *testing.T) {
+	db := testDB(t, 100, 40)
+	c, err := New(db, Config{DisableContainment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Search(ctx, pricePred(10, 40)); err != nil {
+		t.Fatal(err)
+	}
+	before := db.QueryCount()
+	if _, err := c.Search(ctx, pricePred(15, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if db.QueryCount() == before {
+		t.Fatal("containment served although disabled")
+	}
+	if st := c.Stats(); st.ContainmentHits != 0 || st.CompleteEntries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestContainmentEvictionUnregisters: once the byte budget evicts a
+// complete answer, narrower predicates must query again.
+func TestContainmentEvictionUnregisters(t *testing.T) {
+	db := testDB(t, 100, 40)
+	// One shard, budget sized to hold roughly one answer.
+	c, err := New(db, Config{Shards: 1, MaxBytes: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Search(ctx, pricePred(10, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().CompleteEntries == 0 {
+		t.Fatal("complete answer not registered")
+	}
+	// Fill with other complete answers until the first is evicted.
+	for i := 0; i < 20 && c.Stats().Evictions == 0; i++ {
+		lo := 50 + float64(i)
+		if _, err := c.Search(ctx, pricePred(lo, lo+20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Skip("budget did not force an eviction; sizes changed")
+	}
+	if got, entries := c.Stats().CompleteEntries, c.Stats().Entries; got > entries {
+		t.Fatalf("containment directory (%d) larger than resident set (%d)", got, entries)
 	}
 }

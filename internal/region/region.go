@@ -88,6 +88,15 @@ func (r Rect) interval(attr int) (relation.Interval, bool) {
 	return relation.Full(), false
 }
 
+// Interval returns the constraint on schema attribute attr; attributes the
+// rectangle leaves unconstrained report the full interval. Spatial
+// directories use it to project a query rectangle onto an index's
+// attribute set.
+func (r Rect) Interval(attr int) relation.Interval {
+	iv, _ := r.interval(attr)
+	return iv
+}
+
 // ContainsTuple reports whether the tuple lies inside the rectangle.
 func (r Rect) ContainsTuple(t relation.Tuple) bool {
 	for i, a := range r.Attrs {

@@ -90,6 +90,30 @@ func (iv Interval) Midpoint() float64 {
 	return iv.Lo + (iv.Hi-iv.Lo)/2
 }
 
+// Hull returns the smallest interval containing both iv and o: the union of
+// the two point sets when they overlap, and the gap-filling cover otherwise.
+// Empty operands contribute nothing.
+func (iv Interval) Hull(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	out := iv
+	if o.Lo < out.Lo {
+		out.Lo, out.LoOpen = o.Lo, o.LoOpen
+	} else if o.Lo == out.Lo && !o.LoOpen {
+		out.LoOpen = false
+	}
+	if o.Hi > out.Hi {
+		out.Hi, out.HiOpen = o.Hi, o.HiOpen
+	} else if o.Hi == out.Hi && !o.HiOpen {
+		out.HiOpen = false
+	}
+	return out
+}
+
 // ContainsInterval reports whether o is fully inside iv.
 func (iv Interval) ContainsInterval(o Interval) bool {
 	if o.Empty() {

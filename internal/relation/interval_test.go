@@ -183,3 +183,37 @@ func TestIntervalString(t *testing.T) {
 		}
 	}
 }
+
+// Property: Hull contains exactly the points of both operands plus the gap
+// between them; it never shrinks and it is the tightest such interval at
+// the endpoints.
+func TestIntervalHullProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	randIv := func() Interval {
+		lo := r.Float64()*20 - 10
+		hi := lo + r.Float64()*10
+		return Interval{Lo: lo, Hi: hi, LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0}
+	}
+	for i := 0; i < 5000; i++ {
+		a, b := randIv(), randIv()
+		h := a.Hull(b)
+		if !h.ContainsInterval(a) || !h.ContainsInterval(b) {
+			t.Fatalf("hull(%v, %v) = %v does not contain operands", a, b, h)
+		}
+		v := r.Float64()*24 - 12
+		if (a.Contains(v) || b.Contains(v)) && !h.Contains(v) {
+			t.Fatalf("hull(%v, %v) = %v lost point %v", a, b, h, v)
+		}
+	}
+}
+
+func TestIntervalHullEmptyOperands(t *testing.T) {
+	a := Closed(1, 2)
+	empty := OpenLo(5, 5)
+	if got := a.Hull(empty); got != a {
+		t.Fatalf("Hull with empty = %v", got)
+	}
+	if got := empty.Hull(a); got != a {
+		t.Fatalf("empty.Hull = %v", got)
+	}
+}

@@ -113,6 +113,43 @@ func (p Predicate) Match(t Tuple) bool {
 	return true
 }
 
+// Covers reports whether p accepts every tuple that q accepts, i.e. q is at
+// least as narrow as p on every attribute p constrains. This is the
+// answer-granularity analogue of region.Rect.Covers: a complete (non
+// overflowing) answer for p therefore contains every tuple any q it covers
+// can match. The check is structural and sound but not complete — it never
+// returns true wrongly, though exotic equivalences may be missed.
+func (p Predicate) Covers(q Predicate) bool {
+	if q.Unsatisfiable() {
+		return true
+	}
+	for _, c := range p.conds {
+		i := q.find(c.Attr)
+		if c.isCategorical() {
+			// q must restrict the attribute to a subset of p's categories;
+			// an unconstrained (or numeric) condition allows codes p bans.
+			if i < 0 || !q.conds[i].isCategorical() {
+				return false
+			}
+			if !subsetSortedInts(q.conds[i].Cats, c.Cats) {
+				return false
+			}
+			continue
+		}
+		qiv := Full()
+		if i >= 0 {
+			if q.conds[i].isCategorical() {
+				return false // mixed kinds on one attribute: give up soundly
+			}
+			qiv = q.conds[i].Iv
+		}
+		if !c.Iv.ContainsInterval(qiv) {
+			return false
+		}
+	}
+	return true
+}
+
 // Unsatisfiable reports whether some condition can never hold (an empty
 // interval or an empty category set).
 func (p Predicate) Unsatisfiable() bool {
@@ -173,6 +210,21 @@ func dedupInts(sorted []int) []int {
 		}
 	}
 	return out
+}
+
+// subsetSortedInts reports whether every element of a occurs in b (both
+// sorted ascending).
+func subsetSortedInts(a, b []int) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
 }
 
 func intersectSortedInts(a, b []int) []int {

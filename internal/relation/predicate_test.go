@@ -159,3 +159,91 @@ func TestPredicateDescribe(t *testing.T) {
 		t.Fatalf("Describe = %q", d)
 	}
 }
+
+// TestPredicateCoversProperty: whenever Covers(p, q) holds, every tuple
+// matching q matches p (soundness), checked on random predicates and
+// tuples; plus directed cases for the structural edges.
+func TestPredicateCoversProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	randPred := func() Predicate {
+		var p Predicate
+		for a := 0; a < 3; a++ {
+			switch r.Intn(3) {
+			case 0: // unconstrained
+			case 1:
+				lo := r.Float64()*10 - 5
+				p = p.WithInterval(a, Interval{
+					Lo: lo, Hi: lo + r.Float64()*6,
+					LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0,
+				})
+			case 2:
+				n := 1 + r.Intn(3)
+				cats := make([]int, n)
+				for i := range cats {
+					cats[i] = r.Intn(5)
+				}
+				p = p.WithCategories(a, cats)
+			}
+		}
+		return p
+	}
+	randTuple := func() Tuple {
+		vals := make([]float64, 3)
+		for i := range vals {
+			if r.Intn(2) == 0 {
+				vals[i] = float64(r.Intn(5)) // also a plausible category code
+			} else {
+				vals[i] = r.Float64()*12 - 6
+			}
+		}
+		return Tuple{ID: 1, Values: vals}
+	}
+	covered, trials := 0, 0
+	for i := 0; i < 4000; i++ {
+		p, q := randPred(), randPred()
+		if !p.Covers(q) {
+			continue
+		}
+		covered++
+		for j := 0; j < 20; j++ {
+			trials++
+			tu := randTuple()
+			if q.Match(tu) && !p.Match(tu) {
+				t.Fatalf("p=%v covers q=%v but tuple %v matches only q", p, q, tu)
+			}
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no covering pairs generated; property vacuous")
+	}
+}
+
+func TestPredicateCoversDirected(t *testing.T) {
+	base := Predicate{}.WithInterval(0, Closed(0, 10))
+	narrower := Predicate{}.WithInterval(0, Closed(2, 8)).WithInterval(1, Closed(0, 1))
+	if !base.Covers(narrower) {
+		t.Fatal("narrower predicate not covered")
+	}
+	if narrower.Covers(base) {
+		t.Fatal("broader predicate wrongly covered")
+	}
+	// The empty predicate covers everything; nothing nonempty covers it
+	// unless its own conditions are full.
+	if !(Predicate{}).Covers(base) {
+		t.Fatal("empty predicate must cover all")
+	}
+	if base.Covers(Predicate{}) {
+		t.Fatal("constrained predicate cannot cover the empty one")
+	}
+	// Categorical subsets.
+	cats := Predicate{}.WithCategories(0, []int{1, 2, 3})
+	sub := Predicate{}.WithCategories(0, []int{2})
+	if !cats.Covers(sub) || cats.Covers(Predicate{}) {
+		t.Fatal("categorical containment wrong")
+	}
+	// An unsatisfiable query is covered by anything.
+	dead := Predicate{}.WithInterval(0, OpenLo(5, 5))
+	if !base.Covers(dead) {
+		t.Fatal("unsatisfiable predicate must be covered")
+	}
+}

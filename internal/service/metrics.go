@@ -1,0 +1,100 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/dense"
+	"repro/internal/qcache"
+)
+
+// handleMetrics serves the /api/stats counters in the Prometheus text
+// exposition format (text/plain; version=0.0.4) so standard scrapers can
+// watch cache and dense-index hit rates without a client for the JSON API.
+// Counters are cumulative since process start; gauges describe current
+// residency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.sources))
+	for name := range s.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// One consistent snapshot per source; every metric row reads from it.
+	denseStats := make(map[string]dense.Stats, len(names))
+	cacheStats := make(map[string]qcache.Stats)
+	for _, name := range names {
+		src := s.sources[name]
+		denseStats[name] = src.ix.Stats()
+		if src.cache != nil {
+			cacheStats[name] = src.cache.Stats()
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP qr2_sessions Live user sessions.\n# TYPE qr2_sessions gauge\nqr2_sessions %d\n", s.sessions.Len())
+
+	type row struct {
+		metric, kind, help string
+		value              func(name string) (int64, bool)
+	}
+	denseRow := func(get func(dense.Stats) int64) func(string) (int64, bool) {
+		return func(name string) (int64, bool) { return get(denseStats[name]), true }
+	}
+	cacheRow := func(get func(qcache.Stats) int64) func(string) (int64, bool) {
+		return func(name string) (int64, bool) {
+			cs, ok := cacheStats[name]
+			if !ok {
+				return 0, false
+			}
+			return get(cs), true
+		}
+	}
+	rows := []row{
+		{"qr2_dense_hits_total", "counter", "Dense-index lookups answered by a covering entry.",
+			denseRow(func(ds dense.Stats) int64 { return ds.Hits })},
+		{"qr2_dense_misses_total", "counter", "Dense-index lookups with no covering entry.",
+			denseRow(func(ds dense.Stats) int64 { return ds.Misses })},
+		{"qr2_dense_entries", "gauge", "Crawled regions in the dense index.",
+			denseRow(func(ds dense.Stats) int64 { return int64(ds.Entries) })},
+		{"qr2_dense_tuples", "gauge", "Tuples materialised across dense entries.",
+			denseRow(func(ds dense.Stats) int64 { return int64(ds.TuplesStored) })},
+		{"qr2_dense_resident_entries", "gauge", "Dense entries with decoded tuples resident in memory.",
+			denseRow(func(ds dense.Stats) int64 { return int64(ds.ResidentEntries) })},
+		{"qr2_dense_resident_bytes", "gauge", "Bytes of decoded dense tuples resident in memory.",
+			denseRow(func(ds dense.Stats) int64 { return ds.ResidentBytes })},
+		{"qr2_dense_resident_loads_total", "counter", "Store loads forced by dense residency misses.",
+			denseRow(func(ds dense.Stats) int64 { return ds.ResidentLoads })},
+		{"qr2_dense_resident_evictions_total", "counter", "Dense entries evicted to respect the residency budget.",
+			denseRow(func(ds dense.Stats) int64 { return ds.ResidentEvictions })},
+		{"qr2_qcache_hits_total", "counter", "Answer-cache exact hits.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.Hits })},
+		{"qr2_qcache_containment_hits_total", "counter", "Answer-cache overflow-aware (containment) hits.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.ContainmentHits })},
+		{"qr2_qcache_misses_total", "counter", "Answer-cache misses that queried the web database.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.Misses })},
+		{"qr2_qcache_coalesced_total", "counter", "Searches coalesced into an identical in-flight search.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.Coalesced })},
+		{"qr2_qcache_evictions_total", "counter", "Answer-cache entries evicted for the byte budget.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.Evictions })},
+		{"qr2_qcache_entries", "gauge", "Resident answer-cache entries.",
+			cacheRow(func(cs qcache.Stats) int64 { return int64(cs.Entries) })},
+		{"qr2_qcache_complete_entries", "gauge", "Complete answers available for containment reuse.",
+			cacheRow(func(cs qcache.Stats) int64 { return int64(cs.CompleteEntries) })},
+		{"qr2_qcache_bytes", "gauge", "Bytes resident in the answer cache.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.Bytes })},
+	}
+	for _, rw := range rows {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", rw.metric, rw.help, rw.metric, rw.kind)
+		for _, name := range names {
+			if v, ok := rw.value(name); ok {
+				fmt.Fprintf(&b, "%s{source=%q} %d\n", rw.metric, name, v)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

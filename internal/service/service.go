@@ -34,6 +34,7 @@
 //	POST /api/query          run a reranking query, returns page 1 + stats
 //	POST /api/next           next page for a previous query (qid)
 //	GET  /api/stats          per-source cache and dense-index statistics
+//	GET  /metrics            the same counters, Prometheus text format
 //	GET  /                   minimal HTML UI over the same operations
 //	POST /ui/query, /ui/next HTML form variants
 //	GET  /healthz            liveness
@@ -72,6 +73,9 @@ type SourceConfig struct {
 	// DenseStore persists the source's dense-region index. Nil means a
 	// fresh in-memory store.
 	DenseStore kvstore.Store
+	// DenseResidentBytes sizes the dense index's decoded-tuple residency
+	// (zero = dense.DefaultResidentBytes, negative disables residency).
+	DenseResidentBytes int64
 	// Cache configures the shared answer cache installed in front of DB
 	// and used by every session. Nil disables it.
 	Cache *qcache.Config
@@ -161,7 +165,7 @@ func New(cfg Config) (*Server, error) {
 		if store == nil {
 			store = kvstore.NewMemory()
 		}
-		ix, err := dense.Open(sc.DB.Schema(), store)
+		ix, err := dense.Open(sc.DB.Schema(), store, dense.WithResidentBytes(sc.DenseResidentBytes))
 		if err != nil {
 			return nil, fmt.Errorf("service: open dense index for %q: %w", name, err)
 		}
@@ -180,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/next", s.handleNext)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -242,9 +247,10 @@ type statsDoc struct {
 	SessionCacheSize int     `json:"session_cache_size"`
 	// Shared answer cache counters for the query's source, cumulative
 	// across all sessions. Zero when the source has no cache.
-	SharedCacheHits      int64 `json:"shared_cache_hits"`
-	SharedCacheMisses    int64 `json:"shared_cache_misses"`
-	SharedCacheCoalesced int64 `json:"shared_cache_coalesced"`
+	SharedCacheHits        int64 `json:"shared_cache_hits"`
+	SharedCacheMisses      int64 `json:"shared_cache_misses"`
+	SharedCacheCoalesced   int64 `json:"shared_cache_coalesced"`
+	SharedCacheContainment int64 `json:"shared_cache_containment"`
 }
 
 type queryDoc struct {
@@ -292,13 +298,17 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 
 // sourceStatsDoc is one source's operational counters on GET /api/stats.
 type sourceStatsDoc struct {
-	SystemK      int           `json:"system_k"`
-	Cache        *qcache.Stats `json:"cache,omitempty"`
-	CacheHitRate float64       `json:"cache_hit_rate"`
-	DenseEntries int           `json:"dense_entries"`
-	DenseTuples  int           `json:"dense_tuples"`
-	DenseHits    int64         `json:"dense_hits"`
-	DenseMisses  int64         `json:"dense_misses"`
+	SystemK                int           `json:"system_k"`
+	Cache                  *qcache.Stats `json:"cache,omitempty"`
+	CacheHitRate           float64       `json:"cache_hit_rate"`
+	DenseEntries           int           `json:"dense_entries"`
+	DenseTuples            int           `json:"dense_tuples"`
+	DenseHits              int64         `json:"dense_hits"`
+	DenseMisses            int64         `json:"dense_misses"`
+	DenseResidentEntries   int           `json:"dense_resident_entries"`
+	DenseResidentBytes     int64         `json:"dense_resident_bytes"`
+	DenseResidentLoads     int64         `json:"dense_resident_loads"`
+	DenseResidentEvictions int64         `json:"dense_resident_evictions"`
 }
 
 type serviceStatsDoc struct {
@@ -316,11 +326,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, src := range s.sources {
 		ds := src.ix.Stats()
 		sd := sourceStatsDoc{
-			SystemK:      src.db.SystemK(),
-			DenseEntries: ds.Entries,
-			DenseTuples:  ds.TuplesStored,
-			DenseHits:    ds.Hits,
-			DenseMisses:  ds.Misses,
+			SystemK:                src.db.SystemK(),
+			DenseEntries:           ds.Entries,
+			DenseTuples:            ds.TuplesStored,
+			DenseHits:              ds.Hits,
+			DenseMisses:            ds.Misses,
+			DenseResidentEntries:   ds.ResidentEntries,
+			DenseResidentBytes:     ds.ResidentBytes,
+			DenseResidentLoads:     ds.ResidentLoads,
+			DenseResidentEvictions: ds.ResidentEvictions,
 		}
 		if src.cache != nil {
 			cs := src.cache.Stats()
@@ -607,6 +621,7 @@ func (s *Server) advance(ctx context.Context, sess *session.Session, qid string,
 		doc.Stats.SharedCacheHits = cs.Hits
 		doc.Stats.SharedCacheMisses = cs.Misses
 		doc.Stats.SharedCacheCoalesced = cs.Coalesced
+		doc.Stats.SharedCacheContainment = cs.ContainmentHits
 	}
 	return doc, nil
 }

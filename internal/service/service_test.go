@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -458,5 +459,56 @@ func TestStatsEndpointUncachedSource(t *testing.T) {
 	}
 	if sd := doc.Sources["bluenile"]; sd.Cache != nil {
 		t.Fatal("uncached source reports cache stats")
+	}
+}
+
+// TestMetricsEndpoint exercises GET /metrics: Prometheus text format,
+// deterministic source ordering, and counters that move with traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := cachedService(t)
+	client := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+	form := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"5"}}
+	if resp, body := postForm(t, client, ts.URL+"/api/query", form); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE qr2_sessions gauge",
+		"# TYPE qr2_dense_hits_total counter",
+		"# TYPE qr2_qcache_misses_total counter",
+		"# TYPE qr2_dense_resident_bytes gauge",
+		"# TYPE qr2_qcache_containment_hits_total counter",
+		`qr2_qcache_misses_total{source="bluenile"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// The cache saw at least one miss filling the first page.
+	var misses int64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `qr2_qcache_misses_total{source="bluenile"} `) {
+			if _, err := fmt.Sscanf(line, `qr2_qcache_misses_total{source="bluenile"} %d`, &misses); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if misses == 0 {
+		t.Fatal("metrics report zero cache misses after a cold query")
 	}
 }

@@ -80,6 +80,7 @@ td, th { border: 1px solid #999; padding: 0.3em 0.6em; }
   crawls: {{.Result.Stats.DenseCrawls}} ({{.Result.Stats.CrawledTuples}} tuples),
   session cache: {{.Result.Stats.SessionCacheSize}} tuples,
   shared answer cache (all users): {{.Result.Stats.SharedCacheHits}} hits /
+  {{.Result.Stats.SharedCacheContainment}} containment hits /
   {{.Result.Stats.SharedCacheMisses}} misses /
   {{.Result.Stats.SharedCacheCoalesced}} coalesced.
 </div>
