@@ -92,6 +92,10 @@ func BenchmarkScenarioBestWorst(b *testing.B) { benchExperiment(b, "S4", 4, "wdb
 // the shared answer cache (metric: cached-run web-DB queries).
 func BenchmarkScenarioConcurrentUsers(b *testing.B) { benchExperiment(b, "S5", 2, "wdbqueries") }
 
+// BenchmarkScenarioPooledCache regenerates S6: the process-wide answer
+// cache pool (cross-source borrowing) and the crawl refill.
+func BenchmarkScenarioPooledCache(b *testing.B) { benchExperiment(b, "S6", 1, "wdbqueries") }
+
 // BenchmarkAblationParallel regenerates A1: parallel vs sequential.
 func BenchmarkAblationParallel(b *testing.B) { benchExperiment(b, "A1", 3, "wdbqueries") }
 

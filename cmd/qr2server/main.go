@@ -8,18 +8,28 @@
 //
 // Every source is fronted by a shared answer cache (internal/qcache) that
 // memoizes top-k searches across all sessions and coalesces identical
-// in-flight queries. -cache-bytes sizes it (0 disables), -cache-ttl bounds
-// staleness against live databases, and -cache persists it across restarts
-// next to the dense indexes. -cache-reuse (default on) additionally serves
-// strictly narrower predicates from complete cached answers without any
-// web-database query. -dense-resident-bytes budgets the decoded tuples each
-// dense index keeps in memory for store-free hit serving.
+// in-flight queries. By default the caches of all sources form one
+// process-wide pool (-cache-pool) under a single global -cache-bytes
+// budget, so hot sources borrow capacity idle ones are not using;
+// -cache-pool=false reverts to a dedicated per-source budget. -cache-ttl
+// bounds staleness against live databases, and -cache persists the caches
+// across restarts next to the dense indexes. -cache-reuse (default on)
+// additionally serves strictly narrower predicates from complete cached
+// answers without any web-database query; completed region crawls refill
+// the cache the same way. -dense-resident-bytes budgets the decoded
+// tuples each dense index keeps in memory for store-free hit serving.
+//
+// -mem-budget replaces the two fixed budgets with one governed budget:
+// the answer-cache pool and every dense index's tuple residency share the
+// given byte total (internal/memgov), each guaranteed a floor and
+// borrowing whatever the others leave idle.
 //
 // Usage:
 //
 //	qr2server -addr :8080 -sources bluenile,zillow -dense /var/lib/qr2
 //	qr2server -addr :8080 -remote bluenile=http://localhost:8081
 //	qr2server -cache /var/lib/qr2 -cache-bytes 268435456 -cache-ttl 10m
+//	qr2server -mem-budget 1073741824        # one governed GiB for all caches
 package main
 
 import (
@@ -61,16 +71,26 @@ func main() {
 		denseResident = flag.Int64("dense-resident-bytes", 0,
 			"decoded-tuple residency budget per dense index (0 = default 256 MiB, negative disables residency)")
 
-		cacheBytes = flag.Int64("cache-bytes", qcache.DefaultMaxBytes, "shared answer cache budget per source in bytes (0 disables)")
+		cacheBytes = flag.Int64("cache-bytes", qcache.DefaultMaxBytes,
+			"answer cache budget in bytes: global across sources with -cache-pool, per source without (0 disables)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "shared answer cache entry TTL (0 = never expire)")
 		cacheDir   = flag.String("cache", "", "directory for persistent answer caches (empty = in-memory)")
 		cacheReuse = flag.Bool("cache-reuse", true,
 			"serve strictly narrower predicates from complete cached answers (overflow-aware reuse)")
+		cachePool = flag.Bool("cache-pool", true,
+			"pool all sources' answer caches under one global -cache-bytes budget with per-source floors (false = dedicated per-source caches; incompatible with -mem-budget)")
+		memBudget = flag.Int64("mem-budget", 0,
+			"single governed byte budget shared by the answer-cache pool and every dense index's tuple residency; implies -cache-pool (0 = size them separately with -cache-bytes / -dense-resident-bytes)")
 	)
 	flag.Parse()
+	if *memBudget > 0 && !*cachePool {
+		// The governed budget works through the pool; honouring one flag
+		// would silently betray the other.
+		log.Fatal("qr2server: -cache-pool=false conflicts with -mem-budget (the governed budget pools the answer caches); drop one")
+	}
 
 	cacheFor := func(name string) *qcache.Config {
-		if *cacheBytes == 0 {
+		if *cacheBytes == 0 && *memBudget <= 0 {
 			return nil
 		}
 		return &qcache.Config{
@@ -82,9 +102,12 @@ func main() {
 	}
 
 	cfg := service.Config{
-		Sources:    map[string]service.SourceConfig{},
-		Algorithm:  core.Algorithm(*algo),
-		SimLatency: *latency,
+		Sources:         map[string]service.SourceConfig{},
+		Algorithm:       core.Algorithm(*algo),
+		SimLatency:      *latency,
+		SharedCachePool: *cachePool,
+		CachePoolBytes:  *cacheBytes,
+		MemBudget:       *memBudget,
 	}
 	if *sources != "" {
 		for _, name := range strings.Split(*sources, ",") {

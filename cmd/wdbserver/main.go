@@ -51,8 +51,13 @@ func main() {
 		cachePath  = flag.String("cache", "", "file persisting the answer cache across restarts (empty = in-memory)")
 		cacheReuse = flag.Bool("cache-reuse", true,
 			"serve strictly narrower predicates from complete cached answers (overflow-aware reuse)")
+		memBudget = flag.Int64("mem-budget", 0,
+			"process-wide cache byte budget; the answer cache is wdbserver's only governed consumer, so this overrides -cache-bytes when set (qr2server additionally splits it with the dense indexes)")
 	)
 	flag.Parse()
+	if *memBudget > 0 {
+		*cacheBytes = *memBudget
+	}
 
 	var cat *datagen.Catalog
 	if *load != "" {

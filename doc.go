@@ -18,6 +18,19 @@
 // web-database query and serving strictly narrower predicates from
 // complete (non-overflowing) answers by client-side filtering.
 //
+// Every byte of cache memory in the process is governed as one budget.
+// The answer caches of all sources form a single qcache.Pool — one set of
+// LRU shards with namespace-prefixed keys under a global byte budget, so
+// hot sources borrow capacity idle sources are not using, bounded by
+// per-namespace floors — and internal/memgov can further split one
+// process budget between that pool and each dense index's decoded-tuple
+// residency (qr2server -mem-budget), each consumer guaranteed a floor and
+// borrowing whatever the others leave idle. The layers also feed each
+// other: a completed region crawl admits the region's full match set into
+// the answer cache (crawl.Admitter), so predicates inside a crawled
+// region that fit under system-k are answered with zero web-database
+// queries.
+//
 // The dense-index read path is memory-speed and concurrent: covering
 // lookups go through a spatial directory (a packed R-tree per attribute
 // signature) under a read lock, decoded tuples stay resident under a

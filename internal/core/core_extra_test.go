@@ -12,6 +12,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
+	"repro/internal/qcache"
 	"repro/internal/ranking"
 	"repro/internal/region"
 	"repro/internal/relation"
@@ -250,4 +251,36 @@ func mustLocalDB(t *testing.T, cat *datagen.Catalog, k int) *hidden.Local {
 func normOf(cat *datagen.Catalog) *ranking.Normalization {
 	n := ranking.FromSchema(cat.Rel.Schema())
 	return &n
+}
+
+// TestEngineCrawlRefillsAnswerCache: when the database behind the engine
+// is an answer cache, a dense-region crawl publishes the region's
+// complete match set back into it (crawl.Admitter), so the crawl's spend
+// also warms the answer layer, not just the dense index.
+func TestEngineCrawlRefillsAnswerCache(t *testing.T) {
+	cat := denseFixture(t)
+	inner := newDB(t, cat, 20)
+	cache, err := qcache.New(inner, qcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(cache, Options{Algorithm: Rerank, DenseDepth: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := r.Rerank(ctx, Query{Rank: ranking.Ascending("a0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NextN(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalStats().DenseCrawls == 0 {
+		t.Fatalf("fixture did not force a dense crawl: %+v", st.TotalStats())
+	}
+	cs := cache.Stats()
+	if cs.CrawlEntries == 0 {
+		t.Fatalf("engine crawl did not refill the answer cache: %+v", cs)
+	}
 }

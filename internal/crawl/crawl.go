@@ -65,13 +65,25 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Admitter is implemented by answer caches (qcache.Cache) that accept the
+// complete match set of a crawled region. All feeds it after every
+// complete crawl whose executor fronts such a cache, so later predicates
+// inside the crawled region are answered client-side instead of costing
+// fresh web-database queries — the crawl's spend is recycled into the
+// answer cache, not just the dense-region index.
+type Admitter interface {
+	AdmitCrawl(p relation.Predicate, tuples []relation.Tuple)
+}
+
 // All returns every tuple matching base, keyed by tuple ID.
 //
-// When Stats.Complete is true the map is exactly the match set. The map is
-// partial when the budget runs out (error ErrBudget) or when some region is
-// saturated: more than system-k tuples identical on every searchable
-// attribute, which no sequence of interface queries can separate
-// (Stats.Saturated counts such regions; the paper accepts this limitation).
+// When Stats.Complete is true the map is exactly the match set, and it is
+// additionally published to the executor's database when that database is
+// an Admitter (the answer-cache refill above). The map is partial when
+// the budget runs out (error ErrBudget) or when some region is saturated:
+// more than system-k tuples identical on every searchable attribute,
+// which no sequence of interface queries can separate (Stats.Saturated
+// counts such regions; the paper accepts this limitation).
 func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, opts Options) (map[int64]relation.Tuple, Stats, error) {
 	opts = opts.withDefaults()
 	schema := ex.DB().Schema()
@@ -116,6 +128,15 @@ func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, op
 			}
 			stats.Splits++
 			stack = append(stack, left, right)
+		}
+	}
+	if stats.Complete {
+		if adm, ok := ex.DB().(Admitter); ok {
+			all := make([]relation.Tuple, 0, len(out))
+			for _, t := range out {
+				all = append(all, t)
+			}
+			adm.AdmitCrawl(base, all)
 		}
 	}
 	return out, stats, nil

@@ -197,3 +197,54 @@ func TestCrawlCompletenessProperty(t *testing.T) {
 		assertComplete(t, cat, pred, got)
 	}
 }
+
+// admittingDB wraps a hidden database with an AdmitCrawl recorder, the
+// shape of an answer cache fronting the executor.
+type admittingDB struct {
+	hidden.DB
+	admits []struct {
+		pred   relation.Predicate
+		tuples []relation.Tuple
+	}
+}
+
+func (a *admittingDB) AdmitCrawl(p relation.Predicate, ts []relation.Tuple) {
+	a.admits = append(a.admits, struct {
+		pred   relation.Predicate
+		tuples []relation.Tuple
+	}{p, ts})
+}
+
+// TestCompleteCrawlFeedsAdmitter: a complete crawl publishes its match
+// set to an Admitter database; a budget-truncated crawl does not.
+func TestCompleteCrawlFeedsAdmitter(t *testing.T) {
+	cat := datagen.Uniform(600, 2, 3)
+	db, err := hidden.NewLocal(cat.Name, cat.Rel, 25, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm := &admittingDB{DB: db}
+	pred := relation.Predicate{}.WithInterval(0, relation.Closed(100, 700))
+	got, stats, err := All(context.Background(), parallel.New(adm), pred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatalf("crawl incomplete: %+v", stats)
+	}
+	if len(adm.admits) != 1 {
+		t.Fatalf("admitter called %d times, want 1", len(adm.admits))
+	}
+	if len(adm.admits[0].tuples) != len(got) {
+		t.Fatalf("admitted %d tuples, crawl found %d", len(adm.admits[0].tuples), len(got))
+	}
+
+	// A crawl that dies on its query budget must not publish a partial set.
+	adm2 := &admittingDB{DB: db}
+	if _, _, err := All(context.Background(), parallel.New(adm2), pred, Options{MaxQueries: 2}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if len(adm2.admits) != 0 {
+		t.Fatalf("partial crawl admitted %d sets", len(adm2.admits))
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/kvstore"
+	"repro/internal/memgov"
 	"repro/internal/region"
 	"repro/internal/relation"
 )
@@ -93,6 +94,18 @@ type Option func(*Index)
 // measurements and very memory-tight deployments).
 func WithResidentBytes(n int64) Option {
 	return func(ix *Index) { ix.res = newResidency(n) }
+}
+
+// WithResidentAccount places the decoded-tuple residency under a governed
+// memgov account instead of a fixed byte count, so the index shares one
+// process-wide budget with the answer-cache pool and its residency border
+// moves with the workload. A nil account keeps the default fixed budget.
+func WithResidentAccount(a *memgov.Account) Option {
+	return func(ix *Index) {
+		if a != nil {
+			ix.res = newGovernedResidency(a)
+		}
+	}
 }
 
 // Open loads the index directory from the store, verifying that every

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/memgov"
 	"repro/internal/relation"
 )
 
@@ -31,9 +32,15 @@ const residentOverhead = 128
 
 // residency is the LRU manager of decoded entries. Its mutex guards only
 // the map, list and byte accounting — never store I/O or sorting.
+//
+// The byte budget is a memgov.Account rather than a fixed number: a
+// stand-alone index uses a fixed account, while a service deployment can
+// hand every dense index and the answer-cache pool accounts on one shared
+// governor, so the residency border moves with the workload. The account
+// is nil when residency is disabled outright.
 type residency struct {
 	mu        sync.Mutex
-	budget    int64 // <0 disables residency entirely
+	acct      *memgov.Account // nil disables residency entirely
 	bytes     int64
 	elems     map[uint64]*list.Element // entry ID -> *resident element
 	lru       *list.List               // front = most recently used
@@ -54,13 +61,22 @@ type resident struct {
 }
 
 func newResidency(budget int64) *residency {
+	if budget < 0 {
+		return newGovernedResidency(nil)
+	}
 	if budget == 0 {
 		budget = DefaultResidentBytes
 	}
+	return newGovernedResidency(memgov.Fixed(budget))
+}
+
+// newGovernedResidency builds a residency whose budget is the account's
+// (possibly moving) limit. A nil account disables residency.
+func newGovernedResidency(acct *memgov.Account) *residency {
 	return &residency{
-		budget: budget,
-		elems:  make(map[uint64]*list.Element),
-		lru:    list.New(),
+		acct:  acct,
+		elems: make(map[uint64]*list.Element),
+		lru:   list.New(),
 	}
 }
 
@@ -75,7 +91,7 @@ func tupleBytes(ts []relation.Tuple) int64 {
 
 // get returns the resident entry for id, refreshing its LRU position.
 func (rs *residency) get(id uint64) (*resident, bool) {
-	if rs.budget < 0 {
+	if rs.acct == nil {
 		return nil, false
 	}
 	rs.mu.Lock()
@@ -95,7 +111,7 @@ func (rs *residency) get(id uint64) (*resident, bool) {
 // admit of the same id wins benignly: the existing resident is returned.
 func (rs *residency) admit(id uint64, ts []relation.Tuple) *resident {
 	r := &resident{id: id, tuples: ts, size: tupleBytes(ts), orders: make(map[int][]int32)}
-	if rs.budget < 0 || r.size > rs.budget {
+	if rs.acct == nil || r.size > rs.acct.Limit() {
 		return r
 	}
 	rs.mu.Lock()
@@ -106,6 +122,7 @@ func (rs *residency) admit(id uint64, ts []relation.Tuple) *resident {
 	}
 	rs.elems[id] = rs.lru.PushFront(r)
 	rs.bytes += r.size
+	rs.acct.Add(r.size)
 	rs.evictOverLocked(r)
 	return r
 }
@@ -122,13 +139,16 @@ func (rs *residency) charge(r *resident, delta int64) {
 	}
 	r.size += delta
 	rs.bytes += delta
+	rs.acct.Add(delta)
 	rs.evictOverLocked(r)
 }
 
 // evictOverLocked drops cold entries until the budget holds. keep is never
-// evicted: the caller is actively using it.
+// evicted: the caller is actively using it. The limit is re-read per pass:
+// under a shared governor it shrinks when a sibling consumer heats up.
 func (rs *residency) evictOverLocked(keep *resident) {
-	for rs.bytes > rs.budget {
+	limit := rs.acct.Limit()
+	for rs.bytes > limit {
 		cold := rs.lru.Back()
 		if cold == nil {
 			return
@@ -148,6 +168,7 @@ func (rs *residency) removeLocked(el *list.Element) {
 	rs.lru.Remove(el)
 	delete(rs.elems, r.id)
 	rs.bytes -= r.size
+	rs.acct.Add(-r.size)
 }
 
 // stats snapshots residency counters into s.

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+// TestScenarioPooledCache asserts the tentpole's acceptance shape: under
+// a global budget equal to one dedicated per-source budget, the hot
+// source's pooled hit rate matches or beats its dedicated-cache hit rate
+// (and clearly beats a static half-split of the same total memory), and
+// a crawled region answers in-region predicates with zero web-database
+// queries.
+func TestScenarioPooledCache(t *testing.T) {
+	tab, err := quickRunner().Run(context.Background(), "S6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("S6 has %d rows:\n%s", len(tab.Rows), tab.Format())
+	}
+	rate := func(row int) float64 {
+		v, err := strconv.ParseFloat(cell(t, tab, row, 2), 64)
+		if err != nil {
+			t.Fatalf("row %d hit rate %q: %v", row, cell(t, tab, row, 2), err)
+		}
+		return v
+	}
+	dedicated, half, pooled := rate(0), rate(1), rate(2)
+	if dedicated < 0.5 {
+		t.Fatalf("dedicated cache never fit the working set (%.2f); experiment sizes are off:\n%s",
+			dedicated, tab.Format())
+	}
+	if pooled < dedicated-0.01 {
+		t.Fatalf("pooled hot hit rate %.2f below dedicated %.2f:\n%s", pooled, dedicated, tab.Format())
+	}
+	if pooled <= half {
+		t.Fatalf("pooled hot hit rate %.2f does not beat static split %.2f:\n%s", pooled, half, tab.Format())
+	}
+	// Crawl refill: the in-region predicates issued zero web queries and
+	// every one was a crawl-refill containment hit.
+	if q := atoi(t, cell(t, tab, 4, 1)); q != 0 {
+		t.Fatalf("in-region predicates paid %d web queries:\n%s", q, tab.Format())
+	}
+	if hits := atoi(t, cell(t, tab, 4, 3)); hits != 20 {
+		t.Fatalf("crawl hits = %d, want 20:\n%s", hits, tab.Format())
+	}
+}

@@ -1,0 +1,153 @@
+// Package memgov arbitrates one process-wide byte budget between the
+// subsystems that cache decoded data in memory.
+//
+// QR2 keeps two kinds of cached bytes: whole search answers (the
+// internal/qcache pool) and decoded dense-region tuples (internal/dense
+// residency). Sizing each with its own fixed flag forces the operator to
+// predict the workload: a crawl-heavy day wants dense bytes, a
+// browse-heavy day wants answer bytes. A Governor replaces the two fixed
+// budgets with one: every consumer registers an Account carrying a
+// guaranteed floor share, reports its usage through Add, and sizes its
+// eviction against Limit — its floor plus whatever of the floating
+// capacity (the budget minus every floor) the other accounts have not
+// claimed. Idle capacity flows to whichever consumer is hot, floors keep
+// one runaway consumer from starving the rest, and because an account is
+// only ever granted its own floor plus unclaimed floating bytes, the sum
+// of all grants never exceeds the total: the budget holds even when a
+// consumer fills up early and then goes quiet.
+//
+// Accounts are also usable stand-alone: Fixed returns an ungoverned
+// account with a constant limit, so a consumer's eviction loop is written
+// once against the Account API whether or not a governor is present.
+package memgov
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Governor shares one byte budget across registered accounts.
+type Governor struct {
+	total int64
+
+	mu       sync.Mutex
+	accounts []*Account
+}
+
+// New builds a governor over a total byte budget.
+func New(total int64) *Governor {
+	return &Governor{total: total}
+}
+
+// Total returns the governed budget.
+func (g *Governor) Total() int64 { return g.total }
+
+// Account registers a consumer. share is the fraction of the total budget
+// the account is guaranteed even under pressure from every other account
+// (its floor); the caller keeps the sum of shares at or below 1. Beyond
+// the floor, an account may use any bytes the other accounts leave idle.
+func (g *Governor) Account(name string, share float64) *Account {
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	a := &Account{g: g, name: name, floor: int64(share * float64(g.total))}
+	g.mu.Lock()
+	g.accounts = append(g.accounts, a)
+	g.mu.Unlock()
+	return a
+}
+
+// AccountStats describes one account for the operational endpoints.
+type AccountStats struct {
+	Name  string `json:"name"`
+	Usage int64  `json:"usage"`
+	Limit int64  `json:"limit"`
+	Floor int64  `json:"floor"`
+}
+
+// Stats is a point-in-time snapshot of the governed budget.
+type Stats struct {
+	Total    int64          `json:"total"`
+	Usage    int64          `json:"usage"`
+	Accounts []AccountStats `json:"accounts"`
+}
+
+// Stats snapshots every account. Usage and limits are read without a
+// global pause, so the snapshot is approximate under concurrent load.
+func (g *Governor) Stats() Stats {
+	g.mu.Lock()
+	accounts := append([]*Account(nil), g.accounts...)
+	g.mu.Unlock()
+	st := Stats{Total: g.total}
+	for _, a := range accounts {
+		u := a.Usage()
+		st.Usage += u
+		st.Accounts = append(st.Accounts, AccountStats{
+			Name: a.name, Usage: u, Limit: a.Limit(), Floor: a.floor,
+		})
+	}
+	return st
+}
+
+// Account is one consumer's view of a byte budget. The consumer mirrors
+// every byte it admits or evicts through Add and bounds its own eviction
+// by Limit; the account never evicts anything itself.
+type Account struct {
+	g     *Governor // nil for fixed accounts
+	name  string
+	fixed int64
+	floor int64
+	bytes atomic.Int64
+}
+
+// Fixed returns an ungoverned account with a constant limit, for
+// deployments that size each cache separately. A negative limit admits
+// nothing.
+func Fixed(limit int64) *Account {
+	return &Account{fixed: limit}
+}
+
+// Name identifies the account in stats.
+func (a *Account) Name() string { return a.name }
+
+// Add reports delta bytes admitted (positive) or released (negative).
+func (a *Account) Add(delta int64) { a.bytes.Add(delta) }
+
+// Usage returns the bytes currently reported by the consumer.
+func (a *Account) Usage() int64 { return a.bytes.Load() }
+
+// Limit returns the bytes the account may hold right now: its fixed limit
+// when ungoverned, otherwise its floor plus the floating capacity (total
+// minus the sum of all floors) the other accounts are not using above
+// their own floors. Floors come out of the floating pot rather than
+// stacking on top of an exhausted budget, so the grants across all
+// accounts can never sum past the total — even when one consumer filled
+// up early and has gone quiet. The limit is a moving target; consumers
+// re-read it on each admission or eviction pass rather than caching it.
+func (a *Account) Limit() int64 {
+	if a.g == nil {
+		return a.fixed
+	}
+	a.g.mu.Lock()
+	floating := a.g.total
+	var claimed int64
+	for _, o := range a.g.accounts {
+		floating -= o.floor
+		if o != a {
+			if over := o.Usage() - o.floor; over > 0 {
+				claimed += over
+			}
+		}
+	}
+	a.g.mu.Unlock()
+	if floating < 0 {
+		floating = 0
+	}
+	if claimed > floating {
+		claimed = floating
+	}
+	return a.floor + floating - claimed
+}

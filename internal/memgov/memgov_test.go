@@ -1,0 +1,109 @@
+package memgov
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFixedAccount(t *testing.T) {
+	a := Fixed(1000)
+	if a.Limit() != 1000 {
+		t.Fatalf("fixed limit = %d", a.Limit())
+	}
+	a.Add(400)
+	if a.Usage() != 400 || a.Limit() != 1000 {
+		t.Fatalf("usage %d limit %d", a.Usage(), a.Limit())
+	}
+	if neg := Fixed(-1); neg.Limit() >= 0 {
+		t.Fatalf("negative fixed limit lost: %d", neg.Limit())
+	}
+}
+
+func TestGovernedLimitsBorrowAndFloor(t *testing.T) {
+	g := New(1000)
+	a := g.Account("a", 0.25) // floor 250
+	b := g.Account("b", 0.25) // floor 250, floating pot 500
+
+	// Idle peers: each account may take its floor plus the whole
+	// floating pot — but never another account's floor, so grants can
+	// never sum past the total.
+	if a.Limit() != 750 || b.Limit() != 750 {
+		t.Fatalf("idle limits = %d, %d, want 750 each", a.Limit(), b.Limit())
+	}
+
+	// A hot peer's floating usage (above its floor) shrinks the limit.
+	b.Add(600) // 350 above b's floor
+	if got := a.Limit(); got != 400 {
+		t.Fatalf("limit under pressure = %d, want 400", got)
+	}
+
+	// The floor holds even when peers claim the whole floating pot.
+	b.Add(300) // b now at 900: 650 above floor, capped at the 500 pot
+	if got := a.Limit(); got != 250 {
+		t.Fatalf("floored limit = %d, want 250", got)
+	}
+
+	// Grants stay within the budget even with b full and quiet.
+	if sum := a.Limit() + b.Usage(); sum > 1000+250 {
+		t.Fatalf("grants exceed budget headroom: %d", sum)
+	}
+
+	// Releasing bytes restores capacity.
+	b.Add(-900)
+	if got := a.Limit(); got != 750 {
+		t.Fatalf("limit after release = %d, want 750", got)
+	}
+}
+
+// TestGrantsNeverExceedTotal: a consumer that fills early and goes quiet
+// must not leave the governor promising more than the budget.
+func TestGrantsNeverExceedTotal(t *testing.T) {
+	g := New(1000)
+	a := g.Account("a", 0.25)
+	b := g.Account("b", 0.25)
+	// a boots first and takes everything it is offered.
+	a.Add(a.Limit()) // 750
+	// b may now take at most its floor: 750 + 250 = 1000, never more.
+	if got := b.Limit(); got != 250 {
+		t.Fatalf("late consumer limit = %d, want 250", got)
+	}
+	if a.Usage()+b.Limit() > g.Total() {
+		t.Fatalf("grants exceed total: %d + %d > %d", a.Usage(), b.Limit(), g.Total())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := New(500)
+	a := g.Account("qcache", 0.5)
+	a.Add(100)
+	g.Account("dense", 0.2).Add(50)
+	st := g.Stats()
+	if st.Total != 500 || st.Usage != 150 || len(st.Accounts) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Accounts[0].Name != "qcache" || st.Accounts[0].Floor != 250 {
+		t.Fatalf("account stats = %+v", st.Accounts[0])
+	}
+}
+
+func TestConcurrentAddAndLimit(t *testing.T) {
+	g := New(1 << 20)
+	a := g.Account("a", 0.5)
+	b := g.Account("b", 0.5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(acct *Account) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				acct.Add(64)
+				_ = acct.Limit()
+				acct.Add(-64)
+			}
+		}(map[bool]*Account{true: a, false: b}[i%2 == 0])
+	}
+	wg.Wait()
+	if a.Usage() != 0 || b.Usage() != 0 {
+		t.Fatalf("usage leaked: %d, %d", a.Usage(), b.Usage())
+	}
+}

@@ -32,9 +32,17 @@ import (
 
 // completeEntry is one complete answer available for containment reuse.
 type completeEntry struct {
+	key      string
 	pred     relation.Predicate
 	res      hidden.Result
 	storedAt time.Time
+	// idOrder marks a crawl-admitted region set: the tuples are the
+	// complete match set but in tuple-ID order, because the global system
+	// rank of an overflowing region is unobservable through the top-k
+	// interface. Such an entry serves a narrower predicate only when the
+	// filtered set fits under system-k (no truncation to emulate), and
+	// rank-faithful entries are always preferred over it.
+	idOrder bool
 }
 
 // completeGroup holds the complete answers sharing one attribute
@@ -50,7 +58,8 @@ type completeGroup struct {
 type completeDir struct {
 	mu     sync.RWMutex
 	groups map[string]*completeGroup // signature -> group
-	sigs   map[string]string         // canonical key -> signature
+	sigs   map[string]string         // entry key -> signature
+	crawl  int                       // how many registered entries are crawl sets
 }
 
 func newCompleteDir() *completeDir {
@@ -94,13 +103,19 @@ func subsetInts(a, b []int) bool {
 	return true
 }
 
-// register records a complete answer under its canonical key. Overflowing
-// answers are ignored: a truncated match set answers nothing but itself.
+// register records a complete answer under its key: the canonical
+// predicate key for a real query answer, or the 'R'-marked key of a
+// crawl-admitted region set. Overflowing answers are ignored: a truncated
+// match set answers nothing but itself.
 func (d *completeDir) register(key string, res hidden.Result, at time.Time) {
 	if res.Overflow {
 		return
 	}
-	pred, ok := PredicateOfKey(key)
+	ck, idOrder := key, false
+	if isCrawlKey(key) {
+		ck, idOrder = key[len(crawlKeyPrefix):], true
+	}
+	pred, ok := PredicateOfKey(ck)
 	if !ok {
 		return
 	}
@@ -112,8 +127,14 @@ func (d *completeDir) register(key string, res hidden.Result, at time.Time) {
 		g = &completeGroup{attrs: attrs, entries: make(map[string]completeEntry)}
 		d.groups[sig] = g
 	}
-	g.entries[key] = completeEntry{pred: pred, res: res, storedAt: at}
+	if prev, ok := g.entries[key]; ok && prev.idOrder {
+		d.crawl--
+	}
+	g.entries[key] = completeEntry{key: key, pred: pred, res: res, storedAt: at, idOrder: idOrder}
 	d.sigs[key] = sig
+	if idOrder {
+		d.crawl++
+	}
 	d.mu.Unlock()
 }
 
@@ -123,6 +144,9 @@ func (d *completeDir) unregister(key string) {
 	if sig, ok := d.sigs[key]; ok {
 		delete(d.sigs, key)
 		if g, ok := d.groups[sig]; ok {
+			if e, ok := g.entries[key]; ok && e.idOrder {
+				d.crawl--
+			}
 			delete(g.entries, key)
 			if len(g.entries) == 0 {
 				delete(d.groups, sig)
@@ -133,17 +157,25 @@ func (d *completeDir) unregister(key string) {
 }
 
 // lookup finds a complete answer whose predicate covers p and assembles
-// the narrower result client-side. Only groups whose signature is a
-// subset of p's constrained attributes are scanned; among covering
-// answers the smallest match set wins (cheapest to filter). Entries older
-// than ttl (when positive) are skipped; the owning shard expires them on
-// its own schedule.
-func (d *completeDir) lookup(p relation.Predicate, ttl time.Duration, now time.Time) (hidden.Result, bool) {
+// the narrower result client-side, reporting the winning entry's key so
+// the caller can refresh its LRU position — the complete answer serving
+// the most traffic must not be evicted as "cold". Only groups whose
+// signature is a subset of p's constrained attributes are scanned; among
+// covering answers, rank-faithful query answers are preferred over crawl
+// sets, then the smallest match set wins (cheapest to filter). A crawl
+// set serves only when the filtered match set fits under systemK: its
+// tuples are in ID order, and a result the database would truncate cannot
+// be emulated without the unknowable rank order. Entries older than ttl
+// (when positive) are skipped; the owning shard expires them on its own
+// schedule.
+func (d *completeDir) lookup(p relation.Predicate, ttl time.Duration, now time.Time, systemK int) (res hidden.Result, key string, viaCrawl, ok bool) {
 	pa := condAttrs(p)
 	d.mu.RLock()
 	var (
-		best  completeEntry
-		found bool
+		best      completeEntry
+		bestCrawl completeEntry
+		found     bool
+		foundCr   bool
 	)
 	for _, g := range d.groups {
 		if !subsetInts(g.attrs, pa) {
@@ -153,6 +185,12 @@ func (d *completeDir) lookup(p relation.Predicate, ttl time.Duration, now time.T
 			if ttl > 0 && now.Sub(e.storedAt) > ttl {
 				continue
 			}
+			if e.idOrder {
+				if (!foundCr || len(e.res.Tuples) < len(bestCrawl.res.Tuples)) && e.pred.Covers(p) {
+					bestCrawl, foundCr = e, true
+				}
+				continue
+			}
 			if (!found || len(e.res.Tuples) < len(best.res.Tuples)) && e.pred.Covers(p) {
 				best, found = e, true
 			}
@@ -160,7 +198,10 @@ func (d *completeDir) lookup(p relation.Predicate, ttl time.Duration, now time.T
 	}
 	d.mu.RUnlock()
 	if !found {
-		return hidden.Result{}, false
+		if !foundCr {
+			return hidden.Result{}, "", false, false
+		}
+		best, viaCrawl = bestCrawl, true
 	}
 	out := hidden.Result{Tuples: make([]relation.Tuple, 0, len(best.res.Tuples))}
 	for _, t := range best.res.Tuples {
@@ -168,14 +209,20 @@ func (d *completeDir) lookup(p relation.Predicate, ttl time.Duration, now time.T
 			out.Tuples = append(out.Tuples, t)
 		}
 	}
-	return out, true
+	if viaCrawl && systemK > 0 && len(out.Tuples) > systemK {
+		// The database would truncate this answer to its unknowable top-k;
+		// every other crawl cover filters to the same set, so give up.
+		return hidden.Result{}, "", false, false
+	}
+	return out, best.key, viaCrawl, true
 }
 
-// len reports the number of registered complete answers.
-func (d *completeDir) len() int {
+// lens reports the number of registered complete answers: rank-faithful
+// query answers and crawl-admitted region sets.
+func (d *completeDir) lens() (faithful, crawl int) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.sigs)
+	return len(d.sigs) - d.crawl, d.crawl
 }
 
 // purge drops every registered answer.
@@ -183,6 +230,7 @@ func (d *completeDir) purge() {
 	d.mu.Lock()
 	d.groups = make(map[string]*completeGroup)
 	d.sigs = make(map[string]string)
+	d.crawl = 0
 	d.mu.Unlock()
 }
 

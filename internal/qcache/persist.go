@@ -50,21 +50,23 @@ func fingerprint(db hidden.DB) ([]byte, error) {
 
 // openStore verifies the fingerprint (wiping a stale store) and loads the
 // surviving entries oldest-first, so the LRU ends up newest-at-front and
-// the byte budget drops the oldest answers.
-func (c *Cache) openStore() error {
-	want, err := fingerprint(c.inner)
+// the byte budget drops the oldest answers. Crawl-admitted region sets
+// persist under their 'R'-marked keys and re-enter the containment
+// directory exactly as they left it.
+func (ns *namespace) openStore() error {
+	want, err := fingerprint(ns.inner)
 	if err != nil {
 		return err
 	}
-	got, ok, err := c.store.Get(fingerprintKey)
+	got, ok, err := ns.store.Get(fingerprintKey)
 	if err != nil {
 		return fmt.Errorf("qcache: read fingerprint: %w", err)
 	}
 	if !ok || !bytes.Equal(got, want) {
-		if err := c.wipeStore(); err != nil {
+		if err := ns.wipeStore(); err != nil {
 			return err
 		}
-		if err := c.store.Put(fingerprintKey, want); err != nil {
+		if err := ns.store.Put(fingerprintKey, want); err != nil {
 			return fmt.Errorf("qcache: write fingerprint: %w", err)
 		}
 		return nil
@@ -79,8 +81,8 @@ func (c *Cache) openStore() error {
 		warm    []warmEntry
 		corrupt [][]byte
 	)
-	now := c.now()
-	err = c.store.Range(func(key, value []byte) bool {
+	now := ns.pool.now()
+	err = ns.store.Range(func(key, value []byte) bool {
 		if len(key) < 2 || key[0] != 'q' || key[1] != '/' {
 			return true
 		}
@@ -91,7 +93,7 @@ func (c *Cache) openStore() error {
 			corrupt = append(corrupt, append([]byte(nil), key...))
 			return true
 		}
-		if c.ttl > 0 && now.Sub(at) > c.ttl {
+		if ns.ttl > 0 && now.Sub(at) > ns.ttl {
 			corrupt = append(corrupt, append([]byte(nil), key...))
 			return true
 		}
@@ -102,38 +104,37 @@ func (c *Cache) openStore() error {
 		return fmt.Errorf("qcache: load store: %w", err)
 	}
 	for _, key := range corrupt {
-		_ = c.store.Delete(key)
+		_ = ns.store.Delete(key)
 	}
 	sort.Slice(warm, func(i, j int) bool { return warm[i].storedAt.Before(warm[j].storedAt) })
-	var overflow []string // records the budget could not readmit
+	var overflow []victim // records the budget could not readmit
 	for _, w := range warm {
-		sh := c.shardFor(w.key)
+		pkey := ns.prefix + w.key
+		sh := ns.pool.shardFor(pkey)
 		sh.mu.Lock()
-		admitted, victims := c.insertLocked(sh, w.key, w.res, w.storedAt)
+		admitted, victims := ns.insertLocked(sh, pkey, w.res, w.storedAt)
 		sh.mu.Unlock()
 		if !admitted {
-			overflow = append(overflow, w.key)
+			overflow = append(overflow, victim{ns: ns, key: w.key})
 		}
 		overflow = append(overflow, victims...)
 	}
-	for _, key := range overflow {
-		_ = c.store.Delete(storeKey(key))
-	}
-	c.warmed = c.Len()
+	deleteVictims(overflow)
+	ns.warmed = int(ns.entries.Load())
 	return nil
 }
 
 // persist writes one filled entry to the store, best-effort: a failed
 // write only costs warmth after the next restart. Durability rides on the
 // store's own crash recovery; no explicit sync per entry.
-func (c *Cache) persist(key string, res hidden.Result) {
-	_ = c.store.Put(storeKey(key), encodeStored(res, c.now()))
+func (ns *namespace) persist(key string, res hidden.Result) {
+	_ = ns.store.Put(storeKey(key), encodeStored(res, ns.pool.now()))
 }
 
 // wipeStore removes every record, fingerprint included.
-func (c *Cache) wipeStore() error {
+func (ns *namespace) wipeStore() error {
 	var keys [][]byte
-	err := c.store.Range(func(key, _ []byte) bool {
+	err := ns.store.Range(func(key, _ []byte) bool {
 		keys = append(keys, append([]byte(nil), key...))
 		return true
 	})
@@ -141,7 +142,7 @@ func (c *Cache) wipeStore() error {
 		return fmt.Errorf("qcache: wipe store: %w", err)
 	}
 	for _, k := range keys {
-		if err := c.store.Delete(k); err != nil {
+		if err := ns.store.Delete(k); err != nil {
 			return fmt.Errorf("qcache: wipe store: %w", err)
 		}
 	}

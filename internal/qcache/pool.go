@@ -1,0 +1,579 @@
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/memgov"
+	"repro/internal/relation"
+)
+
+// Pool is one process-wide answer cache shared by any number of sources.
+//
+// Every source registers as a namespace; its canonical predicate keys are
+// prefixed with the namespace id and hashed into one shared set of LRU
+// shards, so all namespaces compete for a single global byte budget
+// instead of each sitting on a private slice. A hot source therefore
+// borrows capacity a quiet source is not using — the cross-source analogue
+// of a broker-level cache — while a small per-namespace floor keeps one
+// runaway source from evicting the rest to zero.
+//
+// The byte budget is a memgov.Account: fixed when the pool is sized with
+// MaxBytes alone, or governed when the deployment splits one process
+// budget between the pool and the dense indexes' tuple residency.
+type Pool struct {
+	acct      *memgov.Account
+	shards    []*shard
+	mask      uint64
+	floorFrac float64
+	now       func() time.Time
+	evictions atomic.Int64
+
+	nsCount atomic.Int64
+	mu      sync.Mutex // guards nss and nextID
+	nss     []*namespace
+	nextID  uint32 // monotonic: prefixes are never reused, even after drop
+}
+
+// DefaultFloorFrac is the fraction of the budget reserved as per-namespace
+// floors when PoolConfig.FloorFrac is zero: half the budget, split evenly,
+// is protected; the other half floats to whichever namespace is hot.
+const DefaultFloorFrac = 0.5
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// MaxBytes is the global byte budget across all namespaces (default
+	// DefaultMaxBytes). Negative admits no entries, leaving exact-match
+	// coalescing as the only cache effect. Ignored when Account is set.
+	MaxBytes int64
+	// Shards is the number of independent LRU shards shared by every
+	// namespace (default 16, rounded up to a power of two).
+	Shards int
+	// Account supplies a governed budget (memgov) instead of the fixed
+	// MaxBytes, so the pool and other consumers share one process budget.
+	Account *memgov.Account
+	// FloorFrac is the fraction of the budget set aside as per-namespace
+	// eviction floors, split evenly across namespaces (default
+	// DefaultFloorFrac; negative disables floors). A namespace's coldest
+	// entries are safe from *other* namespaces while it holds less than
+	// its floor.
+	FloorFrac float64
+}
+
+// NewPool builds an empty pool; sources join it with Namespace.
+func NewPool(cfg PoolConfig) *Pool {
+	acct := cfg.Account
+	if acct == nil {
+		if cfg.MaxBytes == 0 {
+			cfg.MaxBytes = DefaultMaxBytes
+		}
+		acct = memgov.Fixed(cfg.MaxBytes)
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	for n&(n-1) != 0 {
+		n++
+	}
+	ff := cfg.FloorFrac
+	switch {
+	case ff == 0:
+		ff = DefaultFloorFrac
+	case ff < 0:
+		ff = 0
+	case ff > 1:
+		ff = 1
+	}
+	p := &Pool{
+		acct:      acct,
+		shards:    make([]*shard, n),
+		mask:      uint64(n - 1),
+		floorFrac: ff,
+		now:       time.Now,
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			elems:   make(map[string]*list.Element),
+			lru:     list.New(),
+			flights: make(map[string]*flight),
+		}
+	}
+	return p
+}
+
+// Namespace installs inner as a named member of the pool and returns its
+// cache view. cfg.MaxBytes and cfg.Shards are pool-wide settings and are
+// ignored here; TTL, Store and DisableContainment apply to this namespace
+// only. Registering the same name twice is an error.
+func (p *Pool) Namespace(name string, inner hidden.DB, cfg Config) (*Cache, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("qcache: nil inner database")
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("qcache: negative TTL %v", cfg.TTL)
+	}
+	p.mu.Lock()
+	for _, other := range p.nss {
+		if other.name == name {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("qcache: namespace %q already registered", name)
+		}
+	}
+	ns := &namespace{
+		pool:    p,
+		name:    name,
+		prefix:  nsPrefix(p.nextID),
+		inner:   inner,
+		ttl:     cfg.TTL,
+		store:   cfg.Store,
+		systemK: inner.SystemK(),
+	}
+	p.nextID++
+	if !cfg.DisableContainment {
+		ns.complete = newCompleteDir()
+	}
+	p.nss = append(p.nss, ns)
+	p.mu.Unlock()
+	p.nsCount.Add(1)
+	if ns.store != nil {
+		if err := ns.openStore(); err != nil {
+			p.drop(ns)
+			return nil, err
+		}
+	}
+	return &Cache{ns: ns}, nil
+}
+
+// drop removes a namespace that failed to finish registration, releasing
+// any entries its store warm-up already admitted.
+func (p *Pool) drop(ns *namespace) {
+	ns.purgeResident()
+	p.mu.Lock()
+	for i, other := range p.nss {
+		if other == ns {
+			p.nss = append(p.nss[:i], p.nss[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.nsCount.Add(-1)
+}
+
+// nsPrefix encodes a namespace id as the fixed-width key prefix.
+func nsPrefix(id uint32) string {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], id)
+	return string(b[:])
+}
+
+// setClock overrides time for TTL tests.
+func (p *Pool) setClock(now func() time.Time) { p.now = now }
+
+// limits reads the governed budget once and derives the per-shard byte
+// budget and the per-namespace eviction floor (the bytes below which a
+// namespace's entries are protected from other namespaces' pressure).
+// One read per admission: under a governor, Account.Limit takes a global
+// mutex, and this is called while holding a shard lock.
+func (p *Pool) limits() (shardLimit, nsFloor int64) {
+	lim := p.acct.Limit()
+	if lim < 0 {
+		return -1, 0
+	}
+	shardLimit = lim / int64(len(p.shards))
+	if n := p.nsCount.Load(); n > 0 && p.floorFrac > 0 {
+		nsFloor = int64(p.floorFrac * float64(lim) / float64(n))
+	}
+	return shardLimit, nsFloor
+}
+
+// shardFor picks the shard by an FNV-1a hash of the (prefixed) key.
+func (p *Pool) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return p.shards[h&p.mask]
+}
+
+// PoolStats is a point-in-time snapshot of the whole pool.
+type PoolStats struct {
+	// Limit is the byte budget currently available to the pool (a moving
+	// number when the budget is governed).
+	Limit int64 `json:"limit"`
+	// Bytes and Entries describe global residency across all namespaces.
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+	// Evictions counts entries dropped pool-wide for the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Namespaces maps source names to their per-namespace counters.
+	Namespaces map[string]Stats `json:"namespaces"`
+}
+
+// Stats snapshots the pool and every namespace.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	nss := append([]*namespace(nil), p.nss...)
+	p.mu.Unlock()
+	st := PoolStats{
+		Limit:      p.acct.Limit(),
+		Evictions:  p.evictions.Load(),
+		Namespaces: make(map[string]Stats, len(nss)),
+	}
+	for _, ns := range nss {
+		s := ns.stats()
+		st.Bytes += s.Bytes
+		st.Entries += s.Entries
+		st.Namespaces[ns.name] = s
+	}
+	return st
+}
+
+// shard is one independently locked slice of the shared key space.
+type shard struct {
+	mu      sync.Mutex
+	elems   map[string]*list.Element // prefixed key -> *entry element
+	lru     *list.List               // front = most recently used
+	bytes   int64
+	flights map[string]*flight
+}
+
+// entry is one cached search result. key is namespace-prefixed (the shard
+// map key); srcKey strips the prefix back off for the namespace's store
+// and containment directory.
+type entry struct {
+	ns       *namespace
+	key      string
+	res      hidden.Result
+	size     int64
+	storedAt time.Time
+}
+
+func (e *entry) srcKey() string { return e.key[len(e.ns.prefix):] }
+
+// victim names an evicted entry so the caller can mirror the eviction
+// onto the owning namespace's persistent store outside the shard lock.
+type victim struct {
+	ns  *namespace
+	key string // source key (unprefixed)
+}
+
+// flight is one in-progress inner search that identical concurrent
+// searches wait on.
+type flight struct {
+	done chan struct{}
+	res  hidden.Result
+	err  error
+}
+
+// namespace is one source's membership in the pool: its key prefix, its
+// containment directory, its persistent store and its counters. All
+// resident bytes live in the pool's shared shards.
+type namespace struct {
+	pool     *Pool
+	name     string
+	prefix   string
+	inner    hidden.DB
+	ttl      time.Duration
+	store    kvstore.Store
+	complete *completeDir // nil when containment reuse is disabled
+	systemK  int
+
+	bytes     atomic.Int64
+	entries   atomic.Int64
+	hits      atomic.Int64
+	contained atomic.Int64
+	crawlHits atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	expired   atomic.Int64
+	warmed    int
+}
+
+// search implements the cache lookup protocol over the pool's shards: an
+// exact resident entry answers immediately; a resident complete answer
+// covering the predicate answers by client-side filtering; an identical
+// in-flight search is joined; otherwise the caller becomes the leader,
+// queries the inner database once and publishes the result.
+func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	key := KeyOf(p)
+	pkey := ns.prefix + key
+	sh := ns.pool.shardFor(pkey)
+	// The containment scan must not run under the shard mutex — it would
+	// serialize every other lookup on the shard behind a directory walk.
+	// It is attempted once, lock-free, after the first exact miss; the
+	// loop then re-checks the shard, which may have gained the entry or an
+	// in-flight leader in the meantime.
+	triedContainment := ns.complete == nil
+	for {
+		sh.mu.Lock()
+		if res, ok := ns.lookupLocked(sh, pkey); ok {
+			sh.mu.Unlock()
+			ns.hits.Add(1)
+			return res, nil
+		}
+		if !triedContainment {
+			sh.mu.Unlock()
+			triedContainment = true
+			if res, winner, viaCrawl, ok := ns.complete.lookup(p, ns.ttl, ns.pool.now(), ns.systemK); ok {
+				// Refresh the serving entry's LRU position: the complete
+				// answer absorbing this traffic must not age out as cold.
+				ns.touch(winner)
+				if viaCrawl {
+					ns.crawlHits.Add(1)
+				} else {
+					ns.contained.Add(1)
+				}
+				return res, nil
+			}
+			continue
+		}
+		if fl, ok := sh.flights[pkey]; ok {
+			sh.mu.Unlock()
+			ns.coalesced.Add(1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return hidden.Result{}, ctx.Err()
+			}
+			if fl.err == nil {
+				return copyResult(fl.res), nil
+			}
+			// The leader failed. When it died with its own context
+			// while ours is still live, retry as a fresh leader
+			// rather than surfacing someone else's cancellation.
+			if isContextErr(fl.err) && ctx.Err() == nil {
+				continue
+			}
+			return hidden.Result{}, fl.err
+		}
+		fl := &flight{done: make(chan struct{})}
+		sh.flights[pkey] = fl
+		sh.mu.Unlock()
+		ns.misses.Add(1)
+
+		res, err := ns.inner.Search(ctx, p)
+		fl.res, fl.err = res, err
+
+		var (
+			admitted bool
+			victims  []victim
+		)
+		sh.mu.Lock()
+		delete(sh.flights, pkey)
+		if err == nil {
+			admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
+		}
+		sh.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return hidden.Result{}, err
+		}
+		// Store I/O happens outside the shard lock. The persistent store
+		// mirrors residency exactly: evicted keys are deleted from their
+		// owners' stores, an admitted answer is written, and a replaced or
+		// refused admission deletes any stale record left under this key —
+		// otherwise a restart would warm back an answer memory already
+		// replaced or dropped.
+		deleteVictims(victims)
+		if ns.store != nil {
+			if admitted {
+				ns.persist(key, res)
+			} else {
+				_ = ns.store.Delete(storeKey(key))
+			}
+		}
+		return copyResult(res), nil
+	}
+}
+
+// deleteVictims mirrors evictions onto the owning namespaces' stores.
+func deleteVictims(victims []victim) {
+	for _, v := range victims {
+		if v.ns.store != nil {
+			_ = v.ns.store.Delete(storeKey(v.key))
+		}
+	}
+}
+
+// admitCrawl publishes the complete match set of a crawled region as a
+// containment-only entry (see Cache.AdmitCrawl). It takes ownership of
+// tuples: the slice is sorted in place and retained as the cached set.
+func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple) {
+	if ns.complete == nil {
+		return
+	}
+	sortTuplesByID(tuples)
+	res := hidden.Result{Tuples: tuples}
+	key := crawlKeyPrefix + KeyOf(pred)
+	pkey := ns.prefix + key
+	sh := ns.pool.shardFor(pkey)
+	sh.mu.Lock()
+	admitted, victims := ns.insertLocked(sh, pkey, res, ns.pool.now())
+	sh.mu.Unlock()
+	deleteVictims(victims)
+	if ns.store != nil {
+		if admitted {
+			ns.persist(key, res)
+		} else {
+			_ = ns.store.Delete(storeKey(key))
+		}
+	}
+}
+
+// touch refreshes the LRU position of a resident entry by source key, if
+// it is still resident. Used after containment hits, which serve traffic
+// from an entry no exact lookup would otherwise refresh.
+func (ns *namespace) touch(key string) {
+	pkey := ns.prefix + key
+	sh := ns.pool.shardFor(pkey)
+	sh.mu.Lock()
+	if el, ok := sh.elems[pkey]; ok {
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+}
+
+// lookupLocked returns the resident result for a prefixed key, refreshing
+// its LRU position. Expired entries are dropped and reported as absent;
+// the caller's refill either overwrites or deletes the stale persisted
+// record for the same key, so no store I/O is needed under the lock.
+// Crawl-admitted entries live under 'R'-marked keys no canonical
+// predicate key collides with, so an exact lookup never sees one.
+func (ns *namespace) lookupLocked(sh *shard, pkey string) (hidden.Result, bool) {
+	el, ok := sh.elems[pkey]
+	if !ok {
+		return hidden.Result{}, false
+	}
+	e := el.Value.(*entry)
+	if ns.ttl > 0 && ns.pool.now().Sub(e.storedAt) > ns.ttl {
+		removeLocked(sh, el)
+		ns.expired.Add(1)
+		return hidden.Result{}, false
+	}
+	sh.lru.MoveToFront(el)
+	return copyResult(e.res), true
+}
+
+// insertLocked adds (or replaces) an entry and evicts from the cold end
+// until the shard respects its share of the global budget. An entry
+// larger than a whole shard's share is not admitted. Victims are chosen
+// oldest-first, skipping entries whose owning namespace would fall below
+// its floor under pressure from a *different* namespace — that is the
+// borrowing contract: idle capacity is lent, the floor is not.
+func (ns *namespace) insertLocked(sh *shard, pkey string, res hidden.Result, at time.Time) (admitted bool, victims []victim) {
+	if el, ok := sh.elems[pkey]; ok {
+		removeLocked(sh, el)
+	}
+	e := &entry{ns: ns, key: pkey, res: res, size: entrySize(pkey, res), storedAt: at}
+	limit, floor := ns.pool.limits()
+	if e.size > limit {
+		return false, nil
+	}
+	sh.elems[pkey] = sh.lru.PushFront(e)
+	sh.bytes += e.size
+	ns.bytes.Add(e.size)
+	ns.entries.Add(1)
+	ns.pool.acct.Add(e.size)
+	if ns.complete != nil {
+		ns.complete.register(e.srcKey(), res, at)
+	}
+	// One cold-to-hot pass: evicting only shrinks namespace byte counts,
+	// so an entry skipped as floor-protected stays protected and is never
+	// worth revisiting. If the walk ends with only the new entry and
+	// floor-protected foreigners left, the overshoot is tolerated rather
+	// than the floor contract broken.
+	for el := sh.lru.Back(); el != nil && sh.bytes > limit; {
+		prev := el.Prev()
+		ce := el.Value.(*entry)
+		switch {
+		case ce == e: // never evict the entry being admitted
+		case ce.ns != ns && ce.ns.bytes.Load()-ce.size < floor:
+			// floor-protected from foreign pressure
+		default:
+			victims = append(victims, victim{ns: ce.ns, key: ce.srcKey()})
+			removeLocked(sh, el)
+			ce.ns.evictions.Add(1)
+			ns.pool.evictions.Add(1)
+		}
+		el = prev
+	}
+	return true, victims
+}
+
+// removeLocked drops an element from its shard and unwinds all accounting.
+func removeLocked(sh *shard, el *list.Element) {
+	e := el.Value.(*entry)
+	sh.lru.Remove(el)
+	delete(sh.elems, e.key)
+	sh.bytes -= e.size
+	e.ns.bytes.Add(-e.size)
+	e.ns.entries.Add(-1)
+	e.ns.pool.acct.Add(-e.size)
+	if e.ns.complete != nil {
+		e.ns.complete.unregister(e.srcKey())
+	}
+}
+
+// stats snapshots the namespace counters.
+func (ns *namespace) stats() Stats {
+	st := Stats{
+		Hits:            ns.hits.Load(),
+		ContainmentHits: ns.contained.Load(),
+		CrawlHits:       ns.crawlHits.Load(),
+		Misses:          ns.misses.Load(),
+		Coalesced:       ns.coalesced.Load(),
+		Evictions:       ns.evictions.Load(),
+		Expired:         ns.expired.Load(),
+		Entries:         int(ns.entries.Load()),
+		Bytes:           ns.bytes.Load(),
+		Warmed:          ns.warmed,
+	}
+	if ns.complete != nil {
+		st.CompleteEntries, st.CrawlEntries = ns.complete.lens()
+	}
+	return st
+}
+
+// purgeResident drops this namespace's resident entries from every shard.
+func (ns *namespace) purgeResident() {
+	for _, sh := range ns.pool.shards {
+		sh.mu.Lock()
+		var drop []*list.Element
+		for _, el := range sh.elems {
+			if el.Value.(*entry).ns == ns {
+				drop = append(drop, el)
+			}
+		}
+		for _, el := range drop {
+			removeLocked(sh, el)
+		}
+		sh.mu.Unlock()
+	}
+	if ns.complete != nil {
+		ns.complete.purge()
+	}
+}
+
+// crawlKeyPrefix marks the cache key of a crawl-admitted region set. It
+// cannot collide with canonical predicate keys, whose first byte is 'c',
+// 'n' or absent, so the region's own (overflowing) top-k answer and its
+// complete crawled set coexist under distinct keys.
+const crawlKeyPrefix = "R"
+
+// isCrawlKey reports whether a source key names a crawl-admitted set.
+func isCrawlKey(key string) bool { return strings.HasPrefix(key, crawlKeyPrefix) }

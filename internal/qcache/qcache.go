@@ -9,19 +9,27 @@
 // canonical serialisation of the filter predicate, so semantically
 // identical filters from different users resolve to one entry.
 //
-// The cache is sharded for high-QPS multi-user traffic: each shard owns an
-// LRU list under its own mutex, with a configurable total byte budget and
-// an optional TTL. Identical searches that are in flight at the same time
-// are coalesced singleflight-style — N concurrent users asking the same
-// question cost exactly one web-database query, which is the cheapest
-// query of all.
+// Caches are views onto a Pool: one process-wide set of LRU shards under a
+// single global byte budget. A stand-alone Cache (New) owns a private
+// pool; a service hosting many sources registers each as a Pool namespace
+// instead, so a hot source borrows cache capacity an idle source is not
+// using, bounded by small per-namespace floors (see Pool). The budget
+// itself can be a fixed byte count or a governed memgov.Account shared
+// with the dense index's tuple residency.
+//
+// Identical searches that are in flight at the same time are coalesced
+// singleflight-style — N concurrent users asking the same question cost
+// exactly one web-database query, which is the cheapest query of all.
 //
 // Beyond exact matches, the cache performs overflow-aware reuse: an answer
 // whose Overflow flag is false is the complete match set of its predicate,
 // so any strictly narrower predicate is answered by filtering it
 // client-side — byte-identical to what the database would return,
 // including the negative (empty) result — via a containment directory over
-// complete answers (see contain.go).
+// complete answers (see contain.go). The crawl layer feeds the same
+// directory: a completed region crawl admits the region's full match set
+// (AdmitCrawl), so predicates inside a crawled region are served with zero
+// web-database queries even though no single query ever returned them.
 //
 // Entries can optionally be persisted through a kvstore.Store so a warm
 // cache survives restarts; the store is fingerprinted against the source
@@ -30,12 +38,9 @@
 package qcache
 
 import (
-	"container/list"
 	"context"
 	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
+	"sort"
 	"time"
 
 	"repro/internal/hidden"
@@ -53,14 +58,15 @@ const defaultShards = 16
 type Config struct {
 	// MaxBytes is the total in-memory budget across all shards
 	// (default DefaultMaxBytes). Negative admits no entries, leaving
-	// only in-flight coalescing active.
+	// only in-flight coalescing active. Ignored by Pool.Namespace, where
+	// the pool's global budget applies instead.
 	MaxBytes int64
 	// TTL expires entries this long after they were filled. Zero means
 	// entries never expire. A snapshot database never changes, but a
 	// live web database does; the TTL bounds staleness.
 	TTL time.Duration
 	// Shards is the number of independent LRU shards (default 16,
-	// rounded up to a power of two).
+	// rounded up to a power of two). Ignored by Pool.Namespace.
 	Shards int
 	// Store persists entries so a warm cache survives restarts. Nil
 	// keeps the cache memory-only. The store is wiped when its recorded
@@ -82,6 +88,9 @@ type Stats struct {
 	// complete (non-overflowing) answer for a broader predicate —
 	// overflow-aware reuse. Disjoint from Hits.
 	ContainmentHits int64 `json:"containment_hits"`
+	// CrawlHits counts searches answered from a crawl-admitted region
+	// match set (AdmitCrawl). Disjoint from Hits and ContainmentHits.
+	CrawlHits int64 `json:"crawl_hits"`
 	// Misses counts searches that had to query the inner database.
 	Misses int64 `json:"misses"`
 	// Coalesced counts searches that joined an identical in-flight
@@ -95,141 +104,58 @@ type Stats struct {
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
 	// CompleteEntries counts resident answers available for containment
-	// reuse (complete match sets).
+	// reuse (complete match sets returned by single queries).
 	CompleteEntries int `json:"complete_entries"`
+	// CrawlEntries counts resident region match sets admitted by the
+	// crawl refill.
+	CrawlEntries int `json:"crawl_entries"`
 	// Warmed counts entries loaded from the persistent store at boot.
 	Warmed int `json:"warmed"`
 }
 
 // HitRate returns the share of searches answered without the inner
-// database: (hits + containment hits) / all searches. Zero before any
-// lookup.
+// database: (hits + containment hits + crawl hits) / all searches. Zero
+// before any lookup.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.ContainmentHits + s.Misses
+	served := s.Hits + s.ContainmentHits + s.CrawlHits
+	total := served + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.ContainmentHits) / float64(total)
-}
-
-// entry is one cached search result.
-type entry struct {
-	key      string
-	res      hidden.Result
-	size     int64
-	storedAt time.Time
-}
-
-// flight is one in-progress inner search that identical concurrent
-// searches wait on.
-type flight struct {
-	done chan struct{}
-	res  hidden.Result
-	err  error
-}
-
-// shard is one independently locked slice of the key space.
-type shard struct {
-	mu       sync.Mutex
-	elems    map[string]*list.Element // key -> *entry element
-	lru      *list.List               // front = most recently used
-	bytes    int64
-	maxBytes int64
-	flights  map[string]*flight
+	return float64(served) / float64(total)
 }
 
 // Cache decorates a hidden.DB with a shared answer cache. It implements
 // hidden.DB and is safe for concurrent use by any number of sessions.
+// A Cache is a view onto one Pool namespace: New builds a private
+// single-namespace pool, Pool.Namespace joins an existing one.
 type Cache struct {
-	inner     hidden.DB
-	ttl       time.Duration
-	shards    []*shard
-	mask      uint64
-	store     kvstore.Store
-	now       func() time.Time
-	complete  *completeDir // nil when containment reuse is disabled
-	hits      atomic.Int64
-	contained atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
-	expired   atomic.Int64
-	warmed    int
+	ns *namespace
 }
 
-// New builds a cache over inner. When cfg.Store is non-nil the store is
-// verified against the source fingerprint (wiping stale contents) and any
-// surviving entries are loaded, newest first, up to the byte budget.
+// New builds a stand-alone cache over inner, backed by a private pool
+// sized from cfg. When cfg.Store is non-nil the store is verified against
+// the source fingerprint (wiping stale contents) and any surviving
+// entries are loaded, newest first, up to the byte budget.
 func New(inner hidden.DB, cfg Config) (*Cache, error) {
 	if inner == nil {
-		return nil, fmt.Errorf("qcache: nil inner database")
+		return nil, errors.New("qcache: nil inner database")
 	}
-	if cfg.MaxBytes == 0 {
-		cfg.MaxBytes = DefaultMaxBytes
-	}
-	if cfg.TTL < 0 {
-		return nil, fmt.Errorf("qcache: negative TTL %v", cfg.TTL)
-	}
-	n := cfg.Shards
-	if n <= 0 {
-		n = defaultShards
-	}
-	for n&(n-1) != 0 {
-		n++
-	}
-	c := &Cache{
-		inner:  inner,
-		ttl:    cfg.TTL,
-		shards: make([]*shard, n),
-		mask:   uint64(n - 1),
-		store:  cfg.Store,
-		now:    time.Now,
-	}
-	if !cfg.DisableContainment {
-		c.complete = newCompleteDir()
-	}
-	per := cfg.MaxBytes / int64(n)
-	for i := range c.shards {
-		c.shards[i] = &shard{
-			elems:    make(map[string]*list.Element),
-			lru:      list.New(),
-			maxBytes: per,
-			flights:  make(map[string]*flight),
-		}
-	}
-	if c.store != nil {
-		if err := c.openStore(); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
+	pool := NewPool(PoolConfig{MaxBytes: cfg.MaxBytes, Shards: cfg.Shards})
+	return pool.Namespace(inner.Name(), inner, cfg)
 }
 
 // setClock overrides time for TTL tests.
-func (c *Cache) setClock(now func() time.Time) { c.now = now }
+func (c *Cache) setClock(now func() time.Time) { c.ns.pool.setClock(now) }
 
 // Name implements hidden.DB.
-func (c *Cache) Name() string { return c.inner.Name() }
+func (c *Cache) Name() string { return c.ns.inner.Name() }
 
 // Schema implements hidden.DB.
-func (c *Cache) Schema() *relation.Schema { return c.inner.Schema() }
+func (c *Cache) Schema() *relation.Schema { return c.ns.inner.Schema() }
 
 // SystemK implements hidden.DB.
-func (c *Cache) SystemK() int { return c.inner.SystemK() }
-
-// shardFor picks the shard by an FNV-1a hash of the key.
-func (c *Cache) shardFor(key string) *shard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	var h uint64 = offset64
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return c.shards[h&c.mask]
-}
+func (c *Cache) SystemK() int { return c.ns.inner.SystemK() }
 
 // Search implements hidden.DB. A resident entry answers immediately; a
 // resident complete answer for a broader predicate answers by client-side
@@ -237,148 +163,47 @@ func (c *Cache) shardFor(key string) *shard {
 // joined; otherwise the caller becomes the leader, queries the inner
 // database once and publishes the result.
 func (c *Cache) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
-	key := KeyOf(p)
-	sh := c.shardFor(key)
-	// The containment scan must not run under the shard mutex — it would
-	// serialize every other lookup on the shard behind a directory walk.
-	// It is attempted once, lock-free, after the first exact miss; the
-	// loop then re-checks the shard, which may have gained the entry or an
-	// in-flight leader in the meantime.
-	triedContainment := c.complete == nil
-	for {
-		sh.mu.Lock()
-		if res, ok := c.lookupLocked(sh, key); ok {
-			sh.mu.Unlock()
-			c.hits.Add(1)
-			return res, nil
-		}
-		if !triedContainment {
-			sh.mu.Unlock()
-			triedContainment = true
-			if res, ok := c.complete.lookup(p, c.ttl, c.now()); ok {
-				c.contained.Add(1)
-				return res, nil
-			}
-			continue
-		}
-		if fl, ok := sh.flights[key]; ok {
-			sh.mu.Unlock()
-			c.coalesced.Add(1)
-			select {
-			case <-fl.done:
-			case <-ctx.Done():
-				return hidden.Result{}, ctx.Err()
-			}
-			if fl.err == nil {
-				return copyResult(fl.res), nil
-			}
-			// The leader failed. When it died with its own context
-			// while ours is still live, retry as a fresh leader
-			// rather than surfacing someone else's cancellation.
-			if isContextErr(fl.err) && ctx.Err() == nil {
-				continue
-			}
-			return hidden.Result{}, fl.err
-		}
-		fl := &flight{done: make(chan struct{})}
-		sh.flights[key] = fl
-		sh.mu.Unlock()
-		c.misses.Add(1)
+	return c.ns.search(ctx, p)
+}
 
-		res, err := c.inner.Search(ctx, p)
-		fl.res, fl.err = res, err
+// AdmitCrawl publishes the complete match set of pred, assembled by a
+// region crawl rather than returned by any single query, for
+// containment-style reuse. A later predicate inside the region whose
+// match set fits under system-k is answered client-side with the exact
+// set and overflow flag the database would produce; tuples arrive in
+// tuple-ID order rather than system-rank order, because no sequence of
+// top-k queries can observe the global rank order of an overflowing
+// region (the containment directory documents the cap). Narrower
+// predicates matching more than system-k tuples are never served this
+// way — emulating the database's truncation would require the unknowable
+// rank order — and fall through to a real query. No-op when containment
+// reuse is disabled. The crawl layer (internal/crawl.All) calls this for
+// every complete crawl whose executor fronts a Cache.
+//
+// AdmitCrawl takes ownership of tuples: the slice is sorted in place and
+// retained; the caller must not modify it afterwards.
+func (c *Cache) AdmitCrawl(pred relation.Predicate, tuples []relation.Tuple) {
+	c.ns.admitCrawl(pred, tuples)
+}
 
-		var (
-			admitted bool
-			victims  []string
-		)
-		sh.mu.Lock()
-		delete(sh.flights, key)
-		if err == nil {
-			admitted, victims = c.insertLocked(sh, key, res, c.now())
-		}
-		sh.mu.Unlock()
-		close(fl.done)
-		if err != nil {
-			return hidden.Result{}, err
-		}
-		if c.store != nil {
-			// Store I/O happens outside the shard lock; only admitted
-			// entries are written, so the store never outgrows the
-			// budget's reach.
-			for _, v := range victims {
-				_ = c.store.Delete(storeKey(v))
-			}
-			if admitted {
-				c.persist(key, res)
-			}
-		}
-		return copyResult(res), nil
+// Stats returns a snapshot of the cache counters and residency.
+func (c *Cache) Stats() Stats { return c.ns.stats() }
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int { return int(c.ns.entries.Load()) }
+
+// Purge drops every resident entry of this cache's namespace (and, when
+// persistent, every stored one). Counters are preserved.
+func (c *Cache) Purge() error {
+	c.ns.purgeResident()
+	if c.ns.store == nil {
+		return nil
 	}
+	return c.ns.wipeStore()
 }
 
 func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-}
-
-// lookupLocked returns the resident result for key, refreshing its LRU
-// position. Expired entries are dropped and reported as absent; the
-// caller's refill overwrites any stale persisted record for the same key,
-// and boot-time loading drops expired records, so no store I/O is needed
-// under the lock.
-func (c *Cache) lookupLocked(sh *shard, key string) (hidden.Result, bool) {
-	el, ok := sh.elems[key]
-	if !ok {
-		return hidden.Result{}, false
-	}
-	e := el.Value.(*entry)
-	if c.ttl > 0 && c.now().Sub(e.storedAt) > c.ttl {
-		c.removeLocked(sh, el)
-		c.expired.Add(1)
-		return hidden.Result{}, false
-	}
-	sh.lru.MoveToFront(el)
-	return copyResult(e.res), true
-}
-
-// insertLocked adds (or replaces) an entry and evicts from the cold end
-// until the shard respects its byte budget. An entry larger than the whole
-// shard budget is not admitted. It reports whether the entry was admitted
-// and which keys were evicted, so the caller can mirror both onto the
-// persistent store outside the lock.
-func (c *Cache) insertLocked(sh *shard, key string, res hidden.Result, at time.Time) (admitted bool, victims []string) {
-	if el, ok := sh.elems[key]; ok {
-		c.removeLocked(sh, el)
-	}
-	e := &entry{key: key, res: res, size: entrySize(key, res), storedAt: at}
-	if e.size > sh.maxBytes {
-		return false, nil
-	}
-	sh.elems[key] = sh.lru.PushFront(e)
-	sh.bytes += e.size
-	if c.complete != nil {
-		c.complete.register(key, res, at)
-	}
-	for sh.bytes > sh.maxBytes {
-		cold := sh.lru.Back()
-		if cold == nil {
-			break
-		}
-		victims = append(victims, cold.Value.(*entry).key)
-		c.removeLocked(sh, cold)
-		c.evictions.Add(1)
-	}
-	return true, victims
-}
-
-func (c *Cache) removeLocked(sh *shard, el *list.Element) {
-	e := el.Value.(*entry)
-	sh.lru.Remove(el)
-	delete(sh.elems, e.key)
-	sh.bytes -= e.size
-	if c.complete != nil {
-		c.complete.unregister(e.key)
-	}
 }
 
 // entrySize estimates the resident footprint of one entry: the key, the
@@ -402,57 +227,10 @@ func copyResult(res hidden.Result) hidden.Result {
 	}
 }
 
-// Stats returns a snapshot of the cache counters and residency.
-func (c *Cache) Stats() Stats {
-	st := Stats{
-		Hits:            c.hits.Load(),
-		ContainmentHits: c.contained.Load(),
-		Misses:          c.misses.Load(),
-		Coalesced:       c.coalesced.Load(),
-		Evictions:       c.evictions.Load(),
-		Expired:         c.expired.Load(),
-		Warmed:          c.warmed,
-	}
-	for _, sh := range c.shards {
-		sh.mu.Lock()
-		st.Entries += len(sh.elems)
-		st.Bytes += sh.bytes
-		sh.mu.Unlock()
-	}
-	if c.complete != nil {
-		st.CompleteEntries = c.complete.len()
-	}
-	return st
-}
-
-// Len returns the number of resident entries.
-func (c *Cache) Len() int {
-	n := 0
-	for _, sh := range c.shards {
-		sh.mu.Lock()
-		n += len(sh.elems)
-		sh.mu.Unlock()
-	}
-	return n
-}
-
-// Purge drops every resident entry (and, when persistent, every stored
-// one). Counters are preserved.
-func (c *Cache) Purge() error {
-	for _, sh := range c.shards {
-		sh.mu.Lock()
-		sh.elems = make(map[string]*list.Element)
-		sh.lru = list.New()
-		sh.bytes = 0
-		sh.mu.Unlock()
-	}
-	if c.complete != nil {
-		c.complete.purge()
-	}
-	if c.store == nil {
-		return nil
-	}
-	return c.wipeStore()
+// sortTuplesByID orders a tuple slice by ID ascending — the documented
+// order of crawl-admitted region sets.
+func sortTuplesByID(ts []relation.Tuple) {
+	sort.Slice(ts, func(a, b int) bool { return ts[a].ID < ts[b].ID })
 }
 
 var _ hidden.DB = (*Cache)(nil)

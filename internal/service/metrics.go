@@ -35,6 +35,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "# HELP qr2_sessions Live user sessions.\n# TYPE qr2_sessions gauge\nqr2_sessions %d\n", s.sessions.Len())
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		fmt.Fprintf(&b, "# HELP qr2_qcache_pool_limit_bytes Global byte budget currently available to the answer-cache pool.\n# TYPE qr2_qcache_pool_limit_bytes gauge\nqr2_qcache_pool_limit_bytes %d\n", ps.Limit)
+		fmt.Fprintf(&b, "# HELP qr2_qcache_pool_bytes Bytes resident across all pool namespaces.\n# TYPE qr2_qcache_pool_bytes gauge\nqr2_qcache_pool_bytes %d\n", ps.Bytes)
+		fmt.Fprintf(&b, "# HELP qr2_qcache_pool_evictions_total Pool-wide entries evicted for the global byte budget.\n# TYPE qr2_qcache_pool_evictions_total counter\nqr2_qcache_pool_evictions_total %d\n", ps.Evictions)
+	}
+	if s.gov != nil {
+		ms := s.gov.Stats()
+		fmt.Fprintf(&b, "# HELP qr2_mem_budget_bytes Governed process-wide cache byte budget.\n# TYPE qr2_mem_budget_bytes gauge\nqr2_mem_budget_bytes %d\n", ms.Total)
+		fmt.Fprintf(&b, "# HELP qr2_mem_account_bytes Bytes used per governed memory account.\n# TYPE qr2_mem_account_bytes gauge\n")
+		for _, a := range ms.Accounts {
+			fmt.Fprintf(&b, "qr2_mem_account_bytes{account=\"%s\"} %d\n", escapeLabel(a.Name), a.Usage)
+		}
+		fmt.Fprintf(&b, "# HELP qr2_mem_account_limit_bytes Current byte limit per governed memory account.\n# TYPE qr2_mem_account_limit_bytes gauge\n")
+		for _, a := range ms.Accounts {
+			fmt.Fprintf(&b, "qr2_mem_account_limit_bytes{account=\"%s\"} %d\n", escapeLabel(a.Name), a.Limit)
+		}
+	}
 
 	type row struct {
 		metric, kind, help string
@@ -73,6 +91,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			cacheRow(func(cs qcache.Stats) int64 { return cs.Hits })},
 		{"qr2_qcache_containment_hits_total", "counter", "Answer-cache overflow-aware (containment) hits.",
 			cacheRow(func(cs qcache.Stats) int64 { return cs.ContainmentHits })},
+		{"qr2_qcache_crawl_hits_total", "counter", "Answer-cache hits served from crawl-admitted region sets.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.CrawlHits })},
 		{"qr2_qcache_misses_total", "counter", "Answer-cache misses that queried the web database.",
 			cacheRow(func(cs qcache.Stats) int64 { return cs.Misses })},
 		{"qr2_qcache_coalesced_total", "counter", "Searches coalesced into an identical in-flight search.",
@@ -83,6 +103,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			cacheRow(func(cs qcache.Stats) int64 { return int64(cs.Entries) })},
 		{"qr2_qcache_complete_entries", "gauge", "Complete answers available for containment reuse.",
 			cacheRow(func(cs qcache.Stats) int64 { return int64(cs.CompleteEntries) })},
+		{"qr2_qcache_crawl_entries", "gauge", "Crawl-admitted region match sets available for reuse.",
+			cacheRow(func(cs qcache.Stats) int64 { return int64(cs.CrawlEntries) })},
 		{"qr2_qcache_bytes", "gauge", "Bytes resident in the answer cache.",
 			cacheRow(func(cs qcache.Stats) int64 { return cs.Bytes })},
 	}
@@ -90,11 +112,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", rw.metric, rw.help, rw.metric, rw.kind)
 		for _, name := range names {
 			if v, ok := rw.value(name); ok {
-				fmt.Fprintf(&b, "%s{source=%q} %d\n", rw.metric, name, v)
+				fmt.Fprintf(&b, "%s{source=\"%s\"} %d\n", rw.metric, escapeLabel(name), v)
 			}
 		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// escapeLabel escapes a label value for the Prometheus text exposition
+// format, which demands exactly three escapes — backslash, double quote
+// and newline — and takes every other byte, including non-ASCII UTF-8,
+// verbatim. Go's %q is not usable here: it emits \uXXXX sequences for
+// non-ASCII runes, which scrapers reject as malformed.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }

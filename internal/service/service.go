@@ -28,6 +28,14 @@
 // effectiveness is reported on GET /api/stats and in every statistics
 // panel.
 //
+// In shared-pool mode (Config.SharedCachePool) every source's cache is a
+// namespace of one process-wide qcache.Pool under a single global byte
+// budget, so hot sources borrow cache capacity idle ones are not using;
+// with Config.MemBudget the pool and every dense index's tuple residency
+// are further governed by one memgov budget that splits dynamically
+// between them. Complete region crawls refill the pool (crawl.Admitter),
+// so predicates inside a crawled region are served client-side.
+//
 // Endpoints:
 //
 //	GET  /api/sources        data sources, their schemas, popular functions
@@ -55,6 +63,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
+	"repro/internal/memgov"
 	"repro/internal/qcache"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -102,13 +111,39 @@ type Config struct {
 	SimLatency        time.Duration
 	DenseDepth        int
 	MaxQueriesPerNext int
+	// SharedCachePool installs every source's answer cache as a namespace
+	// of one process-wide qcache.Pool under a single global byte budget
+	// (CachePoolBytes), so hot sources borrow cache capacity idle sources
+	// are not using. Per-source Cache.MaxBytes is ignored in pool mode.
+	// Implied by MemBudget > 0.
+	SharedCachePool bool
+	// CachePoolBytes sizes the pooled answer cache when SharedCachePool
+	// is set without MemBudget (0 = qcache.DefaultMaxBytes).
+	CachePoolBytes int64
+	// MemBudget, when positive, governs every cache byte in the process —
+	// the pooled answer cache and each source's dense-index tuple
+	// residency — through one memgov.Governor: each consumer is
+	// guaranteed a floor share and borrows whatever the others leave
+	// idle. Overrides CachePoolBytes and SourceConfig.DenseResidentBytes.
+	MemBudget int64
 }
+
+// Budget shares guaranteed under a MemBudget governor: a quarter of the
+// budget floors the answer-cache pool, a quarter is split across the
+// dense indexes' residencies, and the remaining half floats to whichever
+// consumer is hot.
+const (
+	memShareQCache = 0.25
+	memShareDense  = 0.25
+)
 
 // Server is the QR2 HTTP service.
 type Server struct {
 	cfg      Config
 	sessions *session.Manager
 	sources  map[string]*source
+	pool     *qcache.Pool     // non-nil in shared-pool mode
+	gov      *memgov.Governor // non-nil when MemBudget governs the caches
 	mux      *http.ServeMux
 }
 
@@ -160,19 +195,45 @@ func New(cfg Config) (*Server, error) {
 		sources:  make(map[string]*source),
 		mux:      http.NewServeMux(),
 	}
+	if cfg.MemBudget > 0 {
+		s.gov = memgov.New(cfg.MemBudget)
+		cfg.SharedCachePool = true
+	}
+	anyCached := false
+	for _, sc := range cfg.Sources {
+		if sc.Cache != nil {
+			anyCached = true
+		}
+	}
+	if cfg.SharedCachePool && anyCached {
+		pc := qcache.PoolConfig{MaxBytes: cfg.CachePoolBytes}
+		if s.gov != nil {
+			pc.Account = s.gov.Account("qcache", memShareQCache)
+		}
+		s.pool = qcache.NewPool(pc)
+	}
 	for name, sc := range cfg.Sources {
 		store := sc.DenseStore
 		if store == nil {
 			store = kvstore.NewMemory()
 		}
-		ix, err := dense.Open(sc.DB.Schema(), store, dense.WithResidentBytes(sc.DenseResidentBytes))
+		denseOpt := dense.WithResidentBytes(sc.DenseResidentBytes)
+		if s.gov != nil {
+			denseOpt = dense.WithResidentAccount(
+				s.gov.Account("dense/"+name, memShareDense/float64(len(cfg.Sources))))
+		}
+		ix, err := dense.Open(sc.DB.Schema(), store, denseOpt)
 		if err != nil {
 			return nil, fmt.Errorf("service: open dense index for %q: %w", name, err)
 		}
 		db := sc.DB
 		var cache *qcache.Cache
 		if sc.Cache != nil {
-			cache, err = qcache.New(db, *sc.Cache)
+			if s.pool != nil {
+				cache, err = s.pool.Namespace(name, db, *sc.Cache)
+			} else {
+				cache, err = qcache.New(db, *sc.Cache)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("service: open answer cache for %q: %w", name, err)
 			}
@@ -251,6 +312,7 @@ type statsDoc struct {
 	SharedCacheMisses      int64 `json:"shared_cache_misses"`
 	SharedCacheCoalesced   int64 `json:"shared_cache_coalesced"`
 	SharedCacheContainment int64 `json:"shared_cache_containment"`
+	SharedCacheCrawl       int64 `json:"shared_cache_crawl"`
 }
 
 type queryDoc struct {
@@ -314,6 +376,12 @@ type sourceStatsDoc struct {
 type serviceStatsDoc struct {
 	Sessions int                       `json:"sessions"`
 	Sources  map[string]sourceStatsDoc `json:"sources"`
+	// Pool describes the process-wide answer-cache pool (shared-pool mode
+	// only): global residency plus per-namespace counters.
+	Pool *qcache.PoolStats `json:"pool,omitempty"`
+	// Mem describes the governed process memory budget (MemBudget mode
+	// only): per-account usage, floors and current limits.
+	Mem *memgov.Stats `json:"mem,omitempty"`
 }
 
 // handleStats reports per-source cache and dense-index effectiveness so
@@ -322,6 +390,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	doc := serviceStatsDoc{
 		Sessions: s.sessions.Len(),
 		Sources:  make(map[string]sourceStatsDoc, len(s.sources)),
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		doc.Pool = &ps
+	}
+	if s.gov != nil {
+		ms := s.gov.Stats()
+		doc.Mem = &ms
 	}
 	for name, src := range s.sources {
 		ds := src.ix.Stats()
@@ -622,6 +698,7 @@ func (s *Server) advance(ctx context.Context, sess *session.Session, qid string,
 		doc.Stats.SharedCacheMisses = cs.Misses
 		doc.Stats.SharedCacheCoalesced = cs.Coalesced
 		doc.Stats.SharedCacheContainment = cs.ContainmentHits
+		doc.Stats.SharedCacheCrawl = cs.CrawlHits
 	}
 	return doc, nil
 }

@@ -81,10 +81,26 @@ td, th { border: 1px solid #999; padding: 0.3em 0.6em; }
   session cache: {{.Result.Stats.SessionCacheSize}} tuples,
   shared answer cache (all users): {{.Result.Stats.SharedCacheHits}} hits /
   {{.Result.Stats.SharedCacheContainment}} containment hits /
+  {{.Result.Stats.SharedCacheCrawl}} crawl-refill hits /
   {{.Result.Stats.SharedCacheMisses}} misses /
   {{.Result.Stats.SharedCacheCoalesced}} coalesced.
 </div>
 {{end}}
+<div class="stats">
+  <strong>Operational statistics</strong> (live, <code>/api/stats</code>)
+  <pre id="live-stats" style="overflow-x:auto">loading…</pre>
+</div>
+<script>
+async function refreshStats() {
+  try {
+    const r = await fetch('/api/stats');
+    document.getElementById('live-stats').textContent =
+      JSON.stringify(await r.json(), null, 1);
+  } catch (e) { /* keep the last good snapshot */ }
+}
+refreshStats();
+setInterval(refreshStats, 2000);
+</script>
 </body>
 </html>`))
 
