@@ -24,12 +24,27 @@
 // given byte total (internal/memgov), each guaranteed a floor and
 // borrowing whatever the others leave idle.
 //
-// Usage:
+// -peers and -self join the replica to a consistent-hash cluster
+// (internal/cluster): -peers lists every replica as id=url pairs —
+// including this one — and -self names which entry this process is. Each
+// cached answer then has exactly one owner replica; queries for
+// foreign-owned keys proxy the cache lookup to the owner (/cluster/get)
+// and on an owner miss pay the web query locally and push the answer to
+// the owner (/cluster/put). Dead peers are excluded from the ring by
+// health probes and failed forwards fall back to local serving, so user
+// requests survive any peer outage.
+//
+// Usage (quickstart):
 //
 //	qr2server -addr :8080 -sources bluenile,zillow -dense /var/lib/qr2
 //	qr2server -addr :8080 -remote bluenile=http://localhost:8081
 //	qr2server -cache /var/lib/qr2 -cache-bytes 268435456 -cache-ttl 10m
 //	qr2server -mem-budget 1073741824        # one governed GiB for all caches
+//
+//	# three-replica cluster sharing one answer-cache key space:
+//	qr2server -addr :8080 -self a -peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
+//	qr2server -addr :8080 -self b -peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
+//	qr2server -addr :8080 -self c -peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
 package main
 
 import (
@@ -81,8 +96,14 @@ func main() {
 			"pool all sources' answer caches under one global -cache-bytes budget with per-source floors (false = dedicated per-source caches; incompatible with -mem-budget)")
 		memBudget = flag.Int64("mem-budget", 0,
 			"single governed byte budget shared by the answer-cache pool and every dense index's tuple residency; implies -cache-pool (0 = size them separately with -cache-bytes / -dense-resident-bytes)")
+		peers = flag.String("peers", "",
+			"comma-separated id=url replica list (including this one) forming a consistent-hash answer-cache ring; empty = stand-alone")
+		self = flag.String("self", "", "this replica's id in -peers")
 	)
 	flag.Parse()
+	if (*peers == "") != (*self == "") {
+		log.Fatal("qr2server: -peers and -self must be set together")
+	}
 	if *memBudget > 0 && !*cachePool {
 		// The governed budget works through the pool; honouring one flag
 		// would silently betray the other.
@@ -108,6 +129,17 @@ func main() {
 		SharedCachePool: *cachePool,
 		CachePoolBytes:  *cacheBytes,
 		MemBudget:       *memBudget,
+		SelfID:          *self,
+	}
+	if *peers != "" {
+		cfg.Peers = map[string]string{}
+		for _, pair := range strings.Split(*peers, ",") {
+			id, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || id == "" {
+				log.Fatalf("qr2server: bad -peers entry %q (want id=url)", pair)
+			}
+			cfg.Peers[id] = url
+		}
 	}
 	if *sources != "" {
 		for _, name := range strings.Split(*sources, ",") {
@@ -164,6 +196,10 @@ func main() {
 	srv, err := service.New(cfg)
 	if err != nil {
 		log.Fatalf("qr2server: %v", err)
+	}
+	if node := srv.Cluster(); node != nil {
+		node.Start(context.Background())
+		log.Printf("qr2server: cluster replica %s of %d peers", node.Self(), len(cfg.Peers))
 	}
 	go func() {
 		for range time.Tick(time.Minute) {

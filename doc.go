@@ -31,13 +31,32 @@
 // region that fit under system-k are answered with zero web-database
 // queries.
 //
+// Beyond one process, internal/cluster scales the answer cache across
+// service replicas: a consistent-hash ring (virtual nodes over a static
+// peer list) assigns every canonical predicate key, namespaced by source,
+// exactly one owner replica. A replica serving a key it owns uses its
+// local pool as usual; for a foreign-owned key it first checks local
+// residency (crawl sets stay replica-local), then proxies the cache
+// lookup to the owner (GET /cluster/get — residency-only, never a web
+// query), and on an owner miss pays the web-database query itself and
+// asynchronously pushes the answer to the owner (POST /cluster/put), so
+// the cluster never re-pays for an answer any replica already holds.
+// Failure semantics: per-peer health probes with backoff exclude dead
+// peers from the ring (their key ranges move to ring successors and snap
+// back on recovery), and a forward that fails mid-flight falls back to
+// serving through the local pool — a peer outage degrades query cost,
+// never availability. Replicas join with qr2server -peers/-self.
+//
 // The dense-index read path is memory-speed and concurrent: covering
 // lookups go through a spatial directory (a packed R-tree per attribute
 // signature) under a read lock, decoded tuples stay resident under a
-// configurable byte budget with LRU eviction back to the kvstore, and
+// configurable byte budget with LRU eviction back to the kvstore,
 // per-attribute tuple orderings are computed once per entry and reused by
-// every 1D-Rerank substream. Operational counters for all three layers are
-// exported on GET /api/stats (JSON) and GET /metrics (Prometheus text).
+// every 1D-Rerank substream, and enumeration-style consumers stream wide
+// queries through the ScanIn iterator instead of copying an entry-sized
+// output slice. Operational counters for every layer — including ring
+// membership and forward/fallback traffic — are exported on GET
+// /api/stats (JSON) and GET /metrics (Prometheus text).
 //
 // See README.md for the architecture, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for the reproduced evaluation.

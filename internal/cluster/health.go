@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Per-peer health checking. Peers start alive (optimistic: the common case
+// is a healthy cluster, and a wrong guess costs one failed forward, which
+// is detected passively and served by local fallback). A peer is marked
+// dead either passively — a forward to it failed — or actively, when its
+// periodic probe fails. Dead peers are re-probed on an exponential
+// backoff, and a successful probe revives them, at which point the ring
+// includes them again and their key ranges snap back.
+
+// health tracks aliveness for every peer of a node.
+type health struct {
+	probe    func(ctx context.Context, id, url string) error
+	interval time.Duration // probe period for alive peers
+	backoff  time.Duration // first re-probe delay after death
+	maxOff   time.Duration // backoff cap
+	now      func() time.Time
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+type peerHealth struct {
+	url       string
+	alive     bool
+	fails     int64     // consecutive probe/forward failures
+	nextProbe time.Time // zero = probe on the next tick
+}
+
+func newHealth(cfg Config) *health {
+	h := &health{
+		probe:    cfg.Probe,
+		interval: cfg.ProbeInterval,
+		backoff:  500 * time.Millisecond,
+		maxOff:   30 * time.Second,
+		now:      time.Now,
+		peers:    make(map[string]*peerHealth),
+	}
+	if h.interval <= 0 {
+		h.interval = 5 * time.Second
+	}
+	if h.probe == nil {
+		hc := cfg.HTTPClient
+		if hc == nil {
+			hc = &http.Client{Timeout: 2 * time.Second}
+		}
+		h.probe = func(ctx context.Context, id, url string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := hc.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("cluster: %s /healthz returned %s", id, resp.Status)
+			}
+			return nil
+		}
+	}
+	for id, url := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		h.peers[id] = &peerHealth{url: url, alive: true}
+	}
+	return h
+}
+
+// aliveFn returns the ring filter: self is always alive, peers by state.
+func (h *health) alive(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	return ok && p.alive
+}
+
+// markDead records a passively observed failure (a forward that errored)
+// and schedules the next active probe with backoff.
+func (h *health) markDead(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return
+	}
+	p.alive = false
+	p.fails++
+	p.nextProbe = h.now().Add(h.backoffFor(p.fails))
+}
+
+// backoffFor doubles the re-probe delay per consecutive failure, capped.
+func (h *health) backoffFor(fails int64) time.Duration {
+	d := h.backoff
+	for i := int64(1); i < fails && d < h.maxOff; i++ {
+		d *= 2
+	}
+	if d > h.maxOff {
+		d = h.maxOff
+	}
+	return d
+}
+
+// check probes peers: alive peers always (the caller paces calls at the
+// probe interval), dead peers only once their backoff window has passed —
+// unless force is set, which probes everyone immediately (tests, and the
+// explicit CheckNow operator path).
+func (h *health) check(ctx context.Context, force bool) {
+	type probeJob struct {
+		id  string
+		url string
+	}
+	h.mu.Lock()
+	now := h.now()
+	var jobs []probeJob
+	for id, p := range h.peers {
+		if !force && !p.alive && now.Before(p.nextProbe) {
+			continue
+		}
+		jobs = append(jobs, probeJob{id: id, url: p.url})
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j probeJob) {
+			defer wg.Done()
+			err := h.probe(ctx, j.id, j.url)
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			p, ok := h.peers[j.id]
+			if !ok {
+				return
+			}
+			if err != nil {
+				p.alive = false
+				p.fails++
+				p.nextProbe = h.now().Add(h.backoffFor(p.fails))
+				return
+			}
+			p.alive = true
+			p.fails = 0
+			p.nextProbe = time.Time{}
+		}(j)
+	}
+	wg.Wait()
+}
+
+// snapshot reports every peer's state for stats and /cluster/ring.
+func (h *health) snapshot() map[string]PeerStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]PeerStats, len(h.peers))
+	for id, p := range h.peers {
+		out[id] = PeerStats{ID: id, URL: p.url, Alive: p.alive, ConsecutiveFails: p.fails}
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/qcache"
+	"repro/internal/relation"
+)
+
+// Config describes one replica's membership in the cluster.
+type Config struct {
+	// Self is this replica's id. It must appear in Peers.
+	Self string
+	// Peers maps every replica id — including Self — to its base URL
+	// (scheme://host:port). Self's URL may be empty; a node never
+	// forwards to itself.
+	Peers map[string]string
+	// VirtualNodes is the ring positions per peer (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval paces the active health prober started by Start
+	// (default 5s).
+	ProbeInterval time.Duration
+	// HTTPClient issues peer requests (default: 2s-timeout client).
+	HTTPClient *http.Client
+	// Probe overrides the health probe (default: GET <url>/healthz).
+	// Tests use it to simulate peer death deterministically.
+	Probe func(ctx context.Context, id, url string) error
+}
+
+// PeerStats is one peer's membership state.
+type PeerStats struct {
+	ID               string `json:"id"`
+	URL              string `json:"url"`
+	Alive            bool   `json:"alive"`
+	ConsecutiveFails int64  `json:"consecutive_fails,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the node's ring traffic.
+type Stats struct {
+	Self  string      `json:"self"`
+	Peers []PeerStats `json:"peers"`
+	// OwnedLocal counts searches whose key this replica owns, served
+	// through the local pool as before clustering.
+	OwnedLocal int64 `json:"owned_local"`
+	// LocalHits counts foreign-owned searches served from local residency
+	// anyway (a crawl set or a fallback entry this replica still holds) —
+	// cheaper than any forward.
+	LocalHits int64 `json:"local_hits"`
+	// Forwards counts /cluster/get lookups sent to owners; ForwardHits
+	// came back with the answer (zero web-database queries), ForwardMisses
+	// did not — this replica then paid the web query and pushed the answer
+	// to the owner.
+	Forwards      int64 `json:"forwards"`
+	ForwardHits   int64 `json:"forward_hits"`
+	ForwardMisses int64 `json:"forward_misses"`
+	// Fallbacks counts forwards that failed (owner dead or dying): the
+	// search was served entirely through the local pool instead, and the
+	// peer was marked dead.
+	Fallbacks int64 `json:"fallbacks"`
+	// Coalesced counts foreign-owned searches that joined an identical
+	// in-flight forward instead of issuing their own.
+	Coalesced int64 `json:"coalesced"`
+	// AdmitsSent / AdmitErrors count asynchronous /cluster/put pushes of
+	// locally computed answers to their owners.
+	AdmitsSent  int64 `json:"admits_sent"`
+	AdmitErrors int64 `json:"admit_errors"`
+	// PeerGets / PeerGetHits / PeerPuts count the server side: lookups and
+	// admissions this replica handled for its peers.
+	PeerGets    int64 `json:"peer_gets"`
+	PeerGetHits int64 `json:"peer_get_hits"`
+	PeerPuts    int64 `json:"peer_puts"`
+}
+
+// Node is one replica's view of the cluster: the ring, the peer health
+// table, the registered sources and the peer-protocol client.
+type Node struct {
+	self   string
+	urls   map[string]string
+	ring   *Ring
+	health *health
+	hc     *http.Client
+
+	mu      sync.Mutex
+	sources map[string]*clusterSource
+	flights map[string]*flight
+
+	admits sync.WaitGroup
+
+	ownedLocal    atomic.Int64
+	localHits     atomic.Int64
+	forwards      atomic.Int64
+	forwardHits   atomic.Int64
+	forwardMisses atomic.Int64
+	fallbacks     atomic.Int64
+	coalesced     atomic.Int64
+	admitsSent    atomic.Int64
+	admitErrors   atomic.Int64
+	peerGets      atomic.Int64
+	peerGetHits   atomic.Int64
+	peerPuts      atomic.Int64
+}
+
+// flight is one in-progress foreign-owned search identical concurrent
+// searches wait on — the cross-replica analogue of the pool's
+// singleflight, which foreign keys bypass.
+type flight struct {
+	done chan struct{}
+	res  hidden.Result
+	err  error
+}
+
+// New validates the membership and builds the node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: empty self id")
+	}
+	if _, ok := cfg.Peers[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self id %q not in peer list", cfg.Self)
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	urls := make(map[string]string, len(cfg.Peers))
+	for id, url := range cfg.Peers {
+		if id == "" {
+			return nil, errors.New("cluster: empty peer id")
+		}
+		// Protocol paths are appended with a leading slash; a trailing
+		// slash here would produce "//cluster/put", which the mux 301s and
+		// the client re-issues as GET — silently failing every push.
+		url = strings.TrimRight(url, "/")
+		if id != cfg.Self && url == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", id)
+		}
+		ids = append(ids, id)
+		urls[id] = url
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	return &Node{
+		self:    cfg.Self,
+		urls:    urls,
+		ring:    NewRing(ids, cfg.VirtualNodes),
+		health:  newHealth(cfg),
+		hc:      hc,
+		sources: make(map[string]*clusterSource),
+		flights: make(map[string]*flight),
+	}, nil
+}
+
+// Self returns this replica's id.
+func (n *Node) Self() string { return n.self }
+
+// Start runs the active health prober until ctx is cancelled. Passive
+// detection (failed forwards) works without it; the prober's job is
+// noticing recoveries, so deployments should run it.
+func (n *Node) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(n.health.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				n.health.check(ctx, false)
+			}
+		}
+	}()
+}
+
+// CheckNow probes every peer immediately, ignoring backoff windows, and
+// returns when all probes finished. Tests and operators use it to observe
+// membership deterministically.
+func (n *Node) CheckNow(ctx context.Context) { n.health.check(ctx, true) }
+
+// Quiesce blocks until every in-flight asynchronous admission has been
+// delivered (or failed). Tests use it to make cluster state deterministic.
+func (n *Node) Quiesce() { n.admits.Wait() }
+
+// Stats snapshots the node counters and peer states.
+func (n *Node) Stats() Stats {
+	st := Stats{
+		Self:          n.self,
+		OwnedLocal:    n.ownedLocal.Load(),
+		LocalHits:     n.localHits.Load(),
+		Forwards:      n.forwards.Load(),
+		ForwardHits:   n.forwardHits.Load(),
+		ForwardMisses: n.forwardMisses.Load(),
+		Fallbacks:     n.fallbacks.Load(),
+		Coalesced:     n.coalesced.Load(),
+		AdmitsSent:    n.admitsSent.Load(),
+		AdmitErrors:   n.admitErrors.Load(),
+		PeerGets:      n.peerGets.Load(),
+		PeerGetHits:   n.peerGetHits.Load(),
+		PeerPuts:      n.peerPuts.Load(),
+	}
+	peers := n.health.snapshot()
+	for _, id := range n.ring.Members() {
+		if id == n.self {
+			st.Peers = append(st.Peers, PeerStats{ID: id, URL: n.urls[id], Alive: true})
+			continue
+		}
+		st.Peers = append(st.Peers, peers[id])
+	}
+	return st
+}
+
+// owner resolves the alive owner of a namespaced key. Self is always
+// alive, so ok is always true on a non-empty ring.
+func (n *Node) owner(ns, key string) (string, bool) {
+	return n.ring.Owner(ns+"\x00"+key, func(id string) bool {
+		return id == n.self || n.health.alive(id)
+	})
+}
+
+// Source registers a data source with the node and returns the
+// cluster-aware database to serve it through: the local cache wrapped
+// with ring routing. inner is the raw web database the cache decorates —
+// foreign-owned misses query it directly so the answer is admitted at its
+// owner, not duplicated locally. With a single-replica peer list the
+// cache is returned unwrapped.
+func (n *Node) Source(name string, cache *qcache.Cache, inner hidden.DB) hidden.DB {
+	cs := &clusterSource{node: n, name: name, cache: cache, inner: inner}
+	n.mu.Lock()
+	n.sources[name] = cs
+	n.mu.Unlock()
+	if len(n.ring.Members()) <= 1 {
+		return cache
+	}
+	return cs
+}
+
+// source looks up a registered source by namespace name.
+func (n *Node) source(name string) (*clusterSource, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cs, ok := n.sources[name]
+	return cs, ok
+}
+
+// clusterSource decorates one source's answer cache with ring routing.
+// It implements hidden.DB (and crawl.Admitter via AdmitCrawl), so the
+// reranking engines underneath are as unaware of the cluster as they are
+// of the cache.
+type clusterSource struct {
+	node  *Node
+	name  string
+	cache *qcache.Cache
+	inner hidden.DB
+}
+
+// Name implements hidden.DB.
+func (s *clusterSource) Name() string { return s.cache.Name() }
+
+// Schema implements hidden.DB.
+func (s *clusterSource) Schema() *relation.Schema { return s.cache.Schema() }
+
+// SystemK implements hidden.DB.
+func (s *clusterSource) SystemK() int { return s.cache.SystemK() }
+
+// AdmitCrawl implements crawl.Admitter by delegating to the local cache:
+// a crawled region's match set stays on the replica that paid for the
+// crawl (it also lives in that replica's dense index), and the local
+// residency check in Search serves it regardless of key ownership.
+func (s *clusterSource) AdmitCrawl(pred relation.Predicate, tuples []relation.Tuple) {
+	s.cache.AdmitCrawl(pred, tuples)
+}
+
+// Search implements hidden.DB with the ring protocol:
+//
+//   - keys this replica owns are served through the local pool exactly as
+//     before clustering (lookup, containment, coalescing, web query);
+//   - foreign-owned keys first check local residency (a crawl set or a
+//     fallback entry makes the forward unnecessary), then proxy the cache
+//     lookup to the owner; an owner hit costs zero web-database queries;
+//   - on an owner miss this replica pays the web query and asynchronously
+//     admits the answer to the owner, so the next replica's forward hits;
+//   - a failed forward marks the owner dead and falls back to the local
+//     pool — requests never fail because a peer did.
+func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	n := s.node
+	key := qcache.KeyOf(p)
+	owner, ok := n.owner(s.name, key)
+	if !ok || owner == n.self {
+		n.ownedLocal.Add(1)
+		return s.cache.Search(ctx, p)
+	}
+	if res, ok := s.cache.Peek(p); ok {
+		n.localHits.Add(1)
+		return res, nil
+	}
+	fkey := s.name + "\x00" + key
+	for {
+		n.mu.Lock()
+		if fl, ok := n.flights[fkey]; ok {
+			n.mu.Unlock()
+			n.coalesced.Add(1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return hidden.Result{}, ctx.Err()
+			}
+			if fl.err == nil {
+				return copyTuples(fl.res), nil
+			}
+			if isContextErr(fl.err) && ctx.Err() == nil {
+				continue // the leader died with its own context; retry
+			}
+			return hidden.Result{}, fl.err
+		}
+		fl := &flight{done: make(chan struct{})}
+		n.flights[fkey] = fl
+		n.mu.Unlock()
+
+		res, err := s.searchForeign(ctx, owner, p)
+		fl.res, fl.err = res, err
+		n.mu.Lock()
+		delete(n.flights, fkey)
+		n.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return hidden.Result{}, err
+		}
+		return copyTuples(res), nil
+	}
+}
+
+// searchForeign is the leader's path for a foreign-owned key: proxy the
+// lookup, fall back on peer failure, pay-and-push on an owner miss.
+func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relation.Predicate) (hidden.Result, error) {
+	n := s.node
+	n.forwards.Add(1)
+	res, found, err := n.remoteGet(ctx, owner, s.name, s.Schema(), p)
+	if err != nil {
+		if isContextErr(err) && ctx.Err() != nil {
+			return hidden.Result{}, err
+		}
+		// Transport-level failures indict the peer and exclude it from
+		// the ring; application-level refusals (a healthy peer without
+		// this namespace) do not. Either way the user's request is served
+		// from the local pool.
+		if isPeerDown(err) {
+			n.health.markDead(owner)
+		}
+		n.fallbacks.Add(1)
+		return s.cache.Search(ctx, p)
+	}
+	if found {
+		n.forwardHits.Add(1)
+		return res, nil
+	}
+	n.forwardMisses.Add(1)
+	res, err = s.inner.Search(ctx, p)
+	if err != nil {
+		return hidden.Result{}, err
+	}
+	n.asyncAdmit(owner, s.name, s.Schema(), p, copyTuples(res))
+	return res, nil
+}
+
+// copyTuples returns a result whose tuple slice the caller may mutate.
+func copyTuples(res hidden.Result) hidden.Result {
+	return hidden.Result{
+		Tuples:   append([]relation.Tuple(nil), res.Tuples...),
+		Overflow: res.Overflow,
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+var _ hidden.DB = (*clusterSource)(nil)

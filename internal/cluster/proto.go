@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+	"repro/internal/wdbhttp"
+)
+
+// The peer answer-cache protocol. Three endpoints, mounted on the same
+// mux as the public service so a replica's one listen address serves
+// users and peers alike:
+//
+//	GET  /cluster/get?ns=<source>&<filter form>   resident-only lookup
+//	POST /cluster/put                             admit an answer (JSON)
+//	GET  /cluster/ring                            membership + health
+//
+// Predicates travel as the same application/x-www-form-urlencoded filter
+// grammar the web databases themselves use (internal/wdbhttp), which
+// round-trips exactly through the canonical key serialisation — both
+// replicas derive the identical cache key from the wire form. /cluster/get
+// never queries the web database: it answers from the owner's residency
+// (exact, containment or crawl entry) or reports found=false, leaving the
+// caller to pay the query and push the answer back via /cluster/put.
+
+// getDoc is the JSON response of GET /cluster/get.
+type getDoc struct {
+	Found    bool       `json:"found"`
+	Overflow bool       `json:"overflow"`
+	Tuples   []tupleDoc `json:"tuples,omitempty"`
+}
+
+// putDoc is the JSON request of POST /cluster/put.
+type putDoc struct {
+	NS string `json:"ns"`
+	// Filter is the predicate in url-encoded filter-form grammar.
+	Filter   string     `json:"filter"`
+	Overflow bool       `json:"overflow"`
+	Tuples   []tupleDoc `json:"tuples"`
+}
+
+type tupleDoc struct {
+	ID     int64     `json:"id"`
+	Values []float64 `json:"values"`
+}
+
+// ringDoc is the JSON response of GET /cluster/ring.
+type ringDoc struct {
+	Self         string      `json:"self"`
+	VirtualNodes int         `json:"virtual_nodes"`
+	Peers        []PeerStats `json:"peers"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Register mounts the peer protocol on a mux.
+func (n *Node) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /cluster/get", n.handleGet)
+	mux.HandleFunc("POST /cluster/put", n.handlePut)
+	mux.HandleFunc("GET /cluster/ring", n.handleRing)
+}
+
+func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
+	n.peerGets.Add(1)
+	q := r.URL.Query()
+	cs, ok := n.source(q.Get("ns"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: fmt.Sprintf("unknown namespace %q", q.Get("ns"))})
+		return
+	}
+	q.Del("ns")
+	pred, err := wdbhttp.ParseFilterForm(cs.Schema(), q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	res, found := cs.cache.Peek(pred)
+	doc := getDoc{Found: found, Overflow: res.Overflow}
+	if found {
+		n.peerGetHits.Add(1)
+		doc.Tuples = encodeTuples(res.Tuples)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
+	var doc putDoc
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "malformed body: " + err.Error()})
+		return
+	}
+	cs, ok := n.source(doc.NS)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: fmt.Sprintf("unknown namespace %q", doc.NS)})
+		return
+	}
+	form, err := url.ParseQuery(doc.Filter)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "malformed filter: " + err.Error()})
+		return
+	}
+	schema := cs.Schema()
+	pred, err := wdbhttp.ParseFilterForm(schema, form)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	res := hidden.Result{Overflow: doc.Overflow, Tuples: make([]relation.Tuple, 0, len(doc.Tuples))}
+	for _, td := range doc.Tuples {
+		if len(td.Values) != schema.Len() {
+			writeJSON(w, http.StatusBadRequest, errorDoc{
+				Error: fmt.Sprintf("tuple %d has %d values, schema has %d", td.ID, len(td.Values), schema.Len())})
+			return
+		}
+		res.Tuples = append(res.Tuples, relation.Tuple{ID: td.ID, Values: td.Values})
+	}
+	n.peerPuts.Add(1)
+	cs.cache.Admit(pred, res)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	st := n.Stats()
+	writeJSON(w, http.StatusOK, ringDoc{
+		Self:         n.self,
+		VirtualNodes: len(n.ring.points) / max(1, len(n.ring.ids)),
+		Peers:        st.Peers,
+	})
+}
+
+func encodeTuples(ts []relation.Tuple) []tupleDoc {
+	out := make([]tupleDoc, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, tupleDoc{ID: t.ID, Values: t.Values})
+	}
+	return out
+}
+
+// peerDownError marks failures that indict the peer itself — transport
+// errors, 5xx responses, unparseable bodies — rather than this one
+// request (a 4xx from a healthy peer with a different source set must
+// not knock it off the ring; flapping ownership would scatter duplicate
+// answers across its successors).
+type peerDownError struct{ err error }
+
+func (e *peerDownError) Error() string { return e.err.Error() }
+func (e *peerDownError) Unwrap() error { return e.err }
+
+// isPeerDown reports whether err warrants excluding the peer.
+func isPeerDown(err error) bool {
+	var pd *peerDownError
+	return errors.As(err, &pd)
+}
+
+// remoteGet proxies a cache lookup to the owner replica.
+func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate) (hidden.Result, bool, error) {
+	form := wdbhttp.EncodeFilterForm(schema, p)
+	form.Set("ns", ns)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		n.urls[owner]+"/cluster/get?"+form.Encode(), nil)
+	if err != nil {
+		return hidden.Result{}, false, err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: get from %s: %w", owner, err)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ed errorDoc
+		_ = json.NewDecoder(resp.Body).Decode(&ed)
+		err := fmt.Errorf("cluster: %s /cluster/get returned %s: %s", owner, resp.Status, ed.Error)
+		if resp.StatusCode >= http.StatusInternalServerError {
+			return hidden.Result{}, false, &peerDownError{err: err}
+		}
+		return hidden.Result{}, false, err
+	}
+	var doc getDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: decode get from %s: %w", owner, err)}
+	}
+	if !doc.Found {
+		return hidden.Result{}, false, nil
+	}
+	res := hidden.Result{Overflow: doc.Overflow, Tuples: make([]relation.Tuple, 0, len(doc.Tuples))}
+	for _, td := range doc.Tuples {
+		if len(td.Values) != schema.Len() {
+			return hidden.Result{}, false, fmt.Errorf("cluster: %s returned tuple %d with %d values, schema has %d",
+				owner, td.ID, len(td.Values), schema.Len())
+		}
+		res.Tuples = append(res.Tuples, relation.Tuple{ID: td.ID, Values: td.Values})
+	}
+	return res, true, nil
+}
+
+// asyncAdmit pushes a locally computed answer to its owner in the
+// background. The push is best-effort: a lost admission costs at most one
+// repeated web-database query later, never correctness. Quiesce waits for
+// outstanding pushes.
+func (n *Node) asyncAdmit(owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result) {
+	n.admits.Add(1)
+	go func() {
+		defer n.admits.Done()
+		n.admitsSent.Add(1)
+		body, err := json.Marshal(putDoc{
+			NS:       ns,
+			Filter:   wdbhttp.EncodeFilterForm(schema, p).Encode(),
+			Overflow: res.Overflow,
+			Tuples:   encodeTuples(res.Tuples),
+		})
+		if err != nil {
+			n.admitErrors.Add(1)
+			return
+		}
+		req, err := http.NewRequest(http.MethodPost, n.urls[owner]+"/cluster/put", strings.NewReader(string(body)))
+		if err != nil {
+			n.admitErrors.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			n.admitErrors.Add(1)
+			n.health.markDead(owner)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			n.admitErrors.Add(1)
+		}
+	}()
+}

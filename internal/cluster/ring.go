@@ -1,0 +1,128 @@
+// Package cluster scales the answer cache beyond one process: a
+// consistent-hash replica ring with an HTTP peer protocol for remote
+// answer-cache lookup and admission.
+//
+// QR2's economics depend on amortizing web-database query cost across
+// users. PR 3 pooled every source's answer cache inside one process; at
+// service scale the same amortization must span replicas, and the cheapest
+// design is the routing-broker one: hash every canonical predicate key
+// (namespaced by source) onto a ring of replicas so each cached answer has
+// exactly one owner cluster-wide. A replica that receives a query it does
+// not own proxies the cache lookup to the owner (/cluster/get); on an
+// owner miss it pays the web-database query itself and asynchronously
+// admits the answer to the owner (/cluster/put), so no replica ever pays
+// for an answer any replica already holds.
+//
+// Failure semantics: per-peer health checking (probe + backoff) excludes
+// dead peers from the ring — their key ranges move to the clockwise
+// successor, and virtual nodes keep the remapping bounded to roughly the
+// dead peer's share. A forward that fails mid-flight (the passive
+// detection window before the prober notices) falls back to serving
+// through the local pool, so user requests never fail on a peer outage;
+// the fallback entries are plain LRU citizens that age out once the owner
+// returns and resumes absorbing the key's traffic.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the number of ring positions each peer occupies
+// when Config.VirtualNodes is zero. More virtual nodes smooth the key
+// share per peer and shrink the remapping step when membership changes.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a static peer list.
+// Ownership changes only through the aliveness filter passed to Owner;
+// the positions themselves never move, which is what keeps remapping
+// bounded when a peer dies or returns.
+type Ring struct {
+	points []ringPoint // sorted ascending by hash
+	ids    []string    // sorted member ids
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// NewRing places every peer id at vnodes positions (DefaultVirtualNodes
+// when vnodes <= 0). The id list is deduplicated; order does not matter.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(id + "#" + strconv.Itoa(v)), id: id})
+		}
+	}
+	sort.Strings(r.ids)
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].id < r.points[b].id
+	})
+	return r
+}
+
+// Members returns the ring's peer ids, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }
+
+// Owner returns the peer owning key: the first ring position at or after
+// the key's hash (wrapping), skipping positions whose peer the alive
+// filter rejects. A nil filter accepts every peer. ok is false only when
+// the ring is empty or every peer is rejected. The common (healthy-
+// cluster) case returns at the first position and allocates nothing —
+// this runs on every Search in cluster mode.
+func (r *Ring) Owner(key string, alive func(id string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	// Walk clockwise; distinct peers only, so a dead peer's whole range
+	// lands on its successor rather than on its own next virtual node.
+	// Peer lists are small, so rejected ids go in a linear-scanned slice.
+	var tried []string
+walk:
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		for _, id := range tried {
+			if id == p.id {
+				continue walk
+			}
+		}
+		if alive == nil || alive(p.id) {
+			return p.id, true
+		}
+		tried = append(tried, p.id)
+		if len(tried) == len(r.ids) {
+			break
+		}
+	}
+	return "", false
+}
+
+// hash64 is FNV-1a, the stable hash used for both ring positions and keys.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

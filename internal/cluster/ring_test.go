@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("src\x00key-%d", i)
+	}
+	return keys
+}
+
+// TestRingOwnerStable: ownership is a pure function of the member set —
+// two rings built from the same ids agree on every key, regardless of
+// construction order.
+func TestRingOwnerStable(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"}, 64)
+	b := NewRing([]string{"c", "a", "b"}, 64)
+	for _, k := range ringKeys(500) {
+		oa, ok1 := a.Owner(k, nil)
+		ob, ok2 := b.Owner(k, nil)
+		if !ok1 || !ok2 || oa != ob {
+			t.Fatalf("key %q: owners %q/%q (ok %v/%v) differ across identical rings", k, oa, ob, ok1, ok2)
+		}
+	}
+}
+
+// TestRingBoundedRemapping: adding a peer moves only the keys the new
+// peer takes over — every other key keeps its owner, and the moved share
+// is roughly 1/N thanks to virtual nodes.
+func TestRingBoundedRemapping(t *testing.T) {
+	keys := ringKeys(4000)
+	three := NewRing([]string{"a", "b", "c"}, 0)
+	four := NewRing([]string{"a", "b", "c", "d"}, 0)
+	moved := 0
+	for _, k := range keys {
+		before, _ := three.Owner(k, nil)
+		after, _ := four.Owner(k, nil)
+		if before != after {
+			if after != "d" {
+				t.Fatalf("key %q moved %q -> %q, not to the joining peer", k, before, after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("join remapped %.1f%% of keys, want roughly 1/4", 100*frac)
+	}
+	// Leaving is the mirror image: keys owned by d scatter, others stay.
+	for _, k := range keys {
+		before, _ := four.Owner(k, nil)
+		after, _ := three.Owner(k, nil)
+		if before != "d" && before != after {
+			t.Fatalf("key %q owned by %q moved to %q when d left", k, before, after)
+		}
+	}
+}
+
+// TestRingDeadPeerExclusion: a peer the alive filter rejects owns
+// nothing; its keys land on other peers, everyone else's keys stay put;
+// recovery restores the original ownership exactly.
+func TestRingDeadPeerExclusion(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	keys := ringKeys(2000)
+	healthy := make(map[string]string, len(keys))
+	for _, k := range keys {
+		healthy[k], _ = r.Owner(k, nil)
+	}
+	bDead := func(id string) bool { return id != "b" }
+	sawReassigned := false
+	for _, k := range keys {
+		owner, ok := r.Owner(k, bDead)
+		if !ok || owner == "b" {
+			t.Fatalf("key %q: owner %q (ok %v) with b dead", k, owner, ok)
+		}
+		if healthy[k] != "b" && owner != healthy[k] {
+			t.Fatalf("key %q moved %q -> %q although its owner is alive", k, healthy[k], owner)
+		}
+		if healthy[k] == "b" {
+			sawReassigned = true
+		}
+	}
+	if !sawReassigned {
+		t.Fatal("no key was owned by b — test vacuous")
+	}
+	// Recovery: the filter admits b again and ownership snaps back.
+	for _, k := range keys {
+		owner, _ := r.Owner(k, nil)
+		if owner != healthy[k] {
+			t.Fatalf("key %q did not recover its owner", k)
+		}
+	}
+	// All peers dead: no owner.
+	if _, ok := r.Owner(keys[0], func(string) bool { return false }); ok {
+		t.Fatal("owner found with every peer dead")
+	}
+}

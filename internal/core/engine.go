@@ -286,19 +286,30 @@ func (e *engine) tryDenseIndex(lf *leaf) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	var (
-		tuples []relation.Tuple
-		err    error
-	)
 	if len(e.attrs) == 1 {
-		tuples, err = e.st.r.ix.TopInByAttr(entry.ID, rr, e.st.pred, e.attrs[0], e.weights[0] < 0, nil, 0)
+		tuples, err := e.st.r.ix.TopInByAttr(entry.ID, rr, e.st.pred, e.attrs[0], e.weights[0] < 0, nil, 0)
+		if err != nil {
+			return false, err
+		}
+		e.st.observe(tuples)
 	} else {
-		tuples, err = e.st.r.ix.TopIn(entry.ID, rr, e.st.pred, nil, nil, 0)
+		// MD leaves can cover most of an entry; stream the shared resident
+		// view in bounded chunks instead of materialising an O(entry)
+		// output copy per resolution.
+		chunk := make([]relation.Tuple, 0, 256)
+		err := e.st.r.ix.ScanIn(entry.ID, rr, e.st.pred, nil, func(t relation.Tuple) bool {
+			chunk = append(chunk, t)
+			if len(chunk) == cap(chunk) {
+				e.st.observe(chunk)
+				chunk = chunk[:0]
+			}
+			return true
+		})
+		if err != nil {
+			return false, err
+		}
+		e.st.observe(chunk)
 	}
-	if err != nil {
-		return false, err
-	}
-	e.st.observe(tuples)
 	lf.state = leafEnumerated
 	e.st.last.DenseHits++
 	return true, nil

@@ -136,3 +136,46 @@ func BenchmarkTopInByAttr(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDenseWide compares the two enumeration-style access paths on a
+// query covering ~90% of a large entry: TopIn materialises (allocates and
+// copies) the full output slice per call, ScanIn streams the shared
+// resident view. The consumer work (one branch per tuple) is identical.
+func BenchmarkDenseWide(b *testing.B) {
+	const tuples = 20000
+	ix, rects := benchIndex(b, 4, tuples)
+	q := queryRect(rects, 0, 0.05, 0.9)
+	e, ok := ix.Find(q)
+	if !ok {
+		b.Fatal("miss")
+	}
+	b.Run("TopIn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := ix.TopIn(e.ID, q, relation.Predicate{}, nil, nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sum int64
+			for _, t := range out {
+				sum += t.ID
+			}
+			if sum == 0 {
+				b.Fatal("empty region")
+			}
+		}
+	})
+	b.Run("ScanIn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum int64
+			if err := ix.ScanIn(e.ID, q, relation.Predicate{}, nil, func(t relation.Tuple) bool {
+				sum += t.ID
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if sum == 0 {
+				b.Fatal("empty region")
+			}
+		}
+	})
+}

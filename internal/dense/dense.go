@@ -316,6 +316,52 @@ func (ix *Index) TopIn(id uint64, rect region.Rect, pred relation.Predicate,
 	return out, nil
 }
 
+// ScanIn streams the tuples of entry id that lie inside rect, match pred
+// and are not excluded to yield, in tuple-ID order, stopping early when
+// yield returns false. It is the enumeration-style access path: TopIn
+// materialises the full output slice, which for a query covering most of
+// an entry is an O(entry) allocation and copy per call; ScanIn hands the
+// caller each tuple of the shared resident view in place. The view is
+// immutable — the callback must not retain or modify a tuple's Values
+// slice beyond the call (copy the struct itself freely; it shares the
+// backing array exactly as TopIn's output does).
+func (ix *Index) ScanIn(id uint64, rect region.Rect, pred relation.Predicate,
+	excluded func(int64) bool, yield func(relation.Tuple) bool) error {
+	r, err := ix.resident(id)
+	if err != nil {
+		return err
+	}
+	keep := func(t relation.Tuple) bool {
+		return rect.ContainsTuple(t) && pred.Match(t) && (excluded == nil || !excluded(t.ID))
+	}
+	if cands, ok := r.narrowCandidates(ix.res, rect); ok {
+		// Same bitset trick as TopIn's narrow path: position order over the
+		// ID-sorted resident slice IS ID order, recovered without a sort.
+		words := make([]uint64, (len(r.tuples)+63)/64)
+		for _, ci := range cands {
+			if keep(r.tuples[ci]) {
+				words[ci>>6] |= 1 << (uint(ci) & 63)
+			}
+		}
+		for wi, w := range words {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				if !yield(r.tuples[wi<<6|b]) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	for _, t := range r.tuples {
+		if keep(t) && !yield(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // narrowSelectivity is the index-scan threshold: the ordered range must
 // select at most 1/narrowSelectivity of the entry for the binary-search
 // path to beat the sequential sweep (random candidate access plus an

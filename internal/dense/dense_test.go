@@ -572,3 +572,69 @@ func TestDecodeTuplesTruncated(t *testing.T) {
 		t.Fatal("nil blob decoded")
 	}
 }
+
+// TestScanInMatchesTopIn: the iterator yields exactly what the score-free
+// TopIn materialises, in the same (ID) order, on both access paths —
+// the wide sequential sweep and the narrow binary-searched one.
+func TestScanInMatchesTopIn(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 1000)})
+	var tuples []relation.Tuple
+	for i := 0; i < 500; i++ {
+		tuples = append(tuples, relation.Tuple{ID: int64(500 - i), Values: []float64{float64(i * 2), float64(i % 10)}})
+	}
+	e, err := ix.Insert(rect.Clone(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := relation.Predicate{}.WithInterval(1, relation.Closed(0, 7))
+	excl := func(id int64) bool { return id%17 == 0 }
+	for _, q := range []region.Rect{
+		region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 900)}),   // wide: sweep
+		region.MustNew([]int{0}, []relation.Interval{relation.Closed(100, 140)}), // narrow: ordering
+	} {
+		want, err := ix.TopIn(e.ID, q, pred, nil, excl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []relation.Tuple
+		if err := ix.ScanIn(e.ID, q, pred, excl, func(tu relation.Tuple) bool {
+			got = append(got, tu)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ScanIn yielded %d tuples, TopIn %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("position %d: ScanIn %d, TopIn %d", i, got[i].ID, want[i].ID)
+			}
+		}
+		if len(want) == 0 {
+			t.Fatal("vacuous comparison")
+		}
+	}
+}
+
+// TestScanInEarlyStop: a false yield ends the walk immediately.
+func TestScanInEarlyStop(t *testing.T) {
+	ix, _ := Open(schema(t), kvstore.NewMemory())
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	var tuples []relation.Tuple
+	for i := 0; i < 100; i++ {
+		tuples = append(tuples, relation.Tuple{ID: int64(i), Values: []float64{float64(i), 0}})
+	}
+	e, _ := ix.Insert(rect.Clone(), tuples)
+	n := 0
+	if err := ix.ScanIn(e.ID, rect, relation.Predicate{}, nil, func(relation.Tuple) bool {
+		n++
+		return n < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("early stop yielded %d tuples, want 7", n)
+	}
+}

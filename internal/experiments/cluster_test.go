@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScenarioClusterRingShape checks the PR's acceptance criteria on
+// S7: three ring replicas answer the shared workload within 10% of the
+// single-process shared-cache baseline (and far under independent
+// caches); killing a replica mid-run produces fallbacks but zero request
+// failures; the restored cluster serves the workload for free.
+func TestScenarioClusterRingShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := atoi(t, cell(t, tab, 0, 1))
+	independent := atoi(t, cell(t, tab, 1, 1))
+	ring := atoi(t, cell(t, tab, 2, 1))
+	if baseline == 0 {
+		t.Fatalf("vacuous baseline:\n%s", tab.Format())
+	}
+	if float64(ring) > 1.1*float64(baseline) {
+		t.Fatalf("ring cost %d above 110%% of shared-cache baseline %d\n%s", ring, baseline, tab.Format())
+	}
+	if independent < 2*baseline {
+		t.Fatalf("independent caches cost %d, expected well above baseline %d — workload not shared\n%s",
+			independent, baseline, tab.Format())
+	}
+	if fh := atoi(t, cell(t, tab, 2, 2)); fh == 0 {
+		t.Fatalf("ring run never forward-hit — answers not shared across replicas\n%s", tab.Format())
+	}
+	// Healthy ring run must not fail or fall back.
+	if errs := atoi(t, cell(t, tab, 2, 4)); errs != 0 {
+		t.Fatalf("healthy ring run failed %d requests\n%s", errs, tab.Format())
+	}
+	if fb := atoi(t, cell(t, tab, 2, 3)); fb != 0 {
+		t.Fatalf("healthy ring run fell back %d times\n%s", fb, tab.Format())
+	}
+	// Kill row: fallbacks observed, zero request failures.
+	if errs := atoi(t, cell(t, tab, 3, 4)); errs != 0 {
+		t.Fatalf("peer outage failed %d user requests\n%s", errs, tab.Format())
+	}
+	if fb := atoi(t, cell(t, tab, 3, 3)); fb == 0 {
+		t.Fatalf("peer outage produced no fallbacks — death not exercised\n%s", tab.Format())
+	}
+	// Recovery row: the workload costs (almost) nothing again.
+	recovered := atoi(t, cell(t, tab, 4, 1))
+	if errs := atoi(t, cell(t, tab, 4, 4)); errs != 0 {
+		t.Fatalf("post-recovery run failed %d requests\n%s", errs, tab.Format())
+	}
+	if float64(recovered) > 0.1*float64(baseline) {
+		t.Fatalf("post-recovery run still pays %d queries (baseline %d)\n%s", recovered, baseline, tab.Format())
+	}
+}

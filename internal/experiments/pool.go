@@ -119,9 +119,10 @@ func (r *Runner) ScenarioPooledCache(ctx context.Context) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	// One shard so the ~25 KiB region set fits a shard's share of the
-	// budget; an admitted entry must not exceed budget/shards.
-	crawled, err := qcache.New(inner, qcache.Config{MaxBytes: budget, Shards: 1})
+	// Default shards: the ~25 KiB region set exceeds one shard's share of
+	// the 32 KiB budget (budget/16) and is admitted as an oversized entry
+	// against the global limit — the shape that used to be refused.
+	crawled, err := qcache.New(inner, qcache.Config{MaxBytes: budget})
 	if err != nil {
 		return Table{}, err
 	}

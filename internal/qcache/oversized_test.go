@@ -1,0 +1,211 @@
+package qcache
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/relation"
+)
+
+// regionTuples builds n tuples shaped like a crawled region match set.
+func regionTuples(base int64, n int) []relation.Tuple {
+	ts := make([]relation.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, relation.Tuple{ID: base + int64(i), Values: []float64{float64(base) + float64(i), float64(i % 3)}})
+	}
+	return ts
+}
+
+// TestOversizedCrawlAdmission: a crawl-admitted region set larger than
+// one shard's share of the pool budget (budget/shards) used to be refused
+// outright; it is now budgeted against the global pool limit instead. A
+// set larger than the whole pool is still refused.
+func TestOversizedCrawlAdmission(t *testing.T) {
+	const budget = 8 << 10 // 8 KiB budget, 4 shards -> 2 KiB shard share
+	db := testDB(t, 400, 10)
+	c, err := New(db, Config{MaxBytes: budget, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// ~4.9 KiB: over the 2 KiB shard share, under the 8 KiB pool budget.
+	// This exact shape was refused before oversized budgeting.
+	region := pricePred(0, 150)
+	c.AdmitCrawl(region, regionTuples(0, 150))
+	st := c.Stats()
+	if st.CrawlEntries != 1 {
+		t.Fatalf("oversized region set refused: %+v", st)
+	}
+	// The set serves in-region predicates with zero web-database queries.
+	db.ResetQueryCount()
+	res, err := c.Search(ctx, pricePred(10, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.QueryCount() != 0 {
+		t.Fatalf("in-region predicate paid %d web queries", db.QueryCount())
+	}
+	if len(res.Tuples) != 6 || res.Overflow {
+		t.Fatalf("crawl-served answer wrong: %d tuples, overflow %v", len(res.Tuples), res.Overflow)
+	}
+	if st = c.Stats(); st.CrawlHits != 1 {
+		t.Fatalf("crawl hit not counted: %+v", st)
+	}
+
+	// A second oversized set pushes global usage past the budget; the
+	// global enforcement pass evicts the cold one — the budget holds.
+	c.AdmitCrawl(pricePred(200, 350), regionTuples(200, 150))
+	st = c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("pool holds %d bytes over the %d budget", st.Bytes, budget)
+	}
+	if st.CrawlEntries != 1 {
+		t.Fatalf("expected the cold oversized set evicted, kept %d", st.CrawlEntries)
+	}
+
+	// Larger than the whole pool: refused as before.
+	c.AdmitCrawl(pricePred(0, 400), regionTuples(0, 300))
+	if got := c.Stats().CrawlEntries; got != 1 {
+		t.Fatalf("entry above the whole pool budget admitted (%d crawl entries)", got)
+	}
+}
+
+// TestOversizedDoesNotWipeShardNeighbours: an oversized entry rides on
+// the global budget; the normal entries sharing its shard keep their
+// share instead of being evicted to make numeric room.
+func TestOversizedDoesNotWipeShardNeighbours(t *testing.T) {
+	const budget = 32 << 10
+	ctx := context.Background()
+	c4, err := New(testDB(t, 600, 10), Config{MaxBytes: budget, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		lo := float64(i * 20)
+		if _, err := c4.Search(ctx, pricePred(lo, lo+5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c4.Stats().Entries
+	// ~9.7 KiB: above the 8 KiB shard share, well under 32 KiB globally —
+	// admitted without evicting the small resident answers.
+	c4.AdmitCrawl(pricePred(0, 300), regionTuples(0, 300))
+	st := c4.Stats()
+	if st.CrawlEntries != 1 {
+		t.Fatalf("oversized set refused: %+v", st)
+	}
+	if st.Entries < before {
+		t.Fatalf("oversized admission evicted neighbours: %d -> %d entries", before+1, st.Entries)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("budget exceeded: %d > %d", st.Bytes, budget)
+	}
+}
+
+// TestPeekAndAdmit: the peer-protocol primitives. Peek answers from
+// residency only; Admit installs an externally produced answer with full
+// cache semantics (containment registration included) and copies its
+// input.
+func TestPeekAndAdmit(t *testing.T) {
+	db := testDB(t, 200, 10)
+	c, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := pricePred(20, 28)
+
+	if _, ok := c.Peek(p); ok {
+		t.Fatal("peek hit on an empty cache")
+	}
+	if st := c.Stats(); st.Misses != 0 {
+		t.Fatalf("peek miss counted as cache miss: %+v", st)
+	}
+	want, err := c.Search(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Peek(p)
+	if !ok || len(got.Tuples) != len(want.Tuples) || got.Overflow != want.Overflow {
+		t.Fatalf("peek after fill: ok=%v, %d/%v vs %d/%v", ok, len(got.Tuples), got.Overflow, len(want.Tuples), want.Overflow)
+	}
+
+	// Admit into a fresh cache: the answer serves searches and, being
+	// complete, narrower predicates too — without any inner query.
+	db2 := testDB(t, 200, 10)
+	c2, err := New(db2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitRes := hidden.Result{Tuples: append([]relation.Tuple(nil), want.Tuples...), Overflow: want.Overflow}
+	c2.Admit(p, admitRes)
+	// The cache copied: clobbering the caller's slice changes nothing.
+	admitRes.Tuples[0] = relation.Tuple{ID: -1, Values: []float64{0, 0}}
+	res, err := c2.Search(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.QueryCount() != 0 {
+		t.Fatalf("admitted answer not served: %d inner queries", db2.QueryCount())
+	}
+	if res.Tuples[0].ID == -1 {
+		t.Fatal("Admit retained the caller's slice")
+	}
+	narrower, err := c2.Search(ctx, pricePred(22, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.QueryCount() != 0 {
+		t.Fatal("containment over an admitted answer paid an inner query")
+	}
+	if len(narrower.Tuples) != 4 {
+		t.Fatalf("containment answer wrong: %d tuples", len(narrower.Tuples))
+	}
+	if st := c2.Stats(); st.ContainmentHits != 1 || st.Hits != 1 {
+		t.Fatalf("admit-path counters: %+v", st)
+	}
+}
+
+// TestOversizedWarmRestartRespectsBudget: entries warmed from a
+// persistent store settle against the global budget the same way runtime
+// admissions do — an operator shrinking the budget across a restart (or
+// any store larger than memory) must not yield a pool resident past its
+// limit, and the oversized crawl set, being newest, survives the trim.
+func TestOversizedWarmRestartRespectsBudget(t *testing.T) {
+	const smallBudget = 16 << 10 // 4 shards -> 4 KiB share
+	store := kvstore.NewMemory()
+	ctx := context.Background()
+	db := testDB(t, 400, 10)
+	big, err := New(db, Config{MaxBytes: 1 << 20, Shards: 4, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~7 KiB of normal answers, then a ~9.7 KiB crawl set (oversized
+	// under the small budget): together past 16 KiB.
+	for i := 0; i < 16; i++ {
+		lo := float64(i * 12)
+		if _, err := big.Search(ctx, pricePred(lo, lo+5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big.AdmitCrawl(pricePred(0, 300), regionTuples(0, 300))
+
+	// "Restart" with the shrunk budget: same store, fresh pool.
+	warm, err := New(testDB(t, 400, 10), Config{MaxBytes: smallBudget, Shards: 4, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Bytes > smallBudget {
+		t.Fatalf("warm restart left %d bytes resident over the %d budget", st.Bytes, smallBudget)
+	}
+	if st.CrawlEntries != 1 {
+		t.Fatalf("newest (crawl) entry did not survive the warm trim: %+v", st)
+	}
+	if st.Warmed == 0 {
+		t.Fatalf("nothing warmed — test vacuous: %+v", st)
+	}
+}

@@ -119,6 +119,9 @@ func (ns *namespace) openStore() error {
 		}
 		overflow = append(overflow, victims...)
 	}
+	// Oversized entries (crawl sets past the shard share) warm back in
+	// against the global budget; settle it once after the batch.
+	overflow = append(overflow, ns.pool.enforceGlobal(ns, "")...)
 	deleteVictims(overflow)
 	ns.warmed = int(ns.entries.Load())
 	return nil

@@ -248,18 +248,22 @@ type shard struct {
 	elems   map[string]*list.Element // prefixed key -> *entry element
 	lru     *list.List               // front = most recently used
 	bytes   int64
+	over    int64 // bytes of resident oversized entries (> shard share)
 	flights map[string]*flight
 }
 
 // entry is one cached search result. key is namespace-prefixed (the shard
 // map key); srcKey strips the prefix back off for the namespace's store
-// and containment directory.
+// and containment directory. oversized marks an entry admitted past the
+// per-shard share and budgeted against the global pool limit instead —
+// typically a crawl-admitted region set bigger than budget/shards.
 type entry struct {
-	ns       *namespace
-	key      string
-	res      hidden.Result
-	size     int64
-	storedAt time.Time
+	ns        *namespace
+	key       string
+	res       hidden.Result
+	size      int64
+	storedAt  time.Time
+	oversized bool
 }
 
 func (e *entry) srcKey() string { return e.key[len(e.ns.prefix):] }
@@ -389,6 +393,9 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		// refused admission deletes any stale record left under this key —
 		// otherwise a restart would warm back an answer memory already
 		// replaced or dropped.
+		if admitted {
+			victims = append(victims, ns.pool.enforceGlobal(ns, pkey)...)
+		}
 		deleteVictims(victims)
 		if ns.store != nil {
 			if admitted {
@@ -425,6 +432,9 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 	sh.mu.Lock()
 	admitted, victims := ns.insertLocked(sh, pkey, res, ns.pool.now())
 	sh.mu.Unlock()
+	if admitted {
+		victims = append(victims, ns.pool.enforceGlobal(ns, pkey)...)
+	}
 	deleteVictims(victims)
 	if ns.store != nil {
 		if admitted {
@@ -433,6 +443,99 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 			_ = ns.store.Delete(storeKey(key))
 		}
 	}
+}
+
+// peek is the resident-only half of the lookup protocol: an exact
+// resident entry, else a covering complete answer (containment or crawl).
+// It never joins or starts a flight and never touches the inner database
+// — the peer answer-cache protocol serves /cluster/get with it, so a
+// lookup forwarded by another replica can only ever cost memory reads.
+func (ns *namespace) peek(p relation.Predicate) (hidden.Result, bool) {
+	key := KeyOf(p)
+	pkey := ns.prefix + key
+	sh := ns.pool.shardFor(pkey)
+	sh.mu.Lock()
+	res, ok := ns.lookupLocked(sh, pkey)
+	sh.mu.Unlock()
+	if ok {
+		ns.hits.Add(1)
+		return res, true
+	}
+	if ns.complete != nil {
+		if res, winner, viaCrawl, ok := ns.complete.lookup(p, ns.ttl, ns.pool.now(), ns.systemK); ok {
+			ns.touch(winner)
+			if viaCrawl {
+				ns.crawlHits.Add(1)
+			} else {
+				ns.contained.Add(1)
+			}
+			return res, true
+		}
+	}
+	return hidden.Result{}, false
+}
+
+// admit publishes an externally produced answer for p — the peer
+// protocol's /cluster/put — exactly as if the inner database had just
+// returned it: admission against the budget, containment registration,
+// persistence. The result is copied; the caller keeps its slice.
+func (ns *namespace) admit(p relation.Predicate, res hidden.Result) {
+	key := KeyOf(p)
+	pkey := ns.prefix + key
+	sh := ns.pool.shardFor(pkey)
+	sh.mu.Lock()
+	admitted, victims := ns.insertLocked(sh, pkey, copyResult(res), ns.pool.now())
+	sh.mu.Unlock()
+	if admitted {
+		victims = append(victims, ns.pool.enforceGlobal(ns, pkey)...)
+	}
+	deleteVictims(victims)
+	if ns.store != nil {
+		if admitted {
+			ns.persist(key, res)
+		} else {
+			_ = ns.store.Delete(storeKey(key))
+		}
+	}
+}
+
+// enforceGlobal evicts cold entries across every shard until the pool's
+// global usage respects its limit, and returns the victims for store
+// mirroring. Shards individually respecting their share keep the global
+// sum bounded on their own; this pass exists for oversized entries, whose
+// bytes are exempt from the shard share and budgeted globally instead.
+// Must be called without any shard lock held. keep (a prefixed key) is
+// never evicted — it is the entry whose admission created the pressure.
+func (p *Pool) enforceGlobal(pressure *namespace, keep string) []victim {
+	lim := p.acct.Limit()
+	if lim < 0 || p.acct.Usage() <= lim {
+		return nil
+	}
+	_, floor := p.limits()
+	var victims []victim
+	for _, sh := range p.shards {
+		if p.acct.Usage() <= lim {
+			break
+		}
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil && p.acct.Usage() > lim; {
+			prev := el.Prev()
+			ce := el.Value.(*entry)
+			switch {
+			case ce.key == keep:
+			case ce.ns != pressure && ce.ns.bytes.Load()-ce.size < floor:
+				// floor-protected from foreign pressure
+			default:
+				victims = append(victims, victim{ns: ce.ns, key: ce.srcKey()})
+				removeLocked(sh, el)
+				ce.ns.evictions.Add(1)
+				p.evictions.Add(1)
+			}
+			el = prev
+		}
+		sh.mu.Unlock()
+	}
+	return victims
 }
 
 // touch refreshes the LRU position of a resident entry by source key, if
@@ -471,10 +574,15 @@ func (ns *namespace) lookupLocked(sh *shard, pkey string) (hidden.Result, bool) 
 
 // insertLocked adds (or replaces) an entry and evicts from the cold end
 // until the shard respects its share of the global budget. An entry
-// larger than a whole shard's share is not admitted. Victims are chosen
-// oldest-first, skipping entries whose owning namespace would fall below
-// its floor under pressure from a *different* namespace — that is the
-// borrowing contract: idle capacity is lent, the floor is not.
+// larger than a whole shard's share is admitted as oversized — budgeted
+// against the global pool limit rather than refused, so a crawl-admitted
+// region set bigger than budget/shards still enters; the caller must run
+// Pool.enforceGlobal afterwards (outside the shard lock) to restore the
+// global budget. Only an entry exceeding the whole pool limit is refused.
+// Victims are chosen oldest-first, skipping entries whose owning
+// namespace would fall below its floor under pressure from a *different*
+// namespace — that is the borrowing contract: idle capacity is lent, the
+// floor is not.
 func (ns *namespace) insertLocked(sh *shard, pkey string, res hidden.Result, at time.Time) (admitted bool, victims []victim) {
 	if el, ok := sh.elems[pkey]; ok {
 		removeLocked(sh, el)
@@ -482,7 +590,11 @@ func (ns *namespace) insertLocked(sh *shard, pkey string, res hidden.Result, at 
 	e := &entry{ns: ns, key: pkey, res: res, size: entrySize(pkey, res), storedAt: at}
 	limit, floor := ns.pool.limits()
 	if e.size > limit {
-		return false, nil
+		if limit < 0 || e.size > ns.pool.acct.Limit() {
+			return false, nil
+		}
+		e.oversized = true
+		sh.over += e.size
 	}
 	sh.elems[pkey] = sh.lru.PushFront(e)
 	sh.bytes += e.size
@@ -496,12 +608,17 @@ func (ns *namespace) insertLocked(sh *shard, pkey string, res hidden.Result, at 
 	// so an entry skipped as floor-protected stays protected and is never
 	// worth revisiting. If the walk ends with only the new entry and
 	// floor-protected foreigners left, the overshoot is tolerated rather
-	// than the floor contract broken.
-	for el := sh.lru.Back(); el != nil && sh.bytes > limit; {
+	// than the floor contract broken. Oversized bytes are exempt from the
+	// shard share (they ride on the global budget via enforceGlobal), so
+	// an oversized region set does not wipe the shard's normal entries.
+	for el := sh.lru.Back(); el != nil && sh.bytes-sh.over > limit; {
 		prev := el.Prev()
 		ce := el.Value.(*entry)
 		switch {
 		case ce == e: // never evict the entry being admitted
+		case ce.oversized:
+			// Exempt from the shard share: evicting it cannot help this
+			// loop's condition, so reclaiming it is enforceGlobal's job.
 		case ce.ns != ns && ce.ns.bytes.Load()-ce.size < floor:
 			// floor-protected from foreign pressure
 		default:
@@ -521,6 +638,9 @@ func removeLocked(sh *shard, el *list.Element) {
 	sh.lru.Remove(el)
 	delete(sh.elems, e.key)
 	sh.bytes -= e.size
+	if e.oversized {
+		sh.over -= e.size
+	}
 	e.ns.bytes.Add(-e.size)
 	e.ns.entries.Add(-1)
 	e.ns.pool.acct.Add(-e.size)

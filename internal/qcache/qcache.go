@@ -166,6 +166,27 @@ func (c *Cache) Search(ctx context.Context, p relation.Predicate) (hidden.Result
 	return c.ns.search(ctx, p)
 }
 
+// Peek answers p from local residency only — an exact resident entry, a
+// covering complete answer, or a crawl-admitted region set — and reports
+// found=false otherwise. It never queries the inner database and never
+// joins or starts an in-flight search. The cluster layer serves peer
+// lookups (/cluster/get) and pre-forward local checks with it. Served
+// traffic counts toward the ordinary hit counters; a peek miss is not a
+// cache miss, because no inner query follows here.
+func (c *Cache) Peek(p relation.Predicate) (hidden.Result, bool) {
+	return c.ns.peek(p)
+}
+
+// Admit publishes an externally produced answer for p as if the inner
+// database had just returned it: the entry is admitted against the
+// budget, registered for containment reuse when complete, and persisted
+// when a store is configured. The cluster layer uses it to install
+// answers pushed by peer replicas (/cluster/put). The result is copied;
+// the caller keeps ownership of its slice.
+func (c *Cache) Admit(p relation.Predicate, res hidden.Result) {
+	c.ns.admit(p, res)
+}
+
 // AdmitCrawl publishes the complete match set of pred, assembled by a
 // region crawl rather than returned by any single query, for
 // containment-style reuse. A later predicate inside the region whose

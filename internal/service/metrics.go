@@ -54,6 +54,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.node != nil {
+		cs := s.node.Stats()
+		fmt.Fprintf(&b, "# HELP qr2_cluster_peer_alive Ring membership: 1 when the peer answers health probes (self is always 1).\n# TYPE qr2_cluster_peer_alive gauge\n")
+		for _, p := range cs.Peers {
+			alive := 0
+			if p.Alive {
+				alive = 1
+			}
+			fmt.Fprintf(&b, "qr2_cluster_peer_alive{peer=\"%s\"} %d\n", escapeLabel(p.ID), alive)
+		}
+		for _, cr := range []struct {
+			metric, help string
+			value        int64
+		}{
+			{"qr2_cluster_owned_local_total", "Searches whose key this replica owns, served through the local pool.", cs.OwnedLocal},
+			{"qr2_cluster_local_hits_total", "Foreign-owned searches served from local residency (crawl sets, fallback entries).", cs.LocalHits},
+			{"qr2_cluster_forwards_total", "Cache lookups proxied to owner replicas.", cs.Forwards},
+			{"qr2_cluster_forward_hits_total", "Proxied lookups the owner answered — zero web-database queries.", cs.ForwardHits},
+			{"qr2_cluster_forward_misses_total", "Proxied lookups the owner lacked; this replica paid the web query and pushed the answer.", cs.ForwardMisses},
+			{"qr2_cluster_fallbacks_total", "Failed forwards served entirely through the local pool (owner marked dead).", cs.Fallbacks},
+			{"qr2_cluster_coalesced_total", "Foreign-owned searches that joined an identical in-flight forward.", cs.Coalesced},
+			{"qr2_cluster_admits_sent_total", "Locally computed answers pushed to their owner replicas.", cs.AdmitsSent},
+			{"qr2_cluster_admit_errors_total", "Answer pushes that failed (lost admissions cost a repeated query, never correctness).", cs.AdmitErrors},
+			{"qr2_cluster_peer_gets_total", "Peer lookups this replica served.", cs.PeerGets},
+			{"qr2_cluster_peer_get_hits_total", "Peer lookups answered from this replica's residency.", cs.PeerGetHits},
+			{"qr2_cluster_peer_puts_total", "Peer answer admissions this replica accepted.", cs.PeerPuts},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{self=\"%s\"} %d\n",
+				cr.metric, cr.help, cr.metric, cr.metric, escapeLabel(cs.Self), cr.value)
+		}
+	}
+
 	type row struct {
 		metric, kind, help string
 		value              func(name string) (int64, bool)

@@ -36,6 +36,14 @@
 // between them. Complete region crawls refill the pool (crawl.Admitter),
 // so predicates inside a crawled region are served client-side.
 //
+// In cluster mode (Config.SelfID/Peers) the answer caches additionally
+// join a consistent-hash replica ring (internal/cluster): every canonical
+// predicate key has one owner replica, lookups for foreign-owned keys are
+// proxied to the owner, and answers computed on behalf of an owner are
+// pushed to it — one cached answer cluster-wide. Peer death degrades to
+// local serving; /api/stats and /metrics expose ring membership and the
+// ownership/forward/fallback counters.
+//
 // Endpoints:
 //
 //	GET  /api/sources        data sources, their schemas, popular functions
@@ -43,6 +51,7 @@
 //	POST /api/next           next page for a previous query (qid)
 //	GET  /api/stats          per-source cache and dense-index statistics
 //	GET  /metrics            the same counters, Prometheus text format
+//	GET  /cluster/get, /cluster/put, /cluster/ring  peer protocol (cluster mode)
 //	GET  /                   minimal HTML UI over the same operations
 //	POST /ui/query, /ui/next HTML form variants
 //	GET  /healthz            liveness
@@ -59,6 +68,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/hidden"
@@ -126,6 +136,21 @@ type Config struct {
 	// guaranteed a floor share and borrows whatever the others leave
 	// idle. Overrides CachePoolBytes and SourceConfig.DenseResidentBytes.
 	MemBudget int64
+	// SelfID and Peers join this replica to a consistent-hash cluster
+	// (internal/cluster): Peers maps every replica id — including SelfID —
+	// to its base URL, and each source's answer cache becomes one ring
+	// namespace, so every cached answer has exactly one owner replica.
+	// Queries for foreign-owned keys proxy the cache lookup to the owner
+	// and, on an owner miss, pay the web query locally and push the
+	// answer to the owner. SelfID and Peers must be set together (setting
+	// one without the other is a configuration error); leaving both empty
+	// disables clustering, and a single-entry peer list short-circuits to
+	// the plain cache. Requires cached sources.
+	SelfID string
+	Peers  map[string]string
+	// ClusterProbeInterval paces the peer health prober (default 5s).
+	// The prober itself is started by running Cluster().Start.
+	ClusterProbeInterval time.Duration
 }
 
 // Budget shares guaranteed under a MemBudget governor: a quarter of the
@@ -144,6 +169,7 @@ type Server struct {
 	sources  map[string]*source
 	pool     *qcache.Pool     // non-nil in shared-pool mode
 	gov      *memgov.Governor // non-nil when MemBudget governs the caches
+	node     *cluster.Node    // non-nil when SelfID/Peers join a replica ring
 	mux      *http.ServeMux
 }
 
@@ -212,6 +238,20 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.pool = qcache.NewPool(pc)
 	}
+	if cfg.SelfID != "" || len(cfg.Peers) > 0 {
+		if !anyCached {
+			return nil, fmt.Errorf("service: cluster mode (SelfID/Peers) requires at least one cached source")
+		}
+		node, err := cluster.New(cluster.Config{
+			Self:          cfg.SelfID,
+			Peers:         cfg.Peers,
+			ProbeInterval: cfg.ClusterProbeInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.node = node
+	}
 	for name, sc := range cfg.Sources {
 		store := sc.DenseStore
 		if store == nil {
@@ -238,8 +278,18 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("service: open answer cache for %q: %w", name, err)
 			}
 			db = cache
+			if s.node != nil {
+				// Ring routing sits above the cache: owned keys hit the
+				// local pool, foreign keys proxy to their owner replica and
+				// on owner misses query the raw database (sc.DB) directly,
+				// so the answer is admitted once, at its owner.
+				db = s.node.Source(name, cache, sc.DB)
+			}
 		}
 		s.sources[name] = &source{name: name, db: db, cache: cache, ix: ix, popular: sc.Popular}
+	}
+	if s.node != nil {
+		s.node.Register(s.mux)
 	}
 	s.mux.HandleFunc("GET /api/sources", s.handleSources)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
@@ -260,6 +310,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Sessions exposes the session manager (for sweeping by the daemon).
 func (s *Server) Sessions() *session.Manager { return s.sessions }
+
+// Cluster exposes the replica-ring node, nil outside cluster mode. The
+// daemon starts its health prober (Cluster().Start); tests drive probes
+// deterministically with CheckNow.
+func (s *Server) Cluster() *cluster.Node { return s.node }
 
 // normalization lazily discovers a source's min/max bounds once.
 func (s *Server) normalization(ctx context.Context, src *source) (ranking.Normalization, error) {
@@ -382,6 +437,9 @@ type serviceStatsDoc struct {
 	// Mem describes the governed process memory budget (MemBudget mode
 	// only): per-account usage, floors and current limits.
 	Mem *memgov.Stats `json:"mem,omitempty"`
+	// Cluster describes the replica ring (cluster mode only): membership
+	// with per-peer health, and the ownership/forward/fallback counters.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // handleStats reports per-source cache and dense-index effectiveness so
@@ -398,6 +456,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.gov != nil {
 		ms := s.gov.Stats()
 		doc.Mem = &ms
+	}
+	if s.node != nil {
+		cs := s.node.Stats()
+		doc.Cluster = &cs
 	}
 	for name, src := range s.sources {
 		ds := src.ix.Stats()
