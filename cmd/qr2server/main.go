@@ -24,6 +24,15 @@
 // given byte total (internal/memgov), each guaranteed a floor and
 // borrowing whatever the others leave idle.
 //
+// -change-probe enables live change detection against the sources: on
+// the given period each source is replayed a set of recorded sentinel
+// queries (-sentinels many), and any answer-digest mismatch bumps the
+// source's epoch — wiping its answer cache (crawl-admitted sets
+// included) and its dense-region index, because every cached byte
+// describes a database that no longer exists. Without it, only the
+// boot-time fingerprint check protects against source drift (plus
+// -cache-ttl as a staleness bound).
+//
 // -peers and -self join the replica to a consistent-hash cluster
 // (internal/cluster): -peers lists every replica as id=url pairs —
 // including this one — and -self names which entry this process is. Each
@@ -32,7 +41,11 @@
 // and on an owner miss pay the web query locally and push the answer to
 // the owner (/cluster/put). Dead peers are excluded from the ring by
 // health probes and failed forwards fall back to local serving, so user
-// requests survive any peer outage.
+// requests survive any peer outage. In cluster mode an epoch bump
+// propagates through the ring (peer messages carry epoch seqs, the probe
+// loop gossips them), every replica converges to the new epoch, and
+// stale-epoch admissions are rejected; a recovered peer additionally
+// gets its fallback-admitted entries re-homed to it.
 //
 // Usage (quickstart):
 //
@@ -59,6 +72,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/epoch"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/qcache"
@@ -98,7 +112,11 @@ func main() {
 			"single governed byte budget shared by the answer-cache pool and every dense index's tuple residency; implies -cache-pool (0 = size them separately with -cache-bytes / -dense-resident-bytes)")
 		peers = flag.String("peers", "",
 			"comma-separated id=url replica list (including this one) forming a consistent-hash answer-cache ring; empty = stand-alone")
-		self = flag.String("self", "", "this replica's id in -peers")
+		self        = flag.String("self", "", "this replica's id in -peers")
+		changeProbe = flag.Duration("change-probe", 0,
+			"period for live change-detection probes against each source (sentinel query replays; 0 = boot-time fingerprint only)")
+		sentinels = flag.Int("sentinels", epoch.DefaultSentinels,
+			"sentinel queries recorded per source for change detection")
 	)
 	flag.Parse()
 	if (*peers == "") != (*self == "") {
@@ -123,13 +141,15 @@ func main() {
 	}
 
 	cfg := service.Config{
-		Sources:         map[string]service.SourceConfig{},
-		Algorithm:       core.Algorithm(*algo),
-		SimLatency:      *latency,
-		SharedCachePool: *cachePool,
-		CachePoolBytes:  *cacheBytes,
-		MemBudget:       *memBudget,
-		SelfID:          *self,
+		Sources:             map[string]service.SourceConfig{},
+		Algorithm:           core.Algorithm(*algo),
+		SimLatency:          *latency,
+		SharedCachePool:     *cachePool,
+		CachePoolBytes:      *cacheBytes,
+		MemBudget:           *memBudget,
+		SelfID:              *self,
+		ChangeProbeInterval: *changeProbe,
+		ChangeSentinels:     *sentinels,
 	}
 	if *peers != "" {
 		cfg.Peers = map[string]string{}
@@ -200,6 +220,10 @@ func main() {
 	if node := srv.Cluster(); node != nil {
 		node.Start(context.Background())
 		log.Printf("qr2server: cluster replica %s of %d peers", node.Self(), len(cfg.Peers))
+	}
+	if *changeProbe > 0 {
+		srv.StartChangeProbes(context.Background())
+		log.Printf("qr2server: change-detection probes every %v (%d sentinels per source)", *changeProbe, *sentinels)
 	}
 	go func() {
 		for range time.Tick(time.Minute) {

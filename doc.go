@@ -31,6 +31,23 @@
 // region that fit under system-k are answered with zero web-database
 // queries.
 //
+// Because QR2 is a third party with no insider access, every reused
+// answer is only correct while the hidden database has not changed since
+// it was cached. internal/epoch makes that a live concern instead of a
+// boot-time one: each source has a versioned epoch (boot fingerprint +
+// monotonic sequence number), a change-detection prober periodically
+// replays recorded sentinel queries against the live source and bumps
+// the epoch on any answer-digest mismatch, and the bump fans out
+// synchronously — the answer-cache namespace wipes (resident entries,
+// containment directory, crawl-admitted sets and persisted records,
+// fenced against in-flight admissions), and the dense-region index is
+// invalidated wholesale, because its entries are authoritative crawls of
+// a source version that no longer exists. The epoch seq persists next to
+// the cache fingerprint, so restarts resume the lineage. Enable with
+// qr2server -change-probe (and -sentinels for coverage); sentinel
+// semantics and the false-negative tradeoff are documented in
+// internal/epoch.
+//
 // Beyond one process, internal/cluster scales the answer cache across
 // service replicas: a consistent-hash ring (virtual nodes over a static
 // peer list) assigns every canonical predicate key, namespaced by source,
@@ -45,7 +62,15 @@
 // peers from the ring (their key ranges move to ring successors and snap
 // back on recovery), and a forward that fails mid-flight falls back to
 // serving through the local pool — a peer outage degrades query cost,
-// never availability. Replicas join with qr2server -peers/-self.
+// never availability. Answers admitted off-owner during an outage are
+// tracked as strays and re-homed: when the owner recovers, each stray is
+// pushed to it and the local copy released, restoring the exactly-once
+// invariant without waiting for LRU aging. Source epochs ride the same
+// protocol: every peer message carries (source, epoch seq), a replica
+// seeing a higher seq adopts it (running the same wipes), a put tagged
+// with a lower seq is rejected as stale, and the probe loop gossips
+// epochs over /cluster/ring so a bump converges even across replicas
+// with no shared traffic. Replicas join with qr2server -peers/-self.
 //
 // The dense-index read path is memory-speed and concurrent: covering
 // lookups go through a spatial directory (a packed R-tree per attribute

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/qcache"
+)
+
+// epochCluster builds n ring replicas whose caches and nodes share one
+// epoch registry per replica (one per simulated process), all over the
+// newCluster harness.
+func epochCluster(t *testing.T, n int) ([]*replica, []*epoch.Registry) {
+	t.Helper()
+	regs := make([]*epoch.Registry, n)
+	for i := range regs {
+		regs[i] = epoch.NewRegistry()
+	}
+	next := 0
+	reps := newCluster(t, n, func(cfg *Config) {
+		cfg.Epochs = regs[next]
+		next++
+	})
+	// Rebuild each replica's cache with its registry attached (newCluster
+	// built plain caches) and re-register the source through the node.
+	for i, r := range reps {
+		cache, err := qcache.New(r.inner, qcache.Config{Epochs: regs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.cache = cache
+		r.db = r.node.Source(r.inner.Name(), cache, r.inner)
+	}
+	return reps, regs
+}
+
+// TestEpochPropagatesOnForward: a bump on the asking replica travels
+// with its next forward; the owner adopts the higher epoch, wipes, and
+// reports a clean miss instead of the pre-change answer.
+func TestEpochPropagatesOnForward(t *testing.T) {
+	reps, regs := epochCluster(t, 3)
+	ctx := context.Background()
+	a, b := reps[0], reps[1]
+	name := a.inner.Name()
+	p := predOwnedBy(t, reps, b.id)
+
+	// Warm: the answer lives at owner b under epoch 1.
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	a.node.Quiesce()
+	if _, ok := b.cache.Peek(p); !ok {
+		t.Fatal("owner b does not hold the warmed answer")
+	}
+
+	// Replica a detects a source change (a prober would do this).
+	regs[0].Bump(name)
+	if a.cache.EpochSeq() != 2 {
+		t.Fatalf("a epoch = %d, want 2", a.cache.EpochSeq())
+	}
+
+	// a's next forward carries eseq=2: b adopts, wipes, misses; a pays
+	// the query and the push (tagged 2) is accepted at b.
+	before := totalQueries(reps)
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	a.node.Quiesce()
+	if regs[1].Seq(name) != 2 {
+		t.Fatalf("owner did not adopt the epoch: seq %d", regs[1].Seq(name))
+	}
+	if st := b.node.Stats(); st.EpochAdopts != 1 {
+		t.Fatalf("owner epoch adopts = %d, want 1", st.EpochAdopts)
+	}
+	if st := b.cache.Stats(); st.EpochWipes != 1 || st.EpochSeq != 2 {
+		t.Fatalf("owner cache not wiped on adoption: %+v", st)
+	}
+	if got := totalQueries(reps) - before; got != 1 {
+		t.Fatalf("post-bump refill paid %d web queries, want 1", got)
+	}
+	if _, ok := b.cache.Peek(p); !ok {
+		t.Fatal("post-bump answer not re-admitted at owner")
+	}
+	if st := b.node.Stats(); st.PeerStalePuts != 0 {
+		t.Fatalf("same-epoch push rejected as stale: %+v", st)
+	}
+}
+
+// TestStalePutRejected: an answer produced under an older epoch is
+// rejected by the owner with a counted metric, and the rejection does
+// not indict either peer.
+func TestStalePutRejected(t *testing.T) {
+	reps, regs := epochCluster(t, 3)
+	ctx := context.Background()
+	a, b := reps[0], reps[1]
+	name := a.inner.Name()
+	p := predOwnedBy(t, reps, b.id)
+
+	// The owner is already on epoch 2; a is still on 1 and has not
+	// learned yet. Its forward carries eseq=1 (no adoption at b), the
+	// response carries b's 2 — adopted at a mid-search — but the push is
+	// tagged with the epoch captured before the query: 1, stale.
+	regs[1].Bump(name)
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	a.node.Quiesce()
+	st := b.node.Stats()
+	if st.PeerStalePuts != 1 {
+		t.Fatalf("stale puts = %d, want 1: %+v", st.PeerStalePuts, st)
+	}
+	if _, ok := b.cache.Peek(p); ok {
+		t.Fatal("stale-epoch answer was admitted at the owner")
+	}
+	if ast := a.node.Stats(); ast.AdmitErrors != 1 {
+		t.Fatalf("sender admit errors = %d, want 1", ast.AdmitErrors)
+	}
+	// The 409 is an application-level refusal: b stays on the ring.
+	if !a.node.health.alive(b.id) {
+		t.Fatal("stale-put rejection knocked the healthy owner off the ring")
+	}
+	// a adopted b's epoch from the get response.
+	if regs[0].Seq(name) != 2 {
+		t.Fatalf("sender did not adopt the owner's epoch: %d", regs[0].Seq(name))
+	}
+	// The next search runs fully under epoch 2 and its push is accepted.
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	a.node.Quiesce()
+	if _, ok := b.cache.Peek(p); !ok {
+		t.Fatal("post-adoption push was not admitted")
+	}
+}
+
+// TestGossipConvergesEpochs: a bump reaches replicas with no shared
+// traffic through the ring-gossip row on the probe path.
+func TestGossipConvergesEpochs(t *testing.T) {
+	reps, regs := epochCluster(t, 3)
+	ctx := context.Background()
+	name := reps[0].inner.Name()
+
+	regs[0].Bump(name)
+	regs[0].Bump(name) // two changes while the others heard nothing
+	if regs[1].Seq(name) != 1 || regs[2].Seq(name) != 1 {
+		t.Fatal("peers learned the bump without gossip")
+	}
+	for _, r := range reps[1:] {
+		r.node.Gossip(ctx)
+	}
+	for i, reg := range regs {
+		if got := reg.Seq(name); got != 3 {
+			t.Fatalf("replica %d at seq %d after gossip, want 3", i, got)
+		}
+	}
+	if st := reps[1].node.Stats(); st.EpochAdopts != 1 {
+		t.Fatalf("gossip adoptions = %d, want 1 (one jump to 3)", st.EpochAdopts)
+	}
+}
+
+// TestRehomeOnRecovery: a fallback-admitted answer is pushed to its
+// owner when the owner recovers, and the local copy is released — the
+// exactly-once invariant is restored without waiting for LRU aging.
+func TestRehomeOnRecovery(t *testing.T) {
+	reps := newCluster(t, 3)
+	ctx := context.Background()
+	a, b := reps[0], reps[1]
+	p := predOwnedBy(t, reps, b.id)
+
+	// b dies before anyone holds the answer; a's forward fails and the
+	// answer is admitted locally as a stray.
+	b.down.Store(true)
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	st := a.node.Stats()
+	if st.Fallbacks != 1 || st.Strays != 1 {
+		t.Fatalf("fallback serve: %+v", st)
+	}
+	if _, ok := a.cache.Peek(p); !ok {
+		t.Fatal("fallback answer not resident at a")
+	}
+
+	// b returns: the probe pass revives it and triggers the re-homing
+	// push; Quiesce waits for it.
+	b.down.Store(false)
+	a.node.CheckNow(ctx)
+	a.node.Quiesce()
+	st = a.node.Stats()
+	if st.Rehomed != 1 || st.Strays != 0 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	if _, ok := b.cache.Peek(p); !ok {
+		t.Fatal("re-homed answer not resident at owner b")
+	}
+	if a.cache.Len() != 0 {
+		t.Fatalf("local stray copy not released (a holds %d entries)", a.cache.Len())
+	}
+	// No web queries were spent on the move.
+	if got := totalQueries(reps); got != 1 {
+		t.Fatalf("re-homing cost %d web queries, want the original 1", got)
+	}
+	// And the re-homed entry serves the ring: c forwards and hits at b.
+	before := totalQueries(reps)
+	if _, err := reps[2].db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if totalQueries(reps) != before {
+		t.Fatal("post-re-homing forward paid a web query")
+	}
+}
+
+// TestRehomeSkipsEvictedStrays: a stray that aged out of the cache
+// before the owner recovered is forgotten, not pushed.
+func TestRehomeSkipsEvictedStrays(t *testing.T) {
+	reps := newCluster(t, 3)
+	ctx := context.Background()
+	a, b := reps[0], reps[1]
+	p := predOwnedBy(t, reps, b.id)
+
+	b.down.Store(true)
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.node.Stats(); st.Strays != 1 {
+		t.Fatalf("stray not tracked: %+v", st)
+	}
+	// The copy ages out (simulated by an explicit purge).
+	if err := a.cache.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	b.down.Store(false)
+	a.node.CheckNow(ctx)
+	a.node.Quiesce()
+	st := a.node.Stats()
+	if st.Rehomed != 0 || st.Strays != 0 {
+		t.Fatalf("evicted stray handled wrong: %+v", st)
+	}
+	if _, ok := b.cache.Peek(p); ok {
+		t.Fatal("an evicted stray was somehow pushed to b")
+	}
+}

@@ -23,6 +23,10 @@ type health struct {
 	backoff  time.Duration // first re-probe delay after death
 	maxOff   time.Duration // backoff cap
 	now      func() time.Time
+	// onRevive fires (outside the lock) when a probe flips a peer from
+	// dead to alive — the hook the node uses to re-home fallback entries
+	// to the recovered owner.
+	onRevive func(id string)
 
 	mu    sync.Mutex
 	peers map[string]*peerHealth
@@ -85,6 +89,20 @@ func (h *health) alive(id string) bool {
 	return ok && p.alive
 }
 
+// anyDead reports whether at least one peer is currently marked dead —
+// the cheap guard before the stray-tracking ring lookup on the owned
+// path.
+func (h *health) anyDead() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.peers {
+		if !p.alive {
+			return true
+		}
+	}
+	return false
+}
+
 // markDead records a passively observed failure (a forward that errored)
 // and schedules the next active probe with backoff.
 func (h *health) markDead(id string) {
@@ -137,20 +155,26 @@ func (h *health) check(ctx context.Context, force bool) {
 			defer wg.Done()
 			err := h.probe(ctx, j.id, j.url)
 			h.mu.Lock()
-			defer h.mu.Unlock()
 			p, ok := h.peers[j.id]
 			if !ok {
+				h.mu.Unlock()
 				return
 			}
 			if err != nil {
 				p.alive = false
 				p.fails++
 				p.nextProbe = h.now().Add(h.backoffFor(p.fails))
+				h.mu.Unlock()
 				return
 			}
+			revived := !p.alive
 			p.alive = true
 			p.fails = 0
 			p.nextProbe = time.Time{}
+			h.mu.Unlock()
+			if revived && h.onRevive != nil {
+				h.onRevive(j.id)
+			}
 		}(j)
 	}
 	wg.Wait()

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/hidden"
 	"repro/internal/qcache"
 	"repro/internal/relation"
@@ -34,6 +35,15 @@ type Config struct {
 	// Probe overrides the health probe (default: GET <url>/healthz).
 	// Tests use it to simulate peer death deterministically.
 	Probe func(ctx context.Context, id, url string) error
+	// Epochs joins the node to the process's source-epoch registry
+	// (internal/epoch). When set, every peer-protocol message carries the
+	// sender's epoch seq for the source: a replica seeing a higher seq
+	// adopts it through the registry (wiping the affected namespace), a
+	// /cluster/put tagged with a lower seq is rejected instead of
+	// admitted, and the probe loop gossips epochs over /cluster/ring so a
+	// bump reaches even replicas with no traffic for the source. Nil
+	// disables epoch exchange (every message travels untagged).
+	Epochs *epoch.Registry
 }
 
 // PeerStats is one peer's membership state.
@@ -78,6 +88,18 @@ type Stats struct {
 	PeerGets    int64 `json:"peer_gets"`
 	PeerGetHits int64 `json:"peer_get_hits"`
 	PeerPuts    int64 `json:"peer_puts"`
+	// PeerStalePuts counts peer admissions rejected because they were
+	// tagged with an older source epoch than this replica serves under —
+	// a pre-change answer that must not enter the post-change cache.
+	PeerStalePuts int64 `json:"peer_stale_puts"`
+	// EpochAdopts counts higher source epochs this replica adopted from
+	// peers (each adoption wiped the affected namespace).
+	EpochAdopts int64 `json:"epoch_adopts"`
+	// Strays is the number of tracked fallback-admitted entries whose
+	// owner was unreachable when they were cached locally; Rehomed counts
+	// strays pushed back to their recovered owner and released.
+	Strays  int   `json:"strays"`
+	Rehomed int64 `json:"rehomed"`
 }
 
 // Node is one replica's view of the cluster: the ring, the peer health
@@ -88,10 +110,19 @@ type Node struct {
 	ring   *Ring
 	health *health
 	hc     *http.Client
+	epochs *epoch.Registry // nil without epoch exchange
 
 	mu      sync.Mutex
 	sources map[string]*clusterSource
 	flights map[string]*flight
+
+	// strays tracks answers this replica admitted locally although
+	// another replica owns their key — fallback serves while the owner
+	// was unreachable, and owned serves while this replica was only the
+	// ring successor of a dead true owner. When the owner recovers, the
+	// re-homing pass pushes each stray to it and releases the local copy.
+	strayMu sync.Mutex
+	strays  map[strayKey]relation.Predicate
 
 	admits sync.WaitGroup
 
@@ -107,7 +138,13 @@ type Node struct {
 	peerGets      atomic.Int64
 	peerGetHits   atomic.Int64
 	peerPuts      atomic.Int64
+	peerStalePuts atomic.Int64
+	epochAdopts   atomic.Int64
+	rehomed       atomic.Int64
 }
+
+// strayKey identifies one locally admitted foreign-owned answer.
+type strayKey struct{ ns, key string }
 
 // flight is one in-progress foreign-owned search identical concurrent
 // searches wait on — the cross-replica analogue of the pool's
@@ -146,15 +183,19 @@ func New(cfg Config) (*Node, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 2 * time.Second}
 	}
-	return &Node{
+	n := &Node{
 		self:    cfg.Self,
 		urls:    urls,
 		ring:    NewRing(ids, cfg.VirtualNodes),
 		health:  newHealth(cfg),
 		hc:      hc,
+		epochs:  cfg.Epochs,
 		sources: make(map[string]*clusterSource),
 		flights: make(map[string]*flight),
-	}, nil
+		strays:  make(map[strayKey]relation.Predicate),
+	}
+	n.health.onRevive = n.peerRevived
+	return n, nil
 }
 
 // Self returns this replica's id.
@@ -162,7 +203,9 @@ func (n *Node) Self() string { return n.self }
 
 // Start runs the active health prober until ctx is cancelled. Passive
 // detection (failed forwards) works without it; the prober's job is
-// noticing recoveries, so deployments should run it.
+// noticing recoveries — and, with an epoch registry, gossiping source
+// epochs so a bump reaches replicas that see no traffic for the source —
+// so deployments should run it.
 func (n *Node) Start(ctx context.Context) {
 	go func() {
 		t := time.NewTicker(n.health.interval)
@@ -173,9 +216,54 @@ func (n *Node) Start(ctx context.Context) {
 				return
 			case <-t.C:
 				n.health.check(ctx, false)
+				n.Gossip(ctx)
 			}
 		}
 	}()
+}
+
+// Gossip pulls /cluster/ring from every alive peer and adopts any higher
+// source epoch it reports, wiping the affected local namespaces. This is
+// the row that makes an epoch bump reach a replica even when no request
+// for the source ever crosses between them; get/put exchanges converge
+// the busy paths faster. No-op without an epoch registry.
+func (n *Node) Gossip(ctx context.Context) {
+	if n.epochs == nil {
+		return
+	}
+	for id, url := range n.urls {
+		if id == n.self || !n.health.alive(id) {
+			continue
+		}
+		doc, err := n.fetchRing(ctx, url)
+		if err != nil {
+			continue // gossip is opportunistic; the health prober owns indictment
+		}
+		for src, seq := range doc.Epochs {
+			n.observe(src, seq)
+		}
+	}
+}
+
+// seqOf returns this replica's epoch seq for a source, 0 without a
+// registry (messages travel untagged and no gating applies).
+func (n *Node) seqOf(ns string) uint64 {
+	if n.epochs == nil {
+		return 0
+	}
+	return n.epochs.Seq(ns)
+}
+
+// observe adopts a remotely seen epoch into the local registry. The
+// registry fans the adoption out to its subscribers — the namespace wipe
+// and the dense-index wipe — before returning.
+func (n *Node) observe(ns string, seq uint64) {
+	if n.epochs == nil || seq == 0 {
+		return
+	}
+	if n.epochs.Observe(ns, seq) {
+		n.epochAdopts.Add(1)
+	}
 }
 
 // CheckNow probes every peer immediately, ignoring backoff windows, and
@@ -189,6 +277,9 @@ func (n *Node) Quiesce() { n.admits.Wait() }
 
 // Stats snapshots the node counters and peer states.
 func (n *Node) Stats() Stats {
+	n.strayMu.Lock()
+	strays := len(n.strays)
+	n.strayMu.Unlock()
 	st := Stats{
 		Self:          n.self,
 		OwnedLocal:    n.ownedLocal.Load(),
@@ -203,6 +294,10 @@ func (n *Node) Stats() Stats {
 		PeerGets:      n.peerGets.Load(),
 		PeerGetHits:   n.peerGetHits.Load(),
 		PeerPuts:      n.peerPuts.Load(),
+		PeerStalePuts: n.peerStalePuts.Load(),
+		EpochAdopts:   n.epochAdopts.Load(),
+		Strays:        strays,
+		Rehomed:       n.rehomed.Load(),
 	}
 	peers := n.health.snapshot()
 	for _, id := range n.ring.Members() {
@@ -221,6 +316,13 @@ func (n *Node) owner(ns, key string) (string, bool) {
 	return n.ring.Owner(ns+"\x00"+key, func(id string) bool {
 		return id == n.self || n.health.alive(id)
 	})
+}
+
+// OwnerOf reports the replica currently owning a predicate's cache key
+// for a source — an operator/debug helper, and the experiment harness's
+// way to construct deterministic cross-replica scenarios.
+func (n *Node) OwnerOf(source string, p relation.Predicate) (string, bool) {
+	return n.owner(source, qcache.KeyOf(p))
 }
 
 // Source registers a data source with the node and returns the
@@ -246,6 +348,77 @@ func (n *Node) source(name string) (*clusterSource, bool) {
 	defer n.mu.Unlock()
 	cs, ok := n.sources[name]
 	return cs, ok
+}
+
+// noteStray records a locally admitted foreign-owned answer for the next
+// re-homing pass.
+func (n *Node) noteStray(ns, key string, p relation.Predicate) {
+	n.strayMu.Lock()
+	n.strays[strayKey{ns: ns, key: key}] = p
+	n.strayMu.Unlock()
+}
+
+// dropStray forgets one tracked stray.
+func (n *Node) dropStray(k strayKey) {
+	n.strayMu.Lock()
+	delete(n.strays, k)
+	n.strayMu.Unlock()
+}
+
+// peerRevived is the health prober's recovery hook: it launches the
+// re-homing pass for the recovered peer in the background (Quiesce waits
+// for it, so tests observe it deterministically).
+func (n *Node) peerRevived(id string) {
+	n.admits.Add(1)
+	go func() {
+		defer n.admits.Done()
+		n.rehome(id)
+	}()
+}
+
+// rehome pushes every tracked stray the revived peer owns again back to
+// it and releases the local copy, restoring the exactly-once invariant
+// without waiting for LRU aging. The push is synchronous so the copy is
+// only discarded once the owner holds the answer; a failed push keeps
+// the stray for the peer's next recovery (and marks it dead again when
+// the failure indicts it).
+func (n *Node) rehome(id string) {
+	n.strayMu.Lock()
+	batch := make(map[strayKey]relation.Predicate, len(n.strays))
+	for k, p := range n.strays {
+		batch[k] = p
+	}
+	n.strayMu.Unlock()
+	for k, pred := range batch {
+		owner, ok := n.owner(k.ns, k.key)
+		if !ok || owner != id {
+			continue // still not (or no longer) this peer's key
+		}
+		cs, ok := n.source(k.ns)
+		if !ok {
+			n.dropStray(k)
+			continue
+		}
+		// The seq is read BEFORE the Peek (as in handleGet): a bump
+		// landing in between would otherwise tag a pre-change answer
+		// with the post-bump epoch and carry it past the owner's wipe.
+		seq := n.seqOf(k.ns)
+		res, resident := cs.cache.Peek(pred)
+		if !resident {
+			n.dropStray(k) // aged out on its own; nothing to move
+			continue
+		}
+		if err := n.put(context.Background(), owner, k.ns, cs.Schema(), pred, res, seq); err != nil {
+			if isPeerDown(err) {
+				n.health.markDead(owner)
+				return // the peer died again; keep the remaining strays
+			}
+			continue
+		}
+		cs.cache.Discard(pred)
+		n.rehomed.Add(1)
+		n.dropStray(k)
+	}
 }
 
 // clusterSource decorates one source's answer cache with ring routing.
@@ -276,6 +449,12 @@ func (s *clusterSource) AdmitCrawl(pred relation.Predicate, tuples []relation.Tu
 	s.cache.AdmitCrawl(pred, tuples)
 }
 
+// AdmitCrawlAt implements crawl.EpochAdmitter, delegating the fenced
+// admission to the local cache.
+func (s *clusterSource) AdmitCrawlAt(pred relation.Predicate, tuples []relation.Tuple, epochSeq uint64) {
+	s.cache.AdmitCrawlAt(pred, tuples, epochSeq)
+}
+
 // Search implements hidden.DB with the ring protocol:
 //
 //   - keys this replica owns are served through the local pool exactly as
@@ -293,7 +472,18 @@ func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidde
 	owner, ok := n.owner(s.name, key)
 	if !ok || owner == n.self {
 		n.ownedLocal.Add(1)
-		return s.cache.Search(ctx, p)
+		res, err := s.cache.Search(ctx, p)
+		// If this replica owns the key only as the ring successor of a
+		// dead peer, the admission is a stray: when the true owner
+		// returns, ownership snaps back and the re-homing pass moves the
+		// answer to it. The full-ring lookup runs only while some peer is
+		// actually dead.
+		if err == nil && owner == n.self && n.health.anyDead() {
+			if trueOwner, ok := n.ring.Owner(s.name+"\x00"+key, nil); ok && trueOwner != n.self {
+				n.noteStray(s.name, key, p)
+			}
+		}
+		return res, err
 	}
 	if res, ok := s.cache.Peek(p); ok {
 		n.localHits.Add(1)
@@ -340,7 +530,12 @@ func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidde
 func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relation.Predicate) (hidden.Result, error) {
 	n := s.node
 	n.forwards.Add(1)
-	res, found, err := n.remoteGet(ctx, owner, s.name, s.Schema(), p)
+	// The epoch this search runs under is captured before any network
+	// round trip: the eventual /cluster/put is tagged with it, so if the
+	// epoch bumps while the web query is in flight the owner rejects the
+	// (possibly pre-change) answer instead of installing it.
+	seq := n.seqOf(s.name)
+	res, found, err := n.remoteGet(ctx, owner, s.name, s.Schema(), p, seq)
 	if err != nil {
 		if isContextErr(err) && ctx.Err() != nil {
 			return hidden.Result{}, err
@@ -353,7 +548,13 @@ func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relat
 			n.health.markDead(owner)
 		}
 		n.fallbacks.Add(1)
-		return s.cache.Search(ctx, p)
+		res, err := s.cache.Search(ctx, p)
+		if err == nil {
+			// The answer was admitted locally although owner owns the
+			// key: track it for re-homing when the owner recovers.
+			n.noteStray(s.name, qcache.KeyOf(p), p)
+		}
+		return res, err
 	}
 	if found {
 		n.forwardHits.Add(1)
@@ -364,9 +565,14 @@ func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relat
 	if err != nil {
 		return hidden.Result{}, err
 	}
-	n.asyncAdmit(owner, s.name, s.Schema(), p, copyTuples(res))
+	n.asyncAdmit(owner, s.name, s.Schema(), p, copyTuples(res), seq)
 	return res, nil
 }
+
+// EpochSeq implements crawl.Epocher by delegating to the local cache, so
+// a crawl running through the cluster decorator is epoch-gated exactly
+// as one running against the bare cache.
+func (s *clusterSource) EpochSeq() uint64 { return s.cache.EpochSeq() }
 
 // copyTuples returns a result whose tuple slice the caller may mutate.
 func copyTuples(res hidden.Result) hidden.Result {

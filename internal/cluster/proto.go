@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/hidden"
+	"repro/internal/qcache"
 	"repro/internal/relation"
 	"repro/internal/wdbhttp"
 )
@@ -29,12 +31,29 @@ import (
 // never queries the web database: it answers from the owner's residency
 // (exact, containment or crawl entry) or reports found=false, leaving the
 // caller to pay the query and push the answer back via /cluster/put.
+//
+// With an epoch registry configured (Config.Epochs), every message
+// additionally carries (source, epoch seq): /cluster/get requests an
+// eseq parameter and responses an epoch field, /cluster/put bodies an
+// epoch field, and /cluster/ring an epochs map. The invalidation
+// ordering across the ring is: (1) the detecting replica bumps locally —
+// its wipes complete before the bump call returns; (2) any replica
+// seeing a higher seq on any message adopts it via Registry.Observe,
+// whose wipes likewise complete before the message is answered, so a
+// lookup that triggered an adoption reports found=false from the
+// already-wiped cache; (3) a put tagged with a seq below the receiver's
+// is rejected (409) and counted — the answer may predate the change, and
+// losing an admission costs one repeated web query, never correctness;
+// (4) the probe loop gossips epochs over /cluster/ring so replicas with
+// no shared traffic converge within one probe interval.
 
 // getDoc is the JSON response of GET /cluster/get.
 type getDoc struct {
 	Found    bool       `json:"found"`
 	Overflow bool       `json:"overflow"`
 	Tuples   []tupleDoc `json:"tuples,omitempty"`
+	// Epoch is the owner's source epoch seq (0 when epochs are off).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // putDoc is the JSON request of POST /cluster/put.
@@ -44,6 +63,10 @@ type putDoc struct {
 	Filter   string     `json:"filter"`
 	Overflow bool       `json:"overflow"`
 	Tuples   []tupleDoc `json:"tuples"`
+	// Epoch is the source epoch seq the answer was produced under,
+	// captured by the sender before it issued the web query. A receiver
+	// on a higher epoch rejects the admission as stale.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 type tupleDoc struct {
@@ -56,6 +79,9 @@ type ringDoc struct {
 	Self         string      `json:"self"`
 	VirtualNodes int         `json:"virtual_nodes"`
 	Peers        []PeerStats `json:"peers"`
+	// Epochs maps each registered source to this replica's epoch seq —
+	// the gossip payload peers pull to converge on bumps.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 }
 
 type errorDoc struct {
@@ -78,19 +104,34 @@ func (n *Node) Register(mux *http.ServeMux) {
 func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 	n.peerGets.Add(1)
 	q := r.URL.Query()
-	cs, ok := n.source(q.Get("ns"))
+	name := q.Get("ns")
+	cs, ok := n.source(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorDoc{Error: fmt.Sprintf("unknown namespace %q", q.Get("ns"))})
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: fmt.Sprintf("unknown namespace %q", name)})
 		return
 	}
 	q.Del("ns")
+	if eseq := q.Get("eseq"); eseq != "" {
+		q.Del("eseq")
+		if seq, err := strconv.ParseUint(eseq, 10, 64); err == nil {
+			// Adopting a newer epoch wipes the namespace before the Peek
+			// below, so the caller sees found=false from the post-change
+			// cache rather than a stale answer.
+			n.observe(name, seq)
+		}
+	}
 	pred, err := wdbhttp.ParseFilterForm(cs.Schema(), q)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
+	// The seq is read BEFORE the Peek: if a bump lands in between, the
+	// answer travels honestly tagged with the epoch it was valid under
+	// (and the caller's own gate handles it); reading after could tag
+	// pre-change tuples with the post-change epoch.
+	seq := n.seqOf(name)
 	res, found := cs.cache.Peek(pred)
-	doc := getDoc{Found: found, Overflow: res.Overflow}
+	doc := getDoc{Found: found, Overflow: res.Overflow, Epoch: seq}
 	if found {
 		n.peerGetHits.Add(1)
 		doc.Tuples = encodeTuples(res.Tuples)
@@ -129,18 +170,87 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		res.Tuples = append(res.Tuples, relation.Tuple{ID: td.ID, Values: td.Values})
 	}
+	// An untagged put (Epoch 0: the sender has no epoch registry, e.g. a
+	// pre-upgrade binary during a roll) bypasses the gate entirely,
+	// mirroring the send side where seqOf==0 sends no tag — rejecting it
+	// would starve owners of every answer such peers compute.
+	epochGated := false
+	if local := n.seqOf(doc.NS); local > 0 && doc.Epoch > 0 {
+		if doc.Epoch < local {
+			// The answer was produced under an older source epoch: it may
+			// describe the pre-change database, and the wipe that
+			// accompanied the bump must stay clean. 409 is deliberate —
+			// a 4xx does not indict the (healthy) sender or receiver.
+			n.peerStalePuts.Add(1)
+			writeJSON(w, http.StatusConflict, errorDoc{
+				Error: fmt.Sprintf("stale epoch %d for %q (now %d)", doc.Epoch, doc.NS, local)})
+			return
+		}
+		if doc.Epoch > local {
+			// The sender is ahead: adopt (wiping local pre-change state)
+			// before admitting its post-change answer.
+			n.observe(doc.NS, doc.Epoch)
+		}
+		epochGated = true
+	}
 	n.peerPuts.Add(1)
-	cs.cache.Admit(pred, res)
+	if epochGated {
+		// Fenced on the produced-under epoch: a bump landing between the
+		// staleness check above and the insert drops the admission inside
+		// the cache's own locks instead of racing the wipe.
+		cs.cache.AdmitAt(pred, res, doc.Epoch)
+	} else {
+		cs.cache.Admit(pred, res)
+	}
+	// This admission may have landed here only because this replica is
+	// the ring successor of a dead true owner; track it so the re-homing
+	// pass moves it when the owner recovers.
+	if n.health.anyDead() {
+		key := qcache.KeyOf(pred)
+		if trueOwner, ok := n.ring.Owner(doc.NS+"\x00"+key, nil); ok && trueOwner != n.self {
+			n.noteStray(doc.NS, key, pred)
+		}
+	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
 func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
 	st := n.Stats()
-	writeJSON(w, http.StatusOK, ringDoc{
+	doc := ringDoc{
 		Self:         n.self,
 		VirtualNodes: len(n.ring.points) / max(1, len(n.ring.ids)),
 		Peers:        st.Peers,
-	})
+	}
+	if n.epochs != nil {
+		doc.Epochs = make(map[string]uint64)
+		n.mu.Lock()
+		for name := range n.sources {
+			doc.Epochs[name] = n.epochs.Seq(name)
+		}
+		n.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// fetchRing pulls a peer's membership + epoch document.
+func (n *Node) fetchRing(ctx context.Context, url string) (ringDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/cluster/ring", nil)
+	if err != nil {
+		return ringDoc{}, err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return ringDoc{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ringDoc{}, fmt.Errorf("cluster: /cluster/ring returned %s", resp.Status)
+	}
+	var doc ringDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return ringDoc{}, err
+	}
+	return doc, nil
 }
 
 func encodeTuples(ts []relation.Tuple) []tupleDoc {
@@ -167,10 +277,18 @@ func isPeerDown(err error) bool {
 	return errors.As(err, &pd)
 }
 
-// remoteGet proxies a cache lookup to the owner replica.
-func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate) (hidden.Result, bool, error) {
+// remoteGet proxies a cache lookup to the owner replica, exchanging
+// source epochs both ways: the request carries this replica's seq (so an
+// owner that fell behind adopts it and reports a clean miss), and the
+// response's seq is adopted here when the owner is ahead — the wipe runs
+// before the fresh answer is returned, so the caller serves post-change
+// data from a post-change cache.
+func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (hidden.Result, bool, error) {
 	form := wdbhttp.EncodeFilterForm(schema, p)
 	form.Set("ns", ns)
+	if seq > 0 {
+		form.Set("eseq", strconv.FormatUint(seq, 10))
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		n.urls[owner]+"/cluster/get?"+form.Encode(), nil)
 	if err != nil {
@@ -194,7 +312,15 @@ func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: decode get from %s: %w", owner, err)}
 	}
+	n.observe(ns, doc.Epoch)
 	if !doc.Found {
+		return hidden.Result{}, false, nil
+	}
+	if doc.Epoch > 0 && n.seqOf(ns) > doc.Epoch {
+		// The owner answered under an older epoch than this replica now
+		// serves under (a bump landed since the request went out, or the
+		// owner has not caught up): its residency may predate the change.
+		// Treat it as a miss; the owner converges via our eseq or gossip.
 		return hidden.Result{}, false, nil
 	}
 	res := hidden.Result{Overflow: doc.Overflow, Tuples: make([]relation.Tuple, 0, len(doc.Tuples))}
@@ -208,40 +334,54 @@ func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation
 	return res, true, nil
 }
 
+// put pushes one answer to a peer's cache synchronously, tagged with the
+// epoch seq it was produced under. Transport failures return a
+// peerDownError; a non-200 (including a 409 stale-epoch rejection)
+// returns a plain error.
+func (n *Node) put(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) error {
+	body, err := json.Marshal(putDoc{
+		NS:       ns,
+		Filter:   wdbhttp.EncodeFilterForm(schema, p).Encode(),
+		Overflow: res.Overflow,
+		Tuples:   encodeTuples(res.Tuples),
+		Epoch:    seq,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		n.urls[owner]+"/cluster/put", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return &peerDownError{err: fmt.Errorf("cluster: put to %s: %w", owner, err)}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s /cluster/put returned %s", owner, resp.Status)
+	}
+	return nil
+}
+
 // asyncAdmit pushes a locally computed answer to its owner in the
-// background. The push is best-effort: a lost admission costs at most one
-// repeated web-database query later, never correctness. Quiesce waits for
+// background, tagged with the epoch seq captured before the web query
+// was issued. The push is best-effort: a lost admission — including one
+// the owner rejects as stale-epoch — costs at most one repeated
+// web-database query later, never correctness. Quiesce waits for
 // outstanding pushes.
-func (n *Node) asyncAdmit(owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result) {
+func (n *Node) asyncAdmit(owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) {
 	n.admits.Add(1)
 	go func() {
 		defer n.admits.Done()
 		n.admitsSent.Add(1)
-		body, err := json.Marshal(putDoc{
-			NS:       ns,
-			Filter:   wdbhttp.EncodeFilterForm(schema, p).Encode(),
-			Overflow: res.Overflow,
-			Tuples:   encodeTuples(res.Tuples),
-		})
-		if err != nil {
+		if err := n.put(context.Background(), owner, ns, schema, p, res, seq); err != nil {
 			n.admitErrors.Add(1)
-			return
-		}
-		req, err := http.NewRequest(http.MethodPost, n.urls[owner]+"/cluster/put", strings.NewReader(string(body)))
-		if err != nil {
-			n.admitErrors.Add(1)
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := n.hc.Do(req)
-		if err != nil {
-			n.admitErrors.Add(1)
-			n.health.markDead(owner)
-			return
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			n.admitErrors.Add(1)
+			if isPeerDown(err) {
+				n.health.markDead(owner)
+			}
 		}
 	}()
 }

@@ -75,6 +75,24 @@ type Admitter interface {
 	AdmitCrawl(p relation.Predicate, tuples []relation.Tuple)
 }
 
+// Epocher is implemented by admitters whose entries are scoped to a
+// source epoch (qcache.Cache, and the cluster decorator over it). All
+// captures the epoch before its first query; an admitter that also
+// implements EpochAdmitter receives that epoch with the admission, so
+// the cache can reject — atomically with its own wipe — a crawl that
+// straddled a source change: such a set mixes pre- and post-change
+// answers and must not enter the cache as "the complete match set". The
+// dense index the engine feeds separately is wiped by the same epoch
+// bump, so neither layer retains the torn crawl.
+type Epocher interface {
+	EpochSeq() uint64
+}
+
+// EpochAdmitter is the epoch-fenced variant of Admitter.
+type EpochAdmitter interface {
+	AdmitCrawlAt(p relation.Predicate, tuples []relation.Tuple, epochSeq uint64)
+}
+
 // All returns every tuple matching base, keyed by tuple ID.
 //
 // When Stats.Complete is true the map is exactly the match set, and it is
@@ -89,6 +107,10 @@ func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, op
 	schema := ex.DB().Schema()
 	out := make(map[int64]relation.Tuple)
 	stats := Stats{Complete: true}
+	var crawlEpoch uint64
+	if ep, ok := ex.DB().(Epocher); ok {
+		crawlEpoch = ep.EpochSeq()
+	}
 
 	stack := []relation.Predicate{base}
 	for len(stack) > 0 {
@@ -136,7 +158,14 @@ func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, op
 			for _, t := range out {
 				all = append(all, t)
 			}
-			adm.AdmitCrawl(base, all)
+			if ea, ok := ex.DB().(EpochAdmitter); ok {
+				// Fenced admission: the cache compares crawlEpoch against
+				// its current epoch under its own locks, so a bump landing
+				// at any point since the crawl's first query drops the set.
+				ea.AdmitCrawlAt(base, all, crawlEpoch)
+			} else {
+				adm.AdmitCrawl(base, all)
+			}
 		}
 	}
 	return out, stats, nil

@@ -65,6 +65,8 @@ type Stats struct {
 	// to respect the byte budget.
 	ResidentLoads     int64
 	ResidentEvictions int64
+	// Wipes counts whole-index invalidations (source epoch bumps).
+	Wipes int64
 }
 
 // Index is a shared, persistent directory of crawled dense regions.
@@ -81,9 +83,17 @@ type Index struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	wipes  atomic.Int64
+
+	epochSeq atomic.Uint64 // persisted under epochKey; see SetEpoch
 
 	res *residency
 }
+
+// epochKey stores the source epoch seq the index's entries were crawled
+// under (8 bytes LE). Absent in stores written before epochs existed,
+// which reads as seq 1.
+var epochKey = []byte("m/epoch")
 
 // Option configures an Index at Open time.
 type Option func(*Index)
@@ -123,6 +133,10 @@ func Open(schema *relation.Schema, store kvstore.Store, opts ...Option) (*Index,
 	}
 	for _, o := range opts {
 		o(ix)
+	}
+	ix.epochSeq.Store(1)
+	if v, ok, err := store.Get(epochKey); err == nil && ok && len(v) >= 8 {
+		ix.epochSeq.Store(binary.LittleEndian.Uint64(v))
 	}
 	var corrupt [][]byte
 	err := store.Range(func(key, value []byte) bool {
@@ -454,6 +468,73 @@ func filterTuples(ts []relation.Tuple, rect region.Rect, pred relation.Predicate
 	return out
 }
 
+// EpochSeq reports the source epoch the index's persisted entries were
+// crawled under — 1 for stores that predate epochs. The service compares
+// it at boot against the source's recovered epoch and re-wipes an index
+// that fell behind (a wipe whose store cleanup failed, or a change
+// detected while this process was down).
+func (ix *Index) EpochSeq() uint64 { return ix.epochSeq.Load() }
+
+// SetEpoch durably records the source epoch the (freshly wiped) index
+// now tracks. Callers record it only after a fully successful Wipe, so a
+// failed store cleanup leaves the persisted epoch behind and the next
+// boot re-wipes.
+func (ix *Index) SetEpoch(seq uint64) error {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], seq)
+	if err := ix.store.Put(epochKey, v[:]); err != nil {
+		return fmt.Errorf("dense: record epoch: %w", err)
+	}
+	if err := ix.store.Sync(); err != nil {
+		return fmt.Errorf("dense: record epoch: %w", err)
+	}
+	ix.epochSeq.Store(seq)
+	return nil
+}
+
+// Wipe drops every entry — the directory, the resident warm set and the
+// persisted records. The source-epoch lifecycle (internal/epoch) calls
+// it when the web database behind the index visibly changed: entries are
+// authoritative complete crawls of a source version that no longer
+// exists, so the whole index is invalid, not just the warm set. Entry
+// IDs keep growing across a wipe so a stale ID held by a concurrent
+// reader can never alias a post-wipe region; such a reader gets a
+// residency miss and a "no tuple data" error, which the engine treats
+// as an ordinary re-crawl.
+func (ix *Index) Wipe() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// Memory first, unconditionally: the in-memory directory and warm
+	// set are what serve lookups, and they must stop serving pre-change
+	// regions even if the store cleanup below fails. On a store failure
+	// the caller must not SetEpoch, so the persisted epoch stays behind
+	// and the next boot detects the leftover records and re-wipes.
+	ix.entries = make(map[uint64]Entry)
+	ix.dir = newDirectory()
+	ix.tuples = 0
+	ix.res.purge()
+	ix.wipes.Add(1)
+	var keys [][]byte
+	err := ix.store.Range(func(key, _ []byte) bool {
+		if len(key) >= 2 && (key[0] == 'e' || key[0] == 't') && key[1] == '/' {
+			keys = append(keys, append([]byte(nil), key...))
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("dense: wipe: %w", err)
+	}
+	for _, k := range keys {
+		if err := ix.store.Delete(k); err != nil {
+			return fmt.Errorf("dense: wipe: %w", err)
+		}
+	}
+	if err := ix.store.Sync(); err != nil {
+		return fmt.Errorf("dense: wipe sync: %w", err)
+	}
+	return nil
+}
+
 // Len returns the number of entries.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
@@ -468,6 +549,7 @@ func (ix *Index) Stats() Stats {
 	ix.mu.RUnlock()
 	s.Hits = ix.hits.Load()
 	s.Misses = ix.misses.Load()
+	s.Wipes = ix.wipes.Load()
 	ix.res.stats(&s)
 	return s
 }

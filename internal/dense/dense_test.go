@@ -638,3 +638,82 @@ func TestScanInEarlyStop(t *testing.T) {
 		t.Fatalf("early stop yielded %d tuples, want 7", n)
 	}
 }
+
+func TestWipeInvalidatesEverything(t *testing.T) {
+	store := kvstore.NewMemory()
+	ix, err := Open(schema(t), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	e, err := ix.Insert(rect, mkTuples(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect2 := region.MustNew([]int{1}, []relation.Interval{relation.Closed(200, 300)})
+	if _, err := ix.Insert(rect2, mkTuples(20, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 || store.Len() != 4 {
+		t.Fatalf("pre-wipe: %d entries, %d store records", ix.Len(), store.Len())
+	}
+
+	if err := ix.Wipe(); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Entries != 0 || st.TuplesStored != 0 || st.ResidentEntries != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("wipe left residue: %+v", st)
+	}
+	if st.Wipes != 1 {
+		t.Fatalf("wipes = %d, want 1", st.Wipes)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store holds %d records after wipe", store.Len())
+	}
+	inner := region.MustNew([]int{0}, []relation.Interval{relation.Closed(10, 20)})
+	if _, ok := ix.Find(inner); ok {
+		t.Fatal("Find matched a wiped entry")
+	}
+	// A stale entry ID held across the wipe cannot read ghost data.
+	if _, err := ix.TopIn(e.ID, rect, relation.Predicate{}, nil, nil, 0); err == nil {
+		t.Fatal("TopIn on a wiped entry id succeeded")
+	}
+
+	// The index keeps working: a fresh post-wipe crawl is served, and
+	// reopening from the wiped store yields an empty index.
+	e2, err := ix.Insert(rect, mkTuples(30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ID <= e.ID {
+		t.Fatalf("entry id %d not advanced past pre-wipe id %d", e2.ID, e.ID)
+	}
+	got, err := ix.TopIn(e2.ID, rect, relation.Predicate{}, nil, nil, 0)
+	if err != nil || len(got) != 30 {
+		t.Fatalf("post-wipe TopIn = %d tuples, err %v", len(got), err)
+	}
+	ix2, err := Open(schema(t), cloneStore(t, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 1 {
+		t.Fatalf("reopened index has %d entries, want the 1 post-wipe entry", ix2.Len())
+	}
+}
+
+// cloneStore copies a memory store so a "restart" cannot share state.
+func cloneStore(t *testing.T, s kvstore.Store) kvstore.Store {
+	t.Helper()
+	out := kvstore.NewMemory()
+	err := s.Range(func(k, v []byte) bool {
+		if err := out.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -171,6 +171,20 @@ func (rs *residency) removeLocked(el *list.Element) {
 	rs.acct.Add(-r.size)
 }
 
+// purge drops every resident entry and its byte accounting. Resident
+// wrappers already handed to readers stay usable (their tuple slices are
+// immutable); they are simply no longer tracked.
+func (rs *residency) purge() {
+	if rs.acct == nil {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for el := rs.lru.Back(); el != nil; el = rs.lru.Back() {
+		rs.removeLocked(el)
+	}
+}
+
 // stats snapshots residency counters into s.
 func (rs *residency) stats(s *Stats) {
 	rs.mu.Lock()

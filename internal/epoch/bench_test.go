@@ -1,0 +1,75 @@
+package epoch
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+// BenchmarkDigest prices hashing one full top-k answer (50 tuples x 2
+// attributes) — the per-sentinel CPU cost of a probe round on top of the
+// web query itself.
+func BenchmarkDigest(b *testing.B) {
+	res := hidden.Result{Overflow: true}
+	for i := 0; i < 50; i++ {
+		res.Tuples = append(res.Tuples, relation.Tuple{ID: int64(i), Values: []float64{float64(i), float64(i * 2)}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Digest(res)
+	}
+}
+
+// BenchmarkProbeRound prices one full probe round (8 sentinel queries +
+// digests) against an in-process 4k-tuple source, unchanged answers.
+func BenchmarkProbeRound(b *testing.B) {
+	db, err := hidden.NewLocal("src", benchRel(4000), 50, func(t relation.Tuple) float64 { return t.Values[0] })
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+	p := NewProber(r, "src", db, ProberConfig{})
+	ctx := context.Background()
+	if _, err := p.Probe(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Probe(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBumpFanout prices one epoch bump fanned out to 8 subscribers
+// — the pure coordination latency a detection adds before any wipe work.
+func BenchmarkBumpFanout(b *testing.B) {
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+	var sink atomic.Int64
+	for i := 0; i < 8; i++ {
+		r.Subscribe("src", func(e Epoch) { sink.Store(int64(e.Seq)) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Bump("src")
+	}
+}
+
+func benchRel(n int) *relation.Relation {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "a0", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+		relation.Attribute{Name: "a1", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+	)
+	rel := relation.NewRelation("bench", schema)
+	for i := 0; i < n; i++ {
+		rel.MustAppend(relation.Tuple{ID: int64(i + 1), Values: []float64{float64(i % 997), float64(i % 131)}})
+	}
+	return rel
+}

@@ -1,0 +1,230 @@
+// Package epoch makes "which version of the source is this answer from?"
+// a first-class runtime concept.
+//
+// QR2 is a third party with no insider access to the web databases it
+// rides on: the correctness of every reused answer — an answer-cache
+// entry, a crawl-admitted region set, a dense-index region — depends on
+// the hidden database not having changed since the answer was produced.
+// The original defense was a boot-time fingerprint (name, system-k,
+// schema) that wiped a stale persistent cache at startup; a process that
+// stayed up never noticed a change, and in cluster mode each replica
+// fingerprinted independently, so an observed change never propagated.
+//
+// This package replaces the static fingerprint with a versioned source
+// epoch:
+//
+//   - Epoch is one observed version of a source: the boot fingerprint
+//     (the configuration identity — catalog name, system-k, schema) plus
+//     a monotonic sequence number that increments every time the live
+//     source is seen to have changed.
+//   - Registry tracks the current epoch per source and fans a bump out to
+//     subscribers synchronously — the answer-cache namespace wipe, the
+//     dense-index wipe, whatever else holds source-derived state. When
+//     Bump or Observe returns, every subscriber has completed, so a
+//     caller can rely on "no pre-change state is served after the bump".
+//   - Prober is the change detector: it records sentinel queries (a
+//     deterministic set of top-k probes with a digest of tuple IDs,
+//     values and the overflow flag) and periodically replays them against
+//     the live source, bumping the epoch on any digest mismatch.
+//
+// What a sentinel digest covers, and what it can miss: the digest hashes
+// the exact wire-observable answer of one top-k query — tuple IDs, every
+// attribute value, result order and the overflow flag — so any change
+// that alters any sentinel's visible answer (insert or delete touching a
+// top-k, value update, system ranking reshuffle, system-k change) is
+// detected on the next probe. A change that leaves every sentinel answer
+// byte-identical (an update strictly below all sentinel top-ks) is a
+// false negative: sentinel count trades probe cost against coverage, and
+// a TTL on cache entries remains the backstop for tail changes. False
+// positives require a source whose answers are nondeterministic for a
+// fixed query; such a source cannot be cached coherently at all and
+// should run with the cache disabled.
+//
+// The cluster layer (internal/cluster) extends the lifecycle across
+// replicas: epoch sequence numbers travel on every peer-protocol message
+// and on ring gossip, a replica seeing a higher epoch adopts it through
+// Registry.Observe (triggering the same wipes), and an admission tagged
+// with a lower epoch is rejected instead of installed.
+package epoch
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch identifies one observed version of a source.
+type Epoch struct {
+	// Fingerprint is the boot identity of the source: a hash of its
+	// configuration surface (name, system-k, schema). It changes only
+	// across restarts; a live content change bumps Seq instead.
+	Fingerprint []byte `json:"-"`
+	// Seq is the monotonic version counter. It starts at 1 for a freshly
+	// observed source and increments on every detected change; a replica
+	// adopting a remote epoch jumps straight to the remote Seq.
+	Seq uint64 `json:"seq"`
+	// BumpedAt is when this epoch began (boot time for Seq 1, detection
+	// time for later ones).
+	BumpedAt time.Time `json:"bumped_at"`
+}
+
+// Registry tracks the current epoch of every source in a process and
+// fans bumps out to subscribers.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]*state
+	now     func() time.Time
+}
+
+// state is one source's entry in the registry.
+type state struct {
+	cur   Epoch
+	subs  []func(Epoch)
+	bumps int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]*state), now: time.Now}
+}
+
+// SetClock overrides time for tests.
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// ensureLocked returns the state for source, creating it at Seq 0 (not
+// yet observed) if absent. Caller holds r.mu.
+func (r *Registry) ensureLocked(source string) *state {
+	st, ok := r.sources[source]
+	if !ok {
+		st = &state{}
+		r.sources[source] = st
+	}
+	return st
+}
+
+// Register installs a source's boot epoch — its fingerprint and the
+// sequence number recovered from persistent state (1 for a fresh source)
+// — and returns the effective current epoch. When the registry already
+// holds a higher sequence for the source (a cluster peer's bump adopted
+// before this consumer registered), the higher epoch wins and is
+// returned; the caller must treat its recovered state as stale.
+func (r *Registry) Register(source string, fingerprint []byte, seq uint64) Epoch {
+	if seq == 0 {
+		seq = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.ensureLocked(source)
+	if len(st.cur.Fingerprint) == 0 {
+		st.cur.Fingerprint = append([]byte(nil), fingerprint...)
+	}
+	if seq > st.cur.Seq {
+		st.cur.Seq = seq
+		if st.cur.BumpedAt.IsZero() {
+			st.cur.BumpedAt = r.now()
+		}
+	}
+	return st.cur
+}
+
+// Subscribe adds a callback fired synchronously on every bump of source,
+// including remote adoptions through Observe. Callbacks run outside the
+// registry lock, in subscription order; a subscriber must tolerate
+// out-of-order epochs under concurrent bumps (compare Seq, ignore lower).
+func (r *Registry) Subscribe(source string, fn func(Epoch)) {
+	r.mu.Lock()
+	st := r.ensureLocked(source)
+	st.subs = append(st.subs, fn)
+	r.mu.Unlock()
+}
+
+// Get returns the current epoch of source. ok is false for a source the
+// registry has never seen.
+func (r *Registry) Get(source string) (Epoch, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.sources[source]
+	if !ok {
+		return Epoch{}, false
+	}
+	return st.cur, true
+}
+
+// Seq returns the current sequence number of source, 0 when unknown.
+func (r *Registry) Seq(source string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.sources[source]
+	if !ok {
+		return 0
+	}
+	return st.cur.Seq
+}
+
+// Bump advances source to the next epoch — a change was observed locally
+// — and fires every subscriber before returning, so pre-change state is
+// gone when Bump completes. Returns the new epoch.
+func (r *Registry) Bump(source string) Epoch {
+	r.mu.Lock()
+	st := r.ensureLocked(source)
+	st.cur.Seq++
+	st.cur.BumpedAt = r.now()
+	st.bumps++
+	cur := st.cur
+	subs := append([]func(Epoch){}, st.subs...)
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(cur)
+	}
+	return cur
+}
+
+// Observe adopts a remotely observed epoch: when seq exceeds the current
+// sequence of source, the source jumps to seq and every subscriber fires
+// (the same wipes a local bump triggers) before Observe returns true.
+// A lower or equal seq is a no-op returning false — epochs only move
+// forward.
+func (r *Registry) Observe(source string, seq uint64) bool {
+	r.mu.Lock()
+	st := r.ensureLocked(source)
+	if seq <= st.cur.Seq {
+		r.mu.Unlock()
+		return false
+	}
+	st.cur.Seq = seq
+	st.cur.BumpedAt = r.now()
+	st.bumps++
+	cur := st.cur
+	subs := append([]func(Epoch){}, st.subs...)
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(cur)
+	}
+	return true
+}
+
+// Bumps returns how many times source's epoch has advanced past its boot
+// value in this process (local bumps plus remote adoptions).
+func (r *Registry) Bumps(source string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.sources[source]
+	if !ok {
+		return 0
+	}
+	return st.bumps
+}
+
+// Snapshot returns the current epoch of every known source.
+func (r *Registry) Snapshot() map[string]Epoch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Epoch, len(r.sources))
+	for name, st := range r.sources {
+		out[name] = st.cur
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package epoch
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+func testRel(t testing.TB, n int, shift float64) *relation.Relation {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "price", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+		relation.Attribute{Name: "cat", Kind: relation.Categorical, Categories: []string{"x", "y", "z"}},
+	)
+	rel := relation.NewRelation("test", schema)
+	for i := 0; i < n; i++ {
+		rel.MustAppend(relation.Tuple{ID: int64(i + 1), Values: []float64{float64(i) + shift, float64(i % 3)}})
+	}
+	return rel
+}
+
+func testSource(t testing.TB, n int, shift float64) *hidden.Local {
+	t.Helper()
+	db, err := hidden.NewLocal("src", testRel(t, n, shift), 10, func(tu relation.Tuple) float64 { return tu.Values[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if r.Seq("s") != 0 {
+		t.Fatal("unknown source should have seq 0")
+	}
+	e := r.Register("s", []byte{1, 2}, 0)
+	if e.Seq != 1 {
+		t.Fatalf("boot epoch seq = %d, want 1", e.Seq)
+	}
+	var fired []uint64
+	r.Subscribe("s", func(e Epoch) { fired = append(fired, e.Seq) })
+
+	e = r.Bump("s")
+	if e.Seq != 2 || r.Seq("s") != 2 {
+		t.Fatalf("bump: seq = %d / %d, want 2", e.Seq, r.Seq("s"))
+	}
+	// Observe only moves forward.
+	if r.Observe("s", 2) {
+		t.Fatal("equal seq adopted")
+	}
+	if r.Observe("s", 1) {
+		t.Fatal("lower seq adopted")
+	}
+	if !r.Observe("s", 7) {
+		t.Fatal("higher seq not adopted")
+	}
+	if got := r.Seq("s"); got != 7 {
+		t.Fatalf("after observe seq = %d, want 7", got)
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 7 {
+		t.Fatalf("subscriber fired with %v, want [2 7]", fired)
+	}
+	if b := r.Bumps("s"); b != 2 {
+		t.Fatalf("bumps = %d, want 2", b)
+	}
+	// A late registration under an already-advanced epoch is told so.
+	if e := r.Register("s", []byte{1, 2}, 1); e.Seq != 7 {
+		t.Fatalf("late register returned seq %d, want 7", e.Seq)
+	}
+}
+
+func TestRegistryBumpIsSynchronous(t *testing.T) {
+	r := NewRegistry()
+	r.Register("s", nil, 1)
+	done := false
+	r.Subscribe("s", func(Epoch) { time.Sleep(10 * time.Millisecond); done = true })
+	r.Bump("s")
+	if !done {
+		t.Fatal("Bump returned before its subscriber completed")
+	}
+}
+
+func TestProberDetectsChange(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+
+	// A source whose content can be swapped out from under the prober.
+	var mu sync.Mutex
+	cur := testSource(t, 500, 0)
+	db := &swapDB{get: func() *hidden.Local { mu.Lock(); defer mu.Unlock(); return cur }}
+
+	p := NewProber(r, "src", db, ProberConfig{Sentinels: 5})
+	// Round 1 arms the baselines; round 2 matches.
+	for i := 0; i < 2; i++ {
+		bumped, err := p.Probe(ctx)
+		if err != nil || bumped {
+			t.Fatalf("probe %d over unchanged source: bumped=%v err=%v", i, bumped, err)
+		}
+	}
+	// Mutate the source: every value shifts, every sentinel answer moves.
+	mu.Lock()
+	cur = testSource(t, 500, 3)
+	mu.Unlock()
+	bumped, err := p.Probe(ctx)
+	if err != nil || !bumped {
+		t.Fatalf("probe over mutated source: bumped=%v err=%v", bumped, err)
+	}
+	if r.Seq("src") != 2 {
+		t.Fatalf("epoch seq = %d after detection, want 2", r.Seq("src"))
+	}
+	// The bump re-armed: the next probe over the (stable) new version
+	// must not re-bump.
+	bumped, err = p.Probe(ctx)
+	if err != nil || bumped {
+		t.Fatalf("probe after re-arm: bumped=%v err=%v", bumped, err)
+	}
+	st := p.Stats()
+	if st.Probes != 4 || st.Mismatches != 1 || st.Errors != 0 || st.Sentinels != 5 {
+		t.Fatalf("prober stats = %+v", st)
+	}
+}
+
+func TestProberReArmsAfterRemoteAdoption(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+	db := testSource(t, 200, 0)
+	p := NewProber(r, "src", db, ProberConfig{Sentinels: 3})
+	if _, err := p.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A cluster peer's epoch arrives; the source content here happens to
+	// be unchanged, and the prober must not bump again on stale digests.
+	r.Observe("src", 5)
+	bumped, err := p.Probe(ctx)
+	if err != nil || bumped {
+		t.Fatalf("probe after remote adoption: bumped=%v err=%v", bumped, err)
+	}
+	if r.Seq("src") != 5 {
+		t.Fatalf("seq = %d, want 5", r.Seq("src"))
+	}
+}
+
+func TestProberErrorDoesNotBump(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+	inner := testSource(t, 100, 0)
+	flaky := &hidden.Flaky{Inner: inner, FailEvery: 2}
+	p := NewProber(r, "src", flaky, ProberConfig{Sentinels: 4})
+	if _, err := p.Probe(ctx); err == nil {
+		t.Fatal("expected a sentinel query error")
+	}
+	if r.Seq("src") != 1 {
+		t.Fatalf("an unreachable source bumped the epoch to %d", r.Seq("src"))
+	}
+	if st := p.Stats(); st.Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 error", st)
+	}
+}
+
+func TestDigestCoversOrderValuesOverflow(t *testing.T) {
+	a := hidden.Result{Tuples: []relation.Tuple{{ID: 1, Values: []float64{1, 2}}, {ID: 2, Values: []float64{3, 4}}}}
+	b := hidden.Result{Tuples: []relation.Tuple{{ID: 2, Values: []float64{3, 4}}, {ID: 1, Values: []float64{1, 2}}}}
+	if Digest(a) == Digest(b) {
+		t.Fatal("digest ignored result order")
+	}
+	c := hidden.Result{Tuples: []relation.Tuple{{ID: 1, Values: []float64{1, 2.5}}, {ID: 2, Values: []float64{3, 4}}}}
+	if Digest(a) == Digest(c) {
+		t.Fatal("digest ignored a value change")
+	}
+	d := a
+	d.Overflow = true
+	if Digest(a) == Digest(d) {
+		t.Fatal("digest ignored the overflow flag")
+	}
+	if Digest(a) != Digest(hidden.Result{Tuples: append([]relation.Tuple(nil), a.Tuples...)}) {
+		t.Fatal("equal answers digest differently")
+	}
+}
+
+// swapDB delegates to whatever Local get currently returns.
+type swapDB struct {
+	get func() *hidden.Local
+}
+
+func (s *swapDB) Name() string             { return s.get().Name() }
+func (s *swapDB) Schema() *relation.Schema { return s.get().Schema() }
+func (s *swapDB) SystemK() int             { return s.get().SystemK() }
+func (s *swapDB) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	return s.get().Search(ctx, p)
+}
+
+// TestProberMidRoundChangeBumpsOnce: a change landing between two
+// sentinel queries of one round must produce exactly one bump — the
+// sentinels probed before the change are dis-armed, not compared against
+// their now-ambiguous baselines next round.
+func TestProberMidRoundChangeBumpsOnce(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+
+	var (
+		mu        sync.Mutex
+		cur       = testSource(t, 400, 0)
+		swapAfter = -1 // swap the source after this many more queries
+	)
+	db := &countingSwapDB{
+		get: func() *hidden.Local { mu.Lock(); defer mu.Unlock(); return cur },
+		onQuery: func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if swapAfter == 0 {
+				cur = testSource(t, 400, 9)
+			}
+			swapAfter--
+		},
+	}
+	p := NewProber(r, "src", db, ProberConfig{Sentinels: 5})
+	if _, err := p.Probe(ctx); err != nil {
+		t.Fatal(err) // round 1 arms
+	}
+	mu.Lock()
+	swapAfter = 1 // the change lands after round 2's first sentinel
+	mu.Unlock()
+	bumped, err := p.Probe(ctx)
+	if err != nil || !bumped {
+		t.Fatalf("round 2: bumped=%v err=%v", bumped, err)
+	}
+	for round := 3; round <= 5; round++ {
+		bumped, err = p.Probe(ctx)
+		if err != nil || bumped {
+			t.Fatalf("round %d re-bumped for the same change (bumped=%v err=%v)", round, bumped, err)
+		}
+	}
+	if got := r.Seq("src"); got != 2 {
+		t.Fatalf("seq = %d after one mid-round change, want 2", got)
+	}
+	if st := p.Stats(); st.Mismatches != 1 {
+		t.Fatalf("mismatches = %d, want 1", st.Mismatches)
+	}
+}
+
+// countingSwapDB invokes onQuery before delegating each search.
+type countingSwapDB struct {
+	get     func() *hidden.Local
+	onQuery func()
+}
+
+func (s *countingSwapDB) Name() string             { return s.get().Name() }
+func (s *countingSwapDB) Schema() *relation.Schema { return s.get().Schema() }
+func (s *countingSwapDB) SystemK() int             { return s.get().SystemK() }
+func (s *countingSwapDB) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	s.onQuery()
+	return s.get().Search(ctx, p)
+}

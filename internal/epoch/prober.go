@@ -1,0 +1,244 @@
+package epoch
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/relation"
+)
+
+// DefaultSentinels is the number of sentinel queries a prober records
+// when ProberConfig.Sentinels is zero.
+const DefaultSentinels = 8
+
+// ProberConfig sizes a change-detection prober.
+type ProberConfig struct {
+	// Sentinels is how many sentinel queries to record (default
+	// DefaultSentinels, minimum 1). More sentinels widen the slice of the
+	// source a probe observes — fewer false negatives — at one top-k
+	// query each per probe.
+	Sentinels int
+	// Seed drives the deterministic sentinel placement (default 1). Two
+	// probers with the same schema and seed replay identical queries.
+	Seed int64
+}
+
+// ProbeStats snapshots a prober's counters.
+type ProbeStats struct {
+	// Probes counts completed probe rounds; Mismatches counts rounds
+	// that detected a change and bumped the epoch; Errors counts rounds
+	// aborted by a failed sentinel query (no bump — an unreachable
+	// source is not a changed source).
+	Probes     int64 `json:"probes"`
+	Mismatches int64 `json:"mismatches"`
+	Errors     int64 `json:"errors"`
+	// Sentinels is the configured sentinel count.
+	Sentinels int `json:"sentinels"`
+}
+
+// sentinel is one recorded query: its predicate and the digest of the
+// last answer observed for it.
+type sentinel struct {
+	pred   relation.Predicate
+	digest [sha256.Size]byte
+	armed  bool // false until a baseline digest has been recorded
+}
+
+// Prober replays sentinel queries against a live source and bumps its
+// epoch in the registry when any answer's digest changes. One prober per
+// source per process; Probe is serialized internally.
+type Prober struct {
+	reg    *Registry
+	source string
+	db     hidden.DB
+
+	mu      sync.Mutex // serializes Probe; guards sents and lastSeq
+	sents   []sentinel
+	nsents  int    // immutable after construction; Stats reads it lock-free
+	lastSeq uint64 // the epoch the armed digests were recorded under
+
+	probes     atomic.Int64
+	mismatches atomic.Int64
+	errors     atomic.Int64
+}
+
+// NewProber builds a prober for source over db (the raw web database —
+// probing through a cache would observe the cache, not the source).
+// Sentinel predicates are derived deterministically from the schema and
+// cfg.Seed: the full-domain top-k plus windows over each attribute, so a
+// probe samples both the global ranking head and per-attribute slices.
+func NewProber(reg *Registry, source string, db hidden.DB, cfg ProberConfig) *Prober {
+	n := cfg.Sentinels
+	if n <= 0 {
+		n = DefaultSentinels
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sents := makeSentinels(db.Schema(), n, seed)
+	return &Prober{
+		reg:    reg,
+		source: source,
+		db:     db,
+		sents:  sents,
+		nsents: len(sents),
+	}
+}
+
+// makeSentinels places n deterministic sentinel predicates: the empty
+// predicate (the source's unfiltered top-k — the most change-sensitive
+// single query there is), then per-attribute windows at pseudo-random
+// positions inside each attribute's domain.
+func makeSentinels(schema *relation.Schema, n int, seed int64) []sentinel {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sentinel, 0, n)
+	out = append(out, sentinel{pred: relation.Predicate{}})
+	for i := 1; i < n; i++ {
+		a := schema.Attr((i - 1) % schema.Len())
+		attr := (i - 1) % schema.Len()
+		if a.Kind == relation.Categorical {
+			if len(a.Categories) == 0 {
+				out = append(out, sentinel{pred: relation.Predicate{}})
+				continue
+			}
+			c := rng.Intn(len(a.Categories))
+			out = append(out, sentinel{pred: relation.Predicate{}.WithCategories(attr, []int{c})})
+			continue
+		}
+		span := a.Max - a.Min
+		if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
+			out = append(out, sentinel{pred: relation.Predicate{}})
+			continue
+		}
+		width := span / 4
+		lo := a.Min + rng.Float64()*(span-width)
+		out = append(out, sentinel{pred: relation.Predicate{}.WithInterval(attr, relation.Closed(lo, lo+width))})
+	}
+	return out
+}
+
+// Digest hashes the wire-observable content of one top-k answer: the
+// overflow flag, the tuple count, and every tuple's ID and value bits in
+// result order. Two answers digest equal iff a client could not tell
+// them apart.
+func Digest(res hidden.Result) [sha256.Size]byte {
+	h := sha256.New()
+	var hdr [9]byte
+	if res.Overflow {
+		hdr[0] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(res.Tuples)))
+	h.Write(hdr[:])
+	var buf [8]byte
+	for _, t := range res.Tuples {
+		binary.LittleEndian.PutUint64(buf[:], uint64(t.ID))
+		h.Write(buf[:])
+		for _, v := range t.Values {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Probe replays every sentinel once. The first round (and the first
+// round after any epoch change, local or adopted) records baseline
+// digests without comparing; later rounds compare, and the first
+// mismatch bumps the source's epoch in the registry — firing every
+// subscriber wipe before Probe returns — and re-records the remaining
+// sentinels against the new source version. bumped reports whether this
+// round advanced the epoch. A sentinel query error aborts the round with
+// no bump: an unreachable source is indistinguishable from a slow one,
+// and wiping on it would trade availability for nothing.
+func (p *Prober) Probe(ctx context.Context) (bumped bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// A bump that happened elsewhere (a cluster adoption, another
+	// detector) invalidates the recorded baselines: they describe a
+	// version the registry already moved past. Re-arm instead of
+	// comparing, or every later probe would re-bump on the same change.
+	if cur := p.reg.Seq(p.source); cur != p.lastSeq {
+		for i := range p.sents {
+			p.sents[i].armed = false
+		}
+		p.lastSeq = cur
+	}
+	rearming := false
+	for i := range p.sents {
+		s := &p.sents[i]
+		res, serr := p.db.Search(ctx, s.pred)
+		if serr != nil {
+			p.errors.Add(1)
+			return bumped, serr
+		}
+		d := Digest(res)
+		if !s.armed || rearming {
+			s.digest, s.armed = d, true
+			continue
+		}
+		if d != s.digest {
+			p.mismatches.Add(1)
+			e := p.reg.Bump(p.source)
+			p.lastSeq = e.Seq
+			bumped = true
+			// This answer came from the post-change source; it is the new
+			// baseline. Every OTHER sentinel is dis-armed immediately:
+			// earlier ones matched baselines that may themselves be
+			// pre-change (the change can land mid-round), and later ones
+			// must not keep pre-change baselines if a query error aborts
+			// this round before they re-record — either way a stale
+			// baseline surviving to the next round would bump a second
+			// time for the same change. The rest of this round re-arms
+			// whatever it reaches.
+			s.digest = d
+			for j := range p.sents {
+				if j != i {
+					p.sents[j].armed = false
+				}
+			}
+			rearming = true
+		}
+	}
+	p.probes.Add(1)
+	return bumped, nil
+}
+
+// Run probes on the interval until ctx is cancelled. Errors are counted
+// (ProbeStats.Errors) and retried on the next tick.
+func (p *Prober) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, _ = p.Probe(ctx)
+		}
+	}
+}
+
+// Stats snapshots the prober counters. It deliberately takes no lock:
+// Probe holds p.mu across every sentinel's (possibly slow) live query,
+// and the observability endpoints must not stall behind a probe round.
+func (p *Prober) Stats() ProbeStats {
+	return ProbeStats{
+		Probes:     p.probes.Load(),
+		Mismatches: p.mismatches.Load(),
+		Errors:     p.errors.Load(),
+		Sentinels:  p.nsents,
+	}
+}

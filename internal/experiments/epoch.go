@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/epoch"
+	"repro/internal/hidden"
+	"repro/internal/qcache"
+	"repro/internal/relation"
+)
+
+// s8Source is the shared "live web database" of scenario S8: one
+// mutable truth every replica queries, swapped atomically mid-run to
+// simulate the hidden database changing under QR2.
+type s8Source struct {
+	cur atomic.Pointer[hidden.Local]
+}
+
+// s8Handle is one replica's connection to the shared source, with its
+// own query counter (the per-replica share of the paper's cost metric).
+type s8Handle struct {
+	src     *s8Source
+	queries atomic.Int64
+}
+
+func (h *s8Handle) Name() string             { return h.src.cur.Load().Name() }
+func (h *s8Handle) Schema() *relation.Schema { return h.src.cur.Load().Schema() }
+func (h *s8Handle) SystemK() int             { return h.src.cur.Load().SystemK() }
+func (h *s8Handle) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	h.queries.Add(1)
+	return h.src.cur.Load().Search(ctx, p)
+}
+
+// s8Replica is one service replica of the epoch scenario: its handle on
+// the shared source, its epoch registry (one per simulated process), its
+// cache, ring node and HTTP listener.
+type s8Replica struct {
+	id    string
+	h     *s8Handle
+	reg   *epoch.Registry
+	cache *qcache.Cache
+	node  *cluster.Node
+	db    hidden.DB
+	srv   *httptest.Server
+	mux   *http.ServeMux
+}
+
+// ScenarioSourceEpochs demonstrates the live change-detection +
+// cluster-wide invalidation lifecycle (internal/epoch):
+//
+//  1. A 3-replica ring warms on the shared workload; repeating it is
+//     free — the pre-change behaviour of S7.
+//  2. The live source mutates. A sentinel probe on one replica detects
+//     the digest mismatch and bumps that replica's epoch, wiping its
+//     caches.
+//  3. The bump propagates: peer messages carry epoch seqs (a replica
+//     still on the old epoch has its pre-change push rejected and adopts
+//     the new epoch from the owner's response), ring gossip converges
+//     the rest, and every replica ends on the bumped epoch.
+//  4. The post-change workload is byte-compared against a cold replica
+//     built directly over the mutated source: zero answers come from
+//     pre-change cache.
+func (r *Runner) ScenarioSourceEpochs(ctx context.Context) (Table, error) {
+	const (
+		nReplicas = 3
+		nPreds    = 24
+		k         = 50
+		sentinels = 6
+	)
+	t := Table{
+		ID:    "S8",
+		Title: "source epochs: mid-run source mutation, cluster-wide invalidation and convergence",
+		PaperClaim: "a third party must re-verify cached state against the live source; a visible change " +
+			"must invalidate every replica's cache, and no post-change answer may be served from pre-change state",
+		Header: []string{"phase", "wdb queries", "epoch seqs", "stale puts", "stale answers"},
+	}
+	v1 := datagen.Uniform(3000, 2, 13)
+	v2 := datagen.Uniform(3000, 2, 14) // same schema, different live content
+	name := v1.Name
+
+	src := &s8Source{}
+	db1, err := hidden.NewLocal(name, v1.Rel, k, v1.Rank)
+	if err != nil {
+		return Table{}, err
+	}
+	src.cur.Store(db1)
+	reps, err := s8Cluster(src, nReplicas)
+	if err != nil {
+		return Table{}, err
+	}
+	defer func() {
+		for _, rep := range reps {
+			rep.srv.Close()
+		}
+	}()
+	a, b := reps[0], reps[1]
+
+	window := func(j int) relation.Predicate {
+		lo := float64(j * 40)
+		return relation.Predicate{}.WithInterval(0, relation.Closed(lo, lo+10))
+	}
+	runPass := func(pass int, check *hidden.Local) (stale int, err error) {
+		for j := 0; j < nPreds; j++ {
+			rep := reps[(j+pass)%len(reps)]
+			res, err := rep.db.Search(ctx, window(j))
+			if err != nil {
+				return stale, err
+			}
+			if check != nil {
+				truth, err := check.Search(ctx, window(j))
+				if err != nil {
+					return stale, err
+				}
+				if !resultsEqual(res, truth) {
+					stale++
+				}
+			}
+		}
+		for _, rep := range reps {
+			rep.node.Quiesce()
+		}
+		return stale, nil
+	}
+	queries := func() int64 {
+		var n int64
+		for _, rep := range reps {
+			n += rep.h.queries.Load()
+		}
+		return n
+	}
+	seqs := func() string {
+		return f("%d/%d/%d", reps[0].reg.Seq(name), reps[1].reg.Seq(name), reps[2].reg.Seq(name))
+	}
+	stalePuts := func() int64 {
+		var n int64
+		for _, rep := range reps {
+			n += rep.node.Stats().PeerStalePuts
+		}
+		return n
+	}
+
+	// The change detector lives on replica a; arm its sentinel baselines
+	// before the measured workload.
+	prober := epoch.NewProber(a.reg, name, a.h, epoch.ProberConfig{Sentinels: sentinels})
+	if _, err := prober.Probe(ctx); err != nil {
+		return Table{}, err
+	}
+	for _, rep := range reps {
+		rep.h.queries.Store(0)
+	}
+
+	// Phase 1: warm, then repeat for free.
+	if _, err := runPass(0, nil); err != nil {
+		return Table{}, err
+	}
+	warm := queries()
+	t.AddRow("warm pass over 3 replicas", f("%d", warm), seqs(), f("%d", stalePuts()), "-")
+	before := queries()
+	if _, err := runPass(1, nil); err != nil {
+		return Table{}, err
+	}
+	t.AddRow("repeat pass (pre-change, all cached)", f("%d", queries()-before), seqs(), f("%d", stalePuts()), "-")
+
+	// Phase 2: the live source changes; the probe detects and bumps a.
+	db2, err := hidden.NewLocal(name, v2.Rel, k, v2.Rank)
+	if err != nil {
+		return Table{}, err
+	}
+	src.cur.Store(db2)
+	before = queries()
+	bumped, err := prober.Probe(ctx)
+	if err != nil {
+		return Table{}, err
+	}
+	if !bumped {
+		return Table{}, fmt.Errorf("experiments: sentinel probe missed the source mutation")
+	}
+	t.AddRow("source mutated; sentinel probe bumps replica a", f("%d", queries()-before), seqs(), f("%d", stalePuts()), "-")
+
+	// Phase 3: b, still on the old epoch, searches a key owned by a: the
+	// owner reports a clean (wiped) miss with its higher epoch, b adopts
+	// it mid-search, and b's answer push — tagged with the epoch captured
+	// before the query — is rejected as stale.
+	pOwnedByA, err := predOwnedByS8(reps, a.id)
+	if err != nil {
+		return Table{}, err
+	}
+	before = queries()
+	if _, err := b.db.Search(ctx, pOwnedByA); err != nil {
+		return Table{}, err
+	}
+	b.node.Quiesce()
+	t.AddRow("old-epoch replica forwards to bumped owner", f("%d", queries()-before), seqs(), f("%d", stalePuts()), "-")
+
+	// Phase 4: ring gossip converges the remaining replica.
+	for _, rep := range reps {
+		rep.node.Gossip(ctx)
+	}
+	t.AddRow("ring gossip", "0", seqs(), f("%d", stalePuts()), "-")
+
+	// Phase 5: the post-change workload, every answer byte-compared to a
+	// cold replica built directly over the mutated source.
+	cold, err := hidden.NewLocal(name, v2.Rel, k, v2.Rank)
+	if err != nil {
+		return Table{}, err
+	}
+	before = queries()
+	staleTotal := 0
+	for pass := 2; pass < 2+nReplicas; pass++ { // every replica fields every predicate
+		stale, err := runPass(pass, cold)
+		if err != nil {
+			return Table{}, err
+		}
+		staleTotal += stale
+	}
+	t.AddRow("post-change workload vs cold replica", f("%d", queries()-before), seqs(),
+		f("%d", stalePuts()), f("%d of %d", staleTotal, nReplicas*nPreds))
+
+	t.Notes = append(t.Notes,
+		f("sentinel probe: %d recorded top-k queries digested (tuple IDs, values, order, overflow); a digest mismatch bumps the source epoch and wipes the replica's answer cache, crawl sets and dense index", sentinels),
+		"epoch seqs column: replica a detects and bumps first; b adopts from the owner's get response (its pre-change push is rejected — stale puts column); gossip converges c with no shared traffic",
+		"stale answers column: every post-convergence result is byte-identical to a cold replica over the mutated source — zero answers from pre-change cache",
+	)
+	return t, nil
+}
+
+// resultsEqual compares two answers byte-for-byte: overflow flag, tuple
+// count, and every tuple's ID and values in order.
+func resultsEqual(a, b hidden.Result) bool {
+	if a.Overflow != b.Overflow || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].ID != b.Tuples[i].ID || len(a.Tuples[i].Values) != len(b.Tuples[i].Values) {
+			return false
+		}
+		for j := range a.Tuples[i].Values {
+			if a.Tuples[i].Values[j] != b.Tuples[i].Values[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// predOwnedByS8 finds a workload-shaped predicate owned by a specific
+// replica.
+func predOwnedByS8(reps []*s8Replica, want string) (relation.Predicate, error) {
+	name := reps[0].h.Name()
+	for i := 0; i < 1000; i++ {
+		lo := float64(i*7) + 1
+		p := relation.Predicate{}.WithInterval(0, relation.Closed(lo, lo+3))
+		if owner, ok := reps[0].node.OwnerOf(name, p); ok && owner == want {
+			return p, nil
+		}
+	}
+	return relation.Predicate{}, fmt.Errorf("experiments: no predicate owned by %s", want)
+}
+
+// s8Cluster builds the epoch-aware ring replicas over one shared source.
+func s8Cluster(src *s8Source, n int) ([]*s8Replica, error) {
+	reps := make([]*s8Replica, n)
+	for i := range reps {
+		rep := &s8Replica{id: string(rune('a' + i))}
+		rep.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			rep.mux.ServeHTTP(w, req)
+		}))
+		reps[i] = rep
+	}
+	peers := map[string]string{}
+	for _, rep := range reps {
+		peers[rep.id] = rep.srv.URL
+	}
+	for _, rep := range reps {
+		rep.h = &s8Handle{src: src}
+		rep.reg = epoch.NewRegistry()
+		cache, err := qcache.New(rep.h, qcache.Config{DisableContainment: true, Epochs: rep.reg})
+		if err != nil {
+			return nil, err
+		}
+		node, err := cluster.New(cluster.Config{Self: rep.id, Peers: peers, Epochs: rep.reg})
+		if err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		node.Register(mux)
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		rep.cache, rep.node, rep.mux = cache, node, mux
+		rep.db = node.Source(rep.h.Name(), cache, rep.h)
+	}
+	return reps, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestScenarioSourceEpochsShape checks the acceptance criteria on S8:
+// after a mid-run source mutation every replica converges to the bumped
+// epoch, a stale-epoch /cluster/put is rejected with a counted metric,
+// and zero post-convergence answers come from pre-change cache (byte-
+// compared against a cold replica).
+func TestScenarioSourceEpochsShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-change: the warm pass pays, the repeat pass is free.
+	if warm := atoi(t, cell(t, tab, 0, 1)); warm == 0 {
+		t.Fatalf("vacuous warm pass:\n%s", tab.Format())
+	}
+	if rep := atoi(t, cell(t, tab, 1, 1)); rep != 0 {
+		t.Fatalf("pre-change repeat pass paid %d queries\n%s", rep, tab.Format())
+	}
+	// Detection: only the probing replica bumps.
+	if got := cell(t, tab, 2, 2); got != "2/1/1" {
+		t.Fatalf("post-probe epochs = %s, want 2/1/1\n%s", got, tab.Format())
+	}
+	// The old-epoch push is rejected and counted; the pusher adopted the
+	// owner's epoch from the get response.
+	if got := cell(t, tab, 3, 2); got != "2/2/1" {
+		t.Fatalf("post-forward epochs = %s, want 2/2/1\n%s", got, tab.Format())
+	}
+	if sp := atoi(t, cell(t, tab, 3, 3)); sp != 1 {
+		t.Fatalf("stale puts = %d, want 1\n%s", sp, tab.Format())
+	}
+	// Gossip converges the replica with no shared traffic.
+	if got := cell(t, tab, 4, 2); got != "2/2/2" {
+		t.Fatalf("post-gossip epochs = %s, want 2/2/2\n%s", got, tab.Format())
+	}
+	// Post-change: real queries are paid again (the caches were wiped),
+	// and every answer is byte-identical to the cold replica.
+	if q := atoi(t, cell(t, tab, 5, 1)); q == 0 {
+		t.Fatalf("post-change workload paid nothing — wipe did not happen\n%s", tab.Format())
+	}
+	if got := cell(t, tab, 5, 4); !strings.HasPrefix(got, "0 of ") {
+		t.Fatalf("stale answers = %s, want 0 of N\n%s", got, tab.Format())
+	}
+	if got := cell(t, tab, 5, 2); got != "2/2/2" {
+		t.Fatalf("final epochs = %s, want 2/2/2\n%s", got, tab.Format())
+	}
+}

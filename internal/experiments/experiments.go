@@ -13,6 +13,7 @@
 //	S5   concurrent users sharing the answer cache (internal/qcache)
 //	S6   pooled answer cache: cross-source borrowing and crawl refill
 //	S7   consistent-hash replica ring: shared workload, peer death/recovery
+//	S8   source epochs: mid-run source mutation, cluster-wide invalidation
 //	A1   ablation: parallel vs sequential processing
 //	A2   ablation: dense-region threshold sweep
 //	A3   ablation: tie-group mass vs crawling cost
@@ -160,7 +161,7 @@ func (r *Runner) Config() Config { return r.cfg }
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "A1", "A2", "A3", "A4", "A5", "A6"}
+	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "A1", "A2", "A3", "A4", "A5", "A6"}
 }
 
 // Run regenerates one experiment by ID.
@@ -186,6 +187,8 @@ func (r *Runner) Run(ctx context.Context, id string) (Table, error) {
 		return r.ScenarioPooledCache(ctx)
 	case "S7":
 		return r.ScenarioClusterRing(ctx)
+	case "S8":
+		return r.ScenarioSourceEpochs(ctx)
 	case "A1":
 		return r.AblationParallel(ctx)
 	case "A2":

@@ -1,0 +1,357 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/epoch"
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/relation"
+)
+
+// verDB is a hidden database whose tuple values carry a version number —
+// Values[1] is the version current when the search ran — so a test can
+// tell at a glance which source epoch an answer came from.
+type verDB struct {
+	n, k    int
+	version atomic.Int64
+	schema  *relation.Schema
+	queries atomic.Int64
+}
+
+func newVerDB(n, k int) *verDB {
+	db := &verDB{
+		n: n, k: k,
+		schema: relation.MustSchema(
+			relation.Attribute{Name: "price", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+			relation.Attribute{Name: "ver", Kind: relation.Numeric, Min: 0, Max: 1 << 20, Resolution: 1},
+		),
+	}
+	db.version.Store(1)
+	return db
+}
+
+func (d *verDB) Name() string             { return "verdb" }
+func (d *verDB) Schema() *relation.Schema { return d.schema }
+func (d *verDB) SystemK() int             { return d.k }
+
+func (d *verDB) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	d.queries.Add(1)
+	v := float64(d.version.Load())
+	var res hidden.Result
+	for i := 0; i < d.n; i++ {
+		t := relation.Tuple{ID: int64(i), Values: []float64{float64(i), v}}
+		if !p.Match(t) {
+			continue
+		}
+		if len(res.Tuples) == d.k {
+			res.Overflow = true
+			break
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+	return res, nil
+}
+
+func TestEpochBumpWipesNamespace(t *testing.T) {
+	ctx := context.Background()
+	reg := epoch.NewRegistry()
+	store := kvstore.NewMemory()
+	db := newVerDB(100, 200)
+	c, err := New(db, Config{Store: store, Epochs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EpochSeq(); got != 1 {
+		t.Fatalf("boot epoch = %d, want 1", got)
+	}
+	// Fill: a broad complete answer, a narrower exact entry, a crawl set.
+	if _, err := c.Search(ctx, pricePred(0, 90)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, pricePred(92, 95)); err != nil {
+		t.Fatal(err)
+	}
+	c.AdmitCrawl(pricePred(200, 300), nil)
+	if st := c.Stats(); st.Entries != 3 || st.CompleteEntries == 0 || st.CrawlEntries != 1 {
+		t.Fatalf("pre-bump stats = %+v", st)
+	}
+
+	db.version.Store(2)
+	reg.Bump("verdb")
+
+	if got := c.EpochSeq(); got != 2 {
+		t.Fatalf("post-bump epoch = %d, want 2", got)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.CompleteEntries != 0 || st.CrawlEntries != 0 {
+		t.Fatalf("bump left residue: %+v", st)
+	}
+	if st.EpochWipes != 1 {
+		t.Fatalf("epoch wipes = %d, want 1", st.EpochWipes)
+	}
+	if store.Len() != 1 { // only the meta record survives
+		t.Fatalf("store has %d records after wipe, want 1 (meta)", store.Len())
+	}
+	// Post-bump searches see only version-2 data and re-enter the cache.
+	res, err := c.Search(ctx, pricePred(0, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range res.Tuples {
+		if tu.Values[1] != 2 {
+			t.Fatalf("post-bump search served version-%v tuple", tu.Values[1])
+		}
+	}
+
+	// A restart resumes the epoch lineage from the store.
+	c2, err := New(newVerDB(100, 200), Config{Store: store, Epochs: epoch.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.EpochSeq(); got != 2 {
+		t.Fatalf("restarted epoch = %d, want 2", got)
+	}
+	if st := c2.Stats(); st.Warmed != 1 {
+		t.Fatalf("restart warmed %d entries, want the 1 post-bump answer", st.Warmed)
+	}
+}
+
+// TestEpochRegistryAheadOfStoreWipesWarmedEntries is the "replica was
+// down during a bump" case: the registry already knows a higher epoch
+// when the namespace registers, so the freshly warmed store is stale and
+// must be wiped at registration.
+func TestEpochRegistryAheadOfStoreWipesWarmedEntries(t *testing.T) {
+	ctx := context.Background()
+	store := kvstore.NewMemory()
+	db := newVerDB(50, 100)
+	c, err := New(db, Config{Store: store, Epochs: epoch.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, pricePred(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := epoch.NewRegistry()
+	reg.Observe("verdb", 5) // the cluster moved on while we were down
+	c2, err := New(newVerDB(50, 100), Config{Store: store, Epochs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.EpochSeq(); got != 5 {
+		t.Fatalf("epoch = %d, want the registry's 5", got)
+	}
+	if st := c2.Stats(); st.Entries != 0 {
+		t.Fatalf("stale warmed entries survived registration: %+v", st)
+	}
+}
+
+// TestSelectivePersistenceWipe restarts a pool-backed deployment after
+// one source's schema changed: only that namespace's store is wiped;
+// the sibling's q/ and R/ records survive and re-enter the containment
+// directory.
+func TestSelectivePersistenceWipe(t *testing.T) {
+	ctx := context.Background()
+	storeA, storeB := kvstore.NewMemory(), kvstore.NewMemory()
+
+	pool := NewPool(PoolConfig{})
+	a, err := pool.Namespace("a", testDB(t, 100, 50), Config{Store: storeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Namespace("b", testDB(t, 80, 50), Config{Store: storeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Cache{a, b} {
+		if _, err := c.Search(ctx, pricePred(0, 30)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Search(ctx, pricePred(40, 45)); err != nil {
+			t.Fatal(err)
+		}
+		c.AdmitCrawl(pricePred(200, 300), nil)
+	}
+	if storeA.Len() != 4 || storeB.Len() != 4 { // meta + 2 answers + 1 crawl set
+		t.Fatalf("store sizes = %d / %d, want 4 / 4", storeA.Len(), storeB.Len())
+	}
+
+	// Restart. Source a changed its schema surface (a different
+	// system-k); source b is unchanged.
+	pool2 := NewPool(PoolConfig{})
+	a2, err := pool2.Namespace("a", testDB(t, 100, 25), Config{Store: storeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := pool2.Namespace("b", testDB(t, 80, 50), Config{Store: storeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a2.Stats(); st.Warmed != 0 || st.Entries != 0 {
+		t.Fatalf("changed namespace warmed stale entries: %+v", st)
+	}
+	if storeA.Len() != 1 {
+		t.Fatalf("changed namespace store holds %d records, want 1 (meta)", storeA.Len())
+	}
+	if a2.EpochSeq() != 2 {
+		t.Fatalf("changed namespace epoch = %d, want 2 (advanced past the stored 1)", a2.EpochSeq())
+	}
+	st := b2.Stats()
+	if st.Warmed != 3 || st.Entries != 3 {
+		t.Fatalf("sibling namespace lost warmth: %+v", st)
+	}
+	if st.CompleteEntries == 0 || st.CrawlEntries != 1 {
+		t.Fatalf("sibling containment directory not rebuilt: %+v", st)
+	}
+	if b2.EpochSeq() != 1 {
+		t.Fatalf("sibling epoch = %d, want 1", b2.EpochSeq())
+	}
+	// The sibling's warm complete answer serves a narrower predicate
+	// with zero inner queries.
+	inner := b2.ns.inner.(*hidden.Local)
+	before := inner.QueryCount()
+	if _, err := b2.Search(ctx, pricePred(5, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if inner.QueryCount() != before {
+		t.Fatal("warm containment answer still cost an inner query after restart")
+	}
+}
+
+// TestEpochWipeRace hammers lookups — exact hits, containment hits and
+// fresh leader admissions — while an epoch bump wipes the namespace,
+// asserting (under -race) that the byte accounting and the containment
+// directory are consistent and that no search started after the bump
+// returned ever serves a pre-change answer.
+func TestEpochWipeRace(t *testing.T) {
+	ctx := context.Background()
+	reg := epoch.NewRegistry()
+	db := newVerDB(60, 100)
+	c, err := New(db, Config{Epochs: reg, Store: kvstore.NewMemory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the broad complete answer every narrower predicate is served
+	// from — the containment path a sloppy wipe would leave dangling.
+	if _, err := c.Search(ctx, pricePred(0, 59)); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		bumped  atomic.Bool // set only after Bump returned
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		failMu  sync.Mutex
+		failure string
+	)
+	fail := func(format string, args ...any) {
+		failMu.Lock()
+		if failure == "" {
+			failure = fmt.Sprintf(format, args...)
+		}
+		failMu.Unlock()
+		stop.Store(true)
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				lo := float64((g*7 + i) % 50)
+				pred := pricePred(lo, lo+5)
+				// The check flag must be read BEFORE the lookup: if the
+				// bump completed before we started, the answer must be
+				// post-change.
+				mustBeFresh := bumped.Load()
+				var res hidden.Result
+				var err error
+				if i%3 == 0 {
+					var ok bool
+					res, ok = c.Peek(pred)
+					if !ok {
+						continue
+					}
+				} else {
+					res, err = c.Search(ctx, pred)
+					if err != nil {
+						fail("search: %v", err)
+						return
+					}
+				}
+				if mustBeFresh {
+					for _, tu := range res.Tuples {
+						if tu.Values[1] != 2 {
+							fail("stale version-%v answer served after the bump completed", tu.Values[1])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	db.version.Store(2)
+	reg.Bump("verdb")
+	bumped.Store(true)
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	// The accounting survived the concurrent wipe: residual entries are
+	// all post-bump, and bytes match what a fresh walk would count.
+	st := c.Stats()
+	if st.Bytes < 0 || (st.Entries == 0) != (st.Bytes == 0) {
+		t.Fatalf("inconsistent accounting after concurrent wipe: %+v", st)
+	}
+	if st.EpochSeq != 2 || st.EpochWipes != 1 {
+		t.Fatalf("epoch counters = seq %d wipes %d, want 2 / 1", st.EpochSeq, st.EpochWipes)
+	}
+	// Post-quiesce, every resident answer is version 2.
+	for lo := 0.0; lo < 50; lo += 5 {
+		if res, ok := c.Peek(pricePred(lo, lo+4)); ok {
+			for _, tu := range res.Tuples {
+				if tu.Values[1] != 2 {
+					t.Fatalf("pre-change tuple resident after wipe (version %v)", tu.Values[1])
+				}
+			}
+		}
+	}
+}
+
+// TestDiscardDropsExactEntryOnly covers the re-homing release primitive.
+func TestDiscardDropsExactEntryOnly(t *testing.T) {
+	ctx := context.Background()
+	store := kvstore.NewMemory()
+	c, err := New(testDB(t, 100, 50), Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, pricePred(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, pricePred(20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	c.Discard(pricePred(0, 10))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after discard, want 1", c.Len())
+	}
+	if _, ok := c.Peek(pricePred(0, 10)); ok {
+		t.Fatal("discarded entry still resident")
+	}
+	if _, ok := c.Peek(pricePred(20, 30)); !ok {
+		t.Fatal("discard removed an unrelated entry")
+	}
+	if store.Len() != 2 { // meta + the surviving answer
+		t.Fatalf("store has %d records, want 2", store.Len())
+	}
+}

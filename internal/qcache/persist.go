@@ -14,17 +14,26 @@ import (
 	"repro/internal/relation"
 )
 
-// Persistence layout. The store holds one fingerprint record describing
-// the source the cache was filled from, plus one record per cached search:
+// Persistence layout. The store holds one epoch record describing the
+// source version the cache was filled from, plus one record per cached
+// search:
 //
-//	m/src        sha256(name, system-k, schema JSON)
+//	m/src        sha256(name, system-k, schema JSON) || epoch seq (8 bytes LE)
 //	q/<key>      codecVersion, storedAt (unixnano), overflow, tuples
 //
-// At boot the fingerprint is compared against the live database; any
+// At boot the fingerprint half is compared against the live database; any
 // mismatch (different catalog, different system-k, changed schema) wipes
 // the store, because every cached answer was produced by a source that no
-// longer exists. This mirrors the boot-time cache verification QR2
-// performs on the dense-region index.
+// longer exists, and the recovered epoch seq is advanced past the stored
+// one so cluster peers still on the old epoch re-synchronize. On a match
+// the stored seq is adopted, so a restart resumes the epoch lineage
+// instead of resetting it. Records written before the seq suffix existed
+// (a bare 32-byte fingerprint) are read as seq 1.
+//
+// The epoch lifecycle (internal/epoch) extends the same verification to a
+// running process: a change-detection bump calls adoptEpoch, which wipes
+// the q/ records and rewrites m/src with the new seq while the namespace
+// keeps serving.
 
 const codecVersion = 1
 
@@ -48,28 +57,40 @@ func fingerprint(db hidden.DB) ([]byte, error) {
 	return h.Sum(nil), nil
 }
 
-// openStore verifies the fingerprint (wiping a stale store) and loads the
-// surviving entries oldest-first, so the LRU ends up newest-at-front and
-// the byte budget drops the oldest answers. Crawl-admitted region sets
-// persist under their 'R'-marked keys and re-enter the containment
-// directory exactly as they left it.
+// openStore verifies the stored epoch record (wiping a stale store) and
+// loads the surviving entries oldest-first, so the LRU ends up
+// newest-at-front and the byte budget drops the oldest answers.
+// Crawl-admitted region sets persist under their 'R'-marked keys and
+// re-enter the containment directory exactly as they left it. On a
+// fingerprint match the persisted epoch seq is adopted into
+// ns.epochSeq; on a mismatch the store is wiped and the seq advanced
+// past the stored one.
 func (ns *namespace) openStore() error {
-	want, err := fingerprint(ns.inner)
-	if err != nil {
-		return err
-	}
 	got, ok, err := ns.store.Get(fingerprintKey)
 	if err != nil {
 		return fmt.Errorf("qcache: read fingerprint: %w", err)
 	}
-	if !ok || !bytes.Equal(got, want) {
+	storedSeq := uint64(1)
+	if ok && len(got) >= len(ns.fp)+8 {
+		storedSeq = binary.LittleEndian.Uint64(got[len(ns.fp) : len(ns.fp)+8])
+	}
+	if !ok || len(got) < len(ns.fp) || !bytes.Equal(got[:len(ns.fp)], ns.fp) {
 		if err := ns.wipeStore(); err != nil {
 			return err
 		}
-		if err := ns.store.Put(fingerprintKey, want); err != nil {
-			return fmt.Errorf("qcache: write fingerprint: %w", err)
+		if ok {
+			// A changed source identity observed across a restart is an
+			// epoch bump like any other: the lineage continues past the
+			// stored seq instead of resetting, so peers still holding the
+			// old epoch adopt the new one rather than the reverse.
+			storedSeq++
 		}
-		return nil
+		ns.epochSeq.Store(storedSeq)
+		return ns.writeMeta()
+	}
+	ns.epochSeq.Store(storedSeq)
+	if err := ns.writeMeta(); err != nil {
+		return err
 	}
 
 	type warmEntry struct {
@@ -129,9 +150,33 @@ func (ns *namespace) openStore() error {
 
 // persist writes one filled entry to the store, best-effort: a failed
 // write only costs warmth after the next restart. Durability rides on the
-// store's own crash recovery; no explicit sync per entry.
-func (ns *namespace) persist(key string, res hidden.Result) {
+// store's own crash recovery; no explicit sync per entry. seq is the
+// epoch the answer was produced under; the write is skipped when the
+// namespace has moved on — otherwise a slow leader could re-persist a
+// pre-change answer after an epoch wipe already cleaned the store, and a
+// restart would warm it back. storeMu orders the check against
+// adoptEpoch's wipe: the seq advances before the wipe takes the lock, so
+// a persist that passes the check is removed by the wipe, and a persist
+// after the wipe fails the check.
+func (ns *namespace) persist(key string, res hidden.Result, seq uint64) {
+	ns.storeMu.Lock()
+	defer ns.storeMu.Unlock()
+	if ns.epochSeq.Load() != seq {
+		return
+	}
 	_ = ns.store.Put(storeKey(key), encodeStored(res, ns.pool.now()))
+}
+
+// writeMeta records the namespace's source identity and current epoch
+// seq under the meta key.
+func (ns *namespace) writeMeta() error {
+	v := make([]byte, 0, len(ns.fp)+8)
+	v = append(v, ns.fp...)
+	v = binary.LittleEndian.AppendUint64(v, ns.epochSeq.Load())
+	if err := ns.store.Put(fingerprintKey, v); err != nil {
+		return fmt.Errorf("qcache: write fingerprint: %w", err)
+	}
+	return nil
 }
 
 // wipeStore removes every record, fingerprint included.
@@ -147,6 +192,28 @@ func (ns *namespace) wipeStore() error {
 	for _, k := range keys {
 		if err := ns.store.Delete(k); err != nil {
 			return fmt.Errorf("qcache: wipe store: %w", err)
+		}
+	}
+	return nil
+}
+
+// wipeRecords removes every answer record — q/-prefixed keys, which
+// include the 'R'-marked crawl sets — but keeps the meta record, which
+// the caller rewrites with the new epoch seq.
+func (ns *namespace) wipeRecords() error {
+	var keys [][]byte
+	err := ns.store.Range(func(key, _ []byte) bool {
+		if len(key) >= 2 && key[0] == 'q' && key[1] == '/' {
+			keys = append(keys, append([]byte(nil), key...))
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("qcache: wipe records: %w", err)
+	}
+	for _, k := range keys {
+		if err := ns.store.Delete(k); err != nil {
+			return fmt.Errorf("qcache: wipe records: %w", err)
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/memgov"
@@ -128,6 +129,11 @@ func (p *Pool) Namespace(name string, inner hidden.DB, cfg Config) (*Cache, erro
 			return nil, fmt.Errorf("qcache: namespace %q already registered", name)
 		}
 	}
+	fp, err := fingerprint(inner)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
 	ns := &namespace{
 		pool:    p,
 		name:    name,
@@ -136,7 +142,9 @@ func (p *Pool) Namespace(name string, inner hidden.DB, cfg Config) (*Cache, erro
 		ttl:     cfg.TTL,
 		store:   cfg.Store,
 		systemK: inner.SystemK(),
+		fp:      fp,
 	}
+	ns.epochSeq.Store(1)
 	p.nextID++
 	if !cfg.DisableContainment {
 		ns.complete = newCompleteDir()
@@ -149,6 +157,15 @@ func (p *Pool) Namespace(name string, inner hidden.DB, cfg Config) (*Cache, erro
 			p.drop(ns)
 			return nil, err
 		}
+	}
+	if cfg.Epochs != nil {
+		// Join the live epoch lifecycle: future bumps — local detections
+		// and cluster adoptions alike — wipe the namespace, and a bump
+		// the registry already knows about (a peer moved on while this
+		// replica was down) invalidates the freshly warmed store now.
+		ns.reg = cfg.Epochs
+		cfg.Epochs.Subscribe(name, ns.adoptEpoch)
+		ns.adoptEpoch(cfg.Epochs.Register(name, fp, ns.epochSeq.Load()))
 	}
 	return &Cache{ns: ns}, nil
 }
@@ -296,16 +313,28 @@ type namespace struct {
 	complete *completeDir // nil when containment reuse is disabled
 	systemK  int
 
-	bytes     atomic.Int64
-	entries   atomic.Int64
-	hits      atomic.Int64
-	contained atomic.Int64
-	crawlHits atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
-	expired   atomic.Int64
-	warmed    int
+	// fp is the boot fingerprint of the source (name, system-k, schema);
+	// epochSeq is the live source epoch the namespace currently serves
+	// under. Admissions capture the seq before querying the inner
+	// database and re-check it under the shard lock, so an answer fetched
+	// under an older epoch never enters after adoptEpoch's wipe. storeMu
+	// orders persist writes against the epoch wipe of the store.
+	fp       []byte
+	reg      *epoch.Registry // nil without a live epoch registry
+	epochSeq atomic.Uint64
+	storeMu  sync.Mutex
+
+	bytes      atomic.Int64
+	entries    atomic.Int64
+	hits       atomic.Int64
+	contained  atomic.Int64
+	crawlHits  atomic.Int64
+	misses     atomic.Int64
+	coalesced  atomic.Int64
+	evictions  atomic.Int64
+	expired    atomic.Int64
+	epochWipes atomic.Int64
+	warmed     int
 }
 
 // search implements the cache lookup protocol over the pool's shards: an
@@ -369,6 +398,7 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		sh.flights[pkey] = fl
 		sh.mu.Unlock()
 		ns.misses.Add(1)
+		seq := ns.epochSeq.Load()
 
 		res, err := ns.inner.Search(ctx, p)
 		fl.res, fl.err = res, err
@@ -379,7 +409,12 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		)
 		sh.mu.Lock()
 		delete(sh.flights, pkey)
-		if err == nil {
+		// The epoch gate: re-check the seq captured before the inner query
+		// under the shard lock. adoptEpoch advances the seq before it
+		// purges the shards, so either this insert sees the new seq and
+		// aborts, or it inserted first and the purge removes it — a
+		// pre-bump answer can never survive the wipe.
+		if err == nil && ns.epochSeq.Load() == seq {
 			admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
 		}
 		sh.mu.Unlock()
@@ -399,7 +434,7 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		deleteVictims(victims)
 		if ns.store != nil {
 			if admitted {
-				ns.persist(key, res)
+				ns.persist(key, res, seq)
 			} else {
 				_ = ns.store.Delete(storeKey(key))
 			}
@@ -420,7 +455,7 @@ func deleteVictims(victims []victim) {
 // admitCrawl publishes the complete match set of a crawled region as a
 // containment-only entry (see Cache.AdmitCrawl). It takes ownership of
 // tuples: the slice is sorted in place and retained as the cached set.
-func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple) {
+func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple, seq uint64) {
 	if ns.complete == nil {
 		return
 	}
@@ -430,7 +465,13 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 	pkey := ns.prefix + key
 	sh := ns.pool.shardFor(pkey)
 	sh.mu.Lock()
-	admitted, victims := ns.insertLocked(sh, pkey, res, ns.pool.now())
+	var (
+		admitted bool
+		victims  []victim
+	)
+	if ns.epochSeq.Load() == seq { // see the epoch gate in search
+		admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
+	}
 	sh.mu.Unlock()
 	if admitted {
 		victims = append(victims, ns.pool.enforceGlobal(ns, pkey)...)
@@ -438,7 +479,7 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 	deleteVictims(victims)
 	if ns.store != nil {
 		if admitted {
-			ns.persist(key, res)
+			ns.persist(key, res, seq)
 		} else {
 			_ = ns.store.Delete(storeKey(key))
 		}
@@ -475,16 +516,24 @@ func (ns *namespace) peek(p relation.Predicate) (hidden.Result, bool) {
 	return hidden.Result{}, false
 }
 
-// admit publishes an externally produced answer for p — the peer
+// admitAt publishes an externally produced answer for p — the peer
 // protocol's /cluster/put — exactly as if the inner database had just
 // returned it: admission against the budget, containment registration,
-// persistence. The result is copied; the caller keeps its slice.
-func (ns *namespace) admit(p relation.Predicate, res hidden.Result) {
+// persistence. seq is the epoch the answer was produced under; a
+// namespace that has moved past it drops the admission (the shard-lock
+// re-check below). The result is copied; the caller keeps its slice.
+func (ns *namespace) admitAt(p relation.Predicate, res hidden.Result, seq uint64) {
 	key := KeyOf(p)
 	pkey := ns.prefix + key
 	sh := ns.pool.shardFor(pkey)
 	sh.mu.Lock()
-	admitted, victims := ns.insertLocked(sh, pkey, copyResult(res), ns.pool.now())
+	var (
+		admitted bool
+		victims  []victim
+	)
+	if ns.epochSeq.Load() == seq { // see the epoch gate in search
+		admitted, victims = ns.insertLocked(sh, pkey, copyResult(res), ns.pool.now())
+	}
 	sh.mu.Unlock()
 	if admitted {
 		victims = append(victims, ns.pool.enforceGlobal(ns, pkey)...)
@@ -492,7 +541,7 @@ func (ns *namespace) admit(p relation.Predicate, res hidden.Result) {
 	deleteVictims(victims)
 	if ns.store != nil {
 		if admitted {
-			ns.persist(key, res)
+			ns.persist(key, res, seq)
 		} else {
 			_ = ns.store.Delete(storeKey(key))
 		}
@@ -662,6 +711,8 @@ func (ns *namespace) stats() Stats {
 		Entries:         int(ns.entries.Load()),
 		Bytes:           ns.bytes.Load(),
 		Warmed:          ns.warmed,
+		EpochSeq:        ns.epochSeq.Load(),
+		EpochWipes:      ns.epochWipes.Load(),
 	}
 	if ns.complete != nil {
 		st.CompleteEntries, st.CrawlEntries = ns.complete.lens()
@@ -669,8 +720,57 @@ func (ns *namespace) stats() Stats {
 	return st
 }
 
-// purgeResident drops this namespace's resident entries from every shard.
+// adoptEpoch moves the namespace to a newer source epoch and destroys
+// every answer produced under older ones: the in-memory entries, the
+// containment directory, and the persisted q/ and R/ records. It is the
+// registry subscriber for this namespace, so both local change-detection
+// bumps and cluster adoptions land here. Lower or equal epochs are
+// ignored — wipes never run twice for one bump, and a stale remote epoch
+// cannot wipe fresher state.
+//
+// Ordering under concurrent lookups: the seq advances first, fencing
+// admissions (every admission path re-checks the captured seq under its
+// shard lock, so either the check fails or the purge below removes the
+// entry). The containment directory is purged before the shards so a
+// narrower predicate cannot be served from a complete answer whose shard
+// entry is already gone, and the byte accounting unwinds entry by entry
+// inside the shard locks. The store wipe runs last, under storeMu, which
+// persist writes also take — a slow leader cannot re-persist a
+// pre-change answer after the wipe. When adoptEpoch returns, no answer
+// from an older epoch is reachable through any path.
+func (ns *namespace) adoptEpoch(e epoch.Epoch) {
+	for {
+		cur := ns.epochSeq.Load()
+		if e.Seq <= cur {
+			return
+		}
+		if ns.epochSeq.CompareAndSwap(cur, e.Seq) {
+			break
+		}
+	}
+	ns.purgeResident()
+	ns.epochWipes.Add(1)
+	if ns.store != nil {
+		ns.storeMu.Lock()
+		_ = ns.wipeRecords()
+		_ = ns.writeMeta()
+		ns.storeMu.Unlock()
+	}
+}
+
+// purgeResident drops this namespace's resident entries from every shard
+// and its containment directory. The directory goes first: a containment
+// lookup runs lock-free against it, and must not win on an entry whose
+// shard residency (and byte accounting) is already being unwound.
 func (ns *namespace) purgeResident() {
+	if ns.complete != nil {
+		ns.complete.purge()
+	}
+	ns.purgeShards()
+}
+
+// purgeShards drops this namespace's resident entries from every shard.
+func (ns *namespace) purgeShards() {
 	for _, sh := range ns.pool.shards {
 		sh.mu.Lock()
 		var drop []*list.Element
@@ -684,8 +784,23 @@ func (ns *namespace) purgeResident() {
 		}
 		sh.mu.Unlock()
 	}
-	if ns.complete != nil {
-		ns.complete.purge()
+}
+
+// discard drops the exact resident entry for a source key and its
+// persisted record, leaving every other entry alone. The cluster layer
+// releases re-homed fallback copies with it.
+func (ns *namespace) discard(key string) {
+	pkey := ns.prefix + key
+	sh := ns.pool.shardFor(pkey)
+	sh.mu.Lock()
+	if el, ok := sh.elems[pkey]; ok {
+		removeLocked(sh, el)
+	}
+	sh.mu.Unlock()
+	if ns.store != nil {
+		ns.storeMu.Lock()
+		_ = ns.store.Delete(storeKey(key))
+		ns.storeMu.Unlock()
 	}
 }
 

@@ -32,9 +32,20 @@
 // web-database queries even though no single query ever returned them.
 //
 // Entries can optionally be persisted through a kvstore.Store so a warm
-// cache survives restarts; the store is fingerprinted against the source
-// (name, system-k, schema) and wiped when the source changes, mirroring
-// the boot-time cache verification of the dense-region index.
+// cache survives restarts; the store carries the source's epoch record —
+// the boot fingerprint (name, system-k, schema) plus the live epoch
+// sequence number — and is wiped when either half no longer matches,
+// mirroring the boot-time cache verification of the dense-region index.
+//
+// Beyond boot, the cache participates in the live epoch lifecycle
+// (internal/epoch): with Config.Epochs set, the namespace registers its
+// source epoch in the registry and every bump — a change-detection
+// prober's digest mismatch, or a higher epoch adopted from a cluster
+// peer — wipes the namespace while it keeps serving: resident entries,
+// the containment directory, the crawl-admitted region sets and the
+// persisted records all go, atomically with respect to concurrent
+// lookups and in-flight leaders (admissions are fenced on the epoch
+// sequence they were issued under).
 package qcache
 
 import (
@@ -43,6 +54,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/relation"
@@ -77,6 +89,12 @@ type Config struct {
 	// predicate) also serves every strictly narrower predicate by
 	// client-side filtering, without touching the inner database.
 	DisableContainment bool
+	// Epochs joins the cache to a live source-epoch registry
+	// (internal/epoch): the namespace registers its boot epoch under the
+	// source name and wipes itself on every bump — a local change
+	// detection or a higher epoch adopted from a cluster peer. Nil keeps
+	// the boot-time fingerprint as the only invalidation signal.
+	Epochs *epoch.Registry
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.
@@ -111,6 +129,10 @@ type Stats struct {
 	CrawlEntries int `json:"crawl_entries"`
 	// Warmed counts entries loaded from the persistent store at boot.
 	Warmed int `json:"warmed"`
+	// EpochSeq is the source epoch the namespace currently serves under;
+	// EpochWipes counts runtime epoch bumps that wiped the namespace.
+	EpochSeq   uint64 `json:"epoch_seq"`
+	EpochWipes int64  `json:"epoch_wipes"`
 }
 
 // HitRate returns the share of searches answered without the inner
@@ -184,7 +206,16 @@ func (c *Cache) Peek(p relation.Predicate) (hidden.Result, bool) {
 // answers pushed by peer replicas (/cluster/put). The result is copied;
 // the caller keeps ownership of its slice.
 func (c *Cache) Admit(p relation.Predicate, res hidden.Result) {
-	c.ns.admit(p, res)
+	c.ns.admitAt(p, res, c.ns.epochSeq.Load())
+}
+
+// AdmitAt is Admit fenced on the source epoch the answer was produced
+// under: the admission is checked against epochSeq under the shard lock,
+// so an answer from an older epoch is dropped even when the bump lands
+// between the caller's own staleness check and the insert. The cluster
+// put handler uses it with the epoch seq carried on the wire.
+func (c *Cache) AdmitAt(p relation.Predicate, res hidden.Result, epochSeq uint64) {
+	c.ns.admitAt(p, res, epochSeq)
 }
 
 // AdmitCrawl publishes the complete match set of pred, assembled by a
@@ -204,8 +235,30 @@ func (c *Cache) Admit(p relation.Predicate, res hidden.Result) {
 // AdmitCrawl takes ownership of tuples: the slice is sorted in place and
 // retained; the caller must not modify it afterwards.
 func (c *Cache) AdmitCrawl(pred relation.Predicate, tuples []relation.Tuple) {
-	c.ns.admitCrawl(pred, tuples)
+	c.ns.admitCrawl(pred, tuples, c.ns.epochSeq.Load())
 }
+
+// AdmitCrawlAt is AdmitCrawl fenced on the source epoch the crawl began
+// under (crawl.EpochAdmitter): the admission is re-checked against
+// epochSeq under the shard lock, so a crawl that straddled an epoch bump
+// — its set mixes pre- and post-change answers — is dropped even when
+// the bump lands between the crawl's last query and the admission.
+func (c *Cache) AdmitCrawlAt(pred relation.Predicate, tuples []relation.Tuple, epochSeq uint64) {
+	c.ns.admitCrawl(pred, tuples, epochSeq)
+}
+
+// EpochSeq returns the source epoch the cache currently serves under.
+// Every resident answer was produced at this epoch; the crawl layer
+// captures it before a crawl and skips admission when it moved, and the
+// cluster layer tags peer admissions with it so owners can reject stale
+// pushes.
+func (c *Cache) EpochSeq() uint64 { return c.ns.epochSeq.Load() }
+
+// Discard drops the exact resident entry for p (and its persisted
+// record), leaving every other entry alone. The cluster layer releases a
+// re-homed fallback copy with it once the recovered owner holds the
+// answer.
+func (c *Cache) Discard(p relation.Predicate) { c.ns.discard(KeyOf(p)) }
 
 // Stats returns a snapshot of the cache counters and residency.
 func (c *Cache) Stats() Stats { return c.ns.stats() }

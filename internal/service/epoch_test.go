@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/kvstore"
+	"repro/internal/qcache"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+func mustRect(t *testing.T, attr int, lo, hi float64) region.Rect {
+	t.Helper()
+	return region.MustNew([]int{attr}, []relation.Interval{relation.Closed(lo, hi)})
+}
+
+func getBody(t *testing.T, srv *Server, path string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s returned %d: %s", path, rec.Code, rec.Body.String())
+	}
+	return rec.Body.String()
+}
+
+func getJSON(t *testing.T, srv *Server, path string) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if err := json.Unmarshal([]byte(getBody(t, srv, path)), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// mutableDB is a hidden database whose tuple values shift with a version
+// counter, so a "live source change" is one atomic store away.
+type mutableDB struct {
+	name    string
+	k       int
+	n       int
+	version atomic.Int64
+	schema  *relation.Schema
+}
+
+func newMutableDB(name string, n, k int) *mutableDB {
+	db := &mutableDB{
+		name: name, n: n, k: k,
+		schema: relation.MustSchema(
+			relation.Attribute{Name: "price", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+			relation.Attribute{Name: "size", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+		),
+	}
+	db.version.Store(1)
+	return db
+}
+
+func (d *mutableDB) Name() string             { return d.name }
+func (d *mutableDB) Schema() *relation.Schema { return d.schema }
+func (d *mutableDB) SystemK() int             { return d.k }
+
+func (d *mutableDB) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	shift := float64(d.version.Load() - 1)
+	var res hidden.Result
+	for i := 0; i < d.n; i++ {
+		t := relation.Tuple{ID: int64(i), Values: []float64{float64(i) + shift, float64(d.n - i)}}
+		if !p.Match(t) {
+			continue
+		}
+		if len(res.Tuples) == d.k {
+			res.Overflow = true
+			break
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+	return res, nil
+}
+
+// TestChangeProbeBumpsEpochAndWipes drives the full service-level
+// lifecycle: fill the answer cache and the dense index, mutate the live
+// source, probe, and verify the bump wiped both layers and surfaced on
+// /api/stats and /metrics.
+func TestChangeProbeBumpsEpochAndWipes(t *testing.T) {
+	ctx := context.Background()
+	db := newMutableDB("live", 300, 40)
+	srv, err := New(Config{
+		Sources: map[string]SourceConfig{
+			"live": {DB: db, Cache: &qcache.Config{}},
+		},
+		ChangeSentinels: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := srv.sources["live"]
+
+	// Warm both layers: an answer-cache entry and a dense-index entry.
+	if _, err := src.cache.Search(ctx, relation.Predicate{}.WithInterval(0, relation.Closed(10, 30))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.ix.Insert(mustRect(t, 0, 100, 200), nil); err != nil {
+		t.Fatal(err)
+	}
+	if src.cache.Len() == 0 || src.ix.Len() == 0 {
+		t.Fatal("layers not warmed")
+	}
+
+	// Baseline probe, then an unchanged probe: no bump.
+	for i := 0; i < 2; i++ {
+		if bumped, err := srv.ChangeProbe(ctx, "live"); err != nil || bumped {
+			t.Fatalf("probe %d: bumped=%v err=%v", i, bumped, err)
+		}
+	}
+	// Mutate the live source and probe again: bump, wipes everywhere.
+	db.version.Store(2)
+	bumped, err := srv.ChangeProbe(ctx, "live")
+	if err != nil || !bumped {
+		t.Fatalf("probe over mutated source: bumped=%v err=%v", bumped, err)
+	}
+	if src.cache.Len() != 0 {
+		t.Fatalf("answer cache kept %d entries across the bump", src.cache.Len())
+	}
+	if src.ix.Len() != 0 {
+		t.Fatalf("dense index kept %d entries across the bump", src.ix.Len())
+	}
+	if got := srv.Epochs().Seq("live"); got != 2 {
+		t.Fatalf("epoch seq = %d, want 2", got)
+	}
+
+	// The epoch section reaches /api/stats.
+	rec := getJSON(t, srv, "/api/stats")
+	sources := rec["sources"].(map[string]any)
+	live := sources["live"].(map[string]any)
+	ep := live["epoch"].(map[string]any)
+	if ep["seq"].(float64) != 2 || ep["mismatches"].(float64) != 1 || ep["probes"].(float64) != 3 {
+		t.Fatalf("epoch stats doc = %v", ep)
+	}
+	if live["dense_wipes"].(float64) != 1 {
+		t.Fatalf("dense_wipes = %v, want 1", live["dense_wipes"])
+	}
+	cacheDoc := live["cache"].(map[string]any)
+	if cacheDoc["epoch_wipes"].(float64) != 1 || cacheDoc["epoch_seq"].(float64) != 2 {
+		t.Fatalf("cache epoch counters = %v", cacheDoc)
+	}
+
+	// And /metrics carries the new rows.
+	body := getBody(t, srv, "/metrics")
+	for _, want := range []string{
+		`qr2_source_epoch{source="live"} 2`,
+		`qr2_change_probes_total{source="live"} 3`,
+		`qr2_change_probe_mismatches_total{source="live"} 1`,
+		`qr2_qcache_epoch_wipes_total{source="live"} 1`,
+		`qr2_dense_wipes_total{source="live"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	// An unknown source is refused.
+	if _, err := srv.ChangeProbe(ctx, "nope"); err == nil {
+		t.Fatal("probe of unknown source succeeded")
+	}
+}
+
+// TestBootWipesDenseIndexBehindEpoch: a dense store whose recorded epoch
+// is behind the source's recovered lineage (here: a schema-surface
+// change across a restart) is wiped at boot before it can serve.
+func TestBootWipesDenseIndexBehindEpoch(t *testing.T) {
+	cacheStore, denseStore := kvstore.NewMemory(), kvstore.NewMemory()
+	mk := func(k int) (*Server, error) {
+		return New(Config{Sources: map[string]SourceConfig{
+			"live": {DB: newMutableDB("live", 200, k), Cache: &qcache.Config{Store: cacheStore}, DenseStore: denseStore},
+		}})
+	}
+	srv, err := mk(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.sources["live"].ix.Insert(mustRect(t, 0, 0, 50), nil); err != nil {
+		t.Fatal(err)
+	}
+	if srv.sources["live"].ix.EpochSeq() != 1 {
+		t.Fatalf("boot dense epoch = %d, want 1", srv.sources["live"].ix.EpochSeq())
+	}
+
+	// Restart with a changed system-k: the cache's fingerprint check
+	// advances the epoch lineage to 2; the dense store is still marked 1
+	// and must be wiped at boot.
+	srv2, err := mk(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := srv2.sources["live"]
+	if got := srv2.Epochs().Seq("live"); got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+	if src.ix.Len() != 0 {
+		t.Fatalf("stale dense index survived the boot epoch check (%d entries)", src.ix.Len())
+	}
+	if src.ix.EpochSeq() != 2 {
+		t.Fatalf("dense epoch after boot wipe = %d, want 2", src.ix.EpochSeq())
+	}
+
+	// A third boot on the same (now consistent) stores wipes nothing.
+	srv3, err := mk(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := srv3.sources["live"].ix.Stats(); st.Wipes != 0 {
+		t.Fatalf("consistent boot still wiped the dense index: %+v", st)
+	}
+}

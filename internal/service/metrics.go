@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/dense"
+	"repro/internal/epoch"
 	"repro/internal/qcache"
 )
 
@@ -25,11 +26,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// One consistent snapshot per source; every metric row reads from it.
 	denseStats := make(map[string]dense.Stats, len(names))
 	cacheStats := make(map[string]qcache.Stats)
+	epochSeqs := make(map[string]uint64, len(names))
+	probeStats := make(map[string]epoch.ProbeStats, len(names))
 	for _, name := range names {
 		src := s.sources[name]
 		denseStats[name] = src.ix.Stats()
 		if src.cache != nil {
 			cacheStats[name] = src.cache.Stats()
+		}
+		epochSeqs[name] = s.epochs.Seq(name)
+		if p, ok := s.probers[name]; ok {
+			probeStats[name] = p.Stats()
 		}
 	}
 
@@ -69,6 +76,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			value        int64
 		}{
 			{"qr2_cluster_owned_local_total", "Searches whose key this replica owns, served through the local pool.", cs.OwnedLocal},
+			{"qr2_cluster_peer_stale_puts_total", "Peer admissions rejected for carrying an older source epoch than this replica serves under.", cs.PeerStalePuts},
+			{"qr2_cluster_epoch_adopts_total", "Higher source epochs adopted from peers (each adoption wiped the affected namespace).", cs.EpochAdopts},
+			{"qr2_cluster_rehomed_total", "Stray entries pushed back to their recovered owner and released locally.", cs.Rehomed},
 			{"qr2_cluster_local_hits_total", "Foreign-owned searches served from local residency (crawl sets, fallback entries).", cs.LocalHits},
 			{"qr2_cluster_forwards_total", "Cache lookups proxied to owner replicas.", cs.Forwards},
 			{"qr2_cluster_forward_hits_total", "Proxied lookups the owner answered — zero web-database queries.", cs.ForwardHits},
@@ -84,6 +94,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{self=\"%s\"} %d\n",
 				cr.metric, cr.help, cr.metric, cr.metric, escapeLabel(cs.Self), cr.value)
 		}
+		fmt.Fprintf(&b, "# HELP qr2_cluster_strays Tracked fallback-admitted entries awaiting re-homing to their recovered owner.\n# TYPE qr2_cluster_strays gauge\nqr2_cluster_strays{self=\"%s\"} %d\n",
+			escapeLabel(cs.Self), cs.Strays)
 	}
 
 	type row struct {
@@ -102,7 +114,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return get(cs), true
 		}
 	}
+	epochRow := func(get func(epoch.ProbeStats) int64) func(string) (int64, bool) {
+		return func(name string) (int64, bool) {
+			ps, ok := probeStats[name]
+			if !ok {
+				return 0, false
+			}
+			return get(ps), true
+		}
+	}
 	rows := []row{
+		{"qr2_source_epoch", "gauge", "Current source epoch seq (bumps when the live database visibly changes).",
+			func(name string) (int64, bool) { return int64(epochSeqs[name]), true }},
+		{"qr2_change_probes_total", "counter", "Change-detection probe rounds (sentinel-query replays) completed.",
+			epochRow(func(ps epoch.ProbeStats) int64 { return ps.Probes })},
+		{"qr2_change_probe_mismatches_total", "counter", "Probe rounds that detected a source change and bumped the epoch.",
+			epochRow(func(ps epoch.ProbeStats) int64 { return ps.Mismatches })},
+		{"qr2_change_probe_errors_total", "counter", "Probe rounds aborted by a failed sentinel query (no bump).",
+			epochRow(func(ps epoch.ProbeStats) int64 { return ps.Errors })},
+		{"qr2_qcache_epoch_wipes_total", "counter", "Runtime epoch bumps that wiped the source's answer-cache namespace.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.EpochWipes })},
+		{"qr2_dense_wipes_total", "counter", "Whole-index invalidations of the dense-region index (epoch bumps).",
+			denseRow(func(ds dense.Stats) int64 { return ds.Wipes })},
 		{"qr2_dense_hits_total", "counter", "Dense-index lookups answered by a covering entry.",
 			denseRow(func(ds dense.Stats) int64 { return ds.Hits })},
 		{"qr2_dense_misses_total", "counter", "Dense-index lookups with no covering entry.",

@@ -71,6 +71,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dense"
+	"repro/internal/epoch"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/memgov"
@@ -151,6 +152,16 @@ type Config struct {
 	// ClusterProbeInterval paces the peer health prober (default 5s).
 	// The prober itself is started by running Cluster().Start.
 	ClusterProbeInterval time.Duration
+	// ChangeProbeInterval enables live change detection: each source is
+	// probed with sentinel queries on this period (StartChangeProbes runs
+	// the loops), and a digest mismatch bumps the source's epoch — wiping
+	// its answer-cache namespace (including crawl-admitted sets) and its
+	// dense index, and, in cluster mode, propagating through the ring.
+	// Zero disables the loops; ChangeProbe still drives probes manually.
+	ChangeProbeInterval time.Duration
+	// ChangeSentinels is the number of sentinel queries recorded per
+	// source (default epoch.DefaultSentinels).
+	ChangeSentinels int
 }
 
 // Budget shares guaranteed under a MemBudget governor: a quarter of the
@@ -170,6 +181,8 @@ type Server struct {
 	pool     *qcache.Pool     // non-nil in shared-pool mode
 	gov      *memgov.Governor // non-nil when MemBudget governs the caches
 	node     *cluster.Node    // non-nil when SelfID/Peers join a replica ring
+	epochs   *epoch.Registry  // the source-epoch lifecycle, always present
+	probers  map[string]*epoch.Prober
 	mux      *http.ServeMux
 }
 
@@ -219,6 +232,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		sessions: session.NewManager(cfg.SessionTTL, 0),
 		sources:  make(map[string]*source),
+		epochs:   epoch.NewRegistry(),
+		probers:  make(map[string]*epoch.Prober),
 		mux:      http.NewServeMux(),
 	}
 	if cfg.MemBudget > 0 {
@@ -246,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 			Self:          cfg.SelfID,
 			Peers:         cfg.Peers,
 			ProbeInterval: cfg.ClusterProbeInterval,
+			Epochs:        s.epochs,
 		})
 		if err != nil {
 			return nil, err
@@ -269,10 +285,14 @@ func New(cfg Config) (*Server, error) {
 		db := sc.DB
 		var cache *qcache.Cache
 		if sc.Cache != nil {
+			// Every cached source joins the live epoch lifecycle: the
+			// namespace registers its boot epoch and wipes on bumps.
+			cc := *sc.Cache
+			cc.Epochs = s.epochs
 			if s.pool != nil {
-				cache, err = s.pool.Namespace(name, db, *sc.Cache)
+				cache, err = s.pool.Namespace(name, db, cc)
 			} else {
-				cache, err = qcache.New(db, *sc.Cache)
+				cache, err = qcache.New(db, cc)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("service: open answer cache for %q: %w", name, err)
@@ -286,6 +306,42 @@ func New(cfg Config) (*Server, error) {
 				db = s.node.Source(name, cache, sc.DB)
 			}
 		}
+		// Every source has an epoch even without a cache (the dense index
+		// alone is worth invalidating); cached sources refine the seq
+		// from their persisted record inside Namespace above.
+		s.epochs.Register(name, nil, 1)
+		// Boot verification for the dense index: the answer cache
+		// recovered the source's epoch lineage above; a dense store whose
+		// recorded epoch is behind it holds crawls of a source version
+		// that no longer exists — a runtime wipe whose store cleanup
+		// failed, or a change detected before a restart — and is wiped
+		// now, before it can serve.
+		if seq := s.epochs.Seq(name); seq > ix.EpochSeq() {
+			if err := ix.Wipe(); err != nil {
+				return nil, fmt.Errorf("service: wipe stale dense index for %q: %w", name, err)
+			}
+			if err := ix.SetEpoch(seq); err != nil {
+				return nil, fmt.Errorf("service: record dense epoch for %q: %w", name, err)
+			}
+		}
+		// An epoch bump also invalidates the dense index: its entries are
+		// authoritative complete crawls of the pre-change source. The
+		// answer-cache namespace subscribed first (inside Namespace), so
+		// the wipe order on a bump is cache, then dense index. The epoch
+		// marker is recorded only after a fully successful wipe — on a
+		// store failure the marker stays behind and the next boot
+		// re-wipes (the in-memory state is cleared unconditionally).
+		s.epochs.Subscribe(name, func(e epoch.Epoch) {
+			if err := ix.Wipe(); err == nil {
+				_ = ix.SetEpoch(e.Seq)
+			}
+		})
+		// The change-detection prober replays sentinel queries against
+		// the raw database — probing through the cache would observe the
+		// cache, not the live source.
+		s.probers[name] = epoch.NewProber(s.epochs, name, sc.DB, epoch.ProberConfig{
+			Sentinels: cfg.ChangeSentinels,
+		})
 		s.sources[name] = &source{name: name, db: db, cache: cache, ix: ix, popular: sc.Popular}
 	}
 	if s.node != nil {
@@ -315,6 +371,35 @@ func (s *Server) Sessions() *session.Manager { return s.sessions }
 // daemon starts its health prober (Cluster().Start); tests drive probes
 // deterministically with CheckNow.
 func (s *Server) Cluster() *cluster.Node { return s.node }
+
+// Epochs exposes the source-epoch registry: current epoch per source,
+// with subscriber fan-out on bumps.
+func (s *Server) Epochs() *epoch.Registry { return s.epochs }
+
+// ChangeProbe replays one source's sentinel queries immediately,
+// reporting whether a change was detected (and the epoch bumped, with
+// every wipe completed). Operators and tests use it to drive detection
+// deterministically; production runs StartChangeProbes instead.
+func (s *Server) ChangeProbe(ctx context.Context, source string) (bumped bool, err error) {
+	p, ok := s.probers[source]
+	if !ok {
+		return false, fmt.Errorf("service: unknown source %q", source)
+	}
+	return p.Probe(ctx)
+}
+
+// StartChangeProbes launches the per-source change-detection loops on
+// Config.ChangeProbeInterval until ctx is cancelled. No-op when the
+// interval is zero. The first probe of each loop records the sentinel
+// baselines; detection begins with the second.
+func (s *Server) StartChangeProbes(ctx context.Context) {
+	if s.cfg.ChangeProbeInterval <= 0 {
+		return
+	}
+	for _, p := range s.probers {
+		go p.Run(ctx, s.cfg.ChangeProbeInterval)
+	}
+}
 
 // normalization lazily discovers a source's min/max bounds once.
 func (s *Server) normalization(ctx context.Context, src *source) (ranking.Normalization, error) {
@@ -413,19 +498,34 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, docs)
 }
 
+// epochStatsDoc is one source's epoch lifecycle state on GET /api/stats.
+type epochStatsDoc struct {
+	// Seq is the current source epoch; BumpedAt when it began.
+	Seq      uint64    `json:"seq"`
+	BumpedAt time.Time `json:"bumped_at"`
+	// Probes/Mismatches/Errors/Sentinels describe the change-detection
+	// prober for the source.
+	Probes     int64 `json:"probes"`
+	Mismatches int64 `json:"mismatches"`
+	Errors     int64 `json:"errors"`
+	Sentinels  int   `json:"sentinels"`
+}
+
 // sourceStatsDoc is one source's operational counters on GET /api/stats.
 type sourceStatsDoc struct {
-	SystemK                int           `json:"system_k"`
-	Cache                  *qcache.Stats `json:"cache,omitempty"`
-	CacheHitRate           float64       `json:"cache_hit_rate"`
-	DenseEntries           int           `json:"dense_entries"`
-	DenseTuples            int           `json:"dense_tuples"`
-	DenseHits              int64         `json:"dense_hits"`
-	DenseMisses            int64         `json:"dense_misses"`
-	DenseResidentEntries   int           `json:"dense_resident_entries"`
-	DenseResidentBytes     int64         `json:"dense_resident_bytes"`
-	DenseResidentLoads     int64         `json:"dense_resident_loads"`
-	DenseResidentEvictions int64         `json:"dense_resident_evictions"`
+	SystemK                int            `json:"system_k"`
+	Cache                  *qcache.Stats  `json:"cache,omitempty"`
+	CacheHitRate           float64        `json:"cache_hit_rate"`
+	Epoch                  *epochStatsDoc `json:"epoch,omitempty"`
+	DenseEntries           int            `json:"dense_entries"`
+	DenseTuples            int            `json:"dense_tuples"`
+	DenseHits              int64          `json:"dense_hits"`
+	DenseMisses            int64          `json:"dense_misses"`
+	DenseWipes             int64          `json:"dense_wipes"`
+	DenseResidentEntries   int            `json:"dense_resident_entries"`
+	DenseResidentBytes     int64          `json:"dense_resident_bytes"`
+	DenseResidentLoads     int64          `json:"dense_resident_loads"`
+	DenseResidentEvictions int64          `json:"dense_resident_evictions"`
 }
 
 type serviceStatsDoc struct {
@@ -469,6 +569,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DenseTuples:            ds.TuplesStored,
 			DenseHits:              ds.Hits,
 			DenseMisses:            ds.Misses,
+			DenseWipes:             ds.Wipes,
 			DenseResidentEntries:   ds.ResidentEntries,
 			DenseResidentBytes:     ds.ResidentBytes,
 			DenseResidentLoads:     ds.ResidentLoads,
@@ -478,6 +579,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			cs := src.cache.Stats()
 			sd.Cache = &cs
 			sd.CacheHitRate = cs.HitRate()
+		}
+		if e, ok := s.epochs.Get(name); ok {
+			ed := epochStatsDoc{Seq: e.Seq, BumpedAt: e.BumpedAt}
+			if p, ok := s.probers[name]; ok {
+				ps := p.Stats()
+				ed.Probes, ed.Mismatches, ed.Errors, ed.Sentinels =
+					ps.Probes, ps.Mismatches, ps.Errors, ps.Sentinels
+			}
+			sd.Epoch = &ed
 		}
 		doc.Sources[name] = sd
 	}

@@ -87,7 +87,9 @@ td, th { border: 1px solid #999; padding: 0.3em 0.6em; }
 </div>
 {{end}}
 <div class="stats">
-  <strong>Operational statistics</strong> (live, <code>/api/stats</code>)
+  <strong>Operational statistics</strong> (live, <code>/api/stats</code>) —
+  per-source cache, dense-index and <em>source-epoch</em> state (epoch seq,
+  change-probe counters); pool, memory and cluster sections when enabled.
   <pre id="live-stats" style="overflow-x:auto">loading…</pre>
 </div>
 <script>
