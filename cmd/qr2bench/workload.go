@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/qcache"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// workloadQuery is one request of the latency workload. Repeats of the
+// same form hit the answer pool; Narrower marks forms that are strict
+// subsets of an earlier one, exercising the containment path.
+type workloadQuery struct {
+	form url.Values
+	next int // follow-up /api/next calls in the same session
+}
+
+// latencyWorkload drives an in-process QR2 service through a mixed
+// cold/warm query schedule and writes the per-path and per-stage latency
+// percentiles measured by the service's own obs.Collector to outPath.
+func latencyWorkload(outPath string, quick bool, seed int64) error {
+	n := 4000
+	rounds := 3
+	if quick {
+		n, rounds = 1200, 2
+	}
+	cats := map[string]*datagen.Catalog{
+		"bluenile": datagen.BlueNile(n, seed),
+		"zillow":   datagen.Zillow(n, seed+1),
+	}
+	sources := map[string]service.SourceConfig{}
+	for name, cat := range cats {
+		db, err := hidden.NewLocal(name, cat.Rel, 50, cat.Rank)
+		if err != nil {
+			return err
+		}
+		sources[name] = service.SourceConfig{DB: db, Cache: &qcache.Config{}}
+	}
+	srv, err := service.New(service.Config{Sources: sources, Algorithm: core.Rerank})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	queries := []workloadQuery{
+		// Broad forms first: their complete cached answers serve the
+		// narrower repeats below via containment.
+		{form: url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"10"}, "min.carat": {"1"}}, next: 2},
+		{form: url.Values{"source": {"bluenile"}, "rank": {"-price"}, "k": {"10"}, "in.shape": {"Round"}}},
+		{form: url.Values{"source": {"bluenile"}, "rank": {"carat"}, "k": {"10"}, "max.price": {"20000"}}},
+		{form: url.Values{"source": {"zillow"}, "rank": {"price"}, "k": {"10"}, "min.beds": {"3"}}, next: 2},
+		{form: url.Values{"source": {"zillow"}, "rank": {"-sqft"}, "k": {"10"}, "max.price": {"900000"}}},
+		{form: url.Values{"source": {"zillow"}, "rank": {"year"}, "k": {"10"}, "min.baths": {"2"}}},
+	}
+	// The whole schedule runs `rounds` times: round one is cold (web
+	// queries), later rounds replay the identical forms from fresh
+	// sessions and land on the answer pool.
+	for round := 0; round < rounds; round++ {
+		for _, q := range queries {
+			if err := runOne(ts.URL, q); err != nil {
+				return err
+			}
+		}
+	}
+
+	rep := workload.LatencyFrom(srv.Observability(),
+		fmt.Sprintf("Per-path request latency and per-stage span latency of a mixed QR2 workload (cmd/qr2bench -workload): %d forms over bluenile+zillow (n=%d, system-k 50), %d rounds — round one cold, later rounds replaying identical forms from fresh sessions so they land on the answer pool. Percentiles are histogram-bucket upper bounds from the service's own internal/obs collector (the same data /metrics exports); regenerate with: go run ./cmd/qr2bench -workload -workload-out BENCH_workload.json.", len(queries), n, rounds),
+		"Single-CPU container; absolute numbers are machine-bound, the pool-hit vs. web path gap is the signal.")
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("qr2bench: workload latency report written to %s\n", outPath)
+	return nil
+}
+
+// runOne issues one query (plus its follow-up get-next calls) from a
+// fresh session so cache behaviour depends only on the shared pool.
+func runOne(base string, q workloadQuery) error {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Jar: jar}
+	resp, err := client.PostForm(base+"/api/query", q.form)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		QID   string `json:"qid"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query %v: status %d: %s", q.form, resp.StatusCode, doc.Error)
+	}
+	for i := 0; i < q.next; i++ {
+		resp, err := client.PostForm(base+"/api/next", url.Values{"qid": {doc.QID}})
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("next %s: status %d", doc.QID, resp.StatusCode)
+		}
+	}
+	return nil
+}

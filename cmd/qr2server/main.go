@@ -47,6 +47,12 @@
 // stale-epoch admissions are rejected; a recovered peer additionally
 // gets its fallback-admitted entries re-homed to it.
 //
+// Observability: every request is traced through the answer path
+// (internal/obs) — -trace-buffer sizes the /api/trace + /debug/requests
+// inspector ring, -slow-query gates the slow-query log, /metrics carries
+// per-stage latency histograms, and -debug-addr serves net/http/pprof on
+// a private side mux that is never mounted on the public -addr.
+//
 // Usage (quickstart):
 //
 //	qr2server -addr :8080 -sources bluenile,zillow -dense /var/lib/qr2
@@ -64,7 +70,9 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -117,6 +125,12 @@ func main() {
 			"period for live change-detection probes against each source (sentinel query replays; 0 = boot-time fingerprint only)")
 		sentinels = flag.Int("sentinels", epoch.DefaultSentinels,
 			"sentinel queries recorded per source for change detection")
+		traceBuffer = flag.Int("trace-buffer", 0,
+			"recent request traces kept for /api/trace and /debug/requests (0 = default 256, negative disables tracing)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"slow-query threshold: requests at or above it are logged and kept in /api/trace?slow=1 (0 disables)")
+		debugAddr = flag.String("debug-addr", "",
+			"listen address for the pprof side mux (/debug/pprof); empty disables — never exposed on the public -addr mux")
 	)
 	flag.Parse()
 	if (*peers == "") != (*self == "") {
@@ -150,6 +164,9 @@ func main() {
 		SelfID:              *self,
 		ChangeProbeInterval: *changeProbe,
 		ChangeSentinels:     *sentinels,
+		TraceBuffer:         *traceBuffer,
+		SlowQuery:           *slowQuery,
+		Logger:              slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	if *peers != "" {
 		cfg.Peers = map[string]string{}
@@ -232,6 +249,14 @@ func main() {
 			}
 		}
 	}()
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener: profiling endpoints on
+		// the public address would hand any user heap dumps and CPU time.
+		go func() {
+			log.Printf("qr2server: pprof on %s/debug/pprof/", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, pprofMux()))
+		}()
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -239,6 +264,18 @@ func main() {
 	}
 	log.Printf("qr2server: listening on %s (default algorithm %s)", *addr, *algo)
 	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// pprofMux builds a mux exposing only the net/http/pprof handlers, kept
+// apart from the public service mux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // openStore opens a persistent kvstore file under dir (dense index or

@@ -10,6 +10,12 @@
 // the simulated latency, and identical concurrent searches are coalesced —
 // the behaviour of a web database with its own result cache.
 //
+// Observability mirrors qr2server's: every /search runs under an
+// internal/obs trace (the cache and the simulator record spans on it),
+// -trace-buffer sizes the /api/trace + /debug/requests inspector,
+// -slow-query gates the slow-query log, and -debug-addr serves
+// net/http/pprof on a private side mux, never on the public -addr.
+//
 // Usage:
 //
 //	wdbserver -source bluenile -n 20000 -k 50 -addr :8081 -latency 300ms
@@ -21,15 +27,20 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/relation"
 	"repro/internal/wdbhttp"
@@ -53,6 +64,12 @@ func main() {
 			"serve strictly narrower predicates from complete cached answers (overflow-aware reuse)")
 		memBudget = flag.Int64("mem-budget", 0,
 			"process-wide cache byte budget; the answer cache is wdbserver's only governed consumer, so this overrides -cache-bytes when set (qr2server additionally splits it with the dense indexes)")
+		traceBuffer = flag.Int("trace-buffer", 0,
+			"recent search traces kept for /api/trace and /debug/requests (0 = default 256, negative disables tracing)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"slow-search threshold: searches at or above it are logged and kept in /api/trace?slow=1 (0 disables)")
+		debugAddr = flag.String("debug-addr", "",
+			"listen address for the pprof side mux (/debug/pprof); empty disables — never exposed on the public -addr mux")
 	)
 	flag.Parse()
 	if *memBudget > 0 {
@@ -120,14 +137,68 @@ func main() {
 		log.Printf("wdbserver: answer cache enabled (%d bytes, ttl %s, %d warm entries)",
 			*cacheBytes, *cacheTTL, cached.Stats().Warmed)
 	}
+	var root http.Handler = wdbhttp.NewServer(db)
+	if *traceBuffer >= 0 {
+		col := obs.NewCollector(obs.CollectorConfig{
+			Buffer: *traceBuffer,
+			Slow:   *slowQuery,
+			Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		})
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /api/trace", col.ServeTraces)
+		mux.HandleFunc("GET /debug/requests", col.ServeDebug)
+		mux.Handle("/", traceSearches(col, root))
+		root = mux
+	}
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener: profiling endpoints on
+		// the public address would hand any user heap dumps and CPU time.
+		go func() {
+			log.Printf("wdbserver: pprof on %s/debug/pprof/", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, pprofMux()))
+		}()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           wdbhttp.NewServer(db),
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("wdbserver: serving %s (%d tuples, system-k %d, latency %s) on %s",
 		cat.Name, cat.Rel.Len(), *systemK, *latency, *addr)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// traceSearches runs every /search under an obs trace so the answer
+// cache (when enabled) and the simulator record spans; the request ID is
+// taken from the caller's X-QR2-Request header when present, making the
+// server-side trace correlatable with the QR2 replica that issued it.
+func traceSearches(col *obs.Collector, next http.Handler) http.Handler {
+	var counter atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/search" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rid := r.Header.Get(obs.RequestHeader)
+		if rid == "" {
+			rid = fmt.Sprintf("w%x-%x", time.Now().UnixNano(), counter.Add(1))
+		}
+		t := col.Start("search", rid)
+		next.ServeHTTP(w, r.WithContext(obs.With(r.Context(), t)))
+		col.Done(t, nil)
+	})
+}
+
+// pprofMux builds a mux exposing only the net/http/pprof handlers, kept
+// apart from the public database mux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // dumpSnapshot writes schema.json and data.csv into dir.

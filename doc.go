@@ -83,6 +83,31 @@
 // membership and forward/fallback traffic — are exported on GET
 // /api/stats (JSON) and GET /metrics (Prometheus text).
 //
+// Observability goes below counters: internal/obs threads a per-request
+// trace through the whole answer path (one span per stage — pool lookup,
+// containment, dense TopIn, ring route, peer forward, each web-database
+// round trip, rerank, epoch fence), derives the request's decision path
+// from span evidence, aggregates latencies into lock-free log-bucketed
+// histograms exported as Prometheus histogram families on /metrics, and
+// keeps a ring of recent plus slow traces served at GET /api/trace
+// (JSON) and GET /debug/requests (human-readable). Every /api/query
+// response carries its trace ID; request IDs propagate to peer forwards
+// via the X-QR2-Request header so one lookup is correlatable across
+// replicas. Tracing is on by default and costs ~6 ns per hook when
+// disabled (BENCH_obs.json; -trace-buffer -1 disables, -slow-query gates
+// the slow log).
+//
+// Profiling quickstart: both servers take -debug-addr, which serves
+// net/http/pprof on a private side mux (never the public listener):
+//
+//	qr2server -debug-addr localhost:6060 ...
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//	go tool pprof http://localhost:6060/debug/pprof/heap
+//	curl -s 'http://localhost:6060/debug/pprof/trace?seconds=5' > trace.out && go tool trace trace.out
+//
+// Pair a profile with GET /debug/requests on the public address to match
+// CPU time against the stages of the slow requests that spent it.
+//
 // See README.md for the architecture, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for the reproduced evaluation.
 // The benchmark file bench_test.go in this directory regenerates every

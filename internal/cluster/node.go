@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/epoch"
 	"repro/internal/hidden"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/relation"
 )
@@ -468,9 +469,14 @@ func (s *clusterSource) AdmitCrawlAt(pred relation.Predicate, tuples []relation.
 //     pool — requests never fail because a peer did.
 func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
 	n := s.node
+	tr := obs.FromContext(ctx)
+	// The ring-route span covers owner resolution: hit means the key is
+	// owned (or adopted) locally, miss means it belongs to a peer.
+	tmR := tr.Start(obs.StageRingRoute)
 	key := qcache.KeyOf(p)
 	owner, ok := n.owner(s.name, key)
 	if !ok || owner == n.self {
+		tmR.End(obs.OutcomeHit)
 		n.ownedLocal.Add(1)
 		res, err := s.cache.Search(ctx, p)
 		// If this replica owns the key only as the ring successor of a
@@ -485,6 +491,7 @@ func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidde
 		}
 		return res, err
 	}
+	tmR.End(obs.OutcomeMiss)
 	if res, ok := s.cache.Peek(p); ok {
 		n.localHits.Add(1)
 		return res, nil
@@ -535,8 +542,10 @@ func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relat
 	// epoch bumps while the web query is in flight the owner rejects the
 	// (possibly pre-change) answer instead of installing it.
 	seq := n.seqOf(s.name)
+	tmF := obs.FromContext(ctx).Start(obs.StagePeerForward)
 	res, found, err := n.remoteGet(ctx, owner, s.name, s.Schema(), p, seq)
 	if err != nil {
+		tmF.End(obs.OutcomeError)
 		if isContextErr(err) && ctx.Err() != nil {
 			return hidden.Result{}, err
 		}
@@ -557,15 +566,17 @@ func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relat
 		return res, err
 	}
 	if found {
+		tmF.End(obs.OutcomeHit)
 		n.forwardHits.Add(1)
 		return res, nil
 	}
+	tmF.End(obs.OutcomeMiss)
 	n.forwardMisses.Add(1)
 	res, err = s.inner.Search(ctx, p)
 	if err != nil {
 		return hidden.Result{}, err
 	}
-	n.asyncAdmit(owner, s.name, s.Schema(), p, copyTuples(res), seq)
+	n.asyncAdmit(obs.RequestID(ctx), owner, s.name, s.Schema(), p, copyTuples(res), seq)
 	return res, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/hidden"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/relation"
 	"repro/internal/wdbhttp"
@@ -294,6 +295,9 @@ func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation
 	if err != nil {
 		return hidden.Result{}, false, err
 	}
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(obs.RequestHeader, rid)
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: get from %s: %w", owner, err)}
@@ -355,6 +359,9 @@ func (n *Node) put(ctx context.Context, owner, ns string, schema *relation.Schem
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(obs.RequestHeader, rid)
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return &peerDownError{err: fmt.Errorf("cluster: put to %s: %w", owner, err)}
@@ -368,16 +375,18 @@ func (n *Node) put(ctx context.Context, owner, ns string, schema *relation.Schem
 
 // asyncAdmit pushes a locally computed answer to its owner in the
 // background, tagged with the epoch seq captured before the web query
-// was issued. The push is best-effort: a lost admission — including one
-// the owner rejects as stale-epoch — costs at most one repeated
-// web-database query later, never correctness. Quiesce waits for
-// outstanding pushes.
-func (n *Node) asyncAdmit(owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) {
+// was issued and the originating request's ID (so the owner's logs can
+// correlate the push with the forward that caused it). The push is
+// best-effort: a lost admission — including one the owner rejects as
+// stale-epoch — costs at most one repeated web-database query later,
+// never correctness. Quiesce waits for outstanding pushes.
+func (n *Node) asyncAdmit(rid, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) {
 	n.admits.Add(1)
 	go func() {
 		defer n.admits.Done()
 		n.admitsSent.Add(1)
-		if err := n.put(context.Background(), owner, ns, schema, p, res, seq); err != nil {
+		ctx := obs.WithRequestID(context.Background(), rid)
+		if err := n.put(ctx, owner, ns, schema, p, res, seq); err != nil {
 			n.admitErrors.Add(1)
 			if isPeerDown(err) {
 				n.health.markDead(owner)

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/crawl"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/relation"
 )
@@ -182,7 +183,7 @@ func (e *engine) next(ctx context.Context) (relation.Tuple, bool, error) {
 		if e.algo == Rerank {
 			toQuery = toQuery[:0:0]
 			for _, lf := range frontier {
-				hit, err := e.tryDenseIndex(lf)
+				hit, err := e.tryDenseIndex(ctx, lf)
 				if err != nil {
 					return relation.Tuple{}, false, err
 				}
@@ -280,15 +281,20 @@ func sortLeavesByLinearMin(ls []*leaf) {
 // rankings — every 1D stream, including the per-attribute sorted-access
 // substreams of MD-TA — go through the index's cached per-attribute
 // ordering instead of an ad-hoc sort.
-func (e *engine) tryDenseIndex(lf *leaf) (bool, error) {
+func (e *engine) tryDenseIndex(ctx context.Context, lf *leaf) (bool, error) {
+	// The dense index itself is context-free; the span is opened here,
+	// the nearest layer that still holds the request context.
+	tm := obs.FromContext(ctx).Start(obs.StageDenseTopIn)
 	rr := e.rawRect(lf.rect)
 	entry, ok := e.st.r.ix.Find(rr)
 	if !ok {
+		tm.End(obs.OutcomeMiss)
 		return false, nil
 	}
 	if len(e.attrs) == 1 {
 		tuples, err := e.st.r.ix.TopInByAttr(entry.ID, rr, e.st.pred, e.attrs[0], e.weights[0] < 0, nil, 0)
 		if err != nil {
+			tm.End(obs.OutcomeError)
 			return false, err
 		}
 		e.st.observe(tuples)
@@ -306,10 +312,12 @@ func (e *engine) tryDenseIndex(lf *leaf) (bool, error) {
 			return true
 		})
 		if err != nil {
+			tm.End(obs.OutcomeError)
 			return false, err
 		}
 		e.st.observe(chunk)
 	}
+	tm.End(obs.OutcomeHit)
 	lf.state = leafEnumerated
 	e.st.last.DenseHits++
 	return true, nil

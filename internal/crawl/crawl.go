@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/relation"
 )
@@ -102,11 +103,16 @@ type EpochAdmitter interface {
 // more than system-k tuples identical on every searchable attribute,
 // which no sequence of interface queries can separate (Stats.Saturated
 // counts such regions; the paper accepts this limitation).
-func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, opts Options) (map[int64]relation.Tuple, Stats, error) {
+func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, opts Options) (out map[int64]relation.Tuple, stats Stats, err error) {
+	// The crawl span reports its own query total; the individual queries
+	// inside are traced as web_query spans by the leaf database, so only
+	// those count toward the trace's web-query tally.
+	tm := obs.FromContext(ctx).Start(obs.StageCrawl)
+	defer func() { tm.EndQueries(obs.ErrOutcome(err, obs.OutcomeOK), stats.Queries) }()
 	opts = opts.withDefaults()
 	schema := ex.DB().Schema()
-	out := make(map[int64]relation.Tuple)
-	stats := Stats{Complete: true}
+	out = make(map[int64]relation.Tuple)
+	stats = Stats{Complete: true}
 	var crawlEpoch uint64
 	if ep, ok := ex.DB().(Epocher); ok {
 		crawlEpoch = ep.EpochSeq()

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -111,7 +112,13 @@ func (l *Local) SystemK() int { return l.k }
 
 // Search implements DB. Results are the true top-k of the matching set
 // under the system ranking; Overflow is set iff more than k tuples match.
-func (l *Local) Search(ctx context.Context, p relation.Predicate) (Result, error) {
+// Each call is one web-database round trip, so it records one web_query
+// span on the request's trace — the leaf is the only place every real
+// query passes through exactly once, whichever caching or clustering
+// decorators sit above it.
+func (l *Local) Search(ctx context.Context, p relation.Predicate) (res Result, err error) {
+	tm := obs.FromContext(ctx).Start(obs.StageWebQuery)
+	defer func() { tm.EndQueries(obs.ErrOutcome(err, obs.OutcomeOK), 1) }()
 	l.queries.Add(1)
 	if l.latency > 0 {
 		select {
@@ -125,7 +132,6 @@ func (l *Local) Search(ctx context.Context, p relation.Predicate) (Result, error
 	if p.Unsatisfiable() {
 		return Result{}, nil
 	}
-	var res Result
 	for i, pos := range l.order {
 		if i%4096 == 0 {
 			if err := ctx.Err(); err != nil {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled is the cost every hook pays when tracing is off:
+// a context lookup, a nil-trace Start and a zero-Timer End. The CI bench
+// smoke gate requires this to stay under 100 ns — it sits on the answer
+// path of every request.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := FromContext(ctx).Start(StageWebQuery)
+		tm.EndQueries(OutcomeOK, 1)
+	}
+}
+
+// BenchmarkSpanEnabled is the same hook with a live trace: clock read,
+// mutex, span append. Traces are swapped out before the span cap so the
+// append path (not the cap check) is what's measured.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTrace("query", "r1")
+	ctx := With(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%maxSpans == maxSpans-1 {
+			b.StopTimer()
+			tr = NewTrace("query", "r1")
+			ctx = With(context.Background(), tr)
+			b.StartTimer()
+		}
+		tm := FromContext(ctx).Start(StageWebQuery)
+		tm.EndQueries(OutcomeOK, 1)
+	}
+}
+
+// BenchmarkHistogramObserve is one latency observation: a bucket index
+// computation plus two atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%100_000) + 1)
+	}
+}
+
+// BenchmarkCollectorDone is trace completion: snapshot, histogram folds
+// for a typical five-span request, path classification and a ring push.
+func BenchmarkCollectorDone(b *testing.B) {
+	c := NewCollector(CollectorConfig{
+		Buffer: 256,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := c.Start("query", "r1")
+		tr.Start(StageCanonicalize).End(OutcomeOK)
+		tr.Start(StagePoolLookup).End(OutcomeMiss)
+		tr.Start(StageContainment).End(OutcomeMiss)
+		tr.Start(StageWebQuery).EndQueries(OutcomeOK, 1)
+		tr.Start(StageEpochFence).End(OutcomeOK)
+		c.Done(tr, nil)
+	}
+}

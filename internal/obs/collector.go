@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector aggregates completed traces: latency histograms per
+// stage+outcome and per decision path, a ring of recent traces, and a
+// threshold-gated ring of slow traces. All methods are safe on a nil
+// receiver, so callers can hold a nil *Collector when tracing is off.
+type Collector struct {
+	stage   [numStages][numOutcomes]Histogram
+	request [numPaths]Histogram
+
+	slow   time.Duration
+	logger *slog.Logger
+
+	total     atomic.Uint64
+	slowTotal atomic.Uint64
+
+	mu       sync.Mutex
+	ring     traceRing
+	slowRing traceRing
+}
+
+// CollectorConfig configures a Collector.
+type CollectorConfig struct {
+	// Buffer is the capacity of the recent-trace ring (default 256).
+	Buffer int
+	// Slow is the slow-query threshold; traces at or above it enter the
+	// slow ring and are logged. Zero disables the slow log.
+	Slow time.Duration
+	// Logger receives one line per slow query (nil: slog.Default).
+	Logger *slog.Logger
+}
+
+// NewCollector builds a collector.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	slowCap := 64
+	if slowCap > cfg.Buffer {
+		slowCap = cfg.Buffer
+	}
+	return &Collector{
+		slow:     cfg.Slow,
+		logger:   logger,
+		ring:     traceRing{docs: make([]*TraceDoc, cfg.Buffer)},
+		slowRing: traceRing{docs: make([]*TraceDoc, slowCap)},
+	}
+}
+
+// Start begins a trace for one request, or returns nil when the
+// collector is nil (tracing off).
+func (c *Collector) Start(op, id string) *Trace {
+	if c == nil {
+		return nil
+	}
+	return NewTrace(op, id)
+}
+
+// Done completes a trace: spans are folded into the stage histograms,
+// the request latency into its path's histogram, and the snapshot into
+// the rings. Done with a nil trace or collector is a no-op.
+func (c *Collector) Done(t *Trace, err error) *TraceDoc {
+	if c == nil || t == nil {
+		return nil
+	}
+	doc, spans := t.finish(err)
+	for _, sp := range spans {
+		c.stage[sp.Stage][sp.Outcome].Observe(sp.Dur)
+	}
+	elapsed := time.Duration(doc.ElapsedNS)
+	c.request[doc.path].Observe(elapsed)
+	c.total.Add(1)
+	slow := c.slow > 0 && elapsed >= c.slow
+	c.mu.Lock()
+	c.ring.push(doc)
+	if slow {
+		c.slowRing.push(doc)
+	}
+	c.mu.Unlock()
+	if slow {
+		c.slowTotal.Add(1)
+		c.logger.Warn("slow query",
+			"id", doc.ID, "op", doc.Op, "source", doc.Source,
+			"path", doc.Path, "web_queries", doc.WebQueries,
+			"elapsed", elapsed, "detail", doc.Detail)
+	}
+	return doc
+}
+
+// traceRing is a fixed-capacity overwrite ring; Done holds c.mu while
+// pushing, readers hold it while copying out.
+type traceRing struct {
+	docs []*TraceDoc
+	next int
+}
+
+func (r *traceRing) push(d *TraceDoc) {
+	if len(r.docs) == 0 {
+		return
+	}
+	r.docs[r.next] = d
+	r.next = (r.next + 1) % len(r.docs)
+}
+
+// newestFirst copies up to n traces out, most recent first.
+func (r *traceRing) newestFirst(n int) []*TraceDoc {
+	if n <= 0 || n > len(r.docs) {
+		n = len(r.docs)
+	}
+	out := make([]*TraceDoc, 0, n)
+	for i := 1; i <= len(r.docs) && len(out) < n; i++ {
+		d := r.docs[(r.next-i+len(r.docs))%len(r.docs)]
+		if d == nil {
+			break
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Recent returns up to n completed traces, most recent first (n <= 0:
+// the whole ring). slowOnly restricts to the slow-query ring.
+func (c *Collector) Recent(n int, slowOnly bool) []*TraceDoc {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slowOnly {
+		return c.slowRing.newestFirst(n)
+	}
+	return c.ring.newestFirst(n)
+}
+
+// traceListDoc is the JSON document served by GET /api/trace.
+type traceListDoc struct {
+	Total     uint64      `json:"total"`
+	SlowTotal uint64      `json:"slow_total"`
+	SlowNS    int64       `json:"slow_threshold_ns,omitempty"`
+	Traces    []*TraceDoc `json:"traces"`
+}
+
+// ServeTraces handles GET /api/trace. Query parameters: n limits the
+// count, slow=1 selects the slow-query ring, id selects one trace.
+func (c *Collector) ServeTraces(w http.ResponseWriter, r *http.Request) {
+	if c == nil {
+		http.Error(w, `{"error":"tracing disabled"}`, http.StatusServiceUnavailable)
+		return
+	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	slowOnly := r.URL.Query().Get("slow") == "1"
+	docs := c.Recent(n, slowOnly)
+	if id := r.URL.Query().Get("id"); id != "" {
+		filtered := docs[:0:0]
+		for _, d := range docs {
+			if d.ID == id {
+				filtered = append(filtered, d)
+			}
+		}
+		docs = filtered
+	}
+	out := traceListDoc{
+		Total:     c.total.Load(),
+		SlowTotal: c.slowTotal.Load(),
+		SlowNS:    int64(c.slow),
+		Traces:    docs,
+	}
+	if out.Traces == nil {
+		out.Traces = []*TraceDoc{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// ServeDebug handles GET /debug/requests with a human-readable table of
+// recent and slow requests, in the spirit of x/net/trace.
+func (c *Collector) ServeDebug(w http.ResponseWriter, r *http.Request) {
+	if c == nil {
+		http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>qr2 requests</title>"+
+		"<style>body{font-family:monospace}table{border-collapse:collapse}"+
+		"td,th{border:1px solid #999;padding:2px 8px;text-align:left}"+
+		"details{margin:2px 0}</style></head><body>\n")
+	fmt.Fprintf(w, "<h1>recent requests</h1><p>%d completed, %d slow (threshold %v)</p>\n",
+		c.total.Load(), c.slowTotal.Load(), c.slow)
+	c.writeDebugTable(w, "slow", c.Recent(0, true))
+	c.writeDebugTable(w, "recent", c.Recent(0, false))
+	fmt.Fprintf(w, "</body></html>\n")
+}
+
+func (c *Collector) writeDebugTable(w io.Writer, title string, docs []*TraceDoc) {
+	fmt.Fprintf(w, "<h2>%s (%d)</h2>\n", html.EscapeString(title), len(docs))
+	if len(docs) == 0 {
+		fmt.Fprintf(w, "<p>none</p>\n")
+		return
+	}
+	fmt.Fprintf(w, "<table><tr><th>when</th><th>id</th><th>op</th><th>source</th>"+
+		"<th>path</th><th>queries</th><th>elapsed</th><th>detail</th><th>spans</th></tr>\n")
+	for _, d := range docs {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td>"+
+			"<td>%d</td><td>%v</td><td>%s</td><td><details><summary>%d</summary><pre>",
+			d.Begin.Format("15:04:05.000"), html.EscapeString(d.ID),
+			html.EscapeString(d.Op), html.EscapeString(d.Source),
+			html.EscapeString(d.Path), d.WebQueries,
+			time.Duration(d.ElapsedNS), html.EscapeString(d.Detail), len(d.Spans))
+		for _, sp := range d.Spans {
+			fmt.Fprintf(w, "%-14s %-9s +%-12v %v", sp.Stage, sp.Outcome,
+				time.Duration(sp.StartNS), time.Duration(sp.DurNS))
+			if sp.Queries > 0 {
+				fmt.Fprintf(w, "  queries=%d", sp.Queries)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+		if d.Error != "" {
+			fmt.Fprintf(w, "error: %s\n", html.EscapeString(d.Error))
+		}
+		fmt.Fprintf(w, "</pre></details></td></tr>\n")
+	}
+	fmt.Fprintf(w, "</table>\n")
+}
+
+// WriteMetrics appends the collector's Prometheus families to w:
+// qr2_stage_latency_seconds{stage,outcome}, qr2_request_latency_seconds
+// {path}, qr2_traces_total and qr2_slow_requests_total. Empty
+// stage/outcome and path series are omitted to keep scrapes compact.
+func (c *Collector) WriteMetrics(w io.Writer) {
+	if c == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP qr2_traces_total Completed request traces.\n")
+	fmt.Fprintf(w, "# TYPE qr2_traces_total counter\n")
+	fmt.Fprintf(w, "qr2_traces_total %d\n", c.total.Load())
+	fmt.Fprintf(w, "# HELP qr2_slow_requests_total Requests at or above the slow-query threshold.\n")
+	fmt.Fprintf(w, "# TYPE qr2_slow_requests_total counter\n")
+	fmt.Fprintf(w, "qr2_slow_requests_total %d\n", c.slowTotal.Load())
+
+	fmt.Fprintf(w, "# HELP qr2_stage_latency_seconds Per-stage span latency by outcome.\n")
+	fmt.Fprintf(w, "# TYPE qr2_stage_latency_seconds histogram\n")
+	for s := Stage(0); s < numStages; s++ {
+		for o := Outcome(0); o < numOutcomes; o++ {
+			h := &c.stage[s][o]
+			if h.Count() == 0 {
+				continue
+			}
+			labels := fmt.Sprintf("stage=%q,outcome=%q", s.String(), o.String())
+			h.writeProm(w, "qr2_stage_latency_seconds", labels)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP qr2_request_latency_seconds End-to-end request latency by decision path.\n")
+	fmt.Fprintf(w, "# TYPE qr2_request_latency_seconds histogram\n")
+	for p := Path(0); p < numPaths; p++ {
+		h := &c.request[p]
+		if h.Count() == 0 {
+			continue
+		}
+		h.writeProm(w, "qr2_request_latency_seconds", fmt.Sprintf("path=%q", p.String()))
+	}
+}
+
+// Percentiles summarises one histogram for reports.
+type Percentiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P90   float64 `json:"p90_s"`
+	P99   float64 `json:"p99_s"`
+	P999  float64 `json:"p999_s"`
+	MeanS float64 `json:"mean_s"`
+}
+
+func percentilesOf(h *Histogram) Percentiles {
+	counts, sum := h.snapshot()
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	p := Percentiles{Count: total}
+	if total == 0 {
+		return p
+	}
+	p.P50 = h.Quantile(0.5).Seconds()
+	p.P90 = h.Quantile(0.9).Seconds()
+	p.P99 = h.Quantile(0.99).Seconds()
+	p.P999 = h.Quantile(0.999).Seconds()
+	p.MeanS = float64(sum) / 1e9 / float64(total)
+	return p
+}
+
+// RequestPercentiles returns the per-path request latency summaries for
+// paths that saw traffic, ordered by path name.
+func (c *Collector) RequestPercentiles() map[string]Percentiles {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]Percentiles)
+	for p := Path(0); p < numPaths; p++ {
+		h := &c.request[p]
+		if h.Count() == 0 {
+			continue
+		}
+		out[p.String()] = percentilesOf(h)
+	}
+	return out
+}
+
+// StagePercentiles returns per-stage latency summaries (all outcomes of
+// a stage merged by quantile over the combined snapshot is not possible
+// without re-bucketing, so each stage+outcome pair reports separately).
+func (c *Collector) StagePercentiles() map[string]Percentiles {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]Percentiles)
+	for s := Stage(0); s < numStages; s++ {
+		for o := Outcome(0); o < numOutcomes; o++ {
+			h := &c.stage[s][o]
+			if h.Count() == 0 {
+				continue
+			}
+			out[s.String()+"/"+o.String()] = percentilesOf(h)
+		}
+	}
+	return out
+}
+
+// SortedKeys returns a map's keys in sorted order; report writers use it
+// for deterministic JSON artifacts.
+func SortedKeys(m map[string]Percentiles) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

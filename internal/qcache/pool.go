@@ -14,6 +14,7 @@ import (
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/memgov"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -343,7 +344,10 @@ type namespace struct {
 // in-flight search is joined; otherwise the caller becomes the leader,
 // queries the inner database once and publishes the result.
 func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	tr := obs.FromContext(ctx)
+	tmKey := tr.Start(obs.StageCanonicalize)
 	key := KeyOf(p)
+	tmKey.End(obs.OutcomeOK)
 	pkey := ns.prefix + key
 	sh := ns.pool.shardFor(pkey)
 	// The containment scan must not run under the shard mutex — it would
@@ -353,26 +357,35 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 	// in-flight leader in the meantime.
 	triedContainment := ns.complete == nil
 	for {
+		// The pool-lookup span covers the exact-match probe; a coalesced
+		// outcome additionally covers the wait on the leader's flight.
+		tmLk := tr.Start(obs.StagePoolLookup)
 		sh.mu.Lock()
 		if res, ok := ns.lookupLocked(sh, pkey); ok {
 			sh.mu.Unlock()
+			tmLk.End(obs.OutcomeHit)
 			ns.hits.Add(1)
 			return res, nil
 		}
 		if !triedContainment {
 			sh.mu.Unlock()
+			tmLk.End(obs.OutcomeMiss)
 			triedContainment = true
+			tmC := tr.Start(obs.StageContainment)
 			if res, winner, viaCrawl, ok := ns.complete.lookup(p, ns.ttl, ns.pool.now(), ns.systemK); ok {
 				// Refresh the serving entry's LRU position: the complete
 				// answer absorbing this traffic must not age out as cold.
 				ns.touch(winner)
 				if viaCrawl {
+					tmC.EndAs(obs.StageCrawlSet, obs.OutcomeHit)
 					ns.crawlHits.Add(1)
 				} else {
+					tmC.End(obs.OutcomeHit)
 					ns.contained.Add(1)
 				}
 				return res, nil
 			}
+			tmC.End(obs.OutcomeMiss)
 			continue
 		}
 		if fl, ok := sh.flights[pkey]; ok {
@@ -381,11 +394,14 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
+				tmLk.End(obs.OutcomeError)
 				return hidden.Result{}, ctx.Err()
 			}
 			if fl.err == nil {
+				tmLk.End(obs.OutcomeCoalesced)
 				return copyResult(fl.res), nil
 			}
+			tmLk.End(obs.OutcomeError)
 			// The leader failed. When it died with its own context
 			// while ours is still live, retry as a fresh leader
 			// rather than surfacing someone else's cancellation.
@@ -397,6 +413,7 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		fl := &flight{done: make(chan struct{})}
 		sh.flights[pkey] = fl
 		sh.mu.Unlock()
+		tmLk.End(obs.OutcomeMiss)
 		ns.misses.Add(1)
 		seq := ns.epochSeq.Load()
 
@@ -407,6 +424,7 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 			admitted bool
 			victims  []victim
 		)
+		tmF := tr.Start(obs.StageEpochFence)
 		sh.mu.Lock()
 		delete(sh.flights, pkey)
 		// The epoch gate: re-check the seq captured before the inner query
@@ -418,6 +436,14 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 			admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
 		}
 		sh.mu.Unlock()
+		switch {
+		case err != nil:
+			tmF.End(obs.OutcomeError)
+		case admitted:
+			tmF.End(obs.OutcomeOK)
+		default:
+			tmF.End(obs.OutcomeMiss)
+		}
 		close(fl.done)
 		if err != nil {
 			return hidden.Result{}, err

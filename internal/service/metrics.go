@@ -182,6 +182,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Per-stage and per-path latency histograms (_bucket/_sum/_count
+	// families) from the request tracer; no-op with tracing disabled.
+	s.obsC.WriteMetrics(&b)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

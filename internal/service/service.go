@@ -44,13 +44,32 @@
 // local serving; /api/stats and /metrics expose ring membership and the
 // ownership/forward/fallback counters.
 //
+// # Observability
+//
+// Every request runs under an internal/obs trace: one span per pipeline
+// stage (canonicalize, pool lookup, containment, crawl set, dense TopIn,
+// ring route, peer forward, web query, crawl, rerank, epoch fence) with
+// an outcome tag, folded at completion into lock-free latency histograms
+// per stage+outcome and per decision path. /metrics exposes them as
+// Prometheus histogram families (qr2_stage_latency_seconds,
+// qr2_request_latency_seconds); GET /api/trace serves the ring of recent
+// completed traces as JSON and GET /debug/requests as a human-readable
+// table, with a threshold-gated slow-query log on top (Config.SlowQuery).
+// Each request carries an ID — minted here or taken from an inbound
+// X-QR2-Request header — that peer forwards and web-database calls
+// propagate, so one logical lookup is correlatable across replicas.
+// Structured request logging goes to Config.Logger (log/slog).
+//
 // Endpoints:
 //
 //	GET  /api/sources        data sources, their schemas, popular functions
 //	POST /api/query          run a reranking query, returns page 1 + stats
 //	POST /api/next           next page for a previous query (qid)
 //	GET  /api/stats          per-source cache and dense-index statistics
-//	GET  /metrics            the same counters, Prometheus text format
+//	GET  /api/trace          recent request traces, JSON (?n=, ?slow=1, ?id=)
+//	GET  /debug/requests     recent and slow requests, human-readable
+//	GET  /metrics            counters plus per-stage latency histograms,
+//	                         Prometheus text format
 //	GET  /cluster/get, /cluster/put, /cluster/ring  peer protocol (cluster mode)
 //	GET  /                   minimal HTML UI over the same operations
 //	POST /ui/query, /ui/next HTML form variants
@@ -61,6 +80,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -75,6 +95,7 @@ import (
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/memgov"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -162,6 +183,18 @@ type Config struct {
 	// ChangeSentinels is the number of sentinel queries recorded per
 	// source (default epoch.DefaultSentinels).
 	ChangeSentinels int
+	// TraceBuffer sizes the ring of recent completed request traces
+	// served by /api/trace and /debug/requests (0 = 256 traces).
+	// Negative disables tracing entirely: no spans are recorded, the
+	// latency histograms stay empty and the trace endpoints return 503.
+	TraceBuffer int
+	// SlowQuery is the slow-query threshold: requests at or above it
+	// enter a dedicated ring (GET /api/trace?slow=1) and emit one warning
+	// log line. Zero disables the slow log.
+	SlowQuery time.Duration
+	// Logger receives one structured line per request (log/slog). Nil
+	// discards logs.
+	Logger *slog.Logger
 }
 
 // Budget shares guaranteed under a MemBudget governor: a quarter of the
@@ -183,6 +216,8 @@ type Server struct {
 	node     *cluster.Node    // non-nil when SelfID/Peers join a replica ring
 	epochs   *epoch.Registry  // the source-epoch lifecycle, always present
 	probers  map[string]*epoch.Prober
+	obsC     *obs.Collector // nil when tracing is disabled (TraceBuffer < 0)
+	log      *slog.Logger
 	mux      *http.ServeMux
 }
 
@@ -234,7 +269,18 @@ func New(cfg Config) (*Server, error) {
 		sources:  make(map[string]*source),
 		epochs:   epoch.NewRegistry(),
 		probers:  make(map[string]*epoch.Prober),
+		log:      cfg.Logger,
 		mux:      http.NewServeMux(),
+	}
+	if s.log == nil {
+		s.log = discardLogger()
+	}
+	if cfg.TraceBuffer >= 0 {
+		s.obsC = obs.NewCollector(obs.CollectorConfig{
+			Buffer: cfg.TraceBuffer,
+			Slow:   cfg.SlowQuery,
+			Logger: s.log,
+		})
 	}
 	if cfg.MemBudget > 0 {
 		s.gov = memgov.New(cfg.MemBudget)
@@ -351,6 +397,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/next", s.handleNext)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	// The trace endpoints are mounted even with tracing disabled: the
+	// nil collector's handlers answer 503, which beats a generic 404 when
+	// an operator wonders why /api/trace is empty.
+	s.mux.HandleFunc("GET /api/trace", s.obsC.ServeTraces)
+	s.mux.HandleFunc("GET /debug/requests", s.obsC.ServeDebug)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -359,8 +410,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Peer-protocol requests are wrapped
+// in a trace carrying the forwarded X-QR2-Request ID, so a cluster get
+// appears on the owner's inspector correlated with the caller's trace.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obsC != nil {
+		switch r.URL.Path {
+		case "/cluster/get":
+			s.tracePeer(w, r, "cluster-get")
+			return
+		case "/cluster/put":
+			s.tracePeer(w, r, "cluster-put")
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -465,6 +528,9 @@ type queryDoc struct {
 	Rows      []rowDoc `json:"rows"`
 	Exhausted bool     `json:"exhausted"`
 	Stats     statsDoc `json:"stats"`
+	// Trace is the request's trace ID: GET /api/trace?id=<Trace> returns
+	// the decision path and per-stage timings. Empty with tracing off.
+	Trace string `json:"trace,omitempty"`
 }
 
 type errorDoc struct {
@@ -734,7 +800,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
 		return
 	}
+	t, rid, r := s.startTrace(r, "query")
 	doc, status, err := s.runQuery(r.Context(), sess, r.Form)
+	s.finishRequest(t, "query", rid, doc, err)
 	if err != nil {
 		writeJSON(w, status, errorDoc{Error: err.Error()})
 		return
@@ -748,6 +816,10 @@ func (s *Server) runQuery(ctx context.Context, sess *session.Session, form url.V
 	src, q, algo, k, err := s.parseQueryRequest(form)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
+	}
+	if t := obs.FromContext(ctx); t != nil {
+		t.SetSource(src.name)
+		t.SetDetail(q.Rank.String())
 	}
 	norm, err := s.normalization(ctx, src)
 	if err != nil {
@@ -792,7 +864,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
 		return
 	}
+	t, rid, r := s.startTrace(r, "next")
 	doc, status, err := s.runNext(r.Context(), sess, r.Form.Get("qid"))
+	s.finishRequest(t, "next", rid, doc, err)
 	if err != nil {
 		writeJSON(w, status, errorDoc{Error: err.Error()})
 		return
@@ -809,6 +883,7 @@ func (s *Server) runNext(ctx context.Context, sess *session.Session, qid string)
 	if !ok {
 		return nil, http.StatusInternalServerError, fmt.Errorf("corrupt cursor %q", qid)
 	}
+	obs.FromContext(ctx).SetSource(cur.source.name)
 	doc, err := s.advance(ctx, sess, qid, cur)
 	if err != nil {
 		return nil, http.StatusBadGateway, err
@@ -821,7 +896,11 @@ func (s *Server) runNext(ctx context.Context, sess *session.Session, qid string)
 func (s *Server) advance(ctx context.Context, sess *session.Session, qid string, cur *cursor) (*queryDoc, error) {
 	cur.mu.Lock()
 	defer cur.mu.Unlock()
+	// The rerank span covers the whole page computation; the cache,
+	// cluster, dense and web-query spans it causes nest inside it.
+	tm := obs.FromContext(ctx).Start(obs.StageRerank)
 	rows, err := cur.stream.NextN(ctx, cur.k)
+	tm.End(obs.ErrOutcome(err, obs.OutcomeOK))
 	if err != nil {
 		return nil, err
 	}

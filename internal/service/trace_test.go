@@ -1,0 +1,401 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/hidden"
+	"repro/internal/qcache"
+)
+
+// tracedService builds a cached single-source service with tracing on.
+func tracedService(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	cat := datagen.BlueNile(800, 1)
+	db, err := hidden.NewLocal("bluenile", cat.Rel, 30, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Sources:   map[string]SourceConfig{"bluenile": {DB: db, Cache: &qcache.Config{}}},
+		Algorithm: core.Rerank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func fetchTrace(t *testing.T, base, id string) traceDocForTest {
+	t.Helper()
+	resp, err := http.Get(base + "/api/trace?id=" + url.QueryEscape(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/trace status %d", resp.StatusCode)
+	}
+	var list struct {
+		Traces []traceDocForTest `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 {
+		t.Fatalf("trace %q: got %d traces", id, len(list.Traces))
+	}
+	return list.Traces[0]
+}
+
+type traceDocForTest struct {
+	ID         string `json:"id"`
+	Op         string `json:"op"`
+	Source     string `json:"source"`
+	Path       string `json:"path"`
+	WebQueries int    `json:"web_queries"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
+	Spans      []struct {
+		Stage   string `json:"stage"`
+		Outcome string `json:"outcome"`
+		DurNS   int64  `json:"dur_ns"`
+	} `json:"spans"`
+}
+
+// TestTraceColdVsCached is the PR's acceptance test: one cold query and
+// one identical cached query must produce traces that differ in decision
+// path (web vs. pool-hit) and web-query count, each retrievable from
+// /api/trace by the ID the query response carries.
+func TestTraceColdVsCached(t *testing.T) {
+	ts, _ := tracedService(t)
+	// algo=binary keeps the lookup out of the dense index, so the warm
+	// repeat is a pure answer-pool hit.
+	form := url.Values{
+		"source":    {"bluenile"},
+		"rank":      {"price"},
+		"algo":      {"binary"},
+		"k":         {"5"},
+		"min.carat": {"1"},
+	}
+	issue := func() (queryDoc, traceDocForTest) {
+		// A fresh jar per call: cache behaviour must come from the shared
+		// answer pool, not from session state.
+		client := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+		resp, body := postForm(t, client, ts.URL+"/api/query", form)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %d %s", resp.StatusCode, body)
+		}
+		var doc queryDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Trace == "" {
+			t.Fatal("query response missing trace ID")
+		}
+		return doc, fetchTrace(t, ts.URL, doc.Trace)
+	}
+
+	_, cold := issue()
+	if cold.Path != "web" {
+		t.Fatalf("cold path = %q, want web", cold.Path)
+	}
+	if cold.WebQueries == 0 {
+		t.Fatal("cold query must spend web-database queries")
+	}
+	if cold.Source != "bluenile" || cold.Op != "query" {
+		t.Fatalf("cold trace = %+v", cold)
+	}
+	stages := map[string]bool{}
+	for _, sp := range cold.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"canonicalize", "pool_lookup", "web_query", "rerank", "epoch_fence"} {
+		if !stages[want] {
+			t.Errorf("cold trace missing %s span (has %v)", want, stages)
+		}
+	}
+
+	_, warm := issue()
+	if warm.ID == cold.ID {
+		t.Fatal("the two requests must have distinct request IDs")
+	}
+	if warm.Path != "pool-hit" {
+		t.Fatalf("warm path = %q, want pool-hit", warm.Path)
+	}
+	if warm.WebQueries != 0 {
+		t.Fatalf("warm query spent %d web queries, want 0", warm.WebQueries)
+	}
+}
+
+// TestTraceDisabled: TraceBuffer < 0 turns tracing off — query responses
+// carry no trace ID and the inspector endpoints answer 503.
+func TestTraceDisabled(t *testing.T) {
+	cat := datagen.BlueNile(400, 1)
+	db, err := hidden.NewLocal("bluenile", cat.Rel, 30, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Sources:     map[string]SourceConfig{"bluenile": {DB: db}},
+		Algorithm:   core.Rerank,
+		TraceBuffer: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+	resp, body := postForm(t, client, ts.URL+"/api/query",
+		url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var doc queryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Trace != "" {
+		t.Fatalf("tracing disabled but response carries trace %q", doc.Trace)
+	}
+	for _, ep := range []string{"/api/trace", "/debug/requests"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s status %d, want 503", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestIDHeader: a supplied X-QR2-Request header becomes the trace
+// ID, so a forwarded lookup is correlatable across replicas.
+func TestRequestIDHeader(t *testing.T) {
+	ts, _ := tracedService(t)
+	form := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}}
+	req, err := http.NewRequest("POST", ts.URL+"/api/query",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("X-QR2-Request", "upstream-77")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc queryDoc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Trace != "upstream-77" {
+		t.Fatalf("trace ID = %q, want the forwarded header value", doc.Trace)
+	}
+}
+
+// TestMetricsExposition is the lint-style conformance test: the full
+// /metrics output (counters, gauges and the new histogram families) must
+// parse as Prometheus text exposition — every sample preceded by HELP
+// then TYPE for its family, no family declared twice, histogram buckets
+// cumulative with le="+Inf" equal to _count.
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := tracedService(t)
+	client := &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+	// Traffic first, so the histogram families have series to lint.
+	for i := 0; i < 2; i++ {
+		resp, body := postForm(t, client, ts.URL+"/api/query",
+			url.Values{"source": {"bluenile"}, "rank": {"price"}, "algo": {"binary"}, "k": {"5"}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %d %s", resp.StatusCode, body)
+		}
+	}
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	type family struct {
+		help, typ string
+	}
+	families := map[string]family{} // declared families, in declaration order
+	var current string
+	// histogram bookkeeping: family+labels(without le) -> cumulative check
+	type histSeries struct {
+		prev     float64
+		infSeen  bool
+		infValue float64
+		count    float64
+		hasCount bool
+	}
+	hist := map[string]*histSeries{}
+
+	baseFamily := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok {
+				if f, ok := families[b]; ok && f.typ == "histogram" {
+					return b
+				}
+			}
+		}
+		return name
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || name == "" {
+				t.Fatalf("line %d: malformed HELP %q", lineNo, line)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("line %d: family %s declared twice", lineNo, name)
+			}
+			families[name] = family{help: rest}
+			current = name
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("line %d: malformed TYPE %q", lineNo, line)
+			}
+			if name != current {
+				t.Fatalf("line %d: TYPE %s does not follow its HELP (current %s)", lineNo, name, current)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo, typ)
+			}
+			f := families[name]
+			f.typ = typ
+			families[name] = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		}
+		// Sample row: name{labels} value
+		nameAndLabels, valStr, found := strings.Cut(line, " ")
+		if !found {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		name := nameAndLabels
+		labels := ""
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			name = nameAndLabels[:i]
+			labels = nameAndLabels[i:]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("line %d: unterminated labels %q", lineNo, line)
+			}
+		}
+		base := baseFamily(name)
+		fam, declared := families[base]
+		if !declared || fam.typ == "" {
+			t.Fatalf("line %d: sample %s without HELP+TYPE for %s", lineNo, name, base)
+		}
+		if base == name && fam.typ == "histogram" {
+			t.Fatalf("line %d: bare sample %s for histogram family", lineNo, name)
+		}
+		if fam.typ != "histogram" {
+			continue
+		}
+		// Histogram conformance per series (labels minus le).
+		key := base + "|" + stripLe(labels)
+		hs := hist[key]
+		if hs == nil {
+			hs = &histSeries{}
+			hist[key] = hs
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if !strings.Contains(labels, `le="`) {
+				t.Fatalf("line %d: bucket without le label: %q", lineNo, line)
+			}
+			if val < hs.prev {
+				t.Fatalf("line %d: buckets not cumulative (%g after %g)", lineNo, val, hs.prev)
+			}
+			hs.prev = val
+			if strings.Contains(labels, `le="+Inf"`) {
+				hs.infSeen, hs.infValue = true, val
+			}
+		case strings.HasSuffix(name, "_count"):
+			hs.count, hs.hasCount = val, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for key, hs := range hist {
+		if !hs.infSeen {
+			t.Errorf("series %s missing +Inf bucket", key)
+		}
+		if !hs.hasCount {
+			t.Errorf("series %s missing _count", key)
+		} else if hs.infValue != hs.count {
+			t.Errorf("series %s: +Inf %g != count %g", key, hs.infValue, hs.count)
+		}
+	}
+	// The new families must actually be present with traffic recorded.
+	for _, want := range []string{"qr2_stage_latency_seconds", "qr2_request_latency_seconds", "qr2_traces_total"} {
+		if f, ok := families[want]; !ok || f.typ == "" {
+			t.Errorf("family %s missing from /metrics", want)
+		}
+	}
+	found := false
+	for key := range hist {
+		if strings.HasPrefix(key, "qr2_stage_latency_seconds|") && strings.Contains(key, `stage="web_query"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`no qr2_stage_latency_seconds series for stage="web_query" despite cold traffic`)
+	}
+}
+
+// stripLe removes the le label so bucket/sum/count rows of one series
+// share a key.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := strings.Split(inner, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	return fmt.Sprintf("{%s}", strings.Join(kept, ","))
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/hidden"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -299,8 +300,13 @@ func (c *Client) Schema() *relation.Schema { return c.schema }
 // SystemK implements hidden.DB.
 func (c *Client) SystemK() int { return c.systemK }
 
-// Search implements hidden.DB by POSTing the filter form.
-func (c *Client) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+// Search implements hidden.DB by POSTing the filter form. Each call is
+// one web-database round trip: it records one web_query span on the
+// request's trace and forwards the request ID so the remote server's
+// logs correlate with this client's trace.
+func (c *Client) Search(ctx context.Context, p relation.Predicate) (res hidden.Result, err error) {
+	tm := obs.FromContext(ctx).Start(obs.StageWebQuery)
+	defer func() { tm.EndQueries(obs.ErrOutcome(err, obs.OutcomeOK), 1) }()
 	c.queries.Add(1)
 	form := EncodeFilterForm(c.schema, p)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/search",
@@ -309,6 +315,9 @@ func (c *Client) Search(ctx context.Context, p relation.Predicate) (hidden.Resul
 		return hidden.Result{}, err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(obs.RequestHeader, rid)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return hidden.Result{}, fmt.Errorf("wdbhttp: search: %w", err)
@@ -323,7 +332,7 @@ func (c *Client) Search(ctx context.Context, p relation.Predicate) (hidden.Resul
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return hidden.Result{}, fmt.Errorf("wdbhttp: decode search result: %w", err)
 	}
-	res := hidden.Result{Overflow: doc.Overflow}
+	res = hidden.Result{Overflow: doc.Overflow}
 	for _, td := range doc.Tuples {
 		if len(td.Values) != c.schema.Len() {
 			return hidden.Result{}, fmt.Errorf("wdbhttp: tuple %d has %d values, schema has %d",

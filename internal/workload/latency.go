@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// LatencyReport is the measured-latency artifact a workload run emits
+// (checked in as BENCH_workload.json by cmd/qr2bench -workload). It is
+// built from the service's own obs.Collector — the identical histograms
+// /metrics exports — so the checked-in numbers and a scrape of a live
+// server can never disagree about what was measured.
+type LatencyReport struct {
+	Description string         `json:"description"`
+	Environment LatencyEnv     `json:"environment"`
+	Requests    []PathLatency  `json:"request_latency_by_path"`
+	Stages      []StageLatency `json:"stage_latency"`
+}
+
+// LatencyEnv records where the numbers were taken.
+type LatencyEnv struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+	Note   string `json:"note,omitempty"`
+}
+
+// PathLatency is the whole-request latency distribution of one answer
+// path (pool-hit, containment, crawl-set, dense, peer, web, none).
+type PathLatency struct {
+	Path string `json:"path"`
+	obs.Percentiles
+}
+
+// StageLatency is the span latency distribution of one stage/outcome
+// pair, keyed exactly as the qr2_stage_latency_seconds labels join them.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	obs.Percentiles
+}
+
+// LatencyFrom snapshots a collector into a LatencyReport. Paths and
+// stages with no observations are omitted; the rest are sorted by key so
+// the artifact diffs cleanly between runs.
+func LatencyFrom(col *obs.Collector, description, note string) *LatencyReport {
+	rep := &LatencyReport{
+		Description: description,
+		Environment: LatencyEnv{
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(),
+			Note:   note,
+		},
+	}
+	reqs := col.RequestPercentiles()
+	for _, path := range obs.SortedKeys(reqs) {
+		rep.Requests = append(rep.Requests, PathLatency{Path: path, Percentiles: reqs[path]})
+	}
+	stages := col.StagePercentiles()
+	for _, st := range obs.SortedKeys(stages) {
+		rep.Stages = append(rep.Stages, StageLatency{Stage: st, Percentiles: stages[st]})
+	}
+	return rep
+}

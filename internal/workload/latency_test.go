@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLatencyFrom: the report carries exactly the paths and stage pairs
+// that saw traffic, sorted, and round-trips through JSON with the keys
+// BENCH_workload.json is read by.
+func TestLatencyFrom(t *testing.T) {
+	col := obs.NewCollector(obs.CollectorConfig{
+		Buffer: 8,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	for i := 0; i < 3; i++ {
+		tr := col.Start("query", "r")
+		tr.Start(obs.StagePoolLookup).End(obs.OutcomeHit)
+		col.Done(tr, nil)
+	}
+	tr := col.Start("query", "r")
+	tr.Start(obs.StagePoolLookup).End(obs.OutcomeMiss)
+	tr.Start(obs.StageWebQuery).EndQueries(obs.OutcomeOK, 1)
+	col.Done(tr, nil)
+
+	rep := LatencyFrom(col, "test run", "test note")
+	if rep.Description != "test run" || rep.Environment.NumCPU <= 0 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	var paths []string
+	for _, r := range rep.Requests {
+		paths = append(paths, r.Path)
+	}
+	if !sort.StringsAreSorted(paths) {
+		t.Fatalf("paths not sorted: %v", paths)
+	}
+	if len(paths) != 2 || paths[0] != "pool-hit" || paths[1] != "web" {
+		t.Fatalf("paths = %v, want [pool-hit web]", paths)
+	}
+	byPath := map[string]PathLatency{}
+	for _, r := range rep.Requests {
+		byPath[r.Path] = r
+	}
+	if byPath["pool-hit"].Count != 3 || byPath["web"].Count != 1 {
+		t.Fatalf("counts = %+v", byPath)
+	}
+	var stages []string
+	for _, s := range rep.Stages {
+		stages = append(stages, s.Stage)
+	}
+	if !sort.StringsAreSorted(stages) {
+		t.Fatalf("stages not sorted: %v", stages)
+	}
+	want := map[string]bool{"pool_lookup/hit": true, "pool_lookup/miss": true, "web_query/ok": true}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v", stages)
+	}
+	for _, s := range stages {
+		if !want[s] {
+			t.Fatalf("unexpected stage row %q", s)
+		}
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"request_latency_by_path"`, `"stage_latency"`, `"p99_s"`, `"num_cpu"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("JSON missing %s: %s", key, raw)
+		}
+	}
+}
