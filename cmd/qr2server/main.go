@@ -84,6 +84,7 @@ import (
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/qcache"
+	"repro/internal/resilience"
 	"repro/internal/service"
 	"repro/internal/wdbhttp"
 )
@@ -131,6 +132,29 @@ func main() {
 			"slow-query threshold: requests at or above it are logged and kept in /api/trace?slow=1 (0 disables)")
 		debugAddr = flag.String("debug-addr", "",
 			"listen address for the pprof side mux (/debug/pprof); empty disables — never exposed on the public -addr mux")
+
+		sourceTimeout = flag.Duration("source-timeout", 10*time.Second,
+			"per-attempt deadline for each web-database query (negative disables)")
+		sourceRetries = flag.Int("source-retries", 2,
+			"retries per web-database call after a transport-level failure (capped exponential backoff with jitter)")
+		breakerThreshold = flag.Int("breaker-threshold", 5,
+			"consecutive transport-level failures that open a source's circuit breaker (negative disables the breaker)")
+		breakerOpen = flag.Duration("breaker-open", 10*time.Second,
+			"how long an open breaker rejects calls before admitting half-open probes")
+		breakerProbes = flag.Int("breaker-probes", 1,
+			"concurrent half-open probe calls admitted per recovery window")
+		hedgeAfter = flag.Duration("hedge-after", 0,
+			"launch one duplicate web-database attempt when the first has not answered within this duration (0 disables)")
+		sourceParallel = flag.Int("source-parallel", 0,
+			"cap on in-flight queries per source (0 = unlimited)")
+		sourceRate = flag.Float64("source-rate", 0,
+			"per-source query rate limit in queries/second (0 = unlimited)")
+		degradedServe = flag.Bool("degraded-serve", true,
+			"serve best-effort answers (caches, crawl sets, dense regions; marked degraded/stale-ok) instead of failing while a source's breaker is open")
+		dialRetries = flag.Int("dial-retries", 5,
+			"attempts for each -remote source's boot-time /schema fetch (rides out a web database that boots late)")
+		dialBackoff = flag.Duration("dial-backoff", 500*time.Millisecond,
+			"initial backoff between -remote /schema fetch attempts (doubles per retry)")
 	)
 	flag.Parse()
 	if (*peers == "") != (*self == "") {
@@ -167,6 +191,17 @@ func main() {
 		TraceBuffer:         *traceBuffer,
 		SlowQuery:           *slowQuery,
 		Logger:              slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Resilience: resilience.Policy{
+			AttemptTimeout:   *sourceTimeout,
+			MaxAttempts:      *sourceRetries + 1,
+			BreakerThreshold: *breakerThreshold,
+			BreakerOpenFor:   *breakerOpen,
+			BreakerProbes:    *breakerProbes,
+			HedgeAfter:       *hedgeAfter,
+			MaxConcurrent:    *sourceParallel,
+			RatePerSec:       *sourceRate,
+			DegradedServe:    *degradedServe,
+		},
 	}
 	if *peers != "" {
 		cfg.Peers = map[string]string{}
@@ -213,8 +248,8 @@ func main() {
 			if !ok {
 				log.Fatalf("qr2server: bad -remote entry %q (want name=url)", pair)
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			client, err := wdbhttp.Dial(ctx, url, nil)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			client, err := wdbhttp.Dial(ctx, url, nil, wdbhttp.WithRetry(*dialRetries, *dialBackoff))
 			cancel()
 			if err != nil {
 				log.Fatalf("qr2server: dial %s: %v", url, err)

@@ -22,6 +22,7 @@
 //	wdbserver -source zillow -dump /tmp/zillow            # snapshot and exit
 //	wdbserver -source zillow -load /tmp/zillow            # serve the snapshot
 //	wdbserver -cache-bytes 67108864 -cache-ttl 5m -cache /tmp/bn.qcache
+//	wdbserver -fault 'pass:20,stall=2s:10,reset:3,loop'   # rehearse an outage
 package main
 
 import (
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
 	"repro/internal/obs"
@@ -70,6 +72,8 @@ func main() {
 			"slow-search threshold: searches at or above it are logged and kept in /api/trace?slow=1 (0 disables)")
 		debugAddr = flag.String("debug-addr", "",
 			"listen address for the pprof side mux (/debug/pprof); empty disables — never exposed on the public -addr mux")
+		fault = flag.String("fault", "",
+			"fault-injection schedule applied to incoming requests, e.g. 'pass:20,stall=2s:10,status=503:5,reset:3,loop' (see internal/faultinject); empty disables")
 	)
 	flag.Parse()
 	if *memBudget > 0 {
@@ -138,6 +142,16 @@ func main() {
 			*cacheBytes, *cacheTTL, cached.Stats().Warmed)
 	}
 	var root http.Handler = wdbhttp.NewServer(db)
+	if *fault != "" {
+		loop, steps, err := faultinject.ParseSchedule(*fault)
+		if err != nil {
+			log.Fatalf("wdbserver: -fault: %v", err)
+		}
+		inj := faultinject.New()
+		inj.SetSchedule(loop, steps...)
+		root = inj.Middleware(root)
+		log.Printf("wdbserver: fault injection armed (%d steps, loop=%v)", len(steps), loop)
+	}
 	if *traceBuffer >= 0 {
 		col := obs.NewCollector(obs.CollectorConfig{
 			Buffer: *traceBuffer,

@@ -72,6 +72,47 @@
 // epochs over /cluster/ring so a bump converges even across replicas
 // with no shared traffic. Replicas join with qr2server -peers/-self.
 //
+// # Failure semantics
+//
+// The web databases the service rides on are third-party systems that
+// stall, reset connections, rate-limit and die without notice, so every
+// raw web-database call goes through a per-source fault policy
+// (internal/resilience) layered below the caches and the ring — cache
+// hits and peer forwards never spend resilience budget. The escalation
+// is: each attempt runs under its own deadline (-source-timeout,
+// propagated via context); transport-level failures — timeouts,
+// connection resets, 5xx/429 responses — are retried with capped
+// exponential backoff and jitter (-source-retries), while application
+// errors and other 4xx are returned immediately and prove the transport
+// healthy; a run of consecutive transport failures
+// (-breaker-threshold) opens the source's circuit breaker, which
+// rejects calls instantly for -breaker-open before admitting
+// -breaker-probes half-open probes — one probe success re-closes the
+// circuit, one failure re-opens it. Optionally a duplicate attempt is
+// hedged when the first is slow (-hedge-after), and per-source
+// concurrency and rate caps (-source-parallel, -source-rate) keep the
+// service a polite tenant of the databases it queries.
+//
+// While a breaker is open the service keeps answering (-degraded-serve,
+// default on): short-circuited calls return an empty answer marked
+// Degraded, so a query is assembled from whatever the answer cache,
+// crawl sets and dense regions still hold, and the response carries
+// degraded/stale-ok markers instead of an error. Degraded answers are
+// quarantined from every durable layer — never admitted to the answer
+// cache, never counted as a crawl leaf (a fabricated empty is
+// indistinguishable from a real underflow, so a mid-crawl degradation
+// aborts the crawl-set admission), never pushed to peers, and the
+// change prober treats them as "source unavailable" (probing pauses
+// with backoff rather than digesting a fabricated baseline, which would
+// bump the epoch and wipe every cache the moment the source recovered).
+// Recovery is automatic: probe traffic re-closes the breaker, and
+// post-recovery answers are identical to a cold run's. The breaker
+// state machine, every retry/hedge/degraded counter and
+// qr2_degraded_serves_total are exported on /api/stats and /metrics;
+// internal/faultinject provides the stall/reset/status-burst injection
+// harness the chaos tests and experiment S9 drive the whole ladder
+// with (wdbserver -fault).
+//
 // The dense-index read path is memory-speed and concurrent: covering
 // lookups go through a spatial directory (a packed R-tree per attribute
 // signature) under a read lock, decoded tuples stay resident under a

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hidden"
 	"repro/internal/qcache"
 	"repro/internal/relation"
+	"repro/internal/resilience"
 )
 
 // replica is one simulated service replica: its own web-database handle
@@ -29,6 +30,8 @@ type replica struct {
 	srv   *httptest.Server
 	mux   *http.ServeMux
 	down  atomic.Bool
+	// fail makes the next N requests 503 — a transient blip, unlike down.
+	fail atomic.Int64
 }
 
 // newCluster builds n replicas over one shared catalog. Every replica
@@ -43,6 +46,10 @@ func newCluster(t testing.TB, n int, opts ...func(*Config)) []*replica {
 		r.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 			if r.down.Load() {
 				http.Error(w, "down", http.StatusServiceUnavailable)
+				return
+			}
+			if r.fail.Load() > 0 && r.fail.Add(-1) >= 0 {
+				http.Error(w, "transient", http.StatusServiceUnavailable)
 				return
 			}
 			r.mux.ServeHTTP(w, req)
@@ -170,6 +177,48 @@ func TestForwardProtocol(t *testing.T) {
 	if bs := b.node.Stats(); bs.OwnedLocal != 1 || bs.PeerGets != 2 || bs.PeerGetHits >= bs.PeerGets {
 		// Two peer gets: a's miss and c's hit.
 		t.Fatalf("b stats: %+v", bs)
+	}
+}
+
+// TestRetryRescuesTransientPeerBlip: with Config.Retry set, a forward
+// that eats a one-off 503 from the owner is replayed and still hits —
+// no fallback-local serve, no duplicate web query, no dead-marking of a
+// healthy peer that dropped one request.
+func TestRetryRescuesTransientPeerBlip(t *testing.T) {
+	reps := newCluster(t, 2, func(c *Config) {
+		c.Retry = resilience.Retry{MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond}
+	})
+	ctx := context.Background()
+	a, b := reps[0], reps[1]
+	p := predOwnedBy(t, reps, b.id)
+
+	// Warm: a forwards (miss), pays the web query, pushes the answer to b.
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	a.node.Quiesce()
+	if _, ok := b.cache.Peek(p); !ok {
+		t.Fatal("owner b does not hold the pushed answer")
+	}
+
+	// One transient 503 at b: the forward's first attempt fails, the
+	// retry lands, and the cluster serves the cached answer for free.
+	b.fail.Store(1)
+	before := totalQueries(reps)
+	if _, err := a.db.Search(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalQueries(reps); got != before {
+		t.Fatalf("transient blip forced %d extra web queries despite retry", got-before)
+	}
+	st := a.node.Stats()
+	if st.Fallbacks != 0 || st.ForwardHits != 1 {
+		t.Fatalf("a stats after blip: %+v (want 0 fallbacks, 1 forward hit)", st)
+	}
+	for _, ps := range st.Peers {
+		if ps.ID == b.id && !ps.Alive {
+			t.Fatal("a transient blip marked the healthy owner dead")
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/relation"
+	"repro/internal/resilience"
 )
 
 // Config describes one replica's membership in the cluster.
@@ -45,6 +46,12 @@ type Config struct {
 	// bump reaches even replicas with no traffic for the source. Nil
 	// disables epoch exchange (every message travels untagged).
 	Epochs *epoch.Registry
+	// Retry applies to each peer RPC (/cluster/get and /cluster/put):
+	// attempts beyond the first re-run only failures that indict the
+	// peer (transport errors, 5xx) — a 4xx or a 409 stale-epoch
+	// rejection is final. The zero value keeps the pre-retry behaviour
+	// of a single attempt per RPC.
+	Retry resilience.Retry
 }
 
 // PeerStats is one peer's membership state.
@@ -111,7 +118,8 @@ type Node struct {
 	ring   *Ring
 	health *health
 	hc     *http.Client
-	epochs *epoch.Registry // nil without epoch exchange
+	epochs *epoch.Registry  // nil without epoch exchange
+	retry  resilience.Retry // per-RPC retry policy (zero: single attempt)
 
 	mu      sync.Mutex
 	sources map[string]*clusterSource
@@ -184,6 +192,12 @@ func New(cfg Config) (*Node, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 2 * time.Second}
 	}
+	retry := cfg.Retry
+	if retry.RetryIf == nil {
+		// Only peer-indicting failures are worth a second attempt: a 4xx
+		// or a 409 stale-epoch rejection will not change on replay.
+		retry.RetryIf = isPeerDown
+	}
 	n := &Node{
 		self:    cfg.Self,
 		urls:    urls,
@@ -191,6 +205,7 @@ func New(cfg Config) (*Node, error) {
 		health:  newHealth(cfg),
 		hc:      hc,
 		epochs:  cfg.Epochs,
+		retry:   retry,
 		sources: make(map[string]*clusterSource),
 		flights: make(map[string]*flight),
 		strays:  make(map[strayKey]relation.Predicate),
@@ -484,7 +499,7 @@ func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidde
 		// returns, ownership snaps back and the re-homing pass moves the
 		// answer to it. The full-ring lookup runs only while some peer is
 		// actually dead.
-		if err == nil && owner == n.self && n.health.anyDead() {
+		if err == nil && !res.Degraded && owner == n.self && n.health.anyDead() {
 			if trueOwner, ok := n.ring.Owner(s.name+"\x00"+key, nil); ok && trueOwner != n.self {
 				n.noteStray(s.name, key, p)
 			}
@@ -558,7 +573,7 @@ func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relat
 		}
 		n.fallbacks.Add(1)
 		res, err := s.cache.Search(ctx, p)
-		if err == nil {
+		if err == nil && !res.Degraded {
 			// The answer was admitted locally although owner owns the
 			// key: track it for re-homing when the owner recovers.
 			n.noteStray(s.name, qcache.KeyOf(p), p)
@@ -576,7 +591,12 @@ func (s *clusterSource) searchForeign(ctx context.Context, owner string, p relat
 	if err != nil {
 		return hidden.Result{}, err
 	}
-	n.asyncAdmit(obs.RequestID(ctx), owner, s.name, s.Schema(), p, copyTuples(res), seq)
+	// A degraded answer (fabricated while the source was unreachable) is
+	// served to this request only — pushing it to the owner would spread
+	// the fabrication cluster-wide.
+	if !res.Degraded {
+		n.asyncAdmit(obs.RequestID(ctx), owner, s.name, s.Schema(), p, copyTuples(res), seq)
+	}
 	return res, nil
 }
 
@@ -590,6 +610,7 @@ func copyTuples(res hidden.Result) hidden.Result {
 	return hidden.Result{
 		Tuples:   append([]relation.Tuple(nil), res.Tuples...),
 		Overflow: res.Overflow,
+		Degraded: res.Degraded,
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/relation"
+	"repro/internal/resilience"
 	"repro/internal/wdbhttp"
 )
 
@@ -283,8 +284,18 @@ func isPeerDown(err error) bool {
 // owner that fell behind adopts it and reports a clean miss), and the
 // response's seq is adopted here when the owner is ahead — the wipe runs
 // before the fresh answer is returned, so the caller serves post-change
-// data from a post-change cache.
-func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (hidden.Result, bool, error) {
+// data from a post-change cache. Failures the retry policy's RetryIf
+// accepts (peer-indicting by default) are retried per Config.Retry; a
+// lookup is idempotent, so replaying it is always safe.
+func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (res hidden.Result, found bool, err error) {
+	err = resilience.Do(ctx, n.retry, func(ctx context.Context) error {
+		res, found, err = n.remoteGetOnce(ctx, owner, ns, schema, p, seq)
+		return err
+	})
+	return res, found, err
+}
+
+func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (hidden.Result, bool, error) {
 	form := wdbhttp.EncodeFilterForm(schema, p)
 	form.Set("ns", ns)
 	if seq > 0 {
@@ -341,8 +352,17 @@ func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation
 // put pushes one answer to a peer's cache synchronously, tagged with the
 // epoch seq it was produced under. Transport failures return a
 // peerDownError; a non-200 (including a 409 stale-epoch rejection)
-// returns a plain error.
+// returns a plain error. Peer-indicting failures are retried per
+// Config.Retry — an admission is idempotent (the cache keys on the
+// predicate), so a replay after an ambiguous failure at worst re-admits
+// the same entry.
 func (n *Node) put(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) error {
+	return resilience.Do(ctx, n.retry, func(ctx context.Context) error {
+		return n.putOnce(ctx, owner, ns, schema, p, res, seq)
+	})
+}
+
+func (n *Node) putOnce(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) error {
 	body, err := json.Marshal(putDoc{
 		NS:       ns,
 		Filter:   wdbhttp.EncodeFilterForm(schema, p).Encode(),

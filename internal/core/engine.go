@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -396,6 +397,22 @@ func (e *engine) crawlLeaf(ctx context.Context, lf *leaf, remaining int) error {
 		pred = rr.Predicate(e.st.pred)
 	}
 	tuples, cstats, err := crawl.All(ctx, e.st.exec, pred, crawl.Options{MaxQueries: remaining})
+	if errors.Is(err, crawl.ErrDegraded) {
+		// The source died mid-crawl and the resilience layer is serving
+		// degraded: keep what the crawl really saw (observation only —
+		// Complete is false, so nothing is admitted to the dense index or
+		// any cache) and let the request finish best-effort instead of
+		// failing. The response carries the degraded marker.
+		e.st.last.DenseCrawls++
+		e.st.last.CrawledTuples += int64(len(tuples))
+		all := make([]relation.Tuple, 0, len(tuples))
+		for _, t := range tuples {
+			all = append(all, t)
+		}
+		e.st.observe(all)
+		lf.state = leafEnumerated
+		return nil
+	}
 	if err != nil {
 		return err
 	}

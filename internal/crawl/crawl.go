@@ -33,6 +33,14 @@ import (
 // completing. The partial result map is still returned.
 var ErrBudget = errors.New("crawl: query budget exhausted")
 
+// ErrDegraded is returned when a leaf query came back degraded (the
+// resilience layer fabricated an answer for an unreachable source). The
+// partial result map is still returned, but it must not be treated as a
+// crawl of anything: a fabricated empty leaf is indistinguishable from
+// a real underflow, so admitting the set would poison the cache with a
+// hole shaped like the outage.
+var ErrDegraded = errors.New("crawl: source degraded mid-crawl")
+
 // Stats describes one crawl.
 type Stats struct {
 	// Queries issued to the web database by this crawl.
@@ -140,6 +148,13 @@ func All(ctx context.Context, ex *parallel.Executor, base relation.Predicate, op
 		}
 		stats.Queries += wave
 		for i, res := range results {
+			if res.Degraded {
+				// A degraded leaf would masquerade as an underflow.
+				// Abort before this wave's fabrications contaminate the
+				// set; Complete=false keeps it out of every admitter.
+				stats.Complete = false
+				return out, stats, fmt.Errorf("%w after %d queries", ErrDegraded, stats.Queries)
+			}
 			for _, t := range res.Tuples {
 				out[t.ID] = t
 			}

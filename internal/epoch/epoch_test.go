@@ -2,6 +2,7 @@ package epoch
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -162,6 +163,88 @@ func TestProberErrorDoesNotBump(t *testing.T) {
 	if st := p.Stats(); st.Errors != 1 {
 		t.Fatalf("stats = %+v, want 1 error", st)
 	}
+}
+
+// A degraded sentinel answer (fabricated by the resilience layer while
+// the source is unreachable) must pause the round, not become a
+// baseline: digesting a fabricated empty would bump the epoch — wiping
+// every cache — the moment the unchanged source recovers.
+func TestProberDegradedAnswerPausesWithoutBump(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+	inner := testSource(t, 100, 0)
+	down := false
+	db := &degradableDB{Local: inner, down: &down}
+	p := NewProber(r, "src", db, ProberConfig{Sentinels: 3})
+	if _, err := p.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	down = true
+	bumped, err := p.Probe(ctx)
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("probe over degraded source: err=%v, want ErrPaused", err)
+	}
+	if bumped || r.Seq("src") != 1 {
+		t.Fatalf("degraded probe bumped (seq=%d)", r.Seq("src"))
+	}
+	// Recovery: the unchanged source must NOT read as changed.
+	down = false
+	bumped, err = p.Probe(ctx)
+	if err != nil || bumped {
+		t.Fatalf("probe after recovery: bumped=%v err=%v", bumped, err)
+	}
+	st := p.Stats()
+	if st.Paused != 1 || st.Errors != 0 || st.Mismatches != 0 {
+		t.Fatalf("stats = %+v, want 1 paused, 0 errors, 0 mismatches", st)
+	}
+}
+
+// Errors the Unavailable classifier recognises count as paused rounds,
+// not error rounds.
+func TestProberUnavailableHookPauses(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+	sentinel := errors.New("circuit open")
+	db := &failingDB{Local: testSource(t, 50, 0), err: sentinel}
+	p := NewProber(r, "src", db, ProberConfig{
+		Sentinels:   2,
+		Unavailable: func(err error) bool { return errors.Is(err, sentinel) },
+	})
+	_, err := p.Probe(ctx)
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("err = %v, want ErrPaused", err)
+	}
+	if st := p.Stats(); st.Paused != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want the failure counted as paused", st)
+	}
+	if r.Seq("src") != 1 {
+		t.Fatalf("unavailable source bumped the epoch to %d", r.Seq("src"))
+	}
+}
+
+// degradableDB serves real answers until down, then degraded empties.
+type degradableDB struct {
+	*hidden.Local
+	down *bool
+}
+
+func (d *degradableDB) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	if *d.down {
+		return hidden.Result{Degraded: true}, nil
+	}
+	return d.Local.Search(ctx, p)
+}
+
+// failingDB fails every search with a fixed error.
+type failingDB struct {
+	*hidden.Local
+	err error
+}
+
+func (f *failingDB) Search(ctx context.Context, p relation.Predicate) (hidden.Result, error) {
+	return hidden.Result{}, f.err
 }
 
 func TestDigestCoversOrderValuesOverflow(t *testing.T) {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -18,6 +20,16 @@ import (
 // when ProberConfig.Sentinels is zero.
 const DefaultSentinels = 8
 
+// ErrPaused is returned by Probe when the round was abandoned because
+// the source is unavailable rather than changed: the resilience layer's
+// circuit is open, a sentinel answer came back degraded (fabricated),
+// or the configured Unavailable classifier matched the query error. A
+// paused round records no digests and bumps nothing — an unreachable
+// source is not a changed source, and digesting a fabricated empty
+// answer would bump the epoch (wiping every cache) the moment the
+// source recovered.
+var ErrPaused = errors.New("epoch: probe paused: source unavailable")
+
 // ProberConfig sizes a change-detection prober.
 type ProberConfig struct {
 	// Sentinels is how many sentinel queries to record (default
@@ -28,6 +40,12 @@ type ProberConfig struct {
 	// Seed drives the deterministic sentinel placement (default 1). Two
 	// probers with the same schema and seed replay identical queries.
 	Seed int64
+	// Unavailable classifies sentinel query errors that mean the source
+	// is unreachable (open circuit, transport failure) rather than
+	// broken: such rounds pause (counted in ProbeStats.Paused, error
+	// ErrPaused) instead of counting as errors. Nil treats every query
+	// error as an error.
+	Unavailable func(error) bool
 }
 
 // ProbeStats snapshots a prober's counters.
@@ -39,6 +57,10 @@ type ProbeStats struct {
 	Probes     int64 `json:"probes"`
 	Mismatches int64 `json:"mismatches"`
 	Errors     int64 `json:"errors"`
+	// Paused counts rounds abandoned because the source was unavailable
+	// (ErrPaused) — distinct from Errors so an outage reads as "probing
+	// paused", not an error storm.
+	Paused int64 `json:"paused"`
 	// Sentinels is the configured sentinel count.
 	Sentinels int `json:"sentinels"`
 }
@@ -64,9 +86,11 @@ type Prober struct {
 	nsents  int    // immutable after construction; Stats reads it lock-free
 	lastSeq uint64 // the epoch the armed digests were recorded under
 
-	probes     atomic.Int64
-	mismatches atomic.Int64
-	errors     atomic.Int64
+	probes      atomic.Int64
+	mismatches  atomic.Int64
+	errors      atomic.Int64
+	paused      atomic.Int64
+	unavailable func(error) bool
 }
 
 // NewProber builds a prober for source over db (the raw web database —
@@ -85,11 +109,12 @@ func NewProber(reg *Registry, source string, db hidden.DB, cfg ProberConfig) *Pr
 	}
 	sents := makeSentinels(db.Schema(), n, seed)
 	return &Prober{
-		reg:    reg,
-		source: source,
-		db:     db,
-		sents:  sents,
-		nsents: len(sents),
+		reg:         reg,
+		source:      source,
+		db:          db,
+		sents:       sents,
+		nsents:      len(sents),
+		unavailable: cfg.Unavailable,
 	}
 }
 
@@ -178,8 +203,20 @@ func (p *Prober) Probe(ctx context.Context) (bumped bool, err error) {
 		s := &p.sents[i]
 		res, serr := p.db.Search(ctx, s.pred)
 		if serr != nil {
+			if p.unavailable != nil && p.unavailable(serr) {
+				p.paused.Add(1)
+				return bumped, fmt.Errorf("%w: %v", ErrPaused, serr)
+			}
 			p.errors.Add(1)
 			return bumped, serr
+		}
+		if res.Degraded {
+			// The resilience layer fabricated this answer while the source
+			// was unreachable. Digesting it would record an empty baseline
+			// — and bump the epoch, wiping every cache, the instant the
+			// source recovers with its real (unchanged) content.
+			p.paused.Add(1)
+			return bumped, ErrPaused
 		}
 		d := Digest(res)
 		if !s.armed || rearming {
@@ -213,20 +250,31 @@ func (p *Prober) Probe(ctx context.Context) (bumped bool, err error) {
 	return bumped, nil
 }
 
-// Run probes on the interval until ctx is cancelled. Errors are counted
-// (ProbeStats.Errors) and retried on the next tick.
+// Run probes on the interval until ctx is cancelled. Errors and pauses
+// are counted (ProbeStats) and retried later: each consecutive failed
+// round doubles the wait, up to 16× the interval, and the first clean
+// round snaps it back — a dead source costs a trickle of probes instead
+// of a steady error stream, and recovery is still noticed within one
+// backed-off tick.
 func (p *Prober) Run(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		return
 	}
-	t := time.NewTicker(interval)
+	maxWait := 16 * interval
+	wait := interval
+	t := time.NewTimer(wait)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			_, _ = p.Probe(ctx)
+			if _, err := p.Probe(ctx); err != nil {
+				wait = min(wait*2, maxWait)
+			} else {
+				wait = interval
+			}
+			t.Reset(wait)
 		}
 	}
 }
@@ -239,6 +287,7 @@ func (p *Prober) Stats() ProbeStats {
 		Probes:     p.probes.Load(),
 		Mismatches: p.mismatches.Load(),
 		Errors:     p.errors.Load(),
+		Paused:     p.paused.Load(),
 		Sentinels:  p.nsents,
 	}
 }

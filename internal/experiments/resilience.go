@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hidden"
+	"repro/internal/qcache"
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/internal/wdbhttp"
+)
+
+// s9Rig is the scenario's service: three sources, one of which (the
+// victim) is reached over real HTTP through a fault injector.
+type s9Rig struct {
+	srv    *service.Server
+	ts     *httptest.Server
+	inj    *faultinject.Injector
+	client *http.Client
+	errors int // non-200 answers across every phase — must stay 0
+}
+
+// ScenarioResilience (S9) demonstrates the source-fault resilience
+// layer (internal/resilience): one of three web databases is stalled
+// past the attempt deadline, then killed outright, then healed, while
+// the user workload keeps running.
+//
+//   - No phase produces a user-facing error: outage answers come back
+//     200, assembled from the caches and marked degraded/stale-ok.
+//   - The victim's breaker walks closed → open → half-open → closed,
+//     observable on /metrics; the healthy sources never notice.
+//   - Post-recovery answers are byte-identical to a service that never
+//     saw a fault.
+func (r *Runner) ScenarioResilience(ctx context.Context) (Table, error) {
+	const (
+		attemptTimeout = 40 * time.Millisecond
+		openFor        = 150 * time.Millisecond
+	)
+	t := Table{
+		ID:    "S9",
+		Title: "source-fault resilience: stall, kill and heal one of three web databases mid-run",
+		PaperClaim: "a third-party service rides on databases it does not operate; a source outage must degrade " +
+			"answer freshness, never availability, and recovery must need no operator action",
+		Header: []string{"phase", "user errors", "degraded serves", "breaker", "opens/half-opens/closes"},
+	}
+	pol := resilience.Policy{
+		AttemptTimeout:   attemptTimeout,
+		MaxAttempts:      2,
+		BackoffBase:      time.Millisecond,
+		BackoffCap:       2 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerOpenFor:   openFor,
+		BreakerProbes:    2,
+		DegradedServe:    true,
+	}
+
+	// The victim ("zillow") is served over HTTP behind the injector; the
+	// two healthy sources are direct.
+	victimDB, err := r.localDB("zillow")
+	if err != nil {
+		return Table{}, err
+	}
+	inj := faultinject.New()
+	wdb := httptest.NewServer(inj.Middleware(wdbhttp.NewServer(victimDB)))
+	defer wdb.Close()
+	dialCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	victim, err := wdbhttp.Dial(dialCtx, wdb.URL, nil)
+	cancel()
+	if err != nil {
+		return Table{}, err
+	}
+	healthy1, err := r.localDB("bluenile")
+	if err != nil {
+		return Table{}, err
+	}
+	healthy2, err := r.localDB("bluenile")
+	if err != nil {
+		return Table{}, err
+	}
+	srv, err := service.New(service.Config{
+		Sources: map[string]service.SourceConfig{
+			"zillow":    {DB: victim, Cache: &qcache.Config{}},
+			"bluenile":  {DB: healthy1, Cache: &qcache.Config{}},
+			"bluenile2": {DB: healthy2, Cache: &qcache.Config{}},
+		},
+		Algorithm:  core.Rerank,
+		Resilience: pol,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return Table{}, err
+	}
+	rig := &s9Rig{srv: srv, ts: ts, inj: inj, client: &http.Client{Jar: jar}}
+
+	// The fault-free control the recovery phase is compared against.
+	controlDB, err := r.localDB("zillow")
+	if err != nil {
+		return Table{}, err
+	}
+	control, err := service.New(service.Config{
+		Sources:   map[string]service.SourceConfig{"zillow": {DB: controlDB, Cache: &qcache.Config{}}},
+		Algorithm: core.Rerank,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	cts := httptest.NewServer(control)
+	defer cts.Close()
+
+	victimForm := func(i int) url.Values {
+		return url.Values{
+			"source": {"zillow"}, "k": {"3"},
+			"w.price": {"1"}, "w.sqft": {"13.7"}, "w.year": {"-2.3"},
+			"min.sqft": {strconv.Itoa(400 + 10*i)},
+		}
+	}
+	healthyForms := []url.Values{
+		{"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}},
+		{"source": {"bluenile2"}, "rank": {"price"}, "k": {"3"}, "min.carat": {"1"}},
+	}
+	row := func(phase string) error {
+		m, err := rig.metrics()
+		if err != nil {
+			return err
+		}
+		t.AddRow(phase,
+			f("%d", rig.errors),
+			m[`qr2_degraded_serves_total{source="zillow"}`],
+			breakerName(m[`qr2_source_breaker_state{source="zillow"}`]),
+			f("%s/%s/%s",
+				m[`qr2_source_breaker_opens_total{source="zillow"}`],
+				m[`qr2_source_breaker_half_opens_total{source="zillow"}`],
+				m[`qr2_source_breaker_closes_total{source="zillow"}`]),
+		)
+		return nil
+	}
+
+	// Phase 1: healthy. Warm the victim (normalisation discovery, one
+	// cacheable answer) and both healthy sources; arm the probe baseline.
+	warm, err := rig.query(victimForm(0))
+	if err != nil {
+		return Table{}, err
+	}
+	if warm.Degraded || warm.StaleOK {
+		return Table{}, fmt.Errorf("experiments: healthy answer marked degraded/stale")
+	}
+	for _, form := range healthyForms {
+		if _, err := rig.query(form); err != nil {
+			return Table{}, err
+		}
+	}
+	if _, err := srv.ChangeProbe(ctx, "zillow"); err != nil {
+		return Table{}, err
+	}
+	if err := row("warm: all three sources healthy"); err != nil {
+		return Table{}, err
+	}
+
+	// Phase 2: the victim stalls — every request hangs past the attempt
+	// deadline. Fresh queries must still answer 200, marked degraded.
+	inj.SetSchedule(true, faultinject.Step{Mode: faultinject.Stall, Delay: 2 * time.Second})
+	for i := 1; i <= 3; i++ {
+		doc, err := rig.query(victimForm(i))
+		if err != nil {
+			return Table{}, err
+		}
+		if !doc.Degraded && !doc.StaleOK {
+			return Table{}, fmt.Errorf("experiments: outage answer %d carries no degraded/stale marker", i)
+		}
+	}
+	if err := row("victim stalled past the attempt deadline"); err != nil {
+		return Table{}, err
+	}
+
+	// Phase 3: the victim dies outright — connections reset. The cached
+	// warm answer still serves (stale-ok); healthy sources are untouched.
+	inj.SetSchedule(true, faultinject.Step{Mode: faultinject.Reset})
+	for i := 4; i <= 6; i++ {
+		if _, err := rig.query(victimForm(i)); err != nil {
+			return Table{}, err
+		}
+	}
+	replay, err := rig.query(victimForm(0))
+	if err != nil {
+		return Table{}, err
+	}
+	if !replay.StaleOK || !sameRows(replay.Rows, warm.Rows) {
+		return Table{}, fmt.Errorf("experiments: cached answer lost during the outage")
+	}
+	for _, form := range healthyForms {
+		doc, err := rig.query(form)
+		if err != nil {
+			return Table{}, err
+		}
+		if doc.Degraded || doc.StaleOK {
+			return Table{}, fmt.Errorf("experiments: healthy source infected by the victim's outage")
+		}
+	}
+	if err := row("victim killed (connection resets)"); err != nil {
+		return Table{}, err
+	}
+
+	// Phase 4: the victim heals. After the open window the change
+	// prober's traffic rides the half-open admission and re-closes the
+	// breaker — recovery needs no operator action.
+	inj.SetSchedule(false)
+	time.Sleep(openFor + 50*time.Millisecond)
+	if _, err := srv.ChangeProbe(ctx, "zillow"); err != nil {
+		return Table{}, fmt.Errorf("experiments: probe over healed source: %w", err)
+	}
+	post, err := rig.query(victimForm(7))
+	if err != nil {
+		return Table{}, err
+	}
+	if post.Degraded || post.StaleOK {
+		return Table{}, fmt.Errorf("experiments: post-recovery answer still marked degraded/stale")
+	}
+	// Byte-compare recovery answers against the fault-free control.
+	cjar, err := cookiejar.New(nil)
+	if err != nil {
+		return Table{}, err
+	}
+	controlClient := &http.Client{Jar: cjar}
+	fresh, err := postQuery(rig.client, ts.URL, victimForm(8))
+	if err != nil {
+		return Table{}, err
+	}
+	want, err := postQuery(controlClient, cts.URL, victimForm(8))
+	if err != nil {
+		return Table{}, err
+	}
+	if !sameRows(fresh.Rows, want.Rows) {
+		return Table{}, fmt.Errorf("experiments: post-recovery answer differs from fault-free control")
+	}
+	if err := row("victim healed; probe re-closes the breaker"); err != nil {
+		return Table{}, err
+	}
+
+	t.Notes = append(t.Notes,
+		f("policy: %s attempt deadline, 1 retry, breaker opens after 3 consecutive transport failures for %s, degraded serving on", attemptTimeout, openFor),
+		"user errors column: non-200 answers across all phases — an outage degrades freshness, never availability",
+		"outage answers carry degraded/stale-ok markers; degraded answers are quarantined from the answer cache, crawl sets and the change prober",
+		"recovery: post-heal answers are byte-identical to a service that never saw a fault",
+	)
+	return t, nil
+}
+
+// localDB builds a fresh local simulator over the runner's cached
+// catalog (each caller gets its own, so query counters stay isolated).
+func (r *Runner) localDB(name string) (*hidden.Local, error) {
+	cat := r.catalog(name)
+	return hidden.NewLocal(name, cat.Rel, r.cfg.SystemK, cat.Rank)
+}
+
+// s9Answer is the slice of the /api/query response body the scenario
+// inspects.
+type s9Answer struct {
+	Degraded bool    `json:"degraded"`
+	StaleOK  bool    `json:"stale_ok"`
+	Rows     []s9Row `json:"rows"`
+}
+
+type s9Row struct {
+	ID     int64          `json:"id"`
+	Values map[string]any `json:"values"`
+}
+
+// query posts one /api/query, counting any non-200 as a user error.
+func (rig *s9Rig) query(form url.Values) (s9Answer, error) {
+	doc, err := postQuery(rig.client, rig.ts.URL, form)
+	if err != nil {
+		rig.errors++
+	}
+	return doc, err
+}
+
+// postQuery posts a form to /api/query and decodes the answer.
+func postQuery(c *http.Client, base string, form url.Values) (s9Answer, error) {
+	var doc s9Answer
+	resp, err := c.PostForm(base+"/api/query", form)
+	if err != nil {
+		return doc, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return doc, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("experiments: /api/query returned %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return doc, err
+	}
+	return doc, nil
+}
+
+// metrics fetches /metrics and indexes every "name{labels} value" line.
+func (rig *s9Rig) metrics() (map[string]string, error) {
+	resp, err := http.Get(rig.ts.URL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if key, val, ok := strings.Cut(line, " "); ok {
+			out[key] = val
+		}
+	}
+	return out, nil
+}
+
+// breakerName renders the qr2_source_breaker_state gauge value.
+func breakerName(v string) string {
+	switch v {
+	case "0":
+		return "closed"
+	case "1":
+		return "open"
+	case "2":
+		return "half-open"
+	}
+	return "?" + v
+}
+
+// sameRows compares two answer pages byte-for-byte (IDs and every
+// rendered value, in order).
+func sameRows(a, b []s9Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || len(a[i].Values) != len(b[i].Values) {
+			return false
+		}
+		for k, v := range a[i].Values {
+			if b[i].Values[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}

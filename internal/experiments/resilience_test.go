@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScenarioResilienceShape checks the acceptance criteria on S9:
+// zero user-facing errors in every phase of the outage, degraded
+// serves counted on /metrics, and the breaker lifecycle (closed →
+// open → … → closed) visible across the phases. Byte-identity of
+// post-recovery answers against the fault-free control is asserted
+// inside the scenario itself.
+func TestScenarioResilienceShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("S9 has %d phases, want 4:\n%s", len(tab.Rows), tab.Format())
+	}
+	// No phase produced a user-facing error.
+	for i := range tab.Rows {
+		if errs := atoi(t, cell(t, tab, i, 1)); errs != 0 {
+			t.Fatalf("phase %d reports %d user errors\n%s", i, errs, tab.Format())
+		}
+	}
+	// Healthy phase: breaker closed, nothing degraded yet.
+	if got := cell(t, tab, 0, 3); got != "closed" {
+		t.Fatalf("warm-phase breaker = %s, want closed\n%s", got, tab.Format())
+	}
+	if d := atoi(t, cell(t, tab, 0, 2)); d != 0 {
+		t.Fatalf("warm phase already degraded %d serves\n%s", d, tab.Format())
+	}
+	// The stall opened the breaker and answers were served degraded.
+	if got := cell(t, tab, 1, 3); got != "open" {
+		t.Fatalf("stall-phase breaker = %s, want open\n%s", got, tab.Format())
+	}
+	if d := atoi(t, cell(t, tab, 1, 2)); d == 0 {
+		t.Fatalf("stall phase served nothing degraded\n%s", tab.Format())
+	}
+	// Degraded serving continued through the kill phase.
+	if a, b := atoi(t, cell(t, tab, 1, 2)), atoi(t, cell(t, tab, 2, 2)); b < a {
+		t.Fatalf("degraded serves went backwards (%d -> %d)\n%s", a, b, tab.Format())
+	}
+	// Recovery: the breaker walked open -> half-open -> closed.
+	if got := cell(t, tab, 3, 3); got != "closed" {
+		t.Fatalf("post-heal breaker = %s, want closed\n%s", got, tab.Format())
+	}
+	if got := cell(t, tab, 3, 4); got != "1/1/1" {
+		t.Fatalf("breaker lifecycle = %s, want 1/1/1\n%s", got, tab.Format())
+	}
+}

@@ -1,0 +1,315 @@
+// Package faultinject injects web-database faults by schedule: stalls,
+// connection resets, 429/5xx bursts and flapping, applied either as
+// server middleware in front of a wdbhttp.Server or as a client-side
+// http.RoundTripper.
+//
+// It exists to exercise internal/resilience the way real web databases
+// fail. The chaos test suite and experiment S9 drive the full QR2
+// service through schedules like "serve 20 healthy requests, stall the
+// next 10 past the attempt deadline, reset everything after that", and
+// wdbserver's -fault flag applies the same schedules to a live process
+// so an operator can rehearse a source outage end to end.
+//
+// A schedule is a sequence of steps consumed one request at a time:
+//
+//	stall=2s:10    delay the next 10 requests by 2s each, then serve
+//	status=503:5   answer the next 5 requests with HTTP 503
+//	reset:3        abort the connection of the next 3 requests
+//	pass:20        serve the next 20 requests normally
+//	loop           (anywhere) repeat the schedule instead of passing
+//
+// After the last step the injector passes everything through (or starts
+// over, with loop). SetSchedule replaces the schedule at runtime, which
+// is how tests flip a healthy source into a dead one mid-run and heal
+// it again.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is what happens to one request.
+type Mode int
+
+const (
+	// Pass serves the request untouched.
+	Pass Mode = iota
+	// Stall delays the request by Step.Delay, then serves it. Pair with
+	// an attempt deadline shorter than the delay to simulate a hang.
+	Stall
+	// Reset aborts the transport mid-request: the client sees a
+	// connection reset / EOF, never an HTTP response.
+	Reset
+	// Status answers with HTTP Step.Code without reaching the server.
+	Status
+)
+
+// String returns the schedule-grammar name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Stall:
+		return "stall"
+	case Reset:
+		return "reset"
+	case Status:
+		return "status"
+	}
+	return "unknown"
+}
+
+// Step is one schedule entry: N consecutive requests treated the same
+// way.
+type Step struct {
+	Mode Mode
+	// N is how many requests the step consumes; values below 1 mean 1.
+	N int
+	// Delay is the stall duration (Stall only).
+	Delay time.Duration
+	// Code is the injected HTTP status (Status only).
+	Code int
+}
+
+// Counts reports how many requests each mode has handled since the
+// injector was created.
+type Counts struct {
+	Passes   int64 `json:"passes"`
+	Stalls   int64 `json:"stalls"`
+	Resets   int64 `json:"resets"`
+	Statuses int64 `json:"statuses"`
+}
+
+// Injector applies a fault schedule to requests. All methods are safe
+// for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	steps []Step
+	pos   int // current step
+	used  int // requests consumed from the current step
+	loop  bool
+
+	passes   atomic.Int64
+	stalls   atomic.Int64
+	resets   atomic.Int64
+	statuses atomic.Int64
+}
+
+// New builds an injector over a schedule. An empty schedule passes
+// everything through.
+func New(steps ...Step) *Injector {
+	in := &Injector{}
+	in.SetSchedule(false, steps...)
+	return in
+}
+
+// SetSchedule atomically replaces the schedule and rewinds to its first
+// step. loop makes the schedule repeat instead of passing through after
+// the last step.
+func (in *Injector) SetSchedule(loop bool, steps ...Step) {
+	in.mu.Lock()
+	in.steps = append([]Step(nil), steps...)
+	in.pos, in.used = 0, 0
+	in.loop = loop
+	in.mu.Unlock()
+}
+
+// Counts snapshots the per-mode request counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Passes:   in.passes.Load(),
+		Stalls:   in.stalls.Load(),
+		Resets:   in.resets.Load(),
+		Statuses: in.statuses.Load(),
+	}
+}
+
+// take consumes one request's worth of schedule.
+func (in *Injector) take() Step {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if in.pos >= len(in.steps) {
+			if !in.loop || len(in.steps) == 0 {
+				return Step{Mode: Pass}
+			}
+			in.pos, in.used = 0, 0
+		}
+		st := in.steps[in.pos]
+		n := st.N
+		if n < 1 {
+			n = 1
+		}
+		if in.used >= n {
+			in.pos++
+			in.used = 0
+			continue
+		}
+		in.used++
+		return st
+	}
+}
+
+func (in *Injector) count(m Mode) {
+	switch m {
+	case Pass:
+		in.passes.Add(1)
+	case Stall:
+		in.stalls.Add(1)
+	case Reset:
+		in.resets.Add(1)
+	case Status:
+		in.statuses.Add(1)
+	}
+}
+
+// Middleware wraps an HTTP handler with the schedule. Reset aborts the
+// connection via http.ErrAbortHandler, so the client observes a
+// transport-level failure rather than a status code.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := in.take()
+		in.count(st.Mode)
+		switch st.Mode {
+		case Stall:
+			select {
+			case <-time.After(st.Delay):
+			case <-r.Context().Done():
+				return
+			}
+		case Reset:
+			panic(http.ErrAbortHandler)
+		case Status:
+			http.Error(w, "faultinject: injected failure", st.Code)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// RoundTripper wraps a client transport with the schedule; next nil
+// means http.DefaultTransport. Reset fails with a net.Error so the
+// error classifies as transport-level, exactly like a real broken
+// connection.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return roundTripper{in: in, next: next}
+}
+
+type roundTripper struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (rt roundTripper) RoundTrip(r *http.Request) (*http.Response, error) {
+	st := rt.in.take()
+	rt.in.count(st.Mode)
+	switch st.Mode {
+	case Stall:
+		select {
+		case <-time.After(st.Delay):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	case Reset:
+		return nil, resetError{}
+	case Status:
+		return &http.Response{
+			StatusCode: st.Code,
+			Status:     fmt.Sprintf("%d %s", st.Code, http.StatusText(st.Code)),
+			Proto:      r.Proto,
+			ProtoMajor: r.ProtoMajor,
+			ProtoMinor: r.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("faultinject: injected failure")),
+			Request:    r,
+		}, nil
+	}
+	return rt.next.RoundTrip(r)
+}
+
+// resetError is the injected transport failure; it implements net.Error
+// so the standard classification (resilience.Temporary) treats it like
+// a real connection reset.
+type resetError struct{}
+
+func (resetError) Error() string   { return "faultinject: connection reset" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return true }
+
+var _ interface { // net.Error without importing net
+	error
+	Timeout() bool
+	Temporary() bool
+} = resetError{}
+
+// ParseSchedule parses the -fault flag grammar: comma-separated steps
+// ("stall=2s:10", "status=503:5", "reset:3", "pass:20") with an
+// optional standalone "loop" token anywhere.
+func ParseSchedule(s string) (loop bool, steps []Step, err error) {
+	if strings.TrimSpace(s) == "" {
+		return false, nil, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "loop" {
+			loop = true
+			continue
+		}
+		head, countStr, hasCount := strings.Cut(tok, ":")
+		name, arg, hasArg := strings.Cut(head, "=")
+		st := Step{N: 1}
+		if hasCount {
+			n, cerr := strconv.Atoi(countStr)
+			if cerr != nil || n < 1 {
+				return false, nil, fmt.Errorf("faultinject: bad count in %q", tok)
+			}
+			st.N = n
+		}
+		switch name {
+		case "pass":
+			st.Mode = Pass
+		case "reset":
+			st.Mode = Reset
+		case "stall":
+			st.Mode = Stall
+			if !hasArg {
+				return false, nil, fmt.Errorf("faultinject: stall needs a duration, e.g. stall=2s (%q)", tok)
+			}
+			d, derr := time.ParseDuration(arg)
+			if derr != nil || d < 0 {
+				return false, nil, fmt.Errorf("faultinject: bad stall duration in %q", tok)
+			}
+			st.Delay = d
+		case "status":
+			st.Mode = Status
+			if !hasArg {
+				return false, nil, fmt.Errorf("faultinject: status needs a code, e.g. status=503 (%q)", tok)
+			}
+			c, cerr := strconv.Atoi(arg)
+			if cerr != nil || c < 100 || c > 599 {
+				return false, nil, fmt.Errorf("faultinject: bad status code in %q", tok)
+			}
+			st.Code = c
+		default:
+			return false, nil, fmt.Errorf("faultinject: unknown step %q (want pass, stall, reset or status)", tok)
+		}
+		if hasArg && (name == "pass" || name == "reset") {
+			return false, nil, fmt.Errorf("faultinject: %s takes no argument (%q)", name, tok)
+		}
+		steps = append(steps, st)
+	}
+	return loop, steps, nil
+}

@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestScheduleConsumption(t *testing.T) {
+	in := New(
+		Step{Mode: Status, Code: 503, N: 2},
+		Step{Mode: Reset},
+		Step{Mode: Pass, N: 1},
+	)
+	want := []Mode{Status, Status, Reset, Pass, Pass, Pass}
+	for i, w := range want {
+		if got := in.take(); got.Mode != w {
+			t.Fatalf("request %d: mode %v, want %v", i, got.Mode, w)
+		}
+	}
+}
+
+func TestScheduleLoop(t *testing.T) {
+	in := New()
+	in.SetSchedule(true, Step{Mode: Reset}, Step{Mode: Pass})
+	want := []Mode{Reset, Pass, Reset, Pass, Reset}
+	for i, w := range want {
+		if got := in.take(); got.Mode != w {
+			t.Fatalf("request %d: mode %v, want %v", i, got.Mode, w)
+		}
+	}
+}
+
+func TestMiddlewareStatusAndReset(t *testing.T) {
+	in := New(Step{Mode: Status, Code: 429}, Step{Mode: Reset}, Step{Mode: Pass})
+	srv := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("status request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+
+	// Reset aborts the connection: a transport-level error, no response.
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Fatal("reset request: want a transport error")
+	}
+
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("pass request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("pass body = %q", body)
+	}
+	c := in.Counts()
+	if c.Statuses != 1 || c.Resets != 1 || c.Passes != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestMiddlewareStall(t *testing.T) {
+	in := New(Step{Mode: Stall, Delay: 30 * time.Millisecond})
+	srv := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("stalled request: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("stall served in %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestRoundTripperResetIsNetError(t *testing.T) {
+	in := New(Step{Mode: Reset})
+	hc := &http.Client{Transport: in.RoundTripper(nil)}
+	_, err := hc.Get("http://unused.invalid/")
+	if err == nil {
+		t.Fatal("want injected reset error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Fatalf("injected reset %T is not a net.Error through the client: %v", err, err)
+	}
+}
+
+func TestRoundTripperStatus(t *testing.T) {
+	in := New(Step{Mode: Status, Code: 503})
+	hc := &http.Client{Transport: in.RoundTripper(nil)}
+	resp, err := hc.Get("http://unused.invalid/")
+	if err != nil {
+		t.Fatalf("injected status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	loop, steps, err := ParseSchedule("pass:20, stall=2s:10, status=503:5, reset:3, loop")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if !loop {
+		t.Fatal("loop token not recognised")
+	}
+	want := []Step{
+		{Mode: Pass, N: 20},
+		{Mode: Stall, N: 10, Delay: 2 * time.Second},
+		{Mode: Status, N: 5, Code: 503},
+		{Mode: Reset, N: 3},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %+v, want %+v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Errorf("step %d = %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+
+	if _, _, err := ParseSchedule(""); err != nil {
+		t.Errorf("empty schedule: %v", err)
+	}
+	for _, bad := range []string{"stall:3", "status:2", "status=9000", "flap", "pass=1", "stall=2s:0"} {
+		if _, _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q): want error", bad)
+		}
+	}
+}

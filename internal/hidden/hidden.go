@@ -30,6 +30,11 @@ type Result struct {
 	Tuples []relation.Tuple
 	// Overflow reports that more matching tuples exist than were returned.
 	Overflow bool
+	// Degraded marks a best-effort answer fabricated while the source was
+	// unreachable (internal/resilience degraded serving). A degraded result
+	// may be empty or stale and must never be admitted into any durable
+	// layer: answer caches, crawl sets, dense indexes, or peer pushes.
+	Degraded bool
 }
 
 // DB is the public search interface of a hidden web database — the only

@@ -64,6 +64,10 @@ const (
 	StageRerank
 	// StageEpochFence is the epoch-fenced cache admission gate.
 	StageEpochFence
+	// StageDegraded is a degraded serve: the resilience layer answered
+	// for an unreachable source with a fabricated best-effort result
+	// instead of failing the request.
+	StageDegraded
 
 	numStages
 )
@@ -71,7 +75,7 @@ const (
 var stageNames = [numStages]string{
 	"canonicalize", "pool_lookup", "containment", "crawl_set",
 	"dense_topin", "ring_route", "peer_forward", "web_query",
-	"crawl", "rerank", "epoch_fence",
+	"crawl", "rerank", "epoch_fence", "degraded_serve",
 }
 
 // String returns the snake_case label used on /metrics and /api/trace.
@@ -96,11 +100,14 @@ const (
 	OutcomeCoalesced
 	// OutcomeError marks a failed span.
 	OutcomeError
+	// OutcomeDegraded marks a span answered by degraded serving: the
+	// source was unreachable and a best-effort substitute was produced.
+	OutcomeDegraded
 
 	numOutcomes
 )
 
-var outcomeNames = [numOutcomes]string{"ok", "hit", "miss", "coalesced", "error"}
+var outcomeNames = [numOutcomes]string{"ok", "hit", "miss", "coalesced", "error", "degraded"}
 
 // String returns the label used on /metrics and /api/trace.
 func (o Outcome) String() string {
@@ -180,6 +187,23 @@ func (t *Trace) SetDetail(d string) {
 	t.mu.Lock()
 	t.detail = d
 	t.mu.Unlock()
+}
+
+// Degraded reports whether the trace has recorded a degraded-serve span
+// so far — the service uses it to mark responses stale-ok while the
+// request is still open. Nil-safe.
+func (t *Trace) Degraded() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if sp.Stage == StageDegraded || sp.Outcome == OutcomeDegraded {
+			return true
+		}
+	}
+	return false
 }
 
 // Timer is an open span. The zero Timer (from a nil trace) is a no-op.
@@ -298,12 +322,17 @@ const (
 	PathPeer
 	// PathWeb spent at least one live web-database query.
 	PathWeb
+	// PathDegraded was served best-effort while a source's breaker was
+	// open or its retries were exhausted: at least one leaf answer was
+	// fabricated by degraded serving, so the response may be incomplete.
+	PathDegraded
 
 	numPaths
 )
 
 var pathNames = [numPaths]string{
 	"none", "pool-hit", "containment", "crawl-set", "dense", "peer", "web",
+	"degraded",
 }
 
 // String returns the label used on /metrics and /api/trace.
@@ -359,7 +388,7 @@ func (t *Trace) finish(err error) (*TraceDoc, []Span) {
 		doc.Error = err.Error()
 	}
 	var hit [numStages]bool
-	coalesced := false
+	coalesced, degraded := false, false
 	for i, sp := range t.spans {
 		doc.Spans[i] = SpanDoc{
 			Stage:   sp.Stage.String(),
@@ -374,8 +403,16 @@ func (t *Trace) finish(err error) (*TraceDoc, []Span) {
 		if sp.Stage == StagePoolLookup && sp.Outcome == OutcomeCoalesced {
 			coalesced = true
 		}
+		if sp.Stage == StageDegraded || sp.Outcome == OutcomeDegraded {
+			degraded = true
+		}
 	}
 	switch {
+	// A degraded serve taints the whole answer regardless of how many
+	// live queries the healthy sources contributed, so it is classified
+	// before the web path.
+	case degraded:
+		doc.path = PathDegraded
 	case t.queries > 0:
 		doc.path = PathWeb
 	case hit[StagePeerForward]:

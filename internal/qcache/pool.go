@@ -431,8 +431,11 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		// under the shard lock. adoptEpoch advances the seq before it
 		// purges the shards, so either this insert sees the new seq and
 		// aborts, or it inserted first and the purge removes it — a
-		// pre-bump answer can never survive the wipe.
-		if err == nil && ns.epochSeq.Load() == seq {
+		// pre-bump answer can never survive the wipe. A degraded result
+		// (fabricated by the resilience layer while the source was down)
+		// is served to the waiting flight but never admitted: caching it
+		// would keep answering with the fabrication after recovery.
+		if err == nil && !res.Degraded && ns.epochSeq.Load() == seq {
 			admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
 		}
 		sh.mu.Unlock()
@@ -557,7 +560,7 @@ func (ns *namespace) admitAt(p relation.Predicate, res hidden.Result, seq uint64
 		admitted bool
 		victims  []victim
 	)
-	if ns.epochSeq.Load() == seq { // see the epoch gate in search
+	if !res.Degraded && ns.epochSeq.Load() == seq { // see the epoch gate in search
 		admitted, victims = ns.insertLocked(sh, pkey, copyResult(res), ns.pool.now())
 	}
 	sh.mu.Unlock()

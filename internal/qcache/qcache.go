@@ -298,6 +298,7 @@ func copyResult(res hidden.Result) hidden.Result {
 	return hidden.Result{
 		Tuples:   append([]relation.Tuple(nil), res.Tuples...),
 		Overflow: res.Overflow,
+		Degraded: res.Degraded,
 	}
 }
 

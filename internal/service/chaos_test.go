@@ -1,0 +1,342 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crawl"
+	"repro/internal/datagen"
+	"repro/internal/epoch"
+	"repro/internal/faultinject"
+	"repro/internal/hidden"
+	"repro/internal/parallel"
+	"repro/internal/qcache"
+	"repro/internal/relation"
+	"repro/internal/resilience"
+	"repro/internal/wdbhttp"
+)
+
+// chaosRig is a QR2 service whose single source is reached over real
+// HTTP through a fault injector — the same failure surface a live web
+// database presents. The injector starts with an empty (pass-through)
+// schedule; tests flip it mid-run.
+type chaosRig struct {
+	ts  *httptest.Server
+	inj *faultinject.Injector
+	srv *Server
+}
+
+func newChaosRig(t *testing.T, pol resilience.Policy) *chaosRig {
+	t.Helper()
+	cat := datagen.BlueNile(600, 1)
+	local, err := hidden.NewLocal("bluenile", cat.Rel, 30, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New()
+	wdb := httptest.NewServer(inj.Middleware(wdbhttp.NewServer(local)))
+	t.Cleanup(wdb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	db, err := wdbhttp.Dial(ctx, wdb.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Sources:    map[string]SourceConfig{"bluenile": {DB: db, Cache: &qcache.Config{}}},
+		Algorithm:  core.Rerank,
+		Resilience: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return &chaosRig{ts: ts, inj: inj, srv: srv}
+}
+
+func chaosPolicy() resilience.Policy {
+	return resilience.Policy{
+		AttemptTimeout:   40 * time.Millisecond,
+		MaxAttempts:      2,
+		BackoffBase:      time.Millisecond,
+		BackoffCap:       2 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerOpenFor:   150 * time.Millisecond,
+		BreakerProbes:    2,
+		DegradedServe:    true,
+	}
+}
+
+// query posts a /api/query and decodes the answer; every chaos-phase
+// request must come back 200 — a source outage degrades answers, never
+// availability.
+func (r *chaosRig) query(t *testing.T, c *http.Client, form url.Values) queryDoc {
+	t.Helper()
+	resp, body := postForm(t, c, r.ts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %v: status %d (want 200 even under faults): %s", form, resp.StatusCode, body)
+	}
+	var doc queryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func newChaosClient() *http.Client {
+	return &http.Client{Jar: &cookieJar{cookies: map[string][]*http.Cookie{}}}
+}
+
+// breakTheSource keeps issuing fresh (uncacheable) queries until the
+// source's breaker opens, failing the test if it never does. Every
+// response along the way must be 200.
+func (r *chaosRig) breakTheSource(t *testing.T, c *http.Client) {
+	t.Helper()
+	src := r.srv.sources["bluenile"]
+	deadline := time.Now().Add(15 * time.Second)
+	for i := 0; src.res.State() != resilience.Open; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened: %+v", src.res.Stats())
+		}
+		form := url.Values{
+			"source":    {"bluenile"},
+			"rank":      {"price"},
+			"k":         {"3"},
+			"min.price": {strconv.Itoa(100 + i)},
+		}
+		r.query(t, c, form)
+	}
+}
+
+// TestChaosStallPastDeadlineDegrades drives the full ladder through a
+// hung source: attempts time out, the failure streak opens the breaker,
+// fresh queries come back 200 with the degraded marker, cached answers
+// keep serving marked stale-ok, nothing degraded is admitted to the
+// answer cache, and the change prober pauses instead of digesting a
+// fabricated baseline.
+func TestChaosStallPastDeadlineDegrades(t *testing.T) {
+	rig := newChaosRig(t, chaosPolicy())
+	client := newChaosClient()
+	src := rig.srv.sources["bluenile"]
+	ctx := context.Background()
+
+	// Healthy phase: warm one answer and the probe baseline.
+	warmForm := url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}}
+	warm := rig.query(t, client, warmForm)
+	if warm.Degraded || warm.StaleOK || len(warm.Rows) != 3 {
+		t.Fatalf("healthy answer marked degraded/stale: %+v", warm)
+	}
+	if _, err := rig.srv.ChangeProbe(ctx, "bluenile"); err != nil {
+		t.Fatalf("baseline probe: %v", err)
+	}
+	cacheLen := src.cache.Len()
+
+	// The source hangs: every request stalls far past the 40ms attempt
+	// deadline, forever.
+	rig.inj.SetSchedule(true, faultinject.Step{Mode: faultinject.Stall, Delay: 2 * time.Second})
+
+	// A fresh query cannot be answered from any layer — it must still be
+	// a 200, marked degraded.
+	fresh := rig.query(t, client, url.Values{
+		"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}, "min.carat": {"1"},
+	})
+	if !fresh.Degraded {
+		t.Fatalf("fresh query during outage not marked degraded: %+v", fresh)
+	}
+	rig.breakTheSource(t, client)
+
+	st := src.res.Stats()
+	if st.Retries == 0 || st.Failures == 0 || st.Opens == 0 || st.DegradedServes == 0 {
+		t.Fatalf("ladder counters did not move: %+v", st)
+	}
+
+	// The warmed answer still serves — real cached rows, marked stale-ok
+	// because the breaker is open, not degraded (no fabricated leaf).
+	replay := rig.query(t, client, warmForm)
+	if replay.Degraded || !replay.StaleOK {
+		t.Fatalf("cached replay during outage: degraded=%v stale_ok=%v", replay.Degraded, replay.StaleOK)
+	}
+	if !reflect.DeepEqual(replay.Rows, warm.Rows) {
+		t.Fatalf("cached replay changed rows: %+v vs %+v", replay.Rows, warm.Rows)
+	}
+
+	// Degraded answers were never admitted: the cache holds exactly what
+	// the healthy phase left in it.
+	if src.cache.Len() != cacheLen {
+		t.Fatalf("cache grew during outage: %d entries, want %d", src.cache.Len(), cacheLen)
+	}
+
+	// The change prober pauses against the dead source — no epoch bump,
+	// no error spam, no fabricated baseline digest.
+	bumped, err := rig.srv.ChangeProbe(ctx, "bluenile")
+	if !errors.Is(err, epoch.ErrPaused) || bumped {
+		t.Fatalf("probe during outage: bumped=%v err=%v (want ErrPaused)", bumped, err)
+	}
+
+	// The outage is visible on /metrics.
+	body := getBody(t, rig.srv, "/metrics")
+	for _, want := range []string{
+		`qr2_source_breaker_state{source="bluenile"} 1`,
+		`qr2_source_breaker_opens_total{source="bluenile"} `,
+		`qr2_change_probes_paused_total{source="bluenile"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, `qr2_degraded_serves_total{source="bluenile"} `) ||
+		strings.Contains(body, `qr2_degraded_serves_total{source="bluenile"} 0`) {
+		t.Fatal("/metrics does not report degraded serves")
+	}
+}
+
+// TestChaosStatusBurstThenRecovery opens the breaker with a 5xx burst,
+// heals the source, and verifies the half-open probe path re-closes the
+// circuit and post-recovery answers are identical to a service that
+// never saw a fault.
+func TestChaosStatusBurstThenRecovery(t *testing.T) {
+	rig := newChaosRig(t, chaosPolicy())
+	client := newChaosClient()
+	src := rig.srv.sources["bluenile"]
+
+	// Control: the same catalog behind a fault-free local source.
+	controlCat := datagen.BlueNile(600, 1)
+	controlDB, err := hidden.NewLocal("bluenile", controlCat.Rel, 30, controlCat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := New(Config{
+		Sources:   map[string]SourceConfig{"bluenile": {DB: controlDB, Cache: &qcache.Config{}}},
+		Algorithm: core.Rerank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(control)
+	t.Cleanup(cts.Close)
+	controlClient := newChaosClient()
+
+	// Warm (normalization discovery must happen while healthy), then the
+	// source answers nothing but 503s.
+	rig.query(t, client, url.Values{"source": {"bluenile"}, "rank": {"price"}, "k": {"3"}})
+	rig.inj.SetSchedule(true, faultinject.Step{Mode: faultinject.Status, Code: 503})
+	rig.breakTheSource(t, client)
+
+	// Heal the source and let the open window lapse.
+	rig.inj.SetSchedule(false)
+	time.Sleep(chaosPolicy().BreakerOpenFor + 50*time.Millisecond)
+
+	// The change prober is the designed recovery driver: its queries ride
+	// the half-open probe admission, and the first success re-closes the
+	// circuit. (Serving traffic would do the same; the prober makes
+	// recovery independent of user queries.)
+	if _, err := rig.srv.ChangeProbe(context.Background(), "bluenile"); err != nil {
+		t.Fatalf("probe over healed source: %v", err)
+	}
+	if got := src.res.State(); got != resilience.Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", got)
+	}
+	st := src.res.Stats()
+	if st.Opens == 0 || st.HalfOpens == 0 || st.Closes == 0 {
+		t.Fatalf("breaker lifecycle incomplete: %+v", st)
+	}
+
+	// Post-recovery answers are identical to the fault-free control's.
+	// The composite ranking function makes scores unique (pure price has
+	// heavy ties, and tie order is discovery-order dependent); the fresh
+	// session isolates the check from the chaos phase's session state.
+	form := url.Values{
+		"source": {"bluenile"}, "k": {"5"}, "in.shape": {"Round"},
+		"w.price": {"1"}, "w.depth": {"0.0137"}, "w.table": {"0.0019"},
+	}
+	got := rig.query(t, newChaosClient(), form)
+	resp, body := postForm(t, controlClient, cts.URL+"/api/query", form)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control query: %d %s", resp.StatusCode, body)
+	}
+	var want queryDoc
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded || got.StaleOK {
+		t.Fatalf("post-recovery answer still marked: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("post-recovery rows differ from fault-free control:\n%+v\n%+v", got.Rows, want.Rows)
+	}
+
+	// And the closed breaker is back on /metrics.
+	metrics := getBody(t, rig.srv, "/metrics")
+	for _, want := range []string{
+		`qr2_source_breaker_state{source="bluenile"} 0`,
+		`qr2_source_breaker_half_opens_total{source="bluenile"} `,
+		`qr2_source_breaker_closes_total{source="bluenile"} `,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestChaosMidCrawlDeathAdmitsNothing kills the source partway through
+// a region crawl and verifies the partial match set is kept out of the
+// answer cache: a fabricated empty leaf is indistinguishable from a
+// real underflow, so the crawl aborts instead of admitting.
+func TestChaosMidCrawlDeathAdmitsNothing(t *testing.T) {
+	cat := datagen.BlueNile(600, 1)
+	local, err := hidden.NewLocal("bluenile", cat.Rel, 10, cat.Rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New()
+	wdb := httptest.NewServer(inj.Middleware(wdbhttp.NewServer(local)))
+	t.Cleanup(wdb.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client, err := wdbhttp.Dial(ctx, wdb.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resilience.NewSource(resilience.Policy{
+		AttemptTimeout:   40 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerOpenFor:   time.Minute,
+		DegradedServe:    true,
+	})
+	cache, err := qcache.New(res.Wrap(client), qcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three queries in, the source dies for good.
+	inj.SetSchedule(true,
+		faultinject.Step{Mode: faultinject.Pass, N: 3},
+		faultinject.Step{Mode: faultinject.Stall, Delay: 2 * time.Second},
+	)
+	base, err := relation.NewBuilder(local.Schema()).AtLeast("carat", 0.3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := crawl.All(ctx, parallel.New(cache), base, crawl.Options{})
+	if !errors.Is(err, crawl.ErrDegraded) {
+		t.Fatalf("crawl over dying source: err=%v, want ErrDegraded", err)
+	}
+	if stats.Complete {
+		t.Fatal("aborted crawl claims completeness")
+	}
+	if got := cache.Stats().CrawlEntries; got != 0 {
+		t.Fatalf("partial crawl set admitted: %d crawl entries", got)
+	}
+}

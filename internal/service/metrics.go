@@ -9,6 +9,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/epoch"
 	"repro/internal/qcache"
+	"repro/internal/resilience"
 )
 
 // handleMetrics serves the /api/stats counters in the Prometheus text
@@ -28,6 +29,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cacheStats := make(map[string]qcache.Stats)
 	epochSeqs := make(map[string]uint64, len(names))
 	probeStats := make(map[string]epoch.ProbeStats, len(names))
+	resStats := make(map[string]resilience.Stats, len(names))
+	resStates := make(map[string]resilience.State, len(names))
 	for _, name := range names {
 		src := s.sources[name]
 		denseStats[name] = src.ix.Stats()
@@ -37,6 +40,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		epochSeqs[name] = s.epochs.Seq(name)
 		if p, ok := s.probers[name]; ok {
 			probeStats[name] = p.Stats()
+		}
+		if src.res != nil {
+			resStats[name] = src.res.Stats()
+			resStates[name] = src.res.State()
 		}
 	}
 
@@ -123,6 +130,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return get(ps), true
 		}
 	}
+	resRow := func(get func(resilience.Stats) int64) func(string) (int64, bool) {
+		return func(name string) (int64, bool) {
+			rs, ok := resStats[name]
+			if !ok {
+				return 0, false
+			}
+			return get(rs), true
+		}
+	}
 	rows := []row{
 		{"qr2_source_epoch", "gauge", "Current source epoch seq (bumps when the live database visibly changes).",
 			func(name string) (int64, bool) { return int64(epochSeqs[name]), true }},
@@ -132,6 +148,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			epochRow(func(ps epoch.ProbeStats) int64 { return ps.Mismatches })},
 		{"qr2_change_probe_errors_total", "counter", "Probe rounds aborted by a failed sentinel query (no bump).",
 			epochRow(func(ps epoch.ProbeStats) int64 { return ps.Errors })},
+		{"qr2_change_probes_paused_total", "counter", "Probe rounds paused because the source was unavailable (open breaker, degraded answer).",
+			epochRow(func(ps epoch.ProbeStats) int64 { return ps.Paused })},
+		{"qr2_source_breaker_state", "gauge", "Circuit-breaker position per source: 0 closed, 1 open, 2 half-open.",
+			func(name string) (int64, bool) {
+				if _, ok := resStats[name]; !ok {
+					return 0, false
+				}
+				return int64(resStates[name]), true
+			}},
+		{"qr2_source_breaker_opens_total", "counter", "Closed-to-open breaker transitions (consecutive-failure threshold reached).",
+			resRow(func(rs resilience.Stats) int64 { return rs.Opens })},
+		{"qr2_source_breaker_half_opens_total", "counter", "Open-to-half-open breaker transitions (probe window elapsed).",
+			resRow(func(rs resilience.Stats) int64 { return rs.HalfOpens })},
+		{"qr2_source_breaker_closes_total", "counter", "Half-open-to-closed breaker transitions (probe succeeded).",
+			resRow(func(rs resilience.Stats) int64 { return rs.Closes })},
+		{"qr2_source_attempts_total", "counter", "Individual web-database attempts issued through the resilience layer.",
+			resRow(func(rs resilience.Stats) int64 { return rs.Attempts })},
+		{"qr2_source_retries_total", "counter", "Attempts beyond the first (transport-level failures replayed with backoff).",
+			resRow(func(rs resilience.Stats) int64 { return rs.Retries })},
+		{"qr2_source_failures_total", "counter", "Indictable (transport-level) attempt failures.",
+			resRow(func(rs resilience.Stats) int64 { return rs.Failures })},
+		{"qr2_source_hedges_total", "counter", "Duplicate attempts launched because the first exceeded the hedge delay.",
+			resRow(func(rs resilience.Stats) int64 { return rs.Hedges })},
+		{"qr2_source_short_circuits_total", "counter", "Calls rejected without an attempt because the breaker was open.",
+			resRow(func(rs resilience.Stats) int64 { return rs.ShortCircuits })},
+		{"qr2_degraded_serves_total", "counter", "Answers fabricated (empty, Degraded-marked) while the source was unreachable.",
+			resRow(func(rs resilience.Stats) int64 { return rs.DegradedServes })},
+		{"qr2_source_rate_limited_total", "counter", "Attempts that waited on the per-source token bucket.",
+			resRow(func(rs resilience.Stats) int64 { return rs.RateWaits })},
 		{"qr2_qcache_epoch_wipes_total", "counter", "Runtime epoch bumps that wiped the source's answer-cache namespace.",
 			cacheRow(func(cs qcache.Stats) int64 { return cs.EpochWipes })},
 		{"qr2_dense_wipes_total", "counter", "Whole-index invalidations of the dense-region index (epoch bumps).",

@@ -99,6 +99,7 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/ranking"
 	"repro/internal/relation"
+	"repro/internal/resilience"
 	"repro/internal/session"
 	"repro/internal/wdbhttp"
 )
@@ -192,6 +193,21 @@ type Config struct {
 	// enter a dedicated ring (GET /api/trace?slow=1) and emit one warning
 	// log line. Zero disables the slow log.
 	SlowQuery time.Duration
+	// Resilience is the per-source fault policy wrapped around every raw
+	// web-database call (internal/resilience): per-attempt deadlines,
+	// capped-backoff retries of transport-level failures, a circuit
+	// breaker, optional concurrency/rate caps and hedging. The zero value
+	// applies the library defaults — harmless for healthy sources; set
+	// negative fields to disable individual knobs. With
+	// Resilience.DegradedServe set, a request that would otherwise fail
+	// on an open breaker is answered from whatever the cache, crawl-set
+	// and dense layers still hold, marked degraded/stale-ok, instead of
+	// erroring. The wrapper sits below the answer cache and the replica
+	// ring, so cache hits and peer forwards never touch the breaker.
+	Resilience resilience.Policy
+	// PeerRetry is the retry policy for cluster peer RPCs (forwards and
+	// answer pushes). The zero value keeps single-attempt RPCs.
+	PeerRetry resilience.Retry
 	// Logger receives one structured line per request (log/slog). Nil
 	// discards logs.
 	Logger *slog.Logger
@@ -229,6 +245,7 @@ type source struct {
 	db      hidden.DB // the served database; the cache when one is configured
 	cache   *qcache.Cache
 	ix      *dense.Index
+	res     *resilience.Source // fault policy shared by serving path and prober
 	popular []string
 
 	normMu sync.Mutex
@@ -308,6 +325,7 @@ func New(cfg Config) (*Server, error) {
 			Peers:         cfg.Peers,
 			ProbeInterval: cfg.ClusterProbeInterval,
 			Epochs:        s.epochs,
+			Retry:         cfg.PeerRetry,
 		})
 		if err != nil {
 			return nil, err
@@ -328,7 +346,15 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("service: open dense index for %q: %w", name, err)
 		}
-		db := sc.DB
+		// The resilience wrapper sits directly on the raw database — below
+		// the answer cache and the replica ring — so only true web-database
+		// round trips spend retry budget or indict the breaker; cache hits
+		// and peer forwards bypass it entirely. One Source backs both the
+		// serving path and the change prober, so they observe the same
+		// breaker and recover together.
+		res := resilience.NewSource(cfg.Resilience)
+		raw := res.Wrap(sc.DB)
+		db := raw
 		var cache *qcache.Cache
 		if sc.Cache != nil {
 			// Every cached source joins the live epoch lifecycle: the
@@ -336,9 +362,9 @@ func New(cfg Config) (*Server, error) {
 			cc := *sc.Cache
 			cc.Epochs = s.epochs
 			if s.pool != nil {
-				cache, err = s.pool.Namespace(name, db, cc)
+				cache, err = s.pool.Namespace(name, raw, cc)
 			} else {
-				cache, err = qcache.New(db, cc)
+				cache, err = qcache.New(raw, cc)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("service: open answer cache for %q: %w", name, err)
@@ -347,9 +373,9 @@ func New(cfg Config) (*Server, error) {
 			if s.node != nil {
 				// Ring routing sits above the cache: owned keys hit the
 				// local pool, foreign keys proxy to their owner replica and
-				// on owner misses query the raw database (sc.DB) directly,
-				// so the answer is admitted once, at its owner.
-				db = s.node.Source(name, cache, sc.DB)
+				// on owner misses query the raw (resilient) database
+				// directly, so the answer is admitted once, at its owner.
+				db = s.node.Source(name, cache, raw)
 			}
 		}
 		// Every source has an epoch even without a cache (the dense index
@@ -384,11 +410,15 @@ func New(cfg Config) (*Server, error) {
 		})
 		// The change-detection prober replays sentinel queries against
 		// the raw database — probing through the cache would observe the
-		// cache, not the live source.
-		s.probers[name] = epoch.NewProber(s.epochs, name, sc.DB, epoch.ProberConfig{
-			Sentinels: cfg.ChangeSentinels,
+		// cache, not the live source. It probes through the resilience
+		// wrapper so a dead source pauses probing (ErrPaused backoff)
+		// instead of spamming errors, and its successful probes double as
+		// the half-open traffic that re-closes the breaker.
+		s.probers[name] = epoch.NewProber(s.epochs, name, raw, epoch.ProberConfig{
+			Sentinels:   cfg.ChangeSentinels,
+			Unavailable: resilience.IsUnavailable,
 		})
-		s.sources[name] = &source{name: name, db: db, cache: cache, ix: ix, popular: sc.Popular}
+		s.sources[name] = &source{name: name, db: db, cache: cache, ix: ix, res: res, popular: sc.Popular}
 	}
 	if s.node != nil {
 		s.node.Register(s.mux)
@@ -464,12 +494,24 @@ func (s *Server) StartChangeProbes(ctx context.Context) {
 	}
 }
 
-// normalization lazily discovers a source's min/max bounds once.
+// normalization lazily discovers a source's min/max bounds once. The
+// discovery runs real web queries, so it is fenced on the source's
+// breaker: with the circuit open and no cached bounds the request fails
+// fast instead of spending its latency budget on short-circuited
+// probes, and bounds fabricated from degraded (empty) answers are never
+// cached — they would skew every later query's normalisation.
 func (s *Server) normalization(ctx context.Context, src *source) (ranking.Normalization, error) {
 	src.normMu.Lock()
 	defer src.normMu.Unlock()
 	if src.norm != nil {
 		return *src.norm, nil
+	}
+	if src.res != nil && src.res.State() == resilience.Open {
+		return ranking.Normalization{}, fmt.Errorf("service: source %q: %w", src.name, resilience.ErrOpen)
+	}
+	var degradedBefore int64
+	if src.res != nil {
+		degradedBefore = src.res.Stats().DegradedServes
 	}
 	probe, err := core.New(src.db, core.Options{
 		Algorithm:   s.cfg.Algorithm,
@@ -481,6 +523,9 @@ func (s *Server) normalization(ctx context.Context, src *source) (ranking.Normal
 	norm, err := probe.Normalization(ctx)
 	if err != nil {
 		return ranking.Normalization{}, err
+	}
+	if src.res != nil && src.res.Stats().DegradedServes != degradedBefore {
+		return ranking.Normalization{}, fmt.Errorf("service: source %q degraded during normalisation discovery", src.name)
 	}
 	src.norm = &norm
 	return norm, nil
@@ -527,7 +572,17 @@ type queryDoc struct {
 	Page      int      `json:"page"`
 	Rows      []rowDoc `json:"rows"`
 	Exhausted bool     `json:"exhausted"`
-	Stats     statsDoc `json:"stats"`
+	// Degraded marks a page whose computation absorbed at least one
+	// fabricated (degraded) leaf answer: the source was unreachable and
+	// the page was assembled from caches, crawl sets and dense regions
+	// alone — complete with respect to those layers, possibly not with
+	// respect to the live source.
+	Degraded bool `json:"degraded,omitempty"`
+	// StaleOK marks a page served while the source's breaker was not
+	// closed: the rows are real cached data but may trail the live
+	// source until the breaker re-closes.
+	StaleOK bool     `json:"stale_ok,omitempty"`
+	Stats   statsDoc `json:"stats"`
 	// Trace is the request's trace ID: GET /api/trace?id=<Trace> returns
 	// the decision path and per-stage timings. Empty with tracing off.
 	Trace string `json:"trace,omitempty"`
@@ -569,29 +624,31 @@ type epochStatsDoc struct {
 	// Seq is the current source epoch; BumpedAt when it began.
 	Seq      uint64    `json:"seq"`
 	BumpedAt time.Time `json:"bumped_at"`
-	// Probes/Mismatches/Errors/Sentinels describe the change-detection
-	// prober for the source.
+	// Probes/Mismatches/Errors/Paused/Sentinels describe the
+	// change-detection prober for the source.
 	Probes     int64 `json:"probes"`
 	Mismatches int64 `json:"mismatches"`
 	Errors     int64 `json:"errors"`
+	Paused     int64 `json:"paused"`
 	Sentinels  int   `json:"sentinels"`
 }
 
 // sourceStatsDoc is one source's operational counters on GET /api/stats.
 type sourceStatsDoc struct {
-	SystemK                int            `json:"system_k"`
-	Cache                  *qcache.Stats  `json:"cache,omitempty"`
-	CacheHitRate           float64        `json:"cache_hit_rate"`
-	Epoch                  *epochStatsDoc `json:"epoch,omitempty"`
-	DenseEntries           int            `json:"dense_entries"`
-	DenseTuples            int            `json:"dense_tuples"`
-	DenseHits              int64          `json:"dense_hits"`
-	DenseMisses            int64          `json:"dense_misses"`
-	DenseWipes             int64          `json:"dense_wipes"`
-	DenseResidentEntries   int            `json:"dense_resident_entries"`
-	DenseResidentBytes     int64          `json:"dense_resident_bytes"`
-	DenseResidentLoads     int64          `json:"dense_resident_loads"`
-	DenseResidentEvictions int64          `json:"dense_resident_evictions"`
+	SystemK                int               `json:"system_k"`
+	Cache                  *qcache.Stats     `json:"cache,omitempty"`
+	CacheHitRate           float64           `json:"cache_hit_rate"`
+	Epoch                  *epochStatsDoc    `json:"epoch,omitempty"`
+	Resilience             *resilience.Stats `json:"resilience,omitempty"`
+	DenseEntries           int               `json:"dense_entries"`
+	DenseTuples            int               `json:"dense_tuples"`
+	DenseHits              int64             `json:"dense_hits"`
+	DenseMisses            int64             `json:"dense_misses"`
+	DenseWipes             int64             `json:"dense_wipes"`
+	DenseResidentEntries   int               `json:"dense_resident_entries"`
+	DenseResidentBytes     int64             `json:"dense_resident_bytes"`
+	DenseResidentLoads     int64             `json:"dense_resident_loads"`
+	DenseResidentEvictions int64             `json:"dense_resident_evictions"`
 }
 
 type serviceStatsDoc struct {
@@ -646,12 +703,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			sd.Cache = &cs
 			sd.CacheHitRate = cs.HitRate()
 		}
+		if src.res != nil {
+			rs := src.res.Stats()
+			sd.Resilience = &rs
+		}
 		if e, ok := s.epochs.Get(name); ok {
 			ed := epochStatsDoc{Seq: e.Seq, BumpedAt: e.BumpedAt}
 			if p, ok := s.probers[name]; ok {
 				ps := p.Stats()
-				ed.Probes, ed.Mismatches, ed.Errors, ed.Sentinels =
-					ps.Probes, ps.Mismatches, ps.Errors, ps.Sentinels
+				ed.Probes, ed.Mismatches, ed.Errors, ed.Paused, ed.Sentinels =
+					ps.Probes, ps.Mismatches, ps.Errors, ps.Paused, ps.Sentinels
 			}
 			sd.Epoch = &ed
 		}
@@ -908,6 +969,11 @@ func (s *Server) advance(ctx context.Context, sess *session.Session, qid string,
 	if len(rows) < cur.k {
 		cur.exhausted = true
 	}
+	degraded := obs.FromContext(ctx).Degraded()
+	staleOK := degraded
+	if cur.source.res != nil && cur.source.res.State() != resilience.Closed {
+		staleOK = true
+	}
 	schema := cur.source.db.Schema()
 	doc := &queryDoc{
 		Session:   sess.ID(),
@@ -916,6 +982,8 @@ func (s *Server) advance(ctx context.Context, sess *session.Session, qid string,
 		Page:      cur.page,
 		Rows:      make([]rowDoc, 0, len(rows)),
 		Exhausted: cur.exhausted,
+		Degraded:  degraded,
+		StaleOK:   staleOK,
 	}
 	for _, t := range rows {
 		vals := make(map[string]any, schema.Len())

@@ -367,7 +367,14 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 	// The new families must actually be present with traffic recorded.
-	for _, want := range []string{"qr2_stage_latency_seconds", "qr2_request_latency_seconds", "qr2_traces_total"} {
+	for _, want := range []string{
+		"qr2_stage_latency_seconds", "qr2_request_latency_seconds", "qr2_traces_total",
+		"qr2_source_breaker_state", "qr2_source_breaker_opens_total",
+		"qr2_source_breaker_half_opens_total", "qr2_source_breaker_closes_total",
+		"qr2_source_attempts_total", "qr2_source_retries_total",
+		"qr2_source_short_circuits_total", "qr2_degraded_serves_total",
+		"qr2_change_probes_paused_total",
+	} {
 		if f, ok := families[want]; !ok || f.typ == "" {
 			t.Errorf("family %s missing from /metrics", want)
 		}

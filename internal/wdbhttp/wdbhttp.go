@@ -23,7 +23,10 @@ package wdbhttp
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -236,6 +239,40 @@ func isInf(v float64, sign int) bool {
 	return (sign < 0 && v < -1.7e308) || (sign > 0 && v > 1.7e308)
 }
 
+// StatusError reports a non-200 response from the web database, keeping
+// the numeric code so callers can classify it: the resilience layer
+// treats 5xx and 429 as transport-level (retryable, breaker-indicting)
+// while other 4xx indict only the request that earned them.
+type StatusError struct {
+	// Op names the endpoint, e.g. "search" or "schema endpoint".
+	Op string
+	// Code is the numeric HTTP status.
+	Code int
+	// Status is the full status line, e.g. "503 Service Unavailable".
+	Status string
+	// Msg is the server-provided error body, possibly empty.
+	Msg string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wdbhttp: %s returned %s", e.Op, e.Status)
+	}
+	return fmt.Sprintf("wdbhttp: %s returned %s: %s", e.Op, e.Status, e.Msg)
+}
+
+// HTTPStatus implements the resilience layer's status interface.
+func (e *StatusError) HTTPStatus() int { return e.Code }
+
+// drainClose consumes any unread body bytes before closing so the
+// keep-alive connection returns to the transport's pool instead of
+// being torn down — under retry storms, re-dialing every connection
+// multiplies the damage. The limit bounds a hostile unbounded body.
+func drainClose(r *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20))
+	r.Body.Close()
+}
+
 // Client is a hidden.DB implementation over the wire format above.
 type Client struct {
 	base    string
@@ -246,27 +283,60 @@ type Client struct {
 	queries atomic.Int64
 }
 
+// DialOption tunes Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	attempts int
+	backoff  time.Duration
+}
+
+// WithRetry makes Dial retry the /schema fetch up to attempts times,
+// doubling backoff between tries. Only transport errors and 5xx
+// responses are retried — a 404 or a malformed schema document will
+// not heal with time. The common case this rescues: a web database
+// that finishes booting a few seconds after the service that dials
+// it, which without retry would permanently lose the source.
+func WithRetry(attempts int, backoff time.Duration) DialOption {
+	return func(dc *dialConfig) {
+		if attempts > 0 {
+			dc.attempts = attempts
+		}
+		if backoff > 0 {
+			dc.backoff = backoff
+		}
+	}
+}
+
 // Dial fetches the remote schema and returns a ready client.
-func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error) {
+func Dial(ctx context.Context, baseURL string, hc *http.Client, opts ...DialOption) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
+	dc := dialConfig{attempts: 1, backoff: 500 * time.Millisecond}
+	for _, opt := range opts {
+		opt(&dc)
+	}
 	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/schema", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("wdbhttp: fetch schema: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("wdbhttp: schema endpoint returned %s", resp.Status)
-	}
 	var doc schemaDoc
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("wdbhttp: decode schema: %w", err)
+	var err error
+	backoff := dc.backoff
+	for attempt := 1; ; attempt++ {
+		doc, err = c.fetchSchema(ctx)
+		if err == nil {
+			break
+		}
+		if attempt >= dc.attempts || !retryableDial(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 8*time.Second {
+			backoff *= 2
+		}
 	}
 	attrs := make([]relation.Attribute, 0, len(doc.Attrs))
 	for _, ad := range doc.Attrs {
@@ -289,6 +359,42 @@ func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error)
 		return nil, fmt.Errorf("wdbhttp: remote system-k %d invalid", c.systemK)
 	}
 	return c, nil
+}
+
+// fetchSchema performs one GET /schema round trip.
+func (c *Client) fetchSchema(ctx context.Context) (schemaDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/schema", nil)
+	if err != nil {
+		return schemaDoc{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return schemaDoc{}, fmt.Errorf("wdbhttp: fetch schema: %w", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return schemaDoc{}, &StatusError{
+			Op: "schema endpoint", Code: resp.StatusCode, Status: resp.Status,
+		}
+	}
+	var doc schemaDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return schemaDoc{}, fmt.Errorf("wdbhttp: decode schema: %w", err)
+	}
+	return doc, nil
+}
+
+// retryableDial reports whether a schema-fetch failure can heal with
+// time: transport errors (server not yet listening — *url.Error from
+// hc.Do implements net.Error) and 5xx/429 responses. Decode failures
+// and other 4xx are permanent: the endpoint exists and is wrong.
+func retryableDial(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= http.StatusInternalServerError || se.Code == http.StatusTooManyRequests
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // Name implements hidden.DB.
@@ -322,11 +428,13 @@ func (c *Client) Search(ctx context.Context, p relation.Predicate) (res hidden.R
 	if err != nil {
 		return hidden.Result{}, fmt.Errorf("wdbhttp: search: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		var ed errorDoc
 		_ = json.NewDecoder(resp.Body).Decode(&ed)
-		return hidden.Result{}, fmt.Errorf("wdbhttp: search returned %s: %s", resp.Status, ed.Error)
+		return hidden.Result{}, &StatusError{
+			Op: "search", Code: resp.StatusCode, Status: resp.Status, Msg: ed.Error,
+		}
 	}
 	var doc searchDoc
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {

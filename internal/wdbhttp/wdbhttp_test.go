@@ -2,12 +2,15 @@ package wdbhttp
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -208,6 +211,75 @@ func TestDialErrors(t *testing.T) {
 	defer bad.Close()
 	if _, err := Dial(context.Background(), bad.URL, bad.Client()); err == nil {
 		t.Fatal("bogus schema accepted")
+	}
+}
+
+// A web database that boots after the service dials it must not be lost
+// forever: WithRetry keeps trying through transport errors and 5xx.
+func TestDialRetriesUntilSchemaAppears(t *testing.T) {
+	db, _, _ := testPair(t, 20, 5, 11)
+	inner := NewServer(db)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	client, err := Dial(context.Background(), srv.URL, srv.Client(), WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatalf("dial with retries: %v", err)
+	}
+	if client.SystemK() != db.SystemK() {
+		t.Fatalf("SystemK %d, want %d", client.SystemK(), db.SystemK())
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("schema endpoint hit %d times, want 3", got)
+	}
+}
+
+// A 404 means the endpoint is wrong, not slow: retrying is pointless and
+// must stop after the first attempt.
+func TestDialDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	_, err := Dial(context.Background(), srv.URL, srv.Client(), WithRetry(5, time.Millisecond))
+	if err == nil {
+		t.Fatal("dial against 404 succeeded")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.HTTPStatus() != http.StatusNotFound {
+		t.Fatalf("want StatusError 404, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("schema endpoint hit %d times, want 1", got)
+	}
+}
+
+// Search failures carry the numeric status so the resilience layer can
+// tell retryable 5xx from permanent 4xx.
+func TestSearchStatusError(t *testing.T) {
+	db, client, _ := testPair(t, 20, 5, 12)
+	_ = db
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	client.base = srv.URL
+	client.hc = srv.Client()
+	_, err := client.Search(context.Background(), relation.Predicate{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.HTTPStatus() != http.StatusServiceUnavailable {
+		t.Fatalf("want StatusError 503, got %v", err)
+	}
+	if !strings.Contains(se.Error(), "search returned 503") {
+		t.Fatalf("error message lost the status line: %q", se.Error())
 	}
 }
 
