@@ -27,11 +27,18 @@
 // -change-probe enables live change detection against the sources: on
 // the given period each source is replayed a set of recorded sentinel
 // queries (-sentinels many), and any answer-digest mismatch bumps the
-// source's epoch — wiping its answer cache (crawl-admitted sets
-// included) and its dense-region index, because every cached byte
-// describes a database that no longer exists. Without it, only the
-// boot-time fingerprint check protects against source drift (plus
-// -cache-ttl as a staleness bound).
+// source's epoch. Sentinel placement is traffic-derived: one unbounded
+// baseline sentinel always probes the source-wide top-k, while the rest
+// are recorded over the answer cache's hottest predicates, so detection
+// concentrates where cached reuse actually happens. Each bounded
+// sentinel covers a rect in attribute space, and a mismatch on it bumps
+// only that region — the answer cache drops just the entries and crawl
+// sets intersecting the rect (persisted records included) and the
+// dense-region index evicts just the intersecting entries, while
+// everything disjoint keeps serving untouched. Only the unbounded
+// baseline escalates to the source-wide wipe. Without -change-probe,
+// only the boot-time fingerprint check protects against source drift
+// (plus -cache-ttl as a staleness bound).
 //
 // -peers and -self join the replica to a consistent-hash cluster
 // (internal/cluster): -peers lists every replica as id=url pairs —
@@ -42,10 +49,12 @@
 // the owner (/cluster/put). Dead peers are excluded from the ring by
 // health probes and failed forwards fall back to local serving, so user
 // requests survive any peer outage. In cluster mode an epoch bump
-// propagates through the ring (peer messages carry epoch seqs, the probe
-// loop gossips them), every replica converges to the new epoch, and
-// stale-epoch admissions are rejected; a recovered peer additionally
-// gets its fallback-admitted entries re-homed to it.
+// propagates through the ring (peer messages carry epoch seqs and the
+// bumped region's rect when the bump was scoped, the probe loop gossips
+// them), every replica converges to the new epoch — partial-wiping when
+// the adoption arrives with its scope intact, full-wiping on a gap —
+// and stale-epoch admissions are rejected; a recovered peer
+// additionally gets its fallback-admitted entries re-homed to it.
 //
 // Observability: every request is traced through the answer path
 // (internal/obs) — -trace-buffer sizes the /api/trace + /debug/requests
@@ -123,9 +132,9 @@ func main() {
 			"comma-separated id=url replica list (including this one) forming a consistent-hash answer-cache ring; empty = stand-alone")
 		self        = flag.String("self", "", "this replica's id in -peers")
 		changeProbe = flag.Duration("change-probe", 0,
-			"period for live change-detection probes against each source (sentinel query replays; 0 = boot-time fingerprint only)")
+			"period for live change-detection probes against each source (sentinel query replays; a mismatch on a bounded sentinel wipes only that sentinel's region; 0 = boot-time fingerprint only)")
 		sentinels = flag.Int("sentinels", epoch.DefaultSentinels,
-			"sentinel queries recorded per source for change detection")
+			"sentinel queries per source for change detection: one unbounded baseline plus traffic-derived sentinels over the answer cache's hottest predicates")
 		traceBuffer = flag.Int("trace-buffer", 0,
 			"recent request traces kept for /api/trace and /debug/requests (0 = default 256, negative disables tracing)")
 		slowQuery = flag.Duration("slow-query", 0,

@@ -35,18 +35,29 @@
 // answer is only correct while the hidden database has not changed since
 // it was cached. internal/epoch makes that a live concern instead of a
 // boot-time one: each source has a versioned epoch (boot fingerprint +
-// monotonic sequence number), a change-detection prober periodically
-// replays recorded sentinel queries against the live source and bumps
-// the epoch on any answer-digest mismatch, and the bump fans out
-// synchronously — the answer-cache namespace wipes (resident entries,
-// containment directory, crawl-admitted sets and persisted records,
-// fenced against in-flight admissions), and the dense-region index is
-// invalidated wholesale, because its entries are authoritative crawls of
-// a source version that no longer exists. The epoch seq persists next to
-// the cache fingerprint, so restarts resume the lineage. Enable with
-// qr2server -change-probe (and -sentinels for coverage); sentinel
-// semantics and the false-negative tradeoff are documented in
-// internal/epoch.
+// monotonic sequence number), and a change-detection prober periodically
+// replays recorded sentinel queries against the live source, bumping the
+// epoch on any answer-digest mismatch. Invalidation is region-scoped,
+// not source-wide: each sentinel predicate covers a rect in attribute
+// space (internal/region), and a mismatch on a bounded sentinel bumps
+// only that rect — the epoch carries the scope, and every subscriber
+// wipes surgically. The answer cache drops exactly the entries, crawl
+// sets and persisted records whose key-decoded predicate rect intersects
+// the bumped region (the intersection check over-approximates, so it can
+// over-drop but never serve pre-change state) and keeps the disjoint
+// rest resident; the dense index evicts only intersecting and straddling
+// entries; admissions computed under an older epoch are installed only
+// when provably disjoint from every region bumped since (the
+// region-aware narrowing of the old equal-seq-or-refuse fence). Only the
+// unbounded baseline sentinel, or an epoch gap whose skipped scopes were
+// never seen, escalates to the wholesale wipe. Sentinel placement is
+// traffic-derived: beyond the unbounded baseline, sentinels are recorded
+// over the answer cache's hottest predicates, so detection coverage —
+// and therefore wipe granularity — concentrates where reuse actually
+// happens. The epoch seq persists next to the cache fingerprint, so
+// restarts resume the lineage. Enable with qr2server -change-probe (and
+// -sentinels for coverage); sentinel semantics and the false-negative
+// tradeoff are documented in internal/epoch.
 //
 // Beyond one process, internal/cluster scales the answer cache across
 // service replicas: a consistent-hash ring (virtual nodes over a static
@@ -66,11 +77,14 @@
 // tracked as strays and re-homed: when the owner recovers, each stray is
 // pushed to it and the local copy released, restoring the exactly-once
 // invariant without waiting for LRU aging. Source epochs ride the same
-// protocol: every peer message carries (source, epoch seq), a replica
-// seeing a higher seq adopts it (running the same wipes), a put tagged
-// with a lower seq is rejected as stale, and the probe loop gossips
-// epochs over /cluster/ring so a bump converges even across replicas
-// with no shared traffic. Replicas join with qr2server -peers/-self.
+// protocol: every peer message carries (source, epoch seq) plus the
+// epoch's region scope when it has one, a replica seeing a higher seq
+// adopts it (running the same wipes — partial when the adoption is
+// exactly one ahead and scoped, full when a gap hides unseen scopes), a
+// put tagged with a lower seq is rejected as stale, and the probe loop
+// gossips epochs over /cluster/ring so a bump converges even across
+// replicas with no shared traffic. Replicas join with qr2server
+// -peers/-self.
 //
 // # Failure semantics
 //

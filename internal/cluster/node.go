@@ -256,7 +256,11 @@ func (n *Node) Gossip(ctx context.Context) {
 			continue // gossip is opportunistic; the health prober owns indictment
 		}
 		for src, seq := range doc.Epochs {
-			n.observe(src, seq)
+			var sc *rectDoc
+			if d, ok := doc.Scopes[src]; ok {
+				sc = &d
+			}
+			n.observeScoped(src, seq, sc)
 		}
 	}
 }
@@ -280,6 +284,56 @@ func (n *Node) observe(ns string, seq uint64) {
 	if n.epochs.Observe(ns, seq) {
 		n.epochAdopts.Add(1)
 	}
+}
+
+// observeScoped is observe carrying the region the sender's transition
+// into seq was confined to. A decodable scope adopts via ObserveRegion,
+// whose subscribers wipe only the intersecting slice (the registry
+// itself escalates to a full wipe when the adoption skips seqs); a nil
+// or malformed scope falls back to the full-wipe observe — the peer
+// could not express the region, so everything must go.
+func (n *Node) observeScoped(ns string, seq uint64, sc *rectDoc) {
+	if n.epochs == nil || seq == 0 {
+		return
+	}
+	if sc != nil {
+		if rect, err := sc.rect(); err == nil {
+			if n.epochs.ObserveRegion(ns, seq, rect) {
+				n.epochAdopts.Add(1)
+			}
+			return
+		}
+	}
+	n.observe(ns, seq)
+}
+
+// epochOf reads a source's live epoch seq and, when its latest
+// transition was region-confined, the wire form of that region. Both
+// come from one registry snapshot, so the scope always describes the
+// transition into exactly the returned seq.
+func (n *Node) epochOf(ns string) (uint64, *rectDoc) {
+	if n.epochs == nil {
+		return 0, nil
+	}
+	e, ok := n.epochs.Get(ns)
+	if !ok {
+		return 0, nil
+	}
+	if e.Scope == nil {
+		return e.Seq, nil
+	}
+	return e.Seq, encodeRect(*e.Scope)
+}
+
+// scopeAt returns the wire form of the live transition's region only
+// when seq is still the live epoch — the scope describes the transition
+// into that exact seq and must not be attached to any other.
+func (n *Node) scopeAt(ns string, seq uint64) *rectDoc {
+	cur, sc := n.epochOf(ns)
+	if cur != seq {
+		return nil
+	}
+	return sc
 }
 
 // CheckNow probes every peer immediately, ignoring backoff windows, and

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/hidden"
 	"repro/internal/obs"
 	"repro/internal/qcache"
+	"repro/internal/region"
 	"repro/internal/relation"
 	"repro/internal/resilience"
 	"repro/internal/wdbhttp"
@@ -48,14 +50,78 @@ import (
 // losing an admission costs one repeated web query, never correctness;
 // (4) the probe loop gossips epochs over /cluster/ring so replicas with
 // no shared traffic converge within one probe interval.
+//
+// Region-scoped bumps travel too: when the sender's latest transition
+// was confined to a rectangle, the seq is accompanied by its rect (an
+// escope parameter on /cluster/get requests, a scope field on get
+// responses and put bodies, a scopes map on /cluster/ring), so the
+// adopting replica wipes only the intersecting slice of its caches. The
+// fallback is always the full wipe: a message without a scope — an older
+// binary, an adoption that skips sequence numbers, a rect that fails to
+// decode — adopts exactly as before. Scope never weakens the ordering
+// above; it only narrows what an adoption destroys.
+
+// rectDoc is the wire form of a region.Rect. Interval bounds travel as
+// IEEE-754 bit patterns (uint64) because JSON cannot represent ±Inf;
+// Flags packs the open-endpoint bits (1 = LoOpen, 2 = HiOpen) per
+// dimension. A peer that cannot express or decode the rect simply drops
+// it, and the adoption falls back to a full wipe.
+type rectDoc struct {
+	Attrs []int    `json:"attrs"`
+	Lo    []uint64 `json:"lo"`
+	Hi    []uint64 `json:"hi"`
+	Flags []byte   `json:"flags,omitempty"`
+}
+
+// encodeRect serialises a rect for the wire.
+func encodeRect(r region.Rect) *rectDoc {
+	d := &rectDoc{
+		Attrs: append([]int(nil), r.Attrs...),
+		Lo:    make([]uint64, len(r.Ivs)),
+		Hi:    make([]uint64, len(r.Ivs)),
+		Flags: make([]byte, len(r.Ivs)),
+	}
+	for i, iv := range r.Ivs {
+		d.Lo[i] = math.Float64bits(iv.Lo)
+		d.Hi[i] = math.Float64bits(iv.Hi)
+		if iv.LoOpen {
+			d.Flags[i] |= 1
+		}
+		if iv.HiOpen {
+			d.Flags[i] |= 2
+		}
+	}
+	return d
+}
+
+// rect reconstructs the region, failing on malformed documents so the
+// caller can fall back to a full-wipe adoption.
+func (d *rectDoc) rect() (region.Rect, error) {
+	if d == nil || len(d.Attrs) != len(d.Lo) || len(d.Lo) != len(d.Hi) {
+		return region.Rect{}, fmt.Errorf("cluster: malformed rect document")
+	}
+	ivs := make([]relation.Interval, len(d.Attrs))
+	for i := range d.Attrs {
+		iv := relation.Interval{Lo: math.Float64frombits(d.Lo[i]), Hi: math.Float64frombits(d.Hi[i])}
+		if i < len(d.Flags) {
+			iv.LoOpen = d.Flags[i]&1 != 0
+			iv.HiOpen = d.Flags[i]&2 != 0
+		}
+		ivs[i] = iv
+	}
+	return region.New(d.Attrs, ivs)
+}
 
 // getDoc is the JSON response of GET /cluster/get.
 type getDoc struct {
 	Found    bool       `json:"found"`
 	Overflow bool       `json:"overflow"`
 	Tuples   []tupleDoc `json:"tuples,omitempty"`
-	// Epoch is the owner's source epoch seq (0 when epochs are off).
-	Epoch uint64 `json:"epoch,omitempty"`
+	// Epoch is the owner's source epoch seq (0 when epochs are off);
+	// Scope, when present, is the region the owner's latest transition
+	// was confined to, so an adopting caller can wipe partially.
+	Epoch uint64   `json:"epoch,omitempty"`
+	Scope *rectDoc `json:"scope,omitempty"`
 }
 
 // putDoc is the JSON request of POST /cluster/put.
@@ -67,8 +133,12 @@ type putDoc struct {
 	Tuples   []tupleDoc `json:"tuples"`
 	// Epoch is the source epoch seq the answer was produced under,
 	// captured by the sender before it issued the web query. A receiver
-	// on a higher epoch rejects the admission as stale.
-	Epoch uint64 `json:"epoch,omitempty"`
+	// on a higher epoch rejects the admission as stale. Scope, attached
+	// only when Epoch is still the sender's live epoch, is the region
+	// that epoch's transition was confined to — a receiver that is
+	// behind adopts with a partial wipe instead of a full one.
+	Epoch uint64   `json:"epoch,omitempty"`
+	Scope *rectDoc `json:"scope,omitempty"`
 }
 
 type tupleDoc struct {
@@ -82,12 +152,28 @@ type ringDoc struct {
 	VirtualNodes int         `json:"virtual_nodes"`
 	Peers        []PeerStats `json:"peers"`
 	// Epochs maps each registered source to this replica's epoch seq —
-	// the gossip payload peers pull to converge on bumps.
-	Epochs map[string]uint64 `json:"epochs,omitempty"`
+	// the gossip payload peers pull to converge on bumps. Scopes carries,
+	// for sources whose latest transition was region-confined, the rect
+	// it was confined to; absent entries adopt as full wipes.
+	Epochs map[string]uint64  `json:"epochs,omitempty"`
+	Scopes map[string]rectDoc `json:"scopes,omitempty"`
 }
 
 type errorDoc struct {
 	Error string `json:"error"`
+}
+
+// decodeScopeParam parses the escope query parameter (a JSON rectDoc).
+// nil on absence or malformation — the caller falls back to a full wipe.
+func decodeScopeParam(s string) *rectDoc {
+	if s == "" {
+		return nil
+	}
+	var d rectDoc
+	if err := json.Unmarshal([]byte(s), &d); err != nil {
+		return nil
+	}
+	return &d
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -113,13 +199,16 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q.Del("ns")
-	if eseq := q.Get("eseq"); eseq != "" {
-		q.Del("eseq")
+	eseq, escope := q.Get("eseq"), q.Get("escope")
+	q.Del("eseq")
+	q.Del("escope")
+	if eseq != "" {
 		if seq, err := strconv.ParseUint(eseq, 10, 64); err == nil {
 			// Adopting a newer epoch wipes the namespace before the Peek
 			// below, so the caller sees found=false from the post-change
-			// cache rather than a stale answer.
-			n.observe(name, seq)
+			// cache rather than a stale answer. A scoped caller epoch
+			// narrows the wipe; an undecodable scope falls back to full.
+			n.observeScoped(name, seq, decodeScopeParam(escope))
 		}
 	}
 	pred, err := wdbhttp.ParseFilterForm(cs.Schema(), q)
@@ -127,13 +216,14 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
-	// The seq is read BEFORE the Peek: if a bump lands in between, the
-	// answer travels honestly tagged with the epoch it was valid under
-	// (and the caller's own gate handles it); reading after could tag
-	// pre-change tuples with the post-change epoch.
-	seq := n.seqOf(name)
+	// The seq (and the scope of its transition) is read BEFORE the Peek:
+	// if a bump lands in between, the answer travels honestly tagged with
+	// the epoch it was valid under (and the caller's own gate handles
+	// it); reading after could tag pre-change tuples with the post-change
+	// epoch.
+	seq, scope := n.epochOf(name)
 	res, found := cs.cache.Peek(pred)
-	doc := getDoc{Found: found, Overflow: res.Overflow, Epoch: seq}
+	doc := getDoc{Found: found, Overflow: res.Overflow, Epoch: seq, Scope: scope}
 	if found {
 		n.peerGetHits.Add(1)
 		doc.Tuples = encodeTuples(res.Tuples)
@@ -189,9 +279,10 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if doc.Epoch > local {
-			// The sender is ahead: adopt (wiping local pre-change state)
+			// The sender is ahead: adopt (wiping local pre-change state —
+			// only the scoped slice when the sender carried the rect)
 			// before admitting its post-change answer.
-			n.observe(doc.NS, doc.Epoch)
+			n.observeScoped(doc.NS, doc.Epoch, doc.Scope)
 		}
 		epochGated = true
 	}
@@ -227,7 +318,14 @@ func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
 		doc.Epochs = make(map[string]uint64)
 		n.mu.Lock()
 		for name := range n.sources {
-			doc.Epochs[name] = n.epochs.Seq(name)
+			seq, scope := n.epochOf(name)
+			doc.Epochs[name] = seq
+			if scope != nil {
+				if doc.Scopes == nil {
+					doc.Scopes = make(map[string]rectDoc)
+				}
+				doc.Scopes[name] = *scope
+			}
 		}
 		n.mu.Unlock()
 	}
@@ -300,6 +398,11 @@ func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *rela
 	form.Set("ns", ns)
 	if seq > 0 {
 		form.Set("eseq", strconv.FormatUint(seq, 10))
+		if sc := n.scopeAt(ns, seq); sc != nil {
+			if b, err := json.Marshal(sc); err == nil {
+				form.Set("escope", string(b))
+			}
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		n.urls[owner]+"/cluster/get?"+form.Encode(), nil)
@@ -327,7 +430,7 @@ func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *rela
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: decode get from %s: %w", owner, err)}
 	}
-	n.observe(ns, doc.Epoch)
+	n.observeScoped(ns, doc.Epoch, doc.Scope)
 	if !doc.Found {
 		return hidden.Result{}, false, nil
 	}
@@ -369,6 +472,11 @@ func (n *Node) putOnce(ctx context.Context, owner, ns string, schema *relation.S
 		Overflow: res.Overflow,
 		Tuples:   encodeTuples(res.Tuples),
 		Epoch:    seq,
+		// The scope travels only while seq is still the live epoch: it
+		// describes the transition into exactly that seq, and tagging an
+		// older seq with a newer transition's rect would let a receiver
+		// partial-wipe where a full wipe is owed.
+		Scope: n.scopeAt(ns, seq),
 	})
 	if err != nil {
 		return err

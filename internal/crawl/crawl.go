@@ -90,9 +90,14 @@ type Admitter interface {
 // implements EpochAdmitter receives that epoch with the admission, so
 // the cache can reject — atomically with its own wipe — a crawl that
 // straddled a source change: such a set mixes pre- and post-change
-// answers and must not enter the cache as "the complete match set". The
-// dense index the engine feeds separately is wiped by the same epoch
-// bump, so neither layer retains the torn crawl.
+// answers and must not enter the cache as "the complete match set".
+// The rejection is region-aware: a crawl only straddles the changes
+// that could have touched it, so an admission whose region is provably
+// disjoint from every region bumped mid-crawl still installs, and only
+// crawls actually straddling a bumped region (or any unscoped bump,
+// whose blast radius is unknowable) are dropped. The dense index the
+// engine feeds separately is wiped by the same scoped epoch bump, so
+// neither layer retains a torn crawl.
 type Epocher interface {
 	EpochSeq() uint64
 }

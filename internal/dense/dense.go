@@ -65,8 +65,11 @@ type Stats struct {
 	// to respect the byte budget.
 	ResidentLoads     int64
 	ResidentEvictions int64
-	// Wipes counts whole-index invalidations (source epoch bumps).
-	Wipes int64
+	// Wipes counts whole-index invalidations (full source epoch bumps);
+	// RegionWipes counts region-scoped invalidations (WipeRegion), which
+	// evict only the entries intersecting the bumped rectangle.
+	Wipes       int64
+	RegionWipes int64
 }
 
 // Index is a shared, persistent directory of crawled dense regions.
@@ -81,9 +84,10 @@ type Index struct {
 	nextID  uint64
 	tuples  int
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	wipes  atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	wipes       atomic.Int64
+	regionWipes atomic.Int64
 
 	epochSeq atomic.Uint64 // persisted under epochKey; see SetEpoch
 
@@ -535,6 +539,49 @@ func (ix *Index) Wipe() error {
 	return nil
 }
 
+// WipeRegion drops only the entries whose region intersects rect — the
+// region-scoped sibling of Wipe, invoked when a source change was
+// localised to one sentinel's region. Surviving entries remain
+// authoritative: they are complete crawls of regions the change provably
+// did not touch, so their answers are still byte-exact. Memory goes
+// first, unconditionally — the directory is rebuilt from the survivors
+// and evicted IDs leave residency — so pre-change regions stop serving
+// even if the store cleanup below fails; on error the caller must not
+// SetEpoch, exactly as with Wipe, and the next boot re-wipes.
+func (ix *Index) WipeRegion(rect region.Rect) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var evicted []uint64
+	live := make([]Entry, 0, len(ix.entries))
+	for id, e := range ix.entries {
+		if e.Rect.Intersects(rect) {
+			evicted = append(evicted, id)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for _, id := range evicted {
+		ix.tuples -= ix.entries[id].Count
+		delete(ix.entries, id)
+		ix.res.purgeID(id)
+	}
+	ix.dir = newDirectory()
+	ix.dir.bulk(live)
+	ix.regionWipes.Add(1)
+	for _, id := range evicted {
+		if err := ix.store.Delete(entryKey(id)); err != nil {
+			return fmt.Errorf("dense: wipe region: %w", err)
+		}
+		if err := ix.store.Delete(tuplesKey(id)); err != nil {
+			return fmt.Errorf("dense: wipe region: %w", err)
+		}
+	}
+	if err := ix.store.Sync(); err != nil {
+		return fmt.Errorf("dense: wipe region sync: %w", err)
+	}
+	return nil
+}
+
 // Len returns the number of entries.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
@@ -550,6 +597,7 @@ func (ix *Index) Stats() Stats {
 	s.Hits = ix.hits.Load()
 	s.Misses = ix.misses.Load()
 	s.Wipes = ix.wipes.Load()
+	s.RegionWipes = ix.regionWipes.Load()
 	ix.res.stats(&s)
 	return s
 }

@@ -717,3 +717,85 @@ func cloneStore(t *testing.T, s kvstore.Store) kvstore.Store {
 	}
 	return out
 }
+
+// TestWipeRegionEvictsOnlyIntersecting: a region-scoped wipe drops the
+// entries intersecting the rect — memory, residency and store — while
+// disjoint entries keep serving, and a restart sees exactly the
+// survivors.
+func TestWipeRegionEvictsOnlyIntersecting(t *testing.T) {
+	store := kvstore.NewMemory()
+	ix, err := Open(schema(t), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkIn := func(n int, seed int64, lo, hi float64) []relation.Tuple {
+		r := rand.New(rand.NewSource(seed))
+		out := make([]relation.Tuple, n)
+		for i := range out {
+			out[i] = relation.Tuple{ID: int64(seed*1000) + int64(i+1),
+				Values: []float64{lo + r.Float64()*(hi-lo), r.Float64() * 100}}
+		}
+		return out
+	}
+	hot := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 100)})
+	cold := region.MustNew([]int{0}, []relation.Interval{relation.Closed(500, 600)})
+	straddle := region.MustNew([]int{0}, []relation.Interval{relation.Closed(90, 200)})
+	eh, err := ix.Insert(hot, mkIn(50, 1, 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := ix.Insert(cold, mkIn(20, 2, 500, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := ix.Insert(straddle, mkIn(10, 3, 90, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the residency for every entry so the wipe must purge it.
+	for _, e := range []Entry{eh, ec, es} {
+		if _, err := ix.TopIn(e.ID, e.Rect, relation.Predicate{}, nil, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bump := region.MustNew([]int{0}, []relation.Interval{relation.Closed(50, 120)})
+	if err := ix.WipeRegion(bump); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.RegionWipes != 1 || st.Wipes != 0 {
+		t.Fatalf("wipe counters = region %d full %d, want 1 / 0", st.RegionWipes, st.Wipes)
+	}
+	if st.Entries != 1 || st.TuplesStored != 20 {
+		t.Fatalf("post-wipe stats = %+v, want only the disjoint entry", st)
+	}
+	if st.ResidentEntries != 1 {
+		t.Fatalf("resident entries = %d, want only the survivor's", st.ResidentEntries)
+	}
+	// Intersecting entries — including the straddler — are gone for both
+	// lookup and direct reads; the disjoint one still serves.
+	for _, e := range []Entry{eh, es} {
+		if _, ok := ix.Find(e.Rect); ok {
+			t.Fatalf("entry %d intersecting the bumped rect still found", e.ID)
+		}
+		if _, err := ix.TopIn(e.ID, e.Rect, relation.Predicate{}, nil, nil, 0); err == nil {
+			t.Fatalf("TopIn on wiped entry %d succeeded", e.ID)
+		}
+	}
+	got, err := ix.TopIn(ec.ID, cold, relation.Predicate{}, nil, nil, 0)
+	if err != nil || len(got) != 20 {
+		t.Fatalf("disjoint entry unserved after region wipe: %d tuples, err %v", len(got), err)
+	}
+	// The store dropped exactly the evicted entries' records.
+	ix2, err := Open(schema(t), cloneStore(t, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 1 {
+		t.Fatalf("reopened index has %d entries, want the 1 survivor", ix2.Len())
+	}
+	if _, ok := ix2.Find(cold); !ok {
+		t.Fatal("survivor entry lost across restart")
+	}
+}

@@ -185,6 +185,20 @@ func (rs *residency) purge() {
 	}
 }
 
+// purgeID drops one entry's resident copy, if any — the region-scoped
+// wipe evicts per entry instead of purging the whole warm set. A wrapper
+// already handed to a reader stays usable, exactly as with purge.
+func (rs *residency) purgeID(id uint64) {
+	if rs.acct == nil {
+		return
+	}
+	rs.mu.Lock()
+	if el, ok := rs.elems[id]; ok {
+		rs.removeLocked(el)
+	}
+	rs.mu.Unlock()
+}
+
 // stats snapshots residency counters into s.
 func (rs *residency) stats(s *Stats) {
 	rs.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/hidden"
+	"repro/internal/region"
 	"repro/internal/relation"
 )
 
@@ -72,4 +73,27 @@ func benchRel(n int) *relation.Relation {
 		rel.MustAppend(relation.Tuple{ID: int64(i + 1), Values: []float64{float64(i % 997), float64(i % 131)}})
 	}
 	return rel
+}
+
+var rectIntersectSink bool
+
+// BenchmarkRectIntersect prices the per-entry check a region-scoped wipe
+// sweeps over every resident entry: does this entry's region intersect
+// the bumped rect? CI gates it so the partial wipe stays a cheap linear
+// sweep even over large namespaces.
+func BenchmarkRectIntersect(b *testing.B) {
+	bump := region.MustNew(
+		[]int{0, 1},
+		[]relation.Interval{relation.Closed(100, 200), relation.Closed(10, 50)},
+	)
+	entries := make([]region.Rect, 256)
+	for i := range entries {
+		lo := float64(i * 7 % 900)
+		entries[i] = region.MustNew([]int{0}, []relation.Interval{relation.Closed(lo, lo+30)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rectIntersectSink = entries[i%len(entries)].Intersects(bump)
+	}
 }

@@ -27,6 +27,18 @@
 //     values and the overflow flag) and periodically replays them against
 //     the live source, bumping the epoch on any digest mismatch.
 //
+// Bumps carry an optional region scope. A change detected by a bounded
+// sentinel is known to lie inside the region.Rect the sentinel's
+// predicate covers, so the prober issues BumpRegion(source, rect) and
+// subscribers receive Epoch.Scope — the contract is then "no pre-change
+// state intersecting the scope is served after the bump returns"; state
+// disjoint from the scope is still provably valid (a change confined to
+// one region cannot alter an answer whose predicate excludes every
+// changed tuple) and survives. Scope is always an over-approximation of
+// where the change can be (a nil Scope means everywhere — the full wipe
+// of old), so subscribers may over-wipe but never under-wipe. Only the
+// unbounded sentinel produces a nil-scope full bump.
+//
 // What a sentinel digest covers, and what it can miss: the digest hashes
 // the exact wire-observable answer of one top-k query — tuple IDs, every
 // attribute value, result order and the overflow flag — so any change
@@ -50,6 +62,9 @@ package epoch
 import (
 	"sync"
 	"time"
+
+	"repro/internal/region"
+	"repro/internal/relation"
 )
 
 // Epoch identifies one observed version of a source.
@@ -65,6 +80,13 @@ type Epoch struct {
 	// BumpedAt is when this epoch began (boot time for Seq 1, detection
 	// time for later ones).
 	BumpedAt time.Time `json:"bumped_at"`
+	// Scope bounds where the change that began this epoch can be: nil
+	// means anywhere (subscribers must wipe everything), non-nil means
+	// the change is confined to the rect and state disjoint from it may
+	// survive. Scope describes the transition INTO this epoch only; it
+	// says nothing about earlier bumps, so a subscriber that missed
+	// intermediate epochs must fall back to a full wipe.
+	Scope *region.Rect `json:"-"`
 }
 
 // Registry tracks the current epoch of every source in a process and
@@ -77,9 +99,17 @@ type Registry struct {
 
 // state is one source's entry in the registry.
 type state struct {
-	cur   Epoch
-	subs  []func(Epoch)
-	bumps int64
+	// fanMu serializes seq assignment together with subscriber fan-out
+	// for this source: without it, a partial bump to seq 3 could deliver
+	// before the partial bump to seq 2, and a seq-comparing subscriber
+	// would drop seq 2's scope entirely — under-wiping that region. With
+	// it, subscribers see strictly increasing epochs in order. fanMu is
+	// acquired before r.mu and held across the (out-of-lock) callbacks.
+	fanMu        sync.Mutex
+	cur          Epoch
+	subs         []func(Epoch)
+	bumps        int64
+	partialBumps int64
 }
 
 // NewRegistry returns an empty registry.
@@ -132,8 +162,10 @@ func (r *Registry) Register(source string, fingerprint []byte, seq uint64) Epoch
 
 // Subscribe adds a callback fired synchronously on every bump of source,
 // including remote adoptions through Observe. Callbacks run outside the
-// registry lock, in subscription order; a subscriber must tolerate
-// out-of-order epochs under concurrent bumps (compare Seq, ignore lower).
+// registry lock, in subscription order; bumps of one source are
+// serialized, so a subscriber sees strictly increasing epochs in order
+// (a subscriber should still compare Seq and ignore non-advancing
+// epochs, e.g. after adopting ahead through another channel).
 func (r *Registry) Subscribe(source string, fn func(Epoch)) {
 	r.mu.Lock()
 	st := r.ensureLocked(source)
@@ -165,14 +197,37 @@ func (r *Registry) Seq(source string) uint64 {
 }
 
 // Bump advances source to the next epoch — a change was observed locally
-// — and fires every subscriber before returning, so pre-change state is
-// gone when Bump completes. Returns the new epoch.
+// with no region bound — and fires every subscriber before returning, so
+// pre-change state is gone when Bump completes. Returns the new epoch.
 func (r *Registry) Bump(source string) Epoch {
+	return r.bump(source, nil)
+}
+
+// BumpRegion advances source to the next epoch for a change known to be
+// confined to rect: subscribers receive the scope and may keep state
+// disjoint from it. The synchronous guarantee narrows with the scope —
+// when BumpRegion returns, no pre-change state intersecting rect is
+// served. An empty-dimension rect still bumps (the sentinel did observe
+// a change); callers wanting a full wipe use Bump.
+func (r *Registry) BumpRegion(source string, rect region.Rect) Epoch {
+	rc := rect.Clone()
+	return r.bump(source, &rc)
+}
+
+func (r *Registry) bump(source string, scope *region.Rect) Epoch {
 	r.mu.Lock()
 	st := r.ensureLocked(source)
+	r.mu.Unlock()
+	st.fanMu.Lock()
+	defer st.fanMu.Unlock()
+	r.mu.Lock()
 	st.cur.Seq++
 	st.cur.BumpedAt = r.now()
+	st.cur.Scope = scope
 	st.bumps++
+	if scope != nil {
+		st.partialBumps++
+	}
 	cur := st.cur
 	subs := append([]func(Epoch){}, st.subs...)
 	r.mu.Unlock()
@@ -188,15 +243,47 @@ func (r *Registry) Bump(source string) Epoch {
 // A lower or equal seq is a no-op returning false — epochs only move
 // forward.
 func (r *Registry) Observe(source string, seq uint64) bool {
+	return r.observe(source, seq, nil)
+}
+
+// ObserveRegion adopts a remotely observed epoch whose transition is
+// known to be confined to rect. The scope is honoured only when seq is
+// exactly one past the current sequence: a larger jump means this
+// replica missed intermediate bumps whose scopes it never saw, so the
+// adoption escalates to an unscoped (full-wipe) one. Returns false when
+// seq does not advance the source.
+func (r *Registry) ObserveRegion(source string, seq uint64, rect region.Rect) bool {
+	rc := rect.Clone()
+	return r.observe(source, seq, &rc)
+}
+
+func (r *Registry) observe(source string, seq uint64, scope *region.Rect) bool {
 	r.mu.Lock()
 	st := r.ensureLocked(source)
+	ahead := seq > st.cur.Seq
+	r.mu.Unlock()
+	if !ahead {
+		return false // cheap refusal without serializing behind a fan-out
+	}
+	st.fanMu.Lock()
+	defer st.fanMu.Unlock()
+	r.mu.Lock()
 	if seq <= st.cur.Seq {
 		r.mu.Unlock()
 		return false
 	}
+	if scope != nil && seq != st.cur.Seq+1 {
+		// The scope describes only the last transition; the skipped
+		// epochs' scopes are unknown, so the only sound adoption is full.
+		scope = nil
+	}
 	st.cur.Seq = seq
 	st.cur.BumpedAt = r.now()
+	st.cur.Scope = scope
 	st.bumps++
+	if scope != nil {
+		st.partialBumps++
+	}
 	cur := st.cur
 	subs := append([]func(Epoch){}, st.subs...)
 	r.mu.Unlock()
@@ -216,6 +303,54 @@ func (r *Registry) Bumps(source string) int64 {
 		return 0
 	}
 	return st.bumps
+}
+
+// PartialBumps returns how many of source's advances carried a region
+// scope (local BumpRegion calls plus scoped remote adoptions).
+func (r *Registry) PartialBumps(source string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.sources[source]
+	if !ok {
+		return 0
+	}
+	return st.partialBumps
+}
+
+// ScopeOf returns the region a predicate's conditions cover, or nil for
+// an unconditioned predicate (which covers everything — the caller must
+// fall back to an unscoped bump). Numeric conditions map to their exact
+// intervals; a categorical condition maps to the hull [minCode, maxCode]
+// of its allowed codes — a safe over-approximation, since scopes may
+// only ever over-cover the change.
+func ScopeOf(p relation.Predicate) *region.Rect {
+	conds := p.Conditions()
+	if len(conds) == 0 {
+		return nil
+	}
+	attrs := make([]int, 0, len(conds))
+	ivs := make([]relation.Interval, 0, len(conds))
+	for _, c := range conds {
+		attrs = append(attrs, c.Attr)
+		if c.Cats != nil {
+			if len(c.Cats) == 0 {
+				// Unsatisfiable condition: an empty dimension, so the
+				// scope intersects nothing (the sentinel matched no
+				// tuples; a mismatch here still bumps, wiping nothing
+				// beyond what racing admissions' fences refuse).
+				ivs = append(ivs, relation.OpenLo(0, 0))
+				continue
+			}
+			ivs = append(ivs, relation.Closed(float64(c.Cats[0]), float64(c.Cats[len(c.Cats)-1])))
+			continue
+		}
+		ivs = append(ivs, c.Iv)
+	}
+	rect, err := region.New(attrs, ivs)
+	if err != nil {
+		return nil // cannot express the bound: fall back to full scope
+	}
+	return &rect
 }
 
 // Snapshot returns the current epoch of every known source.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/hidden"
+	"repro/internal/region"
 	"repro/internal/relation"
 )
 
@@ -46,6 +47,15 @@ type ProberConfig struct {
 	// ErrPaused) instead of counting as errors. Nil treats every query
 	// error as an error.
 	Unavailable func(error) bool
+	// Hot supplies up to max canonical predicates ordered hottest-first
+	// from live traffic (qcache.Cache.HotPredicates). When set, sentinel
+	// placement is traffic-derived: each probe round keeps the unbounded
+	// sentinel, replaces the schema-window sentinels with the hottest
+	// predicates, and tops up with schema windows — probing concentrates
+	// where reuse (and therefore staleness risk) actually is. A sentinel
+	// whose predicate persists across refreshes keeps its armed baseline.
+	// Nil keeps the static schema-derived placement.
+	Hot func(max int) []relation.Predicate
 }
 
 // ProbeStats snapshots a prober's counters.
@@ -61,16 +71,39 @@ type ProbeStats struct {
 	// (ErrPaused) — distinct from Errors so an outage reads as "probing
 	// paused", not an error storm.
 	Paused int64 `json:"paused"`
+	// Refreshes counts traffic-derived placement changes: rounds where
+	// the hot-predicate sample moved a sentinel (0 under static
+	// placement).
+	Refreshes int64 `json:"refreshes,omitempty"`
 	// Sentinels is the configured sentinel count.
 	Sentinels int `json:"sentinels"`
 }
 
-// sentinel is one recorded query: its predicate and the digest of the
-// last answer observed for it.
+// sentinel is one recorded query: its predicate, the region that
+// predicate covers (nil for the unbounded sentinel — it covers
+// everything), and the digest of the last answer observed for it.
 type sentinel struct {
 	pred   relation.Predicate
+	key    string       // canonical identity for cross-refresh matching
+	scope  *region.Rect // region the predicate covers; nil = unbounded
 	digest [sha256.Size]byte
 	armed  bool // false until a baseline digest has been recorded
+}
+
+// newSentinel derives the scope and identity key from the predicate.
+func newSentinel(pred relation.Predicate) sentinel {
+	return sentinel{pred: pred, key: pred.String(), scope: ScopeOf(pred)}
+}
+
+// covers reports whether a bump scoped to rect invalidates this
+// sentinel's baseline: an unbounded sentinel (nil scope) observes the
+// whole source, so every bump covers it; an unscoped bump (nil rect)
+// covers every sentinel.
+func (s *sentinel) covers(rect *region.Rect) bool {
+	if rect == nil || s.scope == nil {
+		return true
+	}
+	return s.scope.Intersects(*rect)
 }
 
 // Prober replays sentinel queries against a live source and bumps its
@@ -83,14 +116,17 @@ type Prober struct {
 
 	mu      sync.Mutex // serializes Probe; guards sents and lastSeq
 	sents   []sentinel
-	nsents  int    // immutable after construction; Stats reads it lock-free
-	lastSeq uint64 // the epoch the armed digests were recorded under
+	base    []sentinel // static schema-derived placement, the top-up pool
+	nsents  int        // immutable after construction; Stats reads it lock-free
+	lastSeq uint64     // the epoch the armed digests were recorded under
 
 	probes      atomic.Int64
 	mismatches  atomic.Int64
 	errors      atomic.Int64
 	paused      atomic.Int64
+	refreshes   atomic.Int64 // sentinel-set refreshes that changed placement
 	unavailable func(error) bool
+	hot         func(max int) []relation.Predicate
 }
 
 // NewProber builds a prober for source over db (the raw web database —
@@ -113,8 +149,10 @@ func NewProber(reg *Registry, source string, db hidden.DB, cfg ProberConfig) *Pr
 		source:      source,
 		db:          db,
 		sents:       sents,
+		base:        append([]sentinel(nil), sents...),
 		nsents:      len(sents),
 		unavailable: cfg.Unavailable,
+		hot:         cfg.Hot,
 	}
 }
 
@@ -125,29 +163,76 @@ func NewProber(reg *Registry, source string, db hidden.DB, cfg ProberConfig) *Pr
 func makeSentinels(schema *relation.Schema, n int, seed int64) []sentinel {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]sentinel, 0, n)
-	out = append(out, sentinel{pred: relation.Predicate{}})
+	out = append(out, newSentinel(relation.Predicate{}))
 	for i := 1; i < n; i++ {
 		a := schema.Attr((i - 1) % schema.Len())
 		attr := (i - 1) % schema.Len()
 		if a.Kind == relation.Categorical {
 			if len(a.Categories) == 0 {
-				out = append(out, sentinel{pred: relation.Predicate{}})
+				out = append(out, newSentinel(relation.Predicate{}))
 				continue
 			}
 			c := rng.Intn(len(a.Categories))
-			out = append(out, sentinel{pred: relation.Predicate{}.WithCategories(attr, []int{c})})
+			out = append(out, newSentinel(relation.Predicate{}.WithCategories(attr, []int{c})))
 			continue
 		}
 		span := a.Max - a.Min
 		if span <= 0 || math.IsInf(span, 0) || math.IsNaN(span) {
-			out = append(out, sentinel{pred: relation.Predicate{}})
+			out = append(out, newSentinel(relation.Predicate{}))
 			continue
 		}
 		width := span / 4
 		lo := a.Min + rng.Float64()*(span-width)
-		out = append(out, sentinel{pred: relation.Predicate{}.WithInterval(attr, relation.Closed(lo, lo+width))})
+		out = append(out, newSentinel(relation.Predicate{}.WithInterval(attr, relation.Closed(lo, lo+width))))
 	}
 	return out
+}
+
+// refreshSentinelsLocked re-derives the sentinel set from live traffic:
+// slot 0 keeps the unbounded sentinel (only it can prove a global
+// change), the hottest distinct canonical predicates fill the next
+// slots, and the static schema windows top the set back up to size.
+// Sentinels whose predicate survives the refresh carry their armed
+// baseline over, so a stable hot set costs no re-recording. Caller
+// holds p.mu.
+func (p *Prober) refreshSentinelsLocked() {
+	if p.hot == nil {
+		return
+	}
+	prev := make(map[string]*sentinel, len(p.sents))
+	for i := range p.sents {
+		prev[p.sents[i].key] = &p.sents[i]
+	}
+	next := make([]sentinel, 0, p.nsents)
+	seen := make(map[string]bool, p.nsents)
+	add := func(s sentinel) {
+		if len(next) == p.nsents || seen[s.key] {
+			return
+		}
+		if old, ok := prev[s.key]; ok {
+			s.digest, s.armed = old.digest, old.armed
+		}
+		seen[s.key] = true
+		next = append(next, s)
+	}
+	add(p.base[0]) // the unbounded sentinel always probes
+	for _, hp := range p.hot(p.nsents - 1) {
+		if len(hp.Conditions()) == 0 {
+			continue // the unbounded slot is already taken
+		}
+		add(newSentinel(hp))
+	}
+	for _, s := range p.base[1:] {
+		add(s)
+	}
+	changed := len(next) != len(p.sents)
+	for i := 0; !changed && i < len(next); i++ {
+		changed = next[i].key != p.sents[i].key
+	}
+	if changed {
+		p.refreshes.Add(1)
+	}
+	p.sents = next
 }
 
 // Digest hashes the wire-observable content of one top-k answer: the
@@ -189,15 +274,27 @@ func (p *Prober) Probe(ctx context.Context) (bumped bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	// A bump that happened elsewhere (a cluster adoption, another
-	// detector) invalidates the recorded baselines: they describe a
-	// version the registry already moved past. Re-arm instead of
-	// comparing, or every later probe would re-bump on the same change.
+	// detector) invalidates recorded baselines: they describe a version
+	// the registry already moved past. When the registry is exactly one
+	// bump ahead and that bump carried a region scope, only baselines
+	// whose sentinel could have observed the change — scope intersecting
+	// the bumped rect, or the unbounded sentinel — are stale; the rest
+	// still digest a region the change provably did not touch, so
+	// hot-region probing survives the bump without a full re-record.
+	// Any larger jump (or an unscoped bump) dis-arms everything.
 	if cur := p.reg.Seq(p.source); cur != p.lastSeq {
+		var scope *region.Rect
+		if e, ok := p.reg.Get(p.source); ok && cur == p.lastSeq+1 {
+			scope = e.Scope
+		}
 		for i := range p.sents {
-			p.sents[i].armed = false
+			if scope == nil || p.sents[i].covers(scope) {
+				p.sents[i].armed = false
+			}
 		}
 		p.lastSeq = cur
 	}
+	p.refreshSentinelsLocked()
 	rearming := false
 	for i := range p.sents {
 		s := &p.sents[i]
@@ -225,21 +322,32 @@ func (p *Prober) Probe(ctx context.Context) (bumped bool, err error) {
 		}
 		if d != s.digest {
 			p.mismatches.Add(1)
-			e := p.reg.Bump(p.source)
+			// A bounded sentinel proves the change lies inside its region:
+			// bump with that scope, so subscribers drop only intersecting
+			// state. Only the unbounded sentinel forces the full bump.
+			var e Epoch
+			if s.scope != nil {
+				e = p.reg.BumpRegion(p.source, *s.scope)
+			} else {
+				e = p.reg.Bump(p.source)
+			}
 			p.lastSeq = e.Seq
 			bumped = true
 			// This answer came from the post-change source; it is the new
-			// baseline. Every OTHER sentinel is dis-armed immediately:
-			// earlier ones matched baselines that may themselves be
-			// pre-change (the change can land mid-round), and later ones
-			// must not keep pre-change baselines if a query error aborts
-			// this round before they re-record — either way a stale
-			// baseline surviving to the next round would bump a second
-			// time for the same change. The rest of this round re-arms
-			// whatever it reaches.
+			// baseline. Every other sentinel the bump covers is dis-armed
+			// immediately: earlier ones matched baselines that may
+			// themselves be pre-change (the change can land mid-round),
+			// and later ones must not keep pre-change baselines if a
+			// query error aborts this round before they re-record —
+			// either way a stale covered baseline surviving to the next
+			// round would bump a second time for the same change. A
+			// sentinel the scoped bump provably cannot have affected
+			// keeps its baseline — re-recording is confined to the
+			// invalidated region. The rest of this round still re-arms
+			// whatever it reaches (those answers are post-change anyway).
 			s.digest = d
 			for j := range p.sents {
-				if j != i {
+				if j != i && p.sents[j].covers(e.Scope) {
 					p.sents[j].armed = false
 				}
 			}
@@ -288,6 +396,7 @@ func (p *Prober) Stats() ProbeStats {
 		Mismatches: p.mismatches.Load(),
 		Errors:     p.errors.Load(),
 		Paused:     p.paused.Load(),
+		Refreshes:  p.refreshes.Load(),
 		Sentinels:  p.nsents,
 	}
 }

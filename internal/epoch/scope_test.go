@@ -1,0 +1,177 @@
+package epoch
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/region"
+	"repro/internal/relation"
+)
+
+func mustRect(t testing.TB, attrs []int, ivs []relation.Interval) region.Rect {
+	t.Helper()
+	r, err := region.New(attrs, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestScopeOf(t *testing.T) {
+	if sc := ScopeOf(relation.Predicate{}); sc != nil {
+		t.Fatalf("unconditioned predicate got scope %v, want nil", sc)
+	}
+	// A numeric condition maps to its exact interval.
+	p := relation.Predicate{}.WithInterval(0, relation.Closed(5, 7))
+	sc := ScopeOf(p)
+	if sc == nil {
+		t.Fatal("numeric predicate got nil scope")
+	}
+	in := mustRect(t, []int{0}, []relation.Interval{relation.Closed(6, 6.5)})
+	out := mustRect(t, []int{0}, []relation.Interval{relation.Closed(8, 9)})
+	if !sc.Intersects(in) || sc.Intersects(out) {
+		t.Fatalf("numeric scope %v: in=%v out=%v", sc, sc.Intersects(in), sc.Intersects(out))
+	}
+	// A categorical condition maps to the hull of its codes — an
+	// over-approximation, so a code between the extremes still intersects.
+	pc := relation.Predicate{}.WithCategories(1, []int{0, 2})
+	sc = ScopeOf(pc)
+	if sc == nil {
+		t.Fatal("categorical predicate got nil scope")
+	}
+	mid := mustRect(t, []int{1}, []relation.Interval{relation.Closed(1, 1)})
+	far := mustRect(t, []int{1}, []relation.Interval{relation.Closed(3, 4)})
+	if !sc.Intersects(mid) || sc.Intersects(far) {
+		t.Fatalf("categorical hull %v: mid=%v far=%v", sc, sc.Intersects(mid), sc.Intersects(far))
+	}
+}
+
+func TestRegistryScopedBumps(t *testing.T) {
+	r := NewRegistry()
+	r.Register("s", nil, 1)
+	var scopes []*region.Rect
+	r.Subscribe("s", func(e Epoch) { scopes = append(scopes, e.Scope) })
+
+	rect := mustRect(t, []int{0}, []relation.Interval{relation.Closed(10, 20)})
+	e := r.BumpRegion("s", rect)
+	if e.Seq != 2 || e.Scope == nil {
+		t.Fatalf("BumpRegion: seq=%d scope=%v", e.Seq, e.Scope)
+	}
+	if r.Bump("s").Scope != nil {
+		t.Fatal("full Bump carried a scope")
+	}
+	if len(scopes) != 2 || scopes[0] == nil || scopes[1] != nil {
+		t.Fatalf("subscriber scopes = %v, want [rect nil]", scopes)
+	}
+	if b, pb := r.Bumps("s"), r.PartialBumps("s"); b != 2 || pb != 1 {
+		t.Fatalf("bumps=%d partial=%d, want 2/1", b, pb)
+	}
+	// Get reflects the live epoch's scope (nil after the full bump).
+	if cur, ok := r.Get("s"); !ok || cur.Seq != 3 || cur.Scope != nil {
+		t.Fatalf("Get = %+v / %v", cur, ok)
+	}
+
+	// A scoped adoption exactly one ahead keeps its scope ...
+	if !r.ObserveRegion("s", 4, rect) {
+		t.Fatal("seq 4 not adopted")
+	}
+	if scopes[2] == nil {
+		t.Fatal("one-ahead scoped adoption lost its scope")
+	}
+	// ... while a gap escalates to a full adoption: the skipped epochs'
+	// scopes were never seen, so only a full wipe is sound.
+	if !r.ObserveRegion("s", 9, rect) {
+		t.Fatal("seq 9 not adopted")
+	}
+	if scopes[3] != nil {
+		t.Fatal("gapped scoped adoption kept its scope — subscribers would under-wipe")
+	}
+	if pb := r.PartialBumps("s"); pb != 2 {
+		t.Fatalf("partial bumps = %d, want 2 (BumpRegion + one-ahead adoption)", pb)
+	}
+}
+
+// overlayDB serves a Local with per-tuple price overrides, so a test can
+// mutate one region of the source without rebuilding it.
+func overlaySource(t testing.TB, n int, override map[int64]float64) *hidden.Local {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "price", Kind: relation.Numeric, Min: 0, Max: 1000, Resolution: 0.01},
+		relation.Attribute{Name: "cat", Kind: relation.Categorical, Categories: []string{"x", "y", "z"}},
+	)
+	rel := relation.NewRelation("test", schema)
+	for i := 0; i < n; i++ {
+		id := int64(i + 1)
+		price := float64(i)
+		if v, ok := override[id]; ok {
+			price = v
+		}
+		rel.MustAppend(relation.Tuple{ID: id, Values: []float64{price, float64(i % 3)}})
+	}
+	db, err := hidden.NewLocal("src", rel, 10, func(tu relation.Tuple) float64 { return tu.Values[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestProberTrafficDerivedScopedBump: with traffic-derived placement, a
+// change visible only to a hot bounded sentinel produces a region-scoped
+// bump, and a sentinel disjoint from a scoped adoption keeps its armed
+// baseline — so it still detects a later change in its own region
+// instead of silently absorbing it into a fresh baseline.
+func TestProberTrafficDerivedScopedBump(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry()
+	r.Register("src", nil, 1)
+
+	cur := overlaySource(t, 500, nil)
+	db := &swapDB{get: func() *hidden.Local { return cur }}
+	hotA := relation.Predicate{}.WithInterval(0, relation.Closed(10, 20))
+	hotB := relation.Predicate{}.WithInterval(0, relation.Closed(100, 110))
+	p := NewProber(r, "src", db, ProberConfig{
+		Sentinels: 3,
+		Hot: func(max int) []relation.Predicate {
+			return []relation.Predicate{hotA, hotB}[:min(max, 2)]
+		},
+	})
+	// Round 1 arms; the hot sample replaced the schema windows once.
+	if _, err := p.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Refreshes != 1 {
+		t.Fatalf("refreshes = %d after first traffic-derived round, want 1", st.Refreshes)
+	}
+	// Mutate one tuple inside hotA's window, far below the global top-k:
+	// only the bounded sentinel can see it.
+	cur = overlaySource(t, 500, map[int64]float64{16: 15.5})
+	bumped, err := p.Probe(ctx)
+	if err != nil || !bumped {
+		t.Fatalf("probe over region-confined change: bumped=%v err=%v", bumped, err)
+	}
+	e, _ := r.Get("src")
+	if e.Seq != 2 || e.Scope == nil {
+		t.Fatalf("epoch after bounded mismatch = seq %d scope %v, want scoped seq 2", e.Seq, e.Scope)
+	}
+	if pb := r.PartialBumps("src"); pb != 1 {
+		t.Fatalf("partial bumps = %d, want 1", pb)
+	}
+	// The stable new version must not re-bump.
+	if bumped, err = p.Probe(ctx); err != nil || bumped {
+		t.Fatalf("probe after scoped re-arm: bumped=%v err=%v", bumped, err)
+	}
+
+	// A remote scoped adoption disjoint from hotB, landing together with a
+	// change inside hotB's window: hotB kept its baseline through the
+	// adoption, so the change is detected, not absorbed.
+	r.ObserveRegion("src", 3, mustRect(t, []int{0}, []relation.Interval{relation.Closed(10, 20)}))
+	cur = overlaySource(t, 500, map[int64]float64{16: 15.5, 106: 105.5})
+	bumped, err = p.Probe(ctx)
+	if err != nil || !bumped {
+		t.Fatalf("disjoint baseline lost across scoped adoption: bumped=%v err=%v", bumped, err)
+	}
+	if got := r.Seq("src"); got != 4 {
+		t.Fatalf("seq = %d, want 4", got)
+	}
+}

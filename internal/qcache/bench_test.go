@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/epoch"
 	"repro/internal/hidden"
+	"repro/internal/region"
+	"repro/internal/relation"
 )
 
 // benchFill warms nPreds disjoint complete answers into db.
@@ -121,5 +124,54 @@ func BenchmarkPoolEvictionChurn(b *testing.B) {
 		if _, err := a.Search(ctx, pricePred(lo, lo+25)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchRegionFill admits 1000 half-unit entries spread over price
+// [0,1000) directly (no inner queries), so the wipe benchmarks price the
+// wipe alone.
+func benchRegionFill(b *testing.B, c *Cache) {
+	b.Helper()
+	res := hidden.Result{Tuples: []relation.Tuple{{ID: 1, Values: []float64{1, 0}}}}
+	for j := 0; j < 1000; j++ {
+		c.Admit(pricePred(float64(j), float64(j)+0.5), res)
+	}
+}
+
+// BenchmarkRegionWipe1k prices one region-scoped bump over a namespace
+// holding 1k resident entries: every entry pays the key-decoded
+// rect-intersection check, the intersecting half is dropped and the
+// disjoint half survives — the selective wipe BENCH_epoch.json records
+// against BenchmarkFullWipe1k.
+func BenchmarkRegionWipe1k(b *testing.B) {
+	reg := epoch.NewRegistry()
+	c, err := New(testDB(b, 2000, 20), Config{Epochs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rect := region.MustNew([]int{0}, []relation.Interval{relation.Closed(0, 500)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		benchRegionFill(b, c)
+		b.StartTimer()
+		reg.BumpRegion(c.Name(), rect)
+	}
+}
+
+// BenchmarkFullWipe1k prices the unscoped bump over the same 1k-entry
+// namespace: no per-entry checks, everything dropped wholesale.
+func BenchmarkFullWipe1k(b *testing.B) {
+	reg := epoch.NewRegistry()
+	c, err := New(testDB(b, 2000, 20), Config{Epochs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		benchRegionFill(b, c)
+		b.StartTimer()
+		reg.Bump(c.Name())
 	}
 }

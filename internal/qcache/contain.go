@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/hidden"
+	"repro/internal/region"
 	"repro/internal/relation"
 )
 
@@ -223,6 +224,29 @@ func (d *completeDir) lens() (faithful, crawl int) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.sigs) - d.crawl, d.crawl
+}
+
+// purgeRegion drops every registered answer whose predicate intersects
+// rect — the containment half of a region-scoped epoch wipe. Disjoint
+// complete answers and crawl sets keep serving.
+func (d *completeDir) purgeRegion(rect region.Rect) {
+	d.mu.Lock()
+	for sig, g := range d.groups {
+		for key, e := range g.entries {
+			if !predIntersectsRect(e.pred, rect) {
+				continue
+			}
+			if e.idOrder {
+				d.crawl--
+			}
+			delete(g.entries, key)
+			delete(d.sigs, key)
+		}
+		if len(g.entries) == 0 {
+			delete(d.groups, sig)
+		}
+	}
+	d.mu.Unlock()
 }
 
 // purge drops every registered answer.

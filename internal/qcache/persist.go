@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/hidden"
+	"repro/internal/region"
 	"repro/internal/relation"
 )
 
@@ -152,16 +153,18 @@ func (ns *namespace) openStore() error {
 // write only costs warmth after the next restart. Durability rides on the
 // store's own crash recovery; no explicit sync per entry. seq is the
 // epoch the answer was produced under; the write is skipped when the
-// namespace has moved on — otherwise a slow leader could re-persist a
-// pre-change answer after an epoch wipe already cleaned the store, and a
-// restart would warm it back. storeMu orders the check against
+// namespace has moved on and the answer's predicate cannot be proven
+// disjoint from every bump since (the same admissibleAt fence the
+// in-memory admission passed) — otherwise a slow leader could re-persist
+// an invalidated answer after an epoch wipe already cleaned the store,
+// and a restart would warm it back. storeMu orders the check against
 // adoptEpoch's wipe: the seq advances before the wipe takes the lock, so
-// a persist that passes the check is removed by the wipe, and a persist
-// after the wipe fails the check.
-func (ns *namespace) persist(key string, res hidden.Result, seq uint64) {
+// a persist that passes the check is removed by the wipe when it
+// intersects, and a persist after the wipe fails the check.
+func (ns *namespace) persist(key string, p relation.Predicate, res hidden.Result, seq uint64) {
 	ns.storeMu.Lock()
 	defer ns.storeMu.Unlock()
-	if ns.epochSeq.Load() != seq {
+	if !ns.admissibleAt(seq, p) {
 		return
 	}
 	_ = ns.store.Put(storeKey(key), encodeStored(res, ns.pool.now()))
@@ -214,6 +217,30 @@ func (ns *namespace) wipeRecords() error {
 	for _, k := range keys {
 		if err := ns.store.Delete(k); err != nil {
 			return fmt.Errorf("qcache: wipe records: %w", err)
+		}
+	}
+	return nil
+}
+
+// wipeRecordsRegion removes the answer records whose predicate intersects
+// rect — the persistent half of a region-scoped epoch wipe. Disjoint
+// records (and the meta record) survive, so a restart warms the retained
+// half of the namespace back; undecodable keys are conservatively
+// dropped.
+func (ns *namespace) wipeRecordsRegion(rect region.Rect) error {
+	var keys [][]byte
+	err := ns.store.Range(func(key, _ []byte) bool {
+		if len(key) >= 2 && key[0] == 'q' && key[1] == '/' && keyIntersects(string(key[2:]), rect) {
+			keys = append(keys, append([]byte(nil), key...))
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("qcache: wipe region records: %w", err)
+	}
+	for _, k := range keys {
+		if err := ns.store.Delete(k); err != nil {
+			return fmt.Errorf("qcache: wipe region records: %w", err)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/memgov"
 	"repro/internal/obs"
+	"repro/internal/region"
 	"repro/internal/relation"
 )
 
@@ -282,6 +284,10 @@ type entry struct {
 	size      int64
 	storedAt  time.Time
 	oversized bool
+	// hits counts lookups this entry served (exact hits plus containment
+	// wins), under the shard lock. It is the traffic signal hotPredicates
+	// samples for sentinel placement; a replaced entry starts cold again.
+	hits int64
 }
 
 func (e *entry) srcKey() string { return e.key[len(e.ns.prefix):] }
@@ -318,12 +324,18 @@ type namespace struct {
 	// epochSeq is the live source epoch the namespace currently serves
 	// under. Admissions capture the seq before querying the inner
 	// database and re-check it under the shard lock, so an answer fetched
-	// under an older epoch never enters after adoptEpoch's wipe. storeMu
-	// orders persist writes against the epoch wipe of the store.
+	// under an older epoch never enters after adoptEpoch's wipe — unless
+	// every intervening bump was region-scoped and provably disjoint from
+	// the answer's predicate (admissibleAt, fed by bumpHist). storeMu
+	// orders persist writes against the epoch wipe of the store; adoptMu
+	// serializes epoch transitions so the history and the seq advance
+	// together.
 	fp       []byte
 	reg      *epoch.Registry // nil without a live epoch registry
 	epochSeq atomic.Uint64
 	storeMu  sync.Mutex
+	adoptMu  sync.Mutex
+	bumpHist atomic.Pointer[[]scopedBump]
 
 	bytes      atomic.Int64
 	entries    atomic.Int64
@@ -336,6 +348,131 @@ type namespace struct {
 	expired    atomic.Int64
 	epochWipes atomic.Int64
 	warmed     int
+
+	// Region-scoped invalidation counters: partialWipes counts scoped
+	// bumps adopted as selective wipes (epochWipes counts full wipes
+	// only), wipeDropped/wipeRetained count the entries each partial wipe
+	// dropped and kept.
+	partialWipes atomic.Int64
+	wipeDropped  atomic.Int64
+	wipeRetained atomic.Int64
+}
+
+// scopedBump records one adopted epoch transition and the region it was
+// confined to; a nil scope is a full wipe (or a transition whose scope is
+// unknown). The bounded history lets admissibleAt prove an answer fetched
+// a few epochs ago untouched by everything that happened since.
+type scopedBump struct {
+	seq   uint64
+	scope *region.Rect
+}
+
+// bumpHistCap bounds the recorded transition history. Anything older is
+// treated as unknown, which admissibleAt resolves as "refuse" — the safe
+// direction.
+const bumpHistCap = 32
+
+// pushBump appends one transition to the namespace's bump history. Called
+// under adoptMu, before the seq advance makes the transition visible, so a
+// reader that observes the new seq always finds its history entry.
+func (ns *namespace) pushBump(seq uint64, scope *region.Rect) {
+	var hist []scopedBump
+	if old := ns.bumpHist.Load(); old != nil {
+		hist = *old
+	}
+	if excess := len(hist) + 1 - bumpHistCap; excess > 0 {
+		hist = hist[excess:]
+	}
+	next := make([]scopedBump, 0, len(hist)+1)
+	next = append(next, hist...)
+	next = append(next, scopedBump{seq: seq, scope: scope})
+	ns.bumpHist.Store(&next)
+}
+
+// admissibleAt reports whether an answer for predicate p produced under
+// epoch seq may still be admitted. Equality with the live seq is the
+// classic fence. An older answer is additionally admissible when every
+// intervening bump was region-scoped and its region is disjoint from p: a
+// change confined elsewhere cannot have altered this answer, so a crawl or
+// slow leader that straddled such a bump keeps its work. Any gap in the
+// history, a full bump, or an intersecting scope refuses the admission.
+func (ns *namespace) admissibleAt(seq uint64, p relation.Predicate) bool {
+	cur := ns.epochSeq.Load()
+	if seq == cur {
+		return true
+	}
+	if seq > cur {
+		return false
+	}
+	histp := ns.bumpHist.Load()
+	if histp == nil {
+		return false
+	}
+	hist := *histp
+	for s := seq + 1; s <= cur; s++ {
+		var sc *region.Rect
+		found := false
+		for i := len(hist) - 1; i >= 0; i-- {
+			if hist[i].seq == s {
+				sc, found = hist[i].scope, true
+				break
+			}
+		}
+		if !found || sc == nil || predIntersectsRect(p, *sc) {
+			return false
+		}
+	}
+	return true
+}
+
+// predIntersectsRect reports whether predicate p selects any point inside
+// rect. A dimension rect constrains but p does not is unbounded in p, so
+// it never separates them; a categorical condition intersects when any of
+// its codes falls inside rect's interval on that attribute. This is the
+// cache-side mirror of region.Rect.Intersects, evaluated against the
+// predicate a cached answer was keyed by.
+func predIntersectsRect(p relation.Predicate, rect region.Rect) bool {
+	if rect.Empty() || p.Unsatisfiable() {
+		return false
+	}
+	for i, a := range rect.Attrs {
+		iv := rect.Ivs[i]
+		// A dimension p leaves unconstrained never separates.
+		for _, c := range p.Conditions() {
+			if c.Attr != a {
+				continue
+			}
+			if c.Cats != nil {
+				hit := false
+				for _, ci := range c.Cats {
+					if iv.Contains(float64(ci)) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					return false
+				}
+			} else if c.Iv.Intersect(iv).Empty() {
+				return false
+			}
+			break
+		}
+	}
+	return true
+}
+
+// keyIntersects decodes the predicate behind a source key — crawl sets
+// drop their marker first — and reports whether it intersects rect. A key
+// that fails to decode is conservatively treated as intersecting:
+// over-dropping costs one re-query, under-dropping serves stale state.
+func keyIntersects(key string, rect region.Rect) bool {
+	k := strings.TrimPrefix(key, crawlKeyPrefix)
+	p, ok := PredicateOfKey(k)
+	if !ok {
+		return true
+	}
+	return predIntersectsRect(p, rect)
 }
 
 // search implements the cache lookup protocol over the pool's shards: an
@@ -430,12 +567,14 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		// The epoch gate: re-check the seq captured before the inner query
 		// under the shard lock. adoptEpoch advances the seq before it
 		// purges the shards, so either this insert sees the new seq and
-		// aborts, or it inserted first and the purge removes it — a
-		// pre-bump answer can never survive the wipe. A degraded result
-		// (fabricated by the resilience layer while the source was down)
-		// is served to the waiting flight but never admitted: caching it
-		// would keep answering with the fabrication after recovery.
-		if err == nil && !res.Degraded && ns.epochSeq.Load() == seq {
+		// must prove itself (admissibleAt: every bump since was scoped and
+		// disjoint from p), or it inserted first and the purge removes it
+		// when it intersects — a pre-change answer from a bumped region
+		// can never survive the wipe. A degraded result (fabricated by the
+		// resilience layer while the source was down) is served to the
+		// waiting flight but never admitted: caching it would keep
+		// answering with the fabrication after recovery.
+		if err == nil && !res.Degraded && ns.admissibleAt(seq, p) {
 			admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
 		}
 		sh.mu.Unlock()
@@ -463,7 +602,7 @@ func (ns *namespace) search(ctx context.Context, p relation.Predicate) (hidden.R
 		deleteVictims(victims)
 		if ns.store != nil {
 			if admitted {
-				ns.persist(key, res, seq)
+				ns.persist(key, p, res, seq)
 			} else {
 				_ = ns.store.Delete(storeKey(key))
 			}
@@ -498,7 +637,10 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 		admitted bool
 		victims  []victim
 	)
-	if ns.epochSeq.Load() == seq { // see the epoch gate in search
+	// The epoch gate (see search): a crawl that straddled a bump keeps
+	// its set when every bump since it began was scoped and disjoint from
+	// the crawled region — only straddling crawl sets are dropped.
+	if ns.admissibleAt(seq, pred) {
 		admitted, victims = ns.insertLocked(sh, pkey, res, ns.pool.now())
 	}
 	sh.mu.Unlock()
@@ -508,7 +650,7 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 	deleteVictims(victims)
 	if ns.store != nil {
 		if admitted {
-			ns.persist(key, res, seq)
+			ns.persist(key, pred, res, seq)
 		} else {
 			_ = ns.store.Delete(storeKey(key))
 		}
@@ -560,7 +702,7 @@ func (ns *namespace) admitAt(p relation.Predicate, res hidden.Result, seq uint64
 		admitted bool
 		victims  []victim
 	)
-	if !res.Degraded && ns.epochSeq.Load() == seq { // see the epoch gate in search
+	if !res.Degraded && ns.admissibleAt(seq, p) { // see the epoch gate in search
 		admitted, victims = ns.insertLocked(sh, pkey, copyResult(res), ns.pool.now())
 	}
 	sh.mu.Unlock()
@@ -570,7 +712,7 @@ func (ns *namespace) admitAt(p relation.Predicate, res hidden.Result, seq uint64
 	deleteVictims(victims)
 	if ns.store != nil {
 		if admitted {
-			ns.persist(key, res, seq)
+			ns.persist(key, p, res, seq)
 		} else {
 			_ = ns.store.Delete(storeKey(key))
 		}
@@ -625,6 +767,7 @@ func (ns *namespace) touch(key string) {
 	sh.mu.Lock()
 	if el, ok := sh.elems[pkey]; ok {
 		sh.lru.MoveToFront(el)
+		el.Value.(*entry).hits++
 	}
 	sh.mu.Unlock()
 }
@@ -647,6 +790,7 @@ func (ns *namespace) lookupLocked(sh *shard, pkey string) (hidden.Result, bool) 
 		return hidden.Result{}, false
 	}
 	sh.lru.MoveToFront(el)
+	e.hits++
 	return copyResult(e.res), true
 }
 
@@ -742,6 +886,9 @@ func (ns *namespace) stats() Stats {
 		Warmed:          ns.warmed,
 		EpochSeq:        ns.epochSeq.Load(),
 		EpochWipes:      ns.epochWipes.Load(),
+		PartialWipes:    ns.partialWipes.Load(),
+		WipeDropped:     ns.wipeDropped.Load(),
+		WipeRetained:    ns.wipeRetained.Load(),
 	}
 	if ns.complete != nil {
 		st.CompleteEntries, st.CrawlEntries = ns.complete.lens()
@@ -750,32 +897,60 @@ func (ns *namespace) stats() Stats {
 }
 
 // adoptEpoch moves the namespace to a newer source epoch and destroys
-// every answer produced under older ones: the in-memory entries, the
-// containment directory, and the persisted q/ and R/ records. It is the
-// registry subscriber for this namespace, so both local change-detection
-// bumps and cluster adoptions land here. Lower or equal epochs are
-// ignored — wipes never run twice for one bump, and a stale remote epoch
-// cannot wipe fresher state.
+// the answers the transition invalidated. A full bump (Epoch.Scope nil)
+// destroys everything produced under older epochs: the in-memory entries,
+// the containment directory, and the persisted q/ and R/ records. A
+// region-scoped bump adopted in order (exactly one seq ahead) wipes
+// selectively instead: only entries and crawl sets whose predicate (via
+// PredicateOfKey) intersects the bumped rect are dropped from the
+// containment directory, the shards and the store — the rest of the
+// namespace stays warm. A scoped bump that skips seqs escalates to a full
+// wipe, because the skipped transitions' regions are unknown. adoptEpoch
+// is the registry subscriber for this namespace, so both local
+// change-detection bumps and cluster adoptions land here. Lower or equal
+// epochs are ignored — wipes never run twice for one bump, and a stale
+// remote epoch cannot wipe fresher state.
 //
-// Ordering under concurrent lookups: the seq advances first, fencing
-// admissions (every admission path re-checks the captured seq under its
-// shard lock, so either the check fails or the purge below removes the
-// entry). The containment directory is purged before the shards so a
-// narrower predicate cannot be served from a complete answer whose shard
-// entry is already gone, and the byte accounting unwinds entry by entry
-// inside the shard locks. The store wipe runs last, under storeMu, which
-// persist writes also take — a slow leader cannot re-persist a
-// pre-change answer after the wipe. When adoptEpoch returns, no answer
-// from an older epoch is reachable through any path.
+// Ordering under concurrent lookups: the transition is recorded in the
+// bump history and the seq advanced (under adoptMu) before any purge,
+// fencing admissions — every admission path re-checks admissibility under
+// its shard lock, so either the check fails (or proves the answer's
+// region disjoint from everything since) or it inserted first and the
+// purge removes it. The containment directory is purged before the shards
+// so a narrower predicate cannot be served from a complete answer whose
+// shard entry is already being unwound. The store wipe runs last, under
+// storeMu, which persist writes also take — a slow leader cannot
+// re-persist an invalidated answer after the wipe. When adoptEpoch
+// returns, no answer invalidated by the transition is reachable through
+// any path.
 func (ns *namespace) adoptEpoch(e epoch.Epoch) {
-	for {
-		cur := ns.epochSeq.Load()
-		if e.Seq <= cur {
-			return
+	ns.adoptMu.Lock()
+	cur := ns.epochSeq.Load()
+	if e.Seq <= cur {
+		ns.adoptMu.Unlock()
+		return
+	}
+	scope := e.Scope
+	if scope != nil && e.Seq != cur+1 {
+		// The scope describes only the final transition; adopting across
+		// skipped seqs means unseen bumps whose regions are unknown.
+		scope = nil
+	}
+	ns.pushBump(e.Seq, scope)
+	ns.epochSeq.Store(e.Seq)
+	ns.adoptMu.Unlock()
+	if scope != nil {
+		dropped, retained := ns.purgeResidentRegion(*scope)
+		ns.partialWipes.Add(1)
+		ns.wipeDropped.Add(dropped)
+		ns.wipeRetained.Add(retained)
+		if ns.store != nil {
+			ns.storeMu.Lock()
+			_ = ns.wipeRecordsRegion(*scope)
+			_ = ns.writeMeta()
+			ns.storeMu.Unlock()
 		}
-		if ns.epochSeq.CompareAndSwap(cur, e.Seq) {
-			break
-		}
+		return
 	}
 	ns.purgeResident()
 	ns.epochWipes.Add(1)
@@ -785,6 +960,88 @@ func (ns *namespace) adoptEpoch(e epoch.Epoch) {
 		_ = ns.writeMeta()
 		ns.storeMu.Unlock()
 	}
+}
+
+// purgeResidentRegion drops the namespace's resident entries whose
+// predicate intersects rect, from the containment directory first (same
+// ordering rationale as purgeResident) and then the shards, and reports
+// how many entries were dropped and how many survived. Keys that fail to
+// decode are conservatively dropped.
+func (ns *namespace) purgeResidentRegion(rect region.Rect) (dropped, retained int64) {
+	if ns.complete != nil {
+		ns.complete.purgeRegion(rect)
+	}
+	for _, sh := range ns.pool.shards {
+		sh.mu.Lock()
+		var drop []*list.Element
+		for _, el := range sh.elems {
+			e := el.Value.(*entry)
+			if e.ns != ns {
+				continue
+			}
+			if keyIntersects(e.srcKey(), rect) {
+				drop = append(drop, el)
+			} else {
+				retained++
+			}
+		}
+		for _, el := range drop {
+			removeLocked(sh, el)
+		}
+		dropped += int64(len(drop))
+		sh.mu.Unlock()
+	}
+	return dropped, retained
+}
+
+// hotPredicates returns up to max of the namespace's most-served resident
+// predicates, hottest first (ties broken by key for determinism). Crawl
+// sets count under their region predicate. This is the live traffic
+// signal the change prober samples to place sentinels where reuse — and
+// therefore staleness risk — is concentrated.
+func (ns *namespace) hotPredicates(max int) []relation.Predicate {
+	if max <= 0 {
+		return nil
+	}
+	type hot struct {
+		key  string
+		p    relation.Predicate
+		hits int64
+	}
+	var all []hot
+	for _, sh := range ns.pool.shards {
+		sh.mu.Lock()
+		for _, el := range sh.elems {
+			e := el.Value.(*entry)
+			if e.ns != ns || e.hits == 0 {
+				continue
+			}
+			k := strings.TrimPrefix(e.srcKey(), crawlKeyPrefix)
+			if p, ok := PredicateOfKey(k); ok {
+				all = append(all, hot{key: k, p: p, hits: e.hits})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].hits != all[j].hits {
+			return all[i].hits > all[j].hits
+		}
+		return all[i].key < all[j].key
+	})
+	out := make([]relation.Predicate, 0, max)
+	seen := make(map[string]bool, max)
+	for _, h := range all {
+		if seen[h.key] {
+			continue // a crawl set and an exact answer share a predicate
+		}
+		seen[h.key] = true
+		out = append(out, h.p)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
 }
 
 // purgeResident drops this namespace's resident entries from every shard

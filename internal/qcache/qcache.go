@@ -41,11 +41,15 @@
 // (internal/epoch): with Config.Epochs set, the namespace registers its
 // source epoch in the registry and every bump — a change-detection
 // prober's digest mismatch, or a higher epoch adopted from a cluster
-// peer — wipes the namespace while it keeps serving: resident entries,
-// the containment directory, the crawl-admitted region sets and the
-// persisted records all go, atomically with respect to concurrent
-// lookups and in-flight leaders (admissions are fenced on the epoch
-// sequence they were issued under).
+// peer — wipes the namespace while it keeps serving. A full bump drops
+// everything: resident entries, the containment directory, the
+// crawl-admitted region sets and the persisted records. A region-scoped
+// bump (Epoch.Scope) wipes selectively: only state whose predicate
+// intersects the bumped rect goes, and the rest stays warm. Both are
+// atomic with respect to concurrent lookups and in-flight leaders —
+// admissions are fenced on the epoch sequence they were issued under,
+// with an older answer admitted only when every bump since is provably
+// disjoint from its predicate.
 package qcache
 
 import (
@@ -130,9 +134,16 @@ type Stats struct {
 	// Warmed counts entries loaded from the persistent store at boot.
 	Warmed int `json:"warmed"`
 	// EpochSeq is the source epoch the namespace currently serves under;
-	// EpochWipes counts runtime epoch bumps that wiped the namespace.
+	// EpochWipes counts runtime epoch bumps adopted as full namespace
+	// wipes.
 	EpochSeq   uint64 `json:"epoch_seq"`
 	EpochWipes int64  `json:"epoch_wipes"`
+	// PartialWipes counts region-scoped bumps adopted as selective wipes;
+	// WipeDropped and WipeRetained count the entries those wipes dropped
+	// (predicate intersecting the bumped region) and kept.
+	PartialWipes int64 `json:"partial_wipes"`
+	WipeDropped  int64 `json:"wipe_dropped_entries"`
+	WipeRetained int64 `json:"wipe_retained_entries"`
 }
 
 // HitRate returns the share of searches answered without the inner
@@ -239,10 +250,13 @@ func (c *Cache) AdmitCrawl(pred relation.Predicate, tuples []relation.Tuple) {
 }
 
 // AdmitCrawlAt is AdmitCrawl fenced on the source epoch the crawl began
-// under (crawl.EpochAdmitter): the admission is re-checked against
-// epochSeq under the shard lock, so a crawl that straddled an epoch bump
-// — its set mixes pre- and post-change answers — is dropped even when
-// the bump lands between the crawl's last query and the admission.
+// under (crawl.EpochAdmitter): the admission is re-checked under the
+// shard lock, so a crawl that straddled an epoch bump whose region
+// touches the crawled predicate — its set may mix pre- and post-change
+// answers — is dropped even when the bump lands between the crawl's last
+// query and the admission. A crawl that straddled only region-scoped
+// bumps disjoint from its predicate keeps its set: the change cannot
+// have altered any tuple the crawl collected.
 func (c *Cache) AdmitCrawlAt(pred relation.Predicate, tuples []relation.Tuple, epochSeq uint64) {
 	c.ns.admitCrawl(pred, tuples, epochSeq)
 }
@@ -262,6 +276,13 @@ func (c *Cache) Discard(p relation.Predicate) { c.ns.discard(KeyOf(p)) }
 
 // Stats returns a snapshot of the cache counters and residency.
 func (c *Cache) Stats() Stats { return c.ns.stats() }
+
+// HotPredicates returns up to max of the cache's most-served resident
+// predicates, hottest first. The change prober samples it to derive
+// sentinel placement from live traffic (epoch.ProberConfig.Hot), so
+// probing concentrates where reuse — and therefore staleness risk —
+// actually is.
+func (c *Cache) HotPredicates(max int) []relation.Predicate { return c.ns.hotPredicates(max) }
 
 // Len returns the number of resident entries.
 func (c *Cache) Len() int { return int(c.ns.entries.Load()) }

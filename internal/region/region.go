@@ -123,6 +123,26 @@ func (r Rect) Covers(o Rect) bool {
 	return true
 }
 
+// Intersects reports whether r and o share at least one point. A dimension
+// only one rectangle constrains is unbounded in the other, so it never
+// separates them; the rectangles are disjoint exactly when some shared (or
+// one-sided) constraint leaves an empty overlap. Empty rectangles intersect
+// nothing. This is the region-scoped invalidation primitive: an epoch bump
+// scoped to rect must drop exactly the cached state whose region intersects
+// it, so Intersects errs on neither side.
+func (r Rect) Intersects(o Rect) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	for i, a := range r.Attrs {
+		oiv, _ := o.interval(a)
+		if r.Ivs[i].Intersect(oiv).Empty() {
+			return false
+		}
+	}
+	return true
+}
+
 // SplitAt cuts dimension dim (an index into Attrs) at mid, producing a left
 // half [lo, mid] and right half (mid, hi]. The halves partition r.
 func (r Rect) SplitAt(dim int, mid float64) (left, right Rect) {

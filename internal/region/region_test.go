@@ -61,6 +61,77 @@ func TestCovers(t *testing.T) {
 	}
 }
 
+func TestIntersects(t *testing.T) {
+	r := rect2(t)
+	overlap := MustNew([]int{0, 2}, []relation.Interval{relation.Closed(5, 15), relation.Closed(150, 250)})
+	if !r.Intersects(overlap) || !overlap.Intersects(r) {
+		t.Fatal("overlapping rects reported disjoint")
+	}
+	disjoint := MustNew([]int{0, 2}, []relation.Interval{relation.Closed(11, 20), relation.Closed(150, 160)})
+	if r.Intersects(disjoint) || disjoint.Intersects(r) {
+		t.Fatal("disjoint rects reported intersecting")
+	}
+	// A dimension only one rect constrains is unbounded in the other and
+	// never separates them.
+	oneDim := MustNew([]int{1}, []relation.Interval{relation.Closed(0, 1)})
+	if !r.Intersects(oneDim) || !oneDim.Intersects(r) {
+		t.Fatal("rects over disjoint attribute sets must intersect")
+	}
+	// Touching closed endpoints share exactly one point.
+	touch := MustNew([]int{0}, []relation.Interval{relation.Closed(10, 20)})
+	if !r.Intersects(touch) {
+		t.Fatal("closed-endpoint touch reported disjoint")
+	}
+	// An open endpoint removes that shared point.
+	openTouch := MustNew([]int{0}, []relation.Interval{relation.OpenLo(10, 20)})
+	if r.Intersects(openTouch) || openTouch.Intersects(r) {
+		t.Fatal("open-endpoint touch reported intersecting")
+	}
+	empty := MustNew([]int{0}, []relation.Interval{relation.Closed(5, 2)})
+	if r.Intersects(empty) || empty.Intersects(r) {
+		t.Fatal("empty rect intersects nothing")
+	}
+	// The zero Rect constrains nothing, so it overlaps any non-empty rect.
+	if !r.Intersects(Rect{}) || !(Rect{}).Intersects(r) {
+		t.Fatal("unconstrained rect must intersect everything non-empty")
+	}
+}
+
+// Property: Intersects agrees with random point sampling — a sampled
+// common point proves intersection, and symmetric evaluation agrees.
+func TestIntersectsPointProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	mk := func() Rect {
+		lo0, lo1 := rnd.Float64()*20, rnd.Float64()*20
+		return MustNew([]int{0, 1}, []relation.Interval{
+			relation.Closed(lo0, lo0+rnd.Float64()*10),
+			relation.Closed(lo1, lo1+rnd.Float64()*10),
+		})
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := mk(), mk()
+		got := a.Intersects(b)
+		if got != b.Intersects(a) {
+			t.Fatalf("Intersects not symmetric for %v / %v", a, b)
+		}
+		// Sample points from a; any that fall inside b refute disjointness.
+		common := false
+		for i := 0; i < 50; i++ {
+			tu := relation.Tuple{Values: []float64{
+				a.Ivs[0].Lo + rnd.Float64()*a.Ivs[0].Width(),
+				a.Ivs[1].Lo + rnd.Float64()*a.Ivs[1].Width(),
+			}}
+			if b.ContainsTuple(tu) {
+				common = true
+				break
+			}
+		}
+		if common && !got {
+			t.Fatalf("common point found but Intersects=false for %v / %v", a, b)
+		}
+	}
+}
+
 func TestSplitPartitionsTuples(t *testing.T) {
 	r := rect2(t)
 	left, right := r.SplitAt(0, 5)

@@ -218,3 +218,83 @@ func TestBootWipesDenseIndexBehindEpoch(t *testing.T) {
 		t.Fatalf("consistent boot still wiped the dense index: %+v", st)
 	}
 }
+
+// TestRegionBumpScopedServiceWipes: a region-scoped bump at the service
+// level partial-wipes the answer cache and the dense index — disjoint
+// state survives in both layers — and the partial-wipe counters surface
+// on /api/stats and /metrics.
+func TestRegionBumpScopedServiceWipes(t *testing.T) {
+	ctx := context.Background()
+	db := newMutableDB("live", 300, 40)
+	srv, err := New(Config{
+		Sources: map[string]SourceConfig{
+			"live": {DB: db, Cache: &qcache.Config{}},
+		},
+		ChangeSentinels: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := srv.sources["live"]
+
+	// Two cache entries and two dense entries, one of each per region.
+	hot := relation.Predicate{}.WithInterval(0, relation.Closed(10, 30))
+	coldPred := relation.Predicate{}.WithInterval(0, relation.Closed(200, 230))
+	for _, p := range []relation.Predicate{hot, coldPred} {
+		if _, err := src.cache.Search(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.ix.Insert(mustRect(t, 0, 0, 50), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.ix.Insert(mustRect(t, 0, 300, 400), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Epochs().BumpRegion("live", mustRect(t, 0, 0, 60))
+
+	if src.cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after the scoped bump, want the 1 disjoint", src.cache.Len())
+	}
+	if _, ok := src.cache.Peek(coldPred); !ok {
+		t.Fatal("disjoint cache entry lost to a scoped bump")
+	}
+	if src.ix.Len() != 1 {
+		t.Fatalf("dense index holds %d entries, want the 1 disjoint", src.ix.Len())
+	}
+	if src.ix.EpochSeq() != 2 {
+		t.Fatalf("dense epoch = %d after scoped wipe, want 2", src.ix.EpochSeq())
+	}
+
+	rec := getJSON(t, srv, "/api/stats")
+	live := rec["sources"].(map[string]any)["live"].(map[string]any)
+	if live["epoch"].(map[string]any)["partial_bumps"].(float64) != 1 {
+		t.Fatalf("epoch doc = %v, want 1 partial bump", live["epoch"])
+	}
+	if live["dense_region_wipes"].(float64) != 1 || live["dense_wipes"].(float64) != 0 {
+		t.Fatalf("dense wipe counters = %v / %v, want 1 region, 0 full", live["dense_region_wipes"], live["dense_wipes"])
+	}
+	cacheDoc := live["cache"].(map[string]any)
+	if cacheDoc["partial_wipes"].(float64) != 1 || cacheDoc["epoch_wipes"].(float64) != 0 {
+		t.Fatalf("cache wipe counters = %v", cacheDoc)
+	}
+	if cacheDoc["wipe_dropped_entries"].(float64) != 1 || cacheDoc["wipe_retained_entries"].(float64) != 1 {
+		t.Fatalf("dropped/retained = %v / %v, want 1 / 1",
+			cacheDoc["wipe_dropped_entries"], cacheDoc["wipe_retained_entries"])
+	}
+
+	body := getBody(t, srv, "/metrics")
+	for _, want := range []string{
+		`qr2_qcache_partial_wipes_total{source="live"} 1`,
+		`qr2_qcache_wipe_dropped_entries_total{source="live"} 1`,
+		`qr2_qcache_wipe_retained_total{source="live"} 1`,
+		`qr2_dense_region_wipes_total{source="live"} 1`,
+		`qr2_qcache_epoch_wipes_total{source="live"} 0`,
+		`qr2_dense_wipes_total{source="live"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

@@ -177,10 +177,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			resRow(func(rs resilience.Stats) int64 { return rs.DegradedServes })},
 		{"qr2_source_rate_limited_total", "counter", "Attempts that waited on the per-source token bucket.",
 			resRow(func(rs resilience.Stats) int64 { return rs.RateWaits })},
-		{"qr2_qcache_epoch_wipes_total", "counter", "Runtime epoch bumps that wiped the source's answer-cache namespace.",
+		{"qr2_qcache_epoch_wipes_total", "counter", "Runtime epoch bumps that wiped the source's answer-cache namespace in full.",
 			cacheRow(func(cs qcache.Stats) int64 { return cs.EpochWipes })},
-		{"qr2_dense_wipes_total", "counter", "Whole-index invalidations of the dense-region index (epoch bumps).",
+		{"qr2_qcache_partial_wipes_total", "counter", "Region-scoped epoch bumps that wiped only the intersecting slice of the namespace.",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.PartialWipes })},
+		{"qr2_qcache_wipe_dropped_entries_total", "counter", "Entries and crawl sets dropped by region-scoped wipes (they intersected the bumped rect).",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.WipeDropped })},
+		{"qr2_qcache_wipe_retained_total", "counter", "Entries and crawl sets retained through region-scoped wipes (disjoint from the bumped rect).",
+			cacheRow(func(cs qcache.Stats) int64 { return cs.WipeRetained })},
+		{"qr2_dense_wipes_total", "counter", "Whole-index invalidations of the dense-region index (unscoped epoch bumps).",
 			denseRow(func(ds dense.Stats) int64 { return ds.Wipes })},
+		{"qr2_dense_region_wipes_total", "counter", "Region-scoped invalidations that evicted only intersecting dense entries.",
+			denseRow(func(ds dense.Stats) int64 { return ds.RegionWipes })},
 		{"qr2_dense_hits_total", "counter", "Dense-index lookups answered by a covering entry.",
 			denseRow(func(ds dense.Stats) int64 { return ds.Hits })},
 		{"qr2_dense_misses_total", "counter", "Dense-index lookups with no covering entry.",

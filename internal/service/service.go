@@ -399,12 +399,20 @@ func New(cfg Config) (*Server, error) {
 		// An epoch bump also invalidates the dense index: its entries are
 		// authoritative complete crawls of the pre-change source. The
 		// answer-cache namespace subscribed first (inside Namespace), so
-		// the wipe order on a bump is cache, then dense index. The epoch
+		// the wipe order on a bump is cache, then dense index. A
+		// region-scoped bump evicts only the entries intersecting the
+		// bumped rect; an unscoped bump wipes everything. The epoch
 		// marker is recorded only after a fully successful wipe — on a
 		// store failure the marker stays behind and the next boot
 		// re-wipes (the in-memory state is cleared unconditionally).
 		s.epochs.Subscribe(name, func(e epoch.Epoch) {
-			if err := ix.Wipe(); err == nil {
+			var werr error
+			if e.Scope != nil {
+				werr = ix.WipeRegion(*e.Scope)
+			} else {
+				werr = ix.Wipe()
+			}
+			if werr == nil {
 				_ = ix.SetEpoch(e.Seq)
 			}
 		})
@@ -413,11 +421,18 @@ func New(cfg Config) (*Server, error) {
 		// cache, not the live source. It probes through the resilience
 		// wrapper so a dead source pauses probing (ErrPaused backoff)
 		// instead of spamming errors, and its successful probes double as
-		// the half-open traffic that re-closes the breaker.
-		s.probers[name] = epoch.NewProber(s.epochs, name, raw, epoch.ProberConfig{
+		// the half-open traffic that re-closes the breaker. Cached
+		// sources feed their hottest canonical predicates back into
+		// sentinel placement, so probing concentrates where reuse — and
+		// therefore staleness risk — actually is.
+		pc := epoch.ProberConfig{
 			Sentinels:   cfg.ChangeSentinels,
 			Unavailable: resilience.IsUnavailable,
-		})
+		}
+		if cache != nil {
+			pc.Hot = cache.HotPredicates
+		}
+		s.probers[name] = epoch.NewProber(s.epochs, name, raw, pc)
 		s.sources[name] = &source{name: name, db: db, cache: cache, ix: ix, res: res, popular: sc.Popular}
 	}
 	if s.node != nil {
@@ -624,13 +639,18 @@ type epochStatsDoc struct {
 	// Seq is the current source epoch; BumpedAt when it began.
 	Seq      uint64    `json:"seq"`
 	BumpedAt time.Time `json:"bumped_at"`
+	// PartialBumps counts the advances that carried a region scope —
+	// surgical invalidations that wiped only the bumped rect.
+	PartialBumps int64 `json:"partial_bumps"`
 	// Probes/Mismatches/Errors/Paused/Sentinels describe the
-	// change-detection prober for the source.
+	// change-detection prober for the source; Refreshes counts
+	// traffic-derived sentinel placement changes.
 	Probes     int64 `json:"probes"`
 	Mismatches int64 `json:"mismatches"`
 	Errors     int64 `json:"errors"`
 	Paused     int64 `json:"paused"`
 	Sentinels  int   `json:"sentinels"`
+	Refreshes  int64 `json:"refreshes"`
 }
 
 // sourceStatsDoc is one source's operational counters on GET /api/stats.
@@ -645,6 +665,7 @@ type sourceStatsDoc struct {
 	DenseHits              int64             `json:"dense_hits"`
 	DenseMisses            int64             `json:"dense_misses"`
 	DenseWipes             int64             `json:"dense_wipes"`
+	DenseRegionWipes       int64             `json:"dense_region_wipes"`
 	DenseResidentEntries   int               `json:"dense_resident_entries"`
 	DenseResidentBytes     int64             `json:"dense_resident_bytes"`
 	DenseResidentLoads     int64             `json:"dense_resident_loads"`
@@ -693,6 +714,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DenseHits:              ds.Hits,
 			DenseMisses:            ds.Misses,
 			DenseWipes:             ds.Wipes,
+			DenseRegionWipes:       ds.RegionWipes,
 			DenseResidentEntries:   ds.ResidentEntries,
 			DenseResidentBytes:     ds.ResidentBytes,
 			DenseResidentLoads:     ds.ResidentLoads,
@@ -708,11 +730,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			sd.Resilience = &rs
 		}
 		if e, ok := s.epochs.Get(name); ok {
-			ed := epochStatsDoc{Seq: e.Seq, BumpedAt: e.BumpedAt}
+			ed := epochStatsDoc{Seq: e.Seq, BumpedAt: e.BumpedAt,
+				PartialBumps: s.epochs.PartialBumps(name)}
 			if p, ok := s.probers[name]; ok {
 				ps := p.Stats()
 				ed.Probes, ed.Mismatches, ed.Errors, ed.Paused, ed.Sentinels =
 					ps.Probes, ps.Mismatches, ps.Errors, ps.Paused, ps.Sentinels
+				ed.Refreshes = ps.Refreshes
 			}
 			sd.Epoch = &ed
 		}
