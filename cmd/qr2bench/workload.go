@@ -8,10 +8,12 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/hidden"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -66,6 +68,8 @@ func latencyWorkload(outPath string, quick bool, seed int64) error {
 	// The whole schedule runs `rounds` times: round one is cold (web
 	// queries), later rounds replay the identical forms from fresh
 	// sessions and land on the answer pool.
+	before := srv.Observability().Snapshot("bench")
+	began := time.Now()
 	for round := 0; round < rounds; round++ {
 		for _, q := range queries {
 			if err := runOne(ts.URL, q); err != nil {
@@ -73,10 +77,15 @@ func latencyWorkload(outPath string, quick bool, seed int64) error {
 			}
 		}
 	}
+	after := srv.Observability().Snapshot("bench")
 
 	rep := workload.LatencyFrom(srv.Observability(),
 		fmt.Sprintf("Per-path request latency and per-stage span latency of a mixed QR2 workload (cmd/qr2bench -workload): %d forms over bluenile+zillow (n=%d, system-k 50), %d rounds — round one cold, later rounds replaying identical forms from fresh sessions so they land on the answer pool. Percentiles are histogram-bucket upper bounds from the service's own internal/obs collector (the same data /metrics exports); regenerate with: go run ./cmd/qr2bench -workload -workload-out BENCH_workload.json.", len(queries), n, rounds),
 		"Single-CPU container; absolute numbers are machine-bound, the pool-hit vs. web path gap is the signal.")
+	// Burn rates over the run itself: the before/after snapshots bracket
+	// the schedule, so each objective reports the run's own query cost,
+	// degraded fraction and forward latency against the default SLOs.
+	rep.SLO = workload.SLOFrom(obs.SLOObjectives{}, before, after, time.Since(began))
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err

@@ -7,6 +7,13 @@
 //	qr2cli -server http://localhost:8080 -source bluenile \
 //	       -rank "price - 0.1*carat - 0.5*depth" \
 //	       -filter min.carat=1 -filter in.shape=Round -k 10 -pages 2
+//
+// The "obs" subcommand instead inspects a fleet's observability plane:
+// it fetches every replica's /cluster/obs snapshot, merges them
+// client-side, and prints fleet latency percentiles plus the slowest
+// stitched traces with per-replica span attribution:
+//
+//	qr2cli obs -servers http://h1:8080,http://h2:8080,http://h3:8080 -n 5
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"net/url"
+	"os"
 	"sort"
 	"strings"
 )
@@ -53,6 +61,10 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "obs" {
+		runObs(os.Args[2:])
+		return
+	}
 	var filters multiFlag
 	var (
 		server = flag.String("server", "http://localhost:8080", "qr2server base URL")

@@ -60,7 +60,15 @@
 // (internal/obs) — -trace-buffer sizes the /api/trace + /debug/requests
 // inspector ring, -slow-query gates the slow-query log, /metrics carries
 // per-stage latency histograms, and -debug-addr serves net/http/pprof on
-// a private side mux that is never mounted on the public -addr.
+// a private side mux that is never mounted on the public -addr. Each
+// replica also serves its mergeable metrics snapshot at /cluster/obs; in
+// cluster mode the replicas poll each other every gossip tick and expose
+// the merged fleet roll-up (qr2_fleet_* families) plus multi-window SLO
+// burn rates (qr2_slo_*; budgets set by -slo-queries-per-answer,
+// -slo-degraded-fraction and -slo-forward-p99) on /metrics. Forwarded
+// lookups return their remote span subtrees, which are stitched into the
+// caller's trace, so /api/trace shows one end-to-end tree per request
+// with each span attributed to the replica that ran it.
 //
 // Usage (quickstart):
 //
@@ -92,6 +100,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/hidden"
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/resilience"
 	"repro/internal/service"
@@ -139,6 +148,12 @@ func main() {
 			"recent request traces kept for /api/trace and /debug/requests (0 = default 256, negative disables tracing)")
 		slowQuery = flag.Duration("slow-query", 0,
 			"slow-query threshold: requests at or above it are logged and kept in /api/trace?slow=1 (0 disables)")
+		sloQueriesPerAnswer = flag.Float64("slo-queries-per-answer", 0,
+			"SLO budget of web-database queries per completed answer, fleet-wide (0 = default 4)")
+		sloDegradedFraction = flag.Float64("slo-degraded-fraction", 0,
+			"SLO tolerated fraction of degraded serves (0 = default 0.05)")
+		sloForwardP99 = flag.Duration("slo-forward-p99", 0,
+			"SLO budget for peer-forward p99 latency (0 = default 250ms)")
 		debugAddr = flag.String("debug-addr", "",
 			"listen address for the pprof side mux (/debug/pprof); empty disables — never exposed on the public -addr mux")
 
@@ -199,7 +214,12 @@ func main() {
 		ChangeSentinels:     *sentinels,
 		TraceBuffer:         *traceBuffer,
 		SlowQuery:           *slowQuery,
-		Logger:              slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		SLO: obs.SLOObjectives{
+			QueriesPerAnswer: *sloQueriesPerAnswer,
+			DegradedFraction: *sloDegradedFraction,
+			ForwardP99:       *sloForwardP99,
+		},
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		Resilience: resilience.Policy{
 			AttemptTimeout:   *sourceTimeout,
 			MaxAttempts:      *sourceRetries + 1,

@@ -152,6 +152,56 @@
 // disabled (BENCH_obs.json; -trace-buffer -1 disables, -slow-query gates
 // the slow log).
 //
+// # Distributed tracing & fleet metrics
+//
+// The observability plane is cluster-wide. Traces stitch across
+// replicas: when a query forwards through the ring (or a wdbserver
+// /search runs server-side spans), the remote replica exports its span
+// subtree in compact wire form inside the response, and the caller
+// grafts it under its own peer_forward span — replica-attributed and
+// depth-nested — so /api/trace, /debug/requests and `qr2cli obs` show
+// one end-to-end tree no matter how many processes served the request.
+// Histogram buckets on qr2_request_latency_seconds carry OpenMetrics
+// exemplars: the trace ID of the slowest observation to land in each
+// bucket over the last minute, linking a latency outlier straight to
+// its stitched trace at /api/trace?id=...
+//
+// Metrics roll up the same way: every replica serves its counters and
+// histograms as a mergeable snapshot on GET /cluster/obs, a poller
+// riding the gossip tick merges the fleet view (identical power-of-two
+// buckets make the merge exact), and the result is exported as the
+// qr2_fleet_* families plus the fleet section of /api/stats. A
+// sliding-window SLO tracker over the merged snapshots accounts the
+// paper's query-cost metric fleet-wide — web queries per answer,
+// degraded-serve fraction, forward latency — as multi-window burn
+// rates (qr2_slo_*), so a short burst on one replica is visible even
+// when every per-replica cumulative page stays under the objective.
+// `qr2cli obs` prints the merged fleet percentiles and the slowest
+// stitched traces from the terminal; `qr2bench -workload` brackets its
+// run with snapshots and reports the run's own burn rates. Experiment
+// S11 demonstrates all three layers on a live three-replica ring.
+//
+// Fleet and SLO metric families (all on every replica's /metrics):
+//
+//	qr2_fleet_replicas                          gauge      replicas merged into the current fleet view
+//	qr2_fleet_snapshot_age_seconds              gauge      age of that merged snapshot
+//	qr2_fleet_traces_total                      counter    completed request traces fleet-wide
+//	qr2_fleet_slow_traces_total                 counter    traces at or over the slow-query threshold
+//	qr2_fleet_web_queries_total                 counter    web-database queries spent fleet-wide
+//	qr2_fleet_replica_up{replica}               gauge      1 if the replica's snapshot was merged
+//	qr2_fleet_replica_traces_total{replica}     counter    per-replica trace count within the fleet view
+//	qr2_fleet_replica_slow_traces_total{replica} counter   per-replica slow-trace count
+//	qr2_fleet_replica_web_queries_total{replica} counter   per-replica web-query spend
+//	qr2_fleet_request_latency_seconds{path}     histogram  whole-request latency by answer path, merged
+//	qr2_fleet_stage_latency_seconds{stage,outcome} histogram  span latency by stage/outcome, merged
+//	qr2_slo_objective{slo}                      gauge      configured objective per SLO
+//	qr2_slo_burn_rate{slo,window}               gauge      actual/objective over each sliding window
+//	qr2_slo_breaches_total{slo,window}          counter    windows observed with burn rate > 1
+//
+// SLO objectives (-slo-queries-per-answer, -slo-degraded-fraction,
+// -slo-forward-p99 on qr2server) default to 4 web queries per answer, a
+// 5% degraded fraction and a 250ms forward p99 over 1m/5m/30m windows.
+//
 // Profiling quickstart: both servers take -debug-addr, which serves
 // net/http/pprof on a private side mux (never the public listener):
 //

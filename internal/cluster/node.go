@@ -52,6 +52,14 @@ type Config struct {
 	// rejection is final. The zero value keeps the pre-retry behaviour
 	// of a single attempt per RPC.
 	Retry resilience.Retry
+	// Snapshot supplies this replica's mergeable observability snapshot.
+	// When set, Register mounts GET /cluster/obs serving it and the
+	// prober tick additionally runs the fleet roll-up poll (PollObs).
+	// Nil disables the observability plane at this node.
+	Snapshot func() *obs.Snapshot
+	// OnFleetSnapshot receives each merged fleet snapshot right after a
+	// roll-up poll — the service's hook for SLO accounting.
+	OnFleetSnapshot func(*obs.Snapshot)
 }
 
 // PeerStats is one peer's membership state.
@@ -120,6 +128,15 @@ type Node struct {
 	hc     *http.Client
 	epochs *epoch.Registry  // nil without epoch exchange
 	retry  resilience.Retry // per-RPC retry policy (zero: single attempt)
+
+	// The fleet observability roll-up (see obs.go). snapshotFn exports
+	// the local snapshot; onFleet receives each merged fleet snapshot.
+	snapshotFn    func() *obs.Snapshot
+	onFleet       func(*obs.Snapshot)
+	fleetMu       sync.Mutex
+	fleetMerged   *obs.Snapshot
+	fleetReplicas map[string]*obs.Snapshot
+	fleetAt       time.Time
 
 	mu      sync.Mutex
 	sources map[string]*clusterSource
@@ -199,16 +216,18 @@ func New(cfg Config) (*Node, error) {
 		retry.RetryIf = isPeerDown
 	}
 	n := &Node{
-		self:    cfg.Self,
-		urls:    urls,
-		ring:    NewRing(ids, cfg.VirtualNodes),
-		health:  newHealth(cfg),
-		hc:      hc,
-		epochs:  cfg.Epochs,
-		retry:   retry,
-		sources: make(map[string]*clusterSource),
-		flights: make(map[string]*flight),
-		strays:  make(map[strayKey]relation.Predicate),
+		self:       cfg.Self,
+		urls:       urls,
+		ring:       NewRing(ids, cfg.VirtualNodes),
+		health:     newHealth(cfg),
+		hc:         hc,
+		epochs:     cfg.Epochs,
+		retry:      retry,
+		snapshotFn: cfg.Snapshot,
+		onFleet:    cfg.OnFleetSnapshot,
+		sources:    make(map[string]*clusterSource),
+		flights:    make(map[string]*flight),
+		strays:     make(map[strayKey]relation.Predicate),
 	}
 	n.health.onRevive = n.peerRevived
 	return n, nil
@@ -233,6 +252,7 @@ func (n *Node) Start(ctx context.Context) {
 			case <-t.C:
 				n.health.check(ctx, false)
 				n.Gossip(ctx)
+				n.PollObs(ctx)
 			}
 		}
 	}()

@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/hidden"
 	"repro/internal/obs"
@@ -122,6 +123,15 @@ type getDoc struct {
 	// was confined to, so an adopting caller can wipe partially.
 	Epoch uint64   `json:"epoch,omitempty"`
 	Scope *rectDoc `json:"scope,omitempty"`
+	// Trace is the owner-side span subtree, returned only when the caller
+	// asked for it via the X-QR2-Trace header; the caller stitches it into
+	// its own trace so /api/trace renders one end-to-end tree.
+	Trace *obs.Subtree `json:"trace,omitempty"`
+}
+
+// putRespDoc is the JSON response of POST /cluster/put.
+type putRespDoc struct {
+	Trace *obs.Subtree `json:"trace,omitempty"`
 }
 
 // putDoc is the JSON request of POST /cluster/put.
@@ -187,6 +197,9 @@ func (n *Node) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /cluster/get", n.handleGet)
 	mux.HandleFunc("POST /cluster/put", n.handlePut)
 	mux.HandleFunc("GET /cluster/ring", n.handleRing)
+	if n.snapshotFn != nil {
+		mux.HandleFunc("GET /cluster/obs", n.handleObs)
+	}
 }
 
 func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -222,13 +235,29 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 	// it); reading after could tag pre-change tuples with the post-change
 	// epoch.
 	seq, scope := n.epochOf(name)
+	// The owner-side residency probe is a span in this request's trace —
+	// Peek itself is context-free, so the handler records the stage — and
+	// the exported subtree below carries it back to the forwarding caller.
+	tmLk := obs.FromContext(r.Context()).Start(obs.StagePoolLookup)
 	res, found := cs.cache.Peek(pred)
+	tmLk.End(hitMiss(found))
 	doc := getDoc{Found: found, Overflow: res.Overflow, Epoch: seq, Scope: scope}
 	if found {
 		n.peerGetHits.Add(1)
 		doc.Tuples = encodeTuples(res.Tuples)
 	}
+	if r.Header.Get(obs.TraceHeader) != "" {
+		doc.Trace = obs.FromContext(r.Context()).Export(n.self)
+	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// hitMiss maps a residency probe's found flag to its span outcome.
+func hitMiss(found bool) obs.Outcome {
+	if found {
+		return obs.OutcomeHit
+	}
+	return obs.OutcomeMiss
 }
 
 func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -304,7 +333,11 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 			n.noteStray(doc.NS, key, pred)
 		}
 	}
-	writeJSON(w, http.StatusOK, struct{}{})
+	var out putRespDoc
+	if r.Header.Get(obs.TraceHeader) != "" {
+		out.Trace = obs.FromContext(r.Context()).Export(n.self)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
@@ -412,6 +445,13 @@ func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *rela
 	if rid := obs.RequestID(ctx); rid != "" {
 		req.Header.Set(obs.RequestHeader, rid)
 	}
+	tr := obs.FromContext(ctx)
+	if tr != nil {
+		// Ask the owner to return its span subtree alongside the answer;
+		// began anchors the stitched spans on this trace's timeline.
+		req.Header.Set(obs.TraceHeader, "1")
+	}
+	began := time.Now()
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: get from %s: %w", owner, err)}
@@ -430,6 +470,7 @@ func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *rela
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: decode get from %s: %w", owner, err)}
 	}
+	tr.Stitch(doc.Trace, began)
 	n.observeScoped(ns, doc.Epoch, doc.Scope)
 	if !doc.Found {
 		return hidden.Result{}, false, nil
@@ -490,9 +531,20 @@ func (n *Node) putOnce(ctx context.Context, owner, ns string, schema *relation.S
 	if rid := obs.RequestID(ctx); rid != "" {
 		req.Header.Set(obs.RequestHeader, rid)
 	}
+	tr := obs.FromContext(ctx)
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, "1")
+	}
+	began := time.Now()
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return &peerDownError{err: fmt.Errorf("cluster: put to %s: %w", owner, err)}
+	}
+	if resp.StatusCode == http.StatusOK && tr != nil {
+		var out putRespDoc
+		if err := json.NewDecoder(resp.Body).Decode(&out); err == nil {
+			tr.Stitch(out.Trace, began)
+		}
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -16,6 +16,7 @@
 //	S8   source epochs: mid-run source mutation, cluster-wide invalidation
 //	S9   source-fault resilience: stall, kill and heal a source mid-run
 //	S10  region-scoped epochs: region-confined mutation, surgical invalidation
+//	S11  cluster observability plane: stitched traces, fleet roll-up, SLO burn rates
 //	A1   ablation: parallel vs sequential processing
 //	A2   ablation: dense-region threshold sweep
 //	A3   ablation: tie-group mass vs crawling cost
@@ -163,7 +164,7 @@ func (r *Runner) Config() Config { return r.cfg }
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "A1", "A2", "A3", "A4", "A5", "A6"}
+	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "A1", "A2", "A3", "A4", "A5", "A6"}
 }
 
 // Run regenerates one experiment by ID.
@@ -195,6 +196,8 @@ func (r *Runner) Run(ctx context.Context, id string) (Table, error) {
 		return r.ScenarioResilience(ctx)
 	case "S10":
 		return r.ScenarioRegionEpochs(ctx)
+	case "S11":
+		return r.ScenarioObservabilityPlane(ctx)
 	case "A1":
 		return r.AblationParallel(ctx)
 	case "A2":

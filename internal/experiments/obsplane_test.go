@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestScenarioObservabilityPlaneShape checks the acceptance criteria on
+// S11. The hard assertions — remote spans attributed and nested under
+// peer_forward, bucket-exact equality of the fleet families against an
+// offline merge of the three /cluster/obs snapshots, and a short-window
+// SLO breach that the long window and every per-replica cumulative page
+// dilute away — all run inside the scenario itself and fail it; the
+// shape test pins the three phases and their headline observations.
+func TestScenarioObservabilityPlaneShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Run(context.Background(), "S11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("S11 has %d phases, want 3:\n%s", len(tab.Rows), tab.Format())
+	}
+	if got := cell(t, tab, 0, 0); got != "stitched trace" {
+		t.Fatalf("phase 1 = %q, want stitched trace\n%s", got, tab.Format())
+	}
+	if v := cell(t, tab, 0, 2); !strings.Contains(v, "remote span") || !strings.Contains(v, "@") {
+		t.Fatalf("phase 1 value %q lacks replica-attributed remote spans\n%s", v, tab.Format())
+	}
+	if got := cell(t, tab, 1, 0); got != "fleet roll-up" {
+		t.Fatalf("phase 2 = %q, want fleet roll-up\n%s", got, tab.Format())
+	}
+	if v := cell(t, tab, 1, 2); !strings.Contains(v, "every bucket/sum/count row equal") {
+		t.Fatalf("phase 2 value %q does not report bucket-exact equality\n%s", v, tab.Format())
+	}
+	if got := cell(t, tab, 2, 0); got != "slo burn rate" {
+		t.Fatalf("phase 3 = %q, want slo burn rate\n%s", got, tab.Format())
+	}
+	// "<short breaches> / <long breaches>": the long side must be 0.
+	v := cell(t, tab, 2, 2)
+	parts := strings.SplitN(v, " / ", 2)
+	if len(parts) != 2 || parts[0] == "0" || !strings.HasPrefix(parts[1], "0 ") {
+		t.Fatalf("phase 3 value %q: want short-window breaches > 0 and long-window breaches 0\n%s", v, tab.Format())
+	}
+}

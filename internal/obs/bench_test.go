@@ -51,6 +51,57 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotMerge16 merges 16 fully-populated per-replica
+// snapshots into one fleet snapshot — the roll-up poller's work per
+// gossip tick at a 16-replica fleet. The CI gate requires the whole
+// merge under 1 ms.
+func BenchmarkSnapshotMerge16(b *testing.B) {
+	c := NewCollector(CollectorConfig{
+		Buffer: 16,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	for s := Stage(0); s < numStages; s++ {
+		for o := Outcome(0); o < numOutcomes; o++ {
+			c.stage[s][o].Observe(time.Millisecond)
+		}
+	}
+	for p := Path(0); p < numPaths; p++ {
+		c.request[p].Observe(time.Millisecond)
+	}
+	snaps := make([]*Snapshot, 16)
+	for i := range snaps {
+		snaps[i] = c.Snapshot("r")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if MergeSnapshots(snaps...).Traces == 1 {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+// BenchmarkSubtreeStitch is the caller-side overhead one peer forward
+// adds: encode the remote trace to its wire subtree and stitch it into
+// the live trace. The CI gate requires it under 5 µs per forward.
+func BenchmarkSubtreeStitch(b *testing.B) {
+	remote := NewTrace("cluster-get", "rid")
+	remote.Start(StagePoolLookup).End(OutcomeHit)
+	remote.Start(StageEpochFence).End(OutcomeOK)
+	began := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	tr := NewTrace("query", "rid")
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			b.StopTimer()
+			tr = NewTrace("query", "rid")
+			b.StartTimer()
+		}
+		tr.Stitch(remote.Export("owner"), began)
+	}
+}
+
 // BenchmarkCollectorDone is trace completion: snapshot, histogram folds
 // for a typical five-span request, path classification and a ring push.
 func BenchmarkCollectorDone(b *testing.B) {

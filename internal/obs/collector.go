@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,13 +26,30 @@ type Collector struct {
 	slow   time.Duration
 	logger *slog.Logger
 
-	total     atomic.Uint64
-	slowTotal atomic.Uint64
+	total      atomic.Uint64
+	slowTotal  atomic.Uint64
+	webQueries atomic.Uint64
 
 	mu       sync.Mutex
 	ring     traceRing
 	slowRing traceRing
+
+	// exemplars keeps the slowest request per (path, latency bucket) in
+	// the current exemplar window, so histogram outliers on /metrics link
+	// to /api/trace?id=... while the trace is still likely in the ring.
+	exemplars [numPaths][NumBuckets]exemplar
+	exWindow  time.Time
 }
+
+// exemplar is the slowest observation recorded in a bucket's window.
+type exemplar struct {
+	id  string
+	dur time.Duration
+}
+
+// exemplarWindow is how long bucket exemplars accumulate before being
+// reset; roughly the lifetime of a trace in a busy ring.
+const exemplarWindow = time.Minute
 
 // CollectorConfig configures a Collector.
 type CollectorConfig struct {
@@ -83,16 +101,31 @@ func (c *Collector) Done(t *Trace, err error) *TraceDoc {
 	}
 	doc, spans := t.finish(err)
 	for _, sp := range spans {
+		// Stitched remote spans stay out of the local stage histograms:
+		// the recording replica already counted them, so a fleet merge of
+		// per-replica snapshots observes every span exactly once.
+		if sp.Replica != "" {
+			continue
+		}
 		c.stage[sp.Stage][sp.Outcome].Observe(sp.Dur)
 	}
 	elapsed := time.Duration(doc.ElapsedNS)
 	c.request[doc.path].Observe(elapsed)
 	c.total.Add(1)
+	c.webQueries.Add(uint64(doc.WebQueries))
 	slow := c.slow > 0 && elapsed >= c.slow
+	now := time.Now()
 	c.mu.Lock()
 	c.ring.push(doc)
 	if slow {
 		c.slowRing.push(doc)
+	}
+	if now.Sub(c.exWindow) > exemplarWindow {
+		c.exemplars = [numPaths][NumBuckets]exemplar{}
+		c.exWindow = now
+	}
+	if ex := &c.exemplars[doc.path][bucketOf(elapsed)]; doc.ID != "" && elapsed > ex.dur {
+		*ex = exemplar{id: doc.ID, dur: elapsed}
 	}
 	c.mu.Unlock()
 	if slow {
@@ -120,13 +153,17 @@ func (r *traceRing) push(d *TraceDoc) {
 	r.next = (r.next + 1) % len(r.docs)
 }
 
-// newestFirst copies up to n traces out, most recent first.
-func (r *traceRing) newestFirst(n int) []*TraceDoc {
+// newestFirst copies up to n traces out, most recent first, skipping the
+// newest offset entries (pagination).
+func (r *traceRing) newestFirst(offset, n int) []*TraceDoc {
+	if offset < 0 {
+		offset = 0
+	}
 	if n <= 0 || n > len(r.docs) {
 		n = len(r.docs)
 	}
 	out := make([]*TraceDoc, 0, n)
-	for i := 1; i <= len(r.docs) && len(out) < n; i++ {
+	for i := 1 + offset; i <= len(r.docs) && len(out) < n; i++ {
 		d := r.docs[(r.next-i+len(r.docs))%len(r.docs)]
 		if d == nil {
 			break
@@ -139,15 +176,21 @@ func (r *traceRing) newestFirst(n int) []*TraceDoc {
 // Recent returns up to n completed traces, most recent first (n <= 0:
 // the whole ring). slowOnly restricts to the slow-query ring.
 func (c *Collector) Recent(n int, slowOnly bool) []*TraceDoc {
+	return c.RecentPage(0, n, slowOnly)
+}
+
+// RecentPage is Recent with the newest offset traces skipped, so a
+// debug page can walk back through the whole ring one page at a time.
+func (c *Collector) RecentPage(offset, n int, slowOnly bool) []*TraceDoc {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if slowOnly {
-		return c.slowRing.newestFirst(n)
+		return c.slowRing.newestFirst(offset, n)
 	}
-	return c.ring.newestFirst(n)
+	return c.ring.newestFirst(offset, n)
 }
 
 // traceListDoc is the JSON document served by GET /api/trace.
@@ -192,13 +235,29 @@ func (c *Collector) ServeTraces(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(out)
 }
 
+// debugPageSize is the default /debug/requests page size.
+const debugPageSize = 50
+
 // ServeDebug handles GET /debug/requests with a human-readable table of
-// recent and slow requests, in the spirit of x/net/trace.
+// recent and slow requests, in the spirit of x/net/trace. Query
+// parameters: n sets the page size (default 50), page walks back through
+// the recent ring past the first page. Every interpolated string —
+// including stitched remote span attribution, which peers control — is
+// HTML-escaped.
 func (c *Collector) ServeDebug(w http.ResponseWriter, r *http.Request) {
 	if c == nil {
 		http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
 		return
 	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n <= 0 {
+		n = debugPageSize
+	}
+	page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+	if page < 0 {
+		page = 0
+	}
+	recent := c.RecentPage(page*n, n, false)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>qr2 requests</title>"+
 		"<style>body{font-family:monospace}table{border-collapse:collapse}"+
@@ -206,9 +265,17 @@ func (c *Collector) ServeDebug(w http.ResponseWriter, r *http.Request) {
 		"details{margin:2px 0}</style></head><body>\n")
 	fmt.Fprintf(w, "<h1>recent requests</h1><p>%d completed, %d slow (threshold %v)</p>\n",
 		c.total.Load(), c.slowTotal.Load(), c.slow)
-	c.writeDebugTable(w, "slow", c.Recent(0, true))
-	c.writeDebugTable(w, "recent", c.Recent(0, false))
-	fmt.Fprintf(w, "</body></html>\n")
+	if page == 0 {
+		c.writeDebugTable(w, "slow", c.Recent(n, true))
+	}
+	c.writeDebugTable(w, fmt.Sprintf("recent (page %d)", page), recent)
+	if page > 0 {
+		fmt.Fprintf(w, `<a href="?page=%d&n=%d">newer</a> `, page-1, n)
+	}
+	if len(recent) == n {
+		fmt.Fprintf(w, `<a href="?page=%d&n=%d">older</a>`, page+1, n)
+	}
+	fmt.Fprintf(w, "\n</body></html>\n")
 }
 
 func (c *Collector) writeDebugTable(w io.Writer, title string, docs []*TraceDoc) {
@@ -227,10 +294,19 @@ func (c *Collector) writeDebugTable(w io.Writer, title string, docs []*TraceDoc)
 			html.EscapeString(d.Path), d.WebQueries,
 			time.Duration(d.ElapsedNS), html.EscapeString(d.Detail), len(d.Spans))
 		for _, sp := range d.Spans {
-			fmt.Fprintf(w, "%-14s %-9s +%-12v %v", sp.Stage, sp.Outcome,
+			indent := int(sp.Depth)
+			if indent > 8 {
+				indent = 8
+			}
+			fmt.Fprintf(w, "%s%-14s %-9s +%-12v %v",
+				strings.Repeat("  ", indent),
+				html.EscapeString(sp.Stage), html.EscapeString(sp.Outcome),
 				time.Duration(sp.StartNS), time.Duration(sp.DurNS))
 			if sp.Queries > 0 {
 				fmt.Fprintf(w, "  queries=%d", sp.Queries)
+			}
+			if sp.Replica != "" {
+				fmt.Fprintf(w, "  @%s", html.EscapeString(sp.Replica))
 			}
 			fmt.Fprintf(w, "\n")
 		}
@@ -272,12 +348,39 @@ func (c *Collector) WriteMetrics(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP qr2_request_latency_seconds End-to-end request latency by decision path.\n")
 	fmt.Fprintf(w, "# TYPE qr2_request_latency_seconds histogram\n")
+	c.mu.Lock()
+	exemplars := c.exemplars
+	c.mu.Unlock()
 	for p := Path(0); p < numPaths; p++ {
 		h := &c.request[p]
-		if h.Count() == 0 {
+		counts, sum := h.snapshot()
+		var cum uint64
+		for _, n := range counts {
+			cum += n
+		}
+		if cum == 0 {
 			continue
 		}
-		h.writeProm(w, "qr2_request_latency_seconds", fmt.Sprintf("path=%q", p.String()))
+		// Bucket rows are written by hand instead of via writeProm so each
+		// can carry an OpenMetrics-style exemplar: the trace ID of the
+		// slowest request that landed in the bucket this window, linking
+		// the outlier to /api/trace?id=...
+		labels := fmt.Sprintf("path=%q", p.String())
+		cum = 0
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < NumBuckets-1 {
+				le = strconv.FormatFloat(bucketLe(i), 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "qr2_request_latency_seconds_bucket{%s,le=%q} %d", labels, le, cum)
+			if ex := exemplars[p][i]; ex.id != "" {
+				fmt.Fprintf(w, " # {trace_id=%q} %g", ex.id, ex.dur.Seconds())
+			}
+			fmt.Fprintf(w, "\n")
+		}
+		fmt.Fprintf(w, "qr2_request_latency_seconds_sum{%s} %g\n", labels, float64(sum)/1e9)
+		fmt.Fprintf(w, "qr2_request_latency_seconds_count{%s} %d\n", labels, cum)
 	}
 }
 

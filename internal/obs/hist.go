@@ -86,6 +86,13 @@ func (h *Histogram) Count() uint64 {
 // the bucket containing it. Returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	counts, _ := h.snapshot()
+	return quantileOf(counts[:], q)
+}
+
+// quantileOf is the bucket-upper-bound quantile over a raw count slice,
+// shared by live histograms and merged snapshot data so both report
+// identical values for identical counts.
+func quantileOf(counts []uint64, q float64) time.Duration {
 	var total uint64
 	for _, c := range counts {
 		total += c
@@ -108,6 +115,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(uint64(1) << uint(NumBuckets-2))
+}
+
+// formatLe renders bucket i's upper bound as a Prometheus le label value.
+func formatLe(i int) string {
+	return strconv.FormatFloat(bucketLe(i), 'g', -1, 64)
 }
 
 // writeProm writes the histogram as Prometheus _bucket/_sum/_count rows

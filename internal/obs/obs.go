@@ -135,6 +135,12 @@ type Span struct {
 	// Queries is the number of web-database queries attributed to the
 	// span (1 for web_query spans, the total for crawl spans).
 	Queries int
+	// Replica is empty for spans this process recorded; a stitched
+	// remote span carries the name of the replica that recorded it.
+	Replica string
+	// Depth is 0 for local spans and counts forward hops for stitched
+	// remote spans, so renderers can indent one end-to-end tree.
+	Depth uint8
 }
 
 // Trace accumulates the spans of one request. All methods are safe on a
@@ -359,13 +365,16 @@ type TraceDoc struct {
 	path Path
 }
 
-// SpanDoc is the JSON form of one span.
+// SpanDoc is the JSON form of one span. Replica and Depth are set only
+// on spans stitched in from a remote subtree.
 type SpanDoc struct {
 	Stage   string `json:"stage"`
 	Outcome string `json:"outcome"`
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
 	Queries int    `json:"queries,omitempty"`
+	Replica string `json:"replica,omitempty"`
+	Depth   uint8  `json:"depth,omitempty"`
 }
 
 // finish snapshots the trace into its completed document plus a copy of
@@ -396,6 +405,14 @@ func (t *Trace) finish(err error) (*TraceDoc, []Span) {
 			StartNS: int64(sp.Start),
 			DurNS:   int64(sp.Dur),
 			Queries: sp.Queries,
+			Replica: sp.Replica,
+			Depth:   sp.Depth,
+		}
+		// Stitched remote spans are attribution only: the remote replica
+		// already classified its own request, so its spans are not
+		// evidence for this trace's decision path.
+		if sp.Replica != "" {
+			continue
 		}
 		if sp.Outcome == OutcomeHit {
 			hit[sp.Stage] = true

@@ -1,0 +1,129 @@
+package obs
+
+import "time"
+
+// TraceHeader is the HTTP header a caller sets (any non-empty value) on
+// a peer forward or web-database query to ask the remote side to return
+// its span subtree in the response body. The remote only pays the export
+// when the caller actually has a live trace to stitch it into.
+const TraceHeader = "X-QR2-Trace"
+
+// WireSpan is the compact wire form of one remote span. Field names are
+// single letters because a deep trace ships hundreds of them inside a
+// response that is otherwise a few hundred bytes.
+type WireSpan struct {
+	// G and O are the numeric Stage and Outcome. They travel as numbers
+	// (the enums are identical on every replica of one build); Stitch
+	// validates the ranges so a malformed or version-skewed peer cannot
+	// inject out-of-range indexes into the collector's arrays.
+	G uint8 `json:"g"`
+	O uint8 `json:"o"`
+	// S and D are the span's start offset (from the remote trace's begin)
+	// and duration, in nanoseconds.
+	S int64 `json:"s"`
+	D int64 `json:"d"`
+	// Q is the span's web-query attribution.
+	Q int `json:"q,omitempty"`
+	// R overrides the subtree's replica for this span — set when the
+	// remote span was itself stitched from a further hop, so a forward
+	// chain keeps per-replica attribution end to end.
+	R string `json:"r,omitempty"`
+	// L is the span's depth below the subtree root (0 for the remote's
+	// own spans, deeper for spans it stitched in turn).
+	L uint8 `json:"l,omitempty"`
+}
+
+// Subtree is the span subtree one remote handler returns alongside its
+// response, attributed to the replica that recorded it.
+type Subtree struct {
+	Replica string     `json:"replica"`
+	Spans   []WireSpan `json:"spans"`
+}
+
+// Export snapshots the trace's spans into a wire subtree attributed to
+// replica. Returns nil on a nil trace or when no spans were recorded, so
+// handlers can assign the result to an omitempty field unconditionally.
+// The trace stays live; spans recorded after Export are not included.
+func (t *Trace) Export(replica string) *Subtree {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	st := &Subtree{Replica: replica, Spans: make([]WireSpan, len(t.spans))}
+	for i, sp := range t.spans {
+		st.Spans[i] = WireSpan{
+			G: uint8(sp.Stage),
+			O: uint8(sp.Outcome),
+			S: int64(sp.Start),
+			D: int64(sp.Dur),
+			Q: sp.Queries,
+			R: sp.Replica,
+			L: sp.Depth,
+		}
+	}
+	return st
+}
+
+// Stitch appends a remote subtree to the trace as child spans: depth one
+// below the forward that fetched it, attributed to the subtree's replica
+// (or a span's own override from a deeper hop), and re-anchored so span
+// offsets stay on this trace's timeline — began is the caller-side time
+// the forward started, which is when the remote clock's offset zero
+// approximately occurred.
+//
+// Stitched spans are attribution only: they never add to the trace's
+// web-query count (the remote's ledger already counted them) and the
+// collector keeps them out of the local stage histograms, so a fleet
+// merge of per-replica snapshots counts every span exactly once.
+// Malformed wire spans (out-of-range stage or outcome) are dropped.
+// Nil-safe on both receiver and subtree.
+func (t *Trace) Stitch(st *Subtree, began time.Time) {
+	if t == nil || st == nil || len(st.Spans) == 0 {
+		return
+	}
+	base := began.Sub(t.begin)
+	if base < 0 {
+		base = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ws := range st.Spans {
+		if len(t.spans) >= maxSpans {
+			break
+		}
+		if ws.G >= uint8(numStages) || ws.O >= uint8(numOutcomes) {
+			continue
+		}
+		replica := ws.R
+		if replica == "" {
+			replica = st.Replica
+		}
+		start, dur, q := ws.S, ws.D, ws.Q
+		if start < 0 {
+			start = 0
+		}
+		if dur < 0 {
+			dur = 0
+		}
+		if q < 0 {
+			q = 0
+		}
+		depth := uint8(255)
+		if ws.L < 255 {
+			depth = ws.L + 1
+		}
+		t.spans = append(t.spans, Span{
+			Stage:   Stage(ws.G),
+			Outcome: Outcome(ws.O),
+			Start:   base + time.Duration(start),
+			Dur:     time.Duration(dur),
+			Queries: q,
+			Replica: replica,
+			Depth:   depth,
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExportStitchRoundTrip: a remote trace exported and stitched into a
+// caller's trace keeps stage, outcome, duration and query attribution,
+// gains the subtree's replica and one level of depth, and re-anchors
+// span offsets at the forward's start.
+func TestExportStitchRoundTrip(t *testing.T) {
+	remote := NewTrace("cluster-get", "rid")
+	tm := remote.Start(StagePoolLookup)
+	tm.End(OutcomeHit)
+	st := remote.Export("owner-b")
+	if st == nil || st.Replica != "owner-b" || len(st.Spans) != 1 {
+		t.Fatalf("export = %+v", st)
+	}
+
+	caller := NewTrace("query", "rid")
+	fwd := caller.Start(StagePeerForward)
+	began := time.Now()
+	caller.Stitch(st, began)
+	fwd.End(OutcomeHit)
+
+	doc, spans := caller.finish(nil)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	var stitched *Span
+	for i := range spans {
+		if spans[i].Replica != "" {
+			stitched = &spans[i]
+		}
+	}
+	if stitched == nil {
+		t.Fatal("no stitched span")
+	}
+	if stitched.Replica != "owner-b" || stitched.Depth != 1 || stitched.Stage != StagePoolLookup || stitched.Outcome != OutcomeHit {
+		t.Fatalf("stitched span = %+v", stitched)
+	}
+	if stitched.Start < began.Sub(caller.begin) {
+		t.Fatalf("stitched span anchored before the forward began: %v", stitched.Start)
+	}
+	// The remote hit is attribution, not evidence: the caller's own
+	// peer_forward hit classifies the path.
+	if doc.Path != PathPeer.String() {
+		t.Fatalf("path = %s, want peer", doc.Path)
+	}
+}
+
+// TestStitchChainDepth: re-exporting a trace that already contains
+// stitched spans preserves per-hop replica attribution and deepens the
+// tree, so A -> B -> C renders as one tree on A.
+func TestStitchChainDepth(t *testing.T) {
+	c := NewTrace("cluster-get", "rid")
+	c.Start(StageWebQuery).EndQueries(OutcomeOK, 1)
+
+	b := NewTrace("cluster-get", "rid")
+	b.Start(StagePoolLookup).End(OutcomeMiss)
+	b.Stitch(c.Export("replica-c"), time.Now())
+
+	a := NewTrace("query", "rid")
+	a.Stitch(b.Export("replica-b"), time.Now())
+
+	_, spans := a.finish(nil)
+	byReplica := map[string]uint8{}
+	for _, sp := range spans {
+		byReplica[sp.Replica] = sp.Depth
+	}
+	if byReplica["replica-b"] != 1 || byReplica["replica-c"] != 2 {
+		t.Fatalf("depths = %v, want b:1 c:2", byReplica)
+	}
+}
+
+// TestStitchRejectsMalformed: wire spans with out-of-range stages or
+// outcomes are dropped, never folded into collector arrays; negative
+// durations clamp.
+func TestStitchRejectsMalformed(t *testing.T) {
+	c := quietCollector(CollectorConfig{Buffer: 4})
+	tr := c.Start("query", "rid")
+	tr.Stitch(&Subtree{Replica: "evil", Spans: []WireSpan{
+		{G: uint8(numStages), O: 0, D: 5},
+		{G: 0, O: uint8(numOutcomes), D: 5},
+		{G: uint8(StagePoolLookup), O: uint8(OutcomeHit), S: -50, D: -3, Q: -2},
+	}}, time.Now())
+	doc := c.Done(tr, nil)
+	if len(doc.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1 (malformed dropped)", len(doc.Spans))
+	}
+	sp := doc.Spans[0]
+	if sp.StartNS < 0 || sp.DurNS != 0 || sp.Queries != 0 {
+		t.Fatalf("clamping failed: %+v", sp)
+	}
+}
+
+// TestStitchDoesNotCountRemoteQueries: the remote replica's ledger
+// already counted its web queries; stitching must not double-bill the
+// caller.
+func TestStitchDoesNotCountRemoteQueries(t *testing.T) {
+	remote := NewTrace("cluster-get", "rid")
+	remote.Start(StageWebQuery).EndQueries(OutcomeOK, 3)
+
+	caller := NewTrace("query", "rid")
+	caller.Stitch(remote.Export("b"), time.Now())
+	doc, _ := caller.finish(nil)
+	if doc.WebQueries != 0 {
+		t.Fatalf("caller web queries = %d, want 0", doc.WebQueries)
+	}
+	if doc.Path == PathWeb.String() {
+		t.Fatal("remote web query classified the caller's path")
+	}
+	// The span itself still shows the remote attribution.
+	if len(doc.Spans) != 1 || doc.Spans[0].Queries != 3 {
+		t.Fatalf("spans = %+v", doc.Spans)
+	}
+}
+
+// TestStitchHammer is the race-mode stress: many forwards stitch their
+// subtrees into one trace while the caller finalizes it and the
+// collector folds it — the scenario where a slow peer's response lands
+// as the request finishes. Run under -race in CI.
+func TestStitchHammer(t *testing.T) {
+	c := quietCollector(CollectorConfig{Buffer: 16})
+	for round := 0; round < 20; round++ {
+		tr := c.Start("query", fmt.Sprintf("h%d", round))
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				remote := NewTrace("cluster-get", "rid")
+				remote.Start(StagePoolLookup).End(OutcomeHit)
+				st := remote.Export(fmt.Sprintf("peer-%d", g))
+				for i := 0; i < 50; i++ {
+					tr.Stitch(st, time.Now())
+				}
+			}(g)
+		}
+		close(start)
+		// Finalize concurrently with the stitches.
+		doc := c.Done(tr, nil)
+		wg.Wait()
+		if doc == nil || len(doc.Spans) > maxSpans {
+			t.Fatalf("round %d: doc %v", round, doc)
+		}
+		// Late stitches after Done must not corrupt anything either; the
+		// trace simply keeps absorbing up to the cap.
+		tr.Stitch(NewTrace("x", "y").Export("late"), time.Now())
+	}
+}
+
+// TestSLOTrackerBurst: a burst between two offers drives the short
+// window's burn rate above 1 (and counts a breach) while the long
+// window — diluted by the clean history — stays below it. This is the
+// property the fleet SLO plane adds over per-replica cumulative pages.
+func TestSLOTrackerBurst(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	tr := NewSLOTracker(SLOObjectives{
+		DegradedFraction: 0.05,
+		Windows:          []time.Duration{10 * time.Second, time.Hour},
+	})
+
+	// Clean history: 1000 answers accumulate between the boot sample and
+	// a sample 25 seconds later, none degraded.
+	tr.Offer(&Snapshot{}, base)
+	tr.Offer(&Snapshot{Traces: 1000}, base.Add(25*time.Second))
+
+	// Burst in the final 5 seconds: 20 more answers, 10 of them degraded.
+	deg := &HistData{Counts: make([]uint64, NumBuckets)}
+	deg.Counts[20] = 10
+	burst := &Snapshot{Traces: 1020, Request: map[string]*HistData{
+		PathDegraded.String(): deg,
+	}}
+	now := base.Add(30 * time.Second)
+	tr.Offer(burst, now)
+
+	got := map[string]SLOStatus{}
+	for _, s := range tr.Status(now) {
+		got[s.SLO+"/"+s.Window] = s
+	}
+	short := got[SLODegradedFraction+"/10s"]
+	long := got[SLODegradedFraction+"/1h0m0s"]
+	// Short window: only the burst sample is inside, so the clean prior
+	// is outside the window and the delta is the burst alone: 10/20.
+	if short.BurnRate <= 1 {
+		t.Fatalf("short-window burn = %g, want > 1 (actual %g)", short.BurnRate, short.Actual)
+	}
+	if short.Breaches == 0 {
+		t.Fatal("short-window breach not counted")
+	}
+	// Long window: 10 degraded over 1020 answers — under the objective.
+	if long.BurnRate > 1 {
+		t.Fatalf("long-window burn = %g, want <= 1 (diluted)", long.BurnRate)
+	}
+}
+
+// TestSLOTrackerClampsRegressions: a replica dropping out of the merge
+// shrinks the cumulative counters; deltas clamp to zero instead of
+// going negative.
+func TestSLOTrackerClampsRegressions(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	tr := NewSLOTracker(SLOObjectives{Windows: []time.Duration{time.Minute}})
+	tr.Offer(&Snapshot{Traces: 500, WebQueries: 400}, base)
+	tr.Offer(&Snapshot{Traces: 300, WebQueries: 100}, base.Add(time.Second))
+	for _, s := range tr.Status(base.Add(time.Second)) {
+		if s.Actual < 0 || s.BurnRate < 0 {
+			t.Fatalf("negative SLO value after counter regression: %+v", s)
+		}
+	}
+}

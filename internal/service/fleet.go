@@ -1,0 +1,170 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The fleet observability roll-up on the service side. Every replica
+// serves its mergeable obs.Snapshot at GET /cluster/obs (mounted by the
+// cluster node in cluster mode, by the service itself standalone so the
+// endpoint shape is uniform); the node's PollObs merges the fleet's
+// snapshots each gossip tick and hands the result to the SLO tracker.
+// /metrics exposes the roll-up as the qr2_fleet_* families — a
+// standalone replica reports a fleet of one from its local collector,
+// so dashboards keep the same queries at every deployment size — and
+// the multi-window qr2_slo_* burn rates on top.
+
+// replicaID is the label this replica attributes its snapshots with.
+func (s *Server) replicaID() string {
+	if s.cfg.SelfID != "" {
+		return s.cfg.SelfID
+	}
+	return "local"
+}
+
+// handleClusterObs serves the local snapshot in standalone mode (the
+// cluster node mounts its own handler in cluster mode).
+func (s *Server) handleClusterObs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.obsC.Snapshot(s.replicaID()))
+}
+
+// fleetView returns the freshest fleet roll-up available: the node's
+// last poll in cluster mode (falling back to the local snapshot before
+// the first poll completes), the local collector alone standalone.
+func (s *Server) fleetView() (merged *obs.Snapshot, replicas map[string]*obs.Snapshot, at time.Time) {
+	if s.node != nil {
+		if m, reps, t := s.node.FleetObs(); m != nil {
+			return m, reps, t
+		}
+	}
+	local := s.obsC.Snapshot(s.replicaID())
+	return local, map[string]*obs.Snapshot{local.Replica: local}, time.Now()
+}
+
+// writeFleetMetrics appends the qr2_fleet_* families — merged fleet
+// counters and latency histograms plus one health/attribution row per
+// replica — and the qr2_slo_* burn rates. The merged snapshot is also
+// offered to the SLO tracker so a standalone replica (no roll-up
+// poller) accumulates burn-rate samples at scrape cadence.
+func (s *Server) writeFleetMetrics(b *strings.Builder) {
+	if s.obsC == nil {
+		return
+	}
+	now := time.Now()
+	merged, replicas, at := s.fleetView()
+	s.slo.Offer(merged, now)
+
+	fmt.Fprintf(b, "# HELP qr2_fleet_replicas Replicas contributing to the current fleet roll-up.\n# TYPE qr2_fleet_replicas gauge\nqr2_fleet_replicas %d\n", len(replicas))
+	fmt.Fprintf(b, "# HELP qr2_fleet_snapshot_age_seconds Age of the fleet roll-up this page reports from.\n# TYPE qr2_fleet_snapshot_age_seconds gauge\nqr2_fleet_snapshot_age_seconds %g\n", now.Sub(at).Seconds())
+	fmt.Fprintf(b, "# HELP qr2_fleet_traces_total Completed request traces, fleet-wide.\n# TYPE qr2_fleet_traces_total counter\nqr2_fleet_traces_total %d\n", merged.Traces)
+	fmt.Fprintf(b, "# HELP qr2_fleet_slow_traces_total Slow-threshold exceedances, fleet-wide.\n# TYPE qr2_fleet_slow_traces_total counter\nqr2_fleet_slow_traces_total %d\n", merged.Slow)
+	fmt.Fprintf(b, "# HELP qr2_fleet_web_queries_total Web-database queries spent, fleet-wide.\n# TYPE qr2_fleet_web_queries_total counter\nqr2_fleet_web_queries_total %d\n", merged.WebQueries)
+
+	ids := make([]string, 0, len(replicas))
+	for id := range replicas {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(b, "# HELP qr2_fleet_replica_up Replica present in the current fleet roll-up.\n# TYPE qr2_fleet_replica_up gauge\n")
+	for _, id := range ids {
+		fmt.Fprintf(b, "qr2_fleet_replica_up{replica=\"%s\"} 1\n", escapeLabel(id))
+	}
+	fmt.Fprintf(b, "# HELP qr2_fleet_replica_traces_total Completed traces per replica, from its last polled snapshot.\n# TYPE qr2_fleet_replica_traces_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(b, "qr2_fleet_replica_traces_total{replica=\"%s\"} %d\n", escapeLabel(id), replicas[id].Traces)
+	}
+	fmt.Fprintf(b, "# HELP qr2_fleet_replica_slow_traces_total Slow traces per replica, from its last polled snapshot.\n# TYPE qr2_fleet_replica_slow_traces_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(b, "qr2_fleet_replica_slow_traces_total{replica=\"%s\"} %d\n", escapeLabel(id), replicas[id].Slow)
+	}
+	fmt.Fprintf(b, "# HELP qr2_fleet_replica_web_queries_total Web-database queries per replica, from its last polled snapshot.\n# TYPE qr2_fleet_replica_web_queries_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(b, "qr2_fleet_replica_web_queries_total{replica=\"%s\"} %d\n", escapeLabel(id), replicas[id].WebQueries)
+	}
+
+	fmt.Fprintf(b, "# HELP qr2_fleet_request_latency_seconds Fleet-merged end-to-end request latency by decision path.\n# TYPE qr2_fleet_request_latency_seconds histogram\n")
+	for _, path := range sortedHistKeys(merged.Request) {
+		merged.Request[path].WriteProm(b, "qr2_fleet_request_latency_seconds",
+			fmt.Sprintf("path=%q", escapeLabel(path)))
+	}
+	fmt.Fprintf(b, "# HELP qr2_fleet_stage_latency_seconds Fleet-merged pipeline-stage latency by stage and outcome.\n# TYPE qr2_fleet_stage_latency_seconds histogram\n")
+	for _, key := range sortedHistKeys(merged.Stage) {
+		stage, outcome, _ := strings.Cut(key, "/")
+		merged.Stage[key].WriteProm(b, "qr2_fleet_stage_latency_seconds",
+			fmt.Sprintf("stage=%q,outcome=%q", escapeLabel(stage), escapeLabel(outcome)))
+	}
+
+	s.slo.WriteMetrics(b, now)
+}
+
+func sortedHistKeys(m map[string]*obs.HistData) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fleetStatsDoc is the fleet roll-up section of GET /api/stats.
+type fleetStatsDoc struct {
+	Replicas int       `json:"replicas"`
+	At       time.Time `json:"at"`
+	// Traces/Slow/WebQueries are the fleet-wide cumulative counters;
+	// QueriesPerAnswer is their lifetime cost ratio (the SLO burn rates
+	// below measure the same ratio over sliding windows).
+	Traces           uint64  `json:"traces"`
+	Slow             uint64  `json:"slow"`
+	WebQueries       uint64  `json:"web_queries"`
+	QueriesPerAnswer float64 `json:"queries_per_answer"`
+	// Request holds the fleet-merged per-path latency percentiles.
+	Request map[string]obs.Percentiles `json:"request,omitempty"`
+	// Replica attributes the roll-up: per-replica counters as of the
+	// last poll.
+	Replica map[string]fleetReplicaDoc `json:"replica,omitempty"`
+	// SLO reports every (objective, window) burn rate.
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
+}
+
+type fleetReplicaDoc struct {
+	Traces     uint64 `json:"traces"`
+	Slow       uint64 `json:"slow"`
+	WebQueries uint64 `json:"web_queries"`
+}
+
+// fleetStats assembles the /api/stats fleet section (nil with tracing
+// disabled).
+func (s *Server) fleetStats() *fleetStatsDoc {
+	if s.obsC == nil {
+		return nil
+	}
+	merged, replicas, at := s.fleetView()
+	doc := &fleetStatsDoc{
+		Replicas:   len(replicas),
+		At:         at,
+		Traces:     merged.Traces,
+		Slow:       merged.Slow,
+		WebQueries: merged.WebQueries,
+		Request:    make(map[string]obs.Percentiles, len(merged.Request)),
+		Replica:    make(map[string]fleetReplicaDoc, len(replicas)),
+		SLO:        s.slo.Status(time.Now()),
+	}
+	if doc.Traces > 0 {
+		doc.QueriesPerAnswer = float64(doc.WebQueries) / float64(doc.Traces)
+	}
+	for path, h := range merged.Request {
+		doc.Request[path] = h.Percentiles()
+	}
+	for id, snap := range replicas {
+		doc.Replica[id] = fleetReplicaDoc{
+			Traces: snap.Traces, Slow: snap.Slow, WebQueries: snap.WebQueries,
+		}
+	}
+	return doc
+}

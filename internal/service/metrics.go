@@ -239,6 +239,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// families) from the request tracer; no-op with tracing disabled.
 	s.obsC.WriteMetrics(&b)
 
+	// Fleet roll-up (qr2_fleet_*) and SLO burn rates (qr2_slo_*); a
+	// standalone replica reports a fleet of one.
+	s.writeFleetMetrics(&b)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -193,6 +193,11 @@ type Config struct {
 	// enter a dedicated ring (GET /api/trace?slow=1) and emit one warning
 	// log line. Zero disables the slow log.
 	SlowQuery time.Duration
+	// SLO configures the query-cost service-level objectives tracked
+	// over the fleet roll-up (qr2_slo_* burn rates on /metrics and the
+	// fleet section of /api/stats). Zero fields take the obs defaults.
+	// Ignored with tracing disabled.
+	SLO obs.SLOObjectives
 	// Resilience is the per-source fault policy wrapped around every raw
 	// web-database call (internal/resilience): per-attempt deadlines,
 	// capped-backoff retries of transport-level failures, a circuit
@@ -232,7 +237,8 @@ type Server struct {
 	node     *cluster.Node    // non-nil when SelfID/Peers join a replica ring
 	epochs   *epoch.Registry  // the source-epoch lifecycle, always present
 	probers  map[string]*epoch.Prober
-	obsC     *obs.Collector // nil when tracing is disabled (TraceBuffer < 0)
+	obsC     *obs.Collector  // nil when tracing is disabled (TraceBuffer < 0)
+	slo      *obs.SLOTracker // nil when tracing is disabled
 	log      *slog.Logger
 	mux      *http.ServeMux
 }
@@ -298,6 +304,7 @@ func New(cfg Config) (*Server, error) {
 			Slow:   cfg.SlowQuery,
 			Logger: s.log,
 		})
+		s.slo = obs.NewSLOTracker(cfg.SLO)
 	}
 	if cfg.MemBudget > 0 {
 		s.gov = memgov.New(cfg.MemBudget)
@@ -320,13 +327,20 @@ func New(cfg Config) (*Server, error) {
 		if !anyCached {
 			return nil, fmt.Errorf("service: cluster mode (SelfID/Peers) requires at least one cached source")
 		}
-		node, err := cluster.New(cluster.Config{
+		cc := cluster.Config{
 			Self:          cfg.SelfID,
 			Peers:         cfg.Peers,
 			ProbeInterval: cfg.ClusterProbeInterval,
 			Epochs:        s.epochs,
 			Retry:         cfg.PeerRetry,
-		})
+		}
+		if s.obsC != nil {
+			// The node polls the fleet's /cluster/obs endpoints each
+			// gossip tick; every merged roll-up feeds the SLO tracker.
+			cc.Snapshot = func() *obs.Snapshot { return s.obsC.Snapshot(cfg.SelfID) }
+			cc.OnFleetSnapshot = func(m *obs.Snapshot) { s.slo.Offer(m, time.Now()) }
+		}
+		node, err := cluster.New(cc)
 		if err != nil {
 			return nil, err
 		}
@@ -437,6 +451,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.node != nil {
 		s.node.Register(s.mux)
+	} else if s.obsC != nil {
+		// Standalone replicas serve /cluster/obs themselves so the
+		// snapshot endpoint is uniform across deployment sizes (the
+		// cluster node mounts it in cluster mode).
+		s.mux.HandleFunc("GET /cluster/obs", s.handleClusterObs)
 	}
 	s.mux.HandleFunc("GET /api/sources", s.handleSources)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
@@ -684,6 +703,10 @@ type serviceStatsDoc struct {
 	// Cluster describes the replica ring (cluster mode only): membership
 	// with per-peer health, and the ownership/forward/fallback counters.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Fleet is the observability roll-up: fleet-merged counters and
+	// latency percentiles, per-replica attribution and the SLO burn
+	// rates. Absent with tracing disabled.
+	Fleet *fleetStatsDoc `json:"fleet,omitempty"`
 }
 
 // handleStats reports per-source cache and dense-index effectiveness so
@@ -705,6 +728,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := s.node.Stats()
 		doc.Cluster = &cs
 	}
+	doc.Fleet = s.fleetStats()
 	for name, src := range s.sources {
 		ds := src.ix.Stats()
 		sd := sourceStatsDoc{

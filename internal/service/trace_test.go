@@ -301,7 +301,16 @@ func TestMetricsExposition(t *testing.T) {
 		if strings.HasPrefix(line, "#") {
 			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
 		}
-		// Sample row: name{labels} value
+		// Sample row: name{labels} value, optionally followed by an
+		// OpenMetrics exemplar (" # {trace_id=...} value") on bucket rows.
+		exemplars := 0
+		if sample, ex, has := strings.Cut(line, " # "); has {
+			if !strings.HasPrefix(ex, "{trace_id=\"") {
+				t.Fatalf("line %d: malformed exemplar %q", lineNo, line)
+			}
+			line = sample
+			exemplars++
+		}
 		nameAndLabels, valStr, found := strings.Cut(line, " ")
 		if !found {
 			t.Fatalf("line %d: malformed sample %q", lineNo, line)
@@ -309,6 +318,9 @@ func TestMetricsExposition(t *testing.T) {
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			t.Fatalf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		if exemplars > 0 && !strings.HasSuffix(nameAndLabels[:strings.IndexByte(nameAndLabels+"{", '{')], "_bucket") {
+			t.Fatalf("line %d: exemplar on a non-bucket row %q", lineNo, line)
 		}
 		name := nameAndLabels
 		labels := ""
@@ -374,6 +386,13 @@ func TestMetricsExposition(t *testing.T) {
 		"qr2_source_attempts_total", "qr2_source_retries_total",
 		"qr2_source_short_circuits_total", "qr2_degraded_serves_total",
 		"qr2_change_probes_paused_total",
+		"qr2_fleet_replicas", "qr2_fleet_snapshot_age_seconds",
+		"qr2_fleet_traces_total", "qr2_fleet_slow_traces_total",
+		"qr2_fleet_web_queries_total", "qr2_fleet_replica_up",
+		"qr2_fleet_replica_traces_total", "qr2_fleet_replica_slow_traces_total",
+		"qr2_fleet_replica_web_queries_total",
+		"qr2_fleet_request_latency_seconds", "qr2_fleet_stage_latency_seconds",
+		"qr2_slo_objective", "qr2_slo_burn_rate", "qr2_slo_breaches_total",
 	} {
 		if f, ok := families[want]; !ok || f.typ == "" {
 			t.Errorf("family %s missing from /metrics", want)

@@ -55,10 +55,13 @@ type attrDoc struct {
 	Categories []string `json:"categories,omitempty"`
 }
 
-// searchDoc is the JSON document served by /search.
+// searchDoc is the JSON document served by /search. Trace is the
+// server-side span subtree, present only when the caller set the
+// X-QR2-Trace header and the server ran with tracing on.
 type searchDoc struct {
-	Overflow bool       `json:"overflow"`
-	Tuples   []tupleDoc `json:"tuples"`
+	Overflow bool         `json:"overflow"`
+	Tuples   []tupleDoc   `json:"tuples"`
+	Trace    *obs.Subtree `json:"trace,omitempty"`
 }
 
 type tupleDoc struct {
@@ -122,7 +125,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
+	tm := obs.FromContext(r.Context()).Start(obs.StageWebQuery)
 	res, err := s.db.Search(r.Context(), pred)
+	tm.EndQueries(obs.ErrOutcome(err, obs.OutcomeOK), 1)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
 		return
@@ -130,6 +135,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	doc := searchDoc{Overflow: res.Overflow, Tuples: make([]tupleDoc, 0, len(res.Tuples))}
 	for _, t := range res.Tuples {
 		doc.Tuples = append(doc.Tuples, tupleDoc{ID: t.ID, Values: t.Values})
+	}
+	if r.Header.Get(obs.TraceHeader) != "" {
+		doc.Trace = obs.FromContext(r.Context()).Export("wdb:" + s.db.Name())
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
@@ -411,7 +419,8 @@ func (c *Client) SystemK() int { return c.systemK }
 // request's trace and forwards the request ID so the remote server's
 // logs correlate with this client's trace.
 func (c *Client) Search(ctx context.Context, p relation.Predicate) (res hidden.Result, err error) {
-	tm := obs.FromContext(ctx).Start(obs.StageWebQuery)
+	tr := obs.FromContext(ctx)
+	tm := tr.Start(obs.StageWebQuery)
 	defer func() { tm.EndQueries(obs.ErrOutcome(err, obs.OutcomeOK), 1) }()
 	c.queries.Add(1)
 	form := EncodeFilterForm(c.schema, p)
@@ -424,6 +433,10 @@ func (c *Client) Search(ctx context.Context, p relation.Predicate) (res hidden.R
 	if rid := obs.RequestID(ctx); rid != "" {
 		req.Header.Set(obs.RequestHeader, rid)
 	}
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, "1")
+	}
+	began := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return hidden.Result{}, fmt.Errorf("wdbhttp: search: %w", err)
@@ -440,6 +453,7 @@ func (c *Client) Search(ctx context.Context, p relation.Predicate) (res hidden.R
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return hidden.Result{}, fmt.Errorf("wdbhttp: decode search result: %w", err)
 	}
+	tr.Stitch(doc.Trace, began)
 	res = hidden.Result{Overflow: doc.Overflow}
 	for _, td := range doc.Tuples {
 		if len(td.Values) != c.schema.Len() {

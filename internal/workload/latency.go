@@ -2,6 +2,7 @@ package workload
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -16,6 +17,9 @@ type LatencyReport struct {
 	Environment LatencyEnv     `json:"environment"`
 	Requests    []PathLatency  `json:"request_latency_by_path"`
 	Stages      []StageLatency `json:"stage_latency"`
+	// SLO reports the run's burn rate against each query-cost objective
+	// (see SLOFrom); empty when the workload did not measure it.
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // LatencyEnv records where the numbers were taken.
@@ -62,4 +66,16 @@ func LatencyFrom(col *obs.Collector, description, note string) *LatencyReport {
 		rep.Stages = append(rep.Stages, StageLatency{Stage: st, Percentiles: stages[st]})
 	}
 	return rep
+}
+
+// SLOFrom measures one run's burn rates: a fresh tracker is offered the
+// pre-run and post-run snapshots spaced by the run's elapsed time, so
+// every window's delta is exactly the run — the same accounting a live
+// fleet's qr2_slo_* families apply to their sliding windows.
+func SLOFrom(obj obs.SLOObjectives, before, after *obs.Snapshot, elapsed time.Duration) []obs.SLOStatus {
+	tr := obs.NewSLOTracker(obj)
+	now := time.Now()
+	tr.Offer(before, now.Add(-elapsed))
+	tr.Offer(after, now)
+	return tr.Status(now)
 }
