@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/service"
+	"repro/internal/wdbhttp"
 	"repro/internal/workload"
 )
 
@@ -86,6 +88,14 @@ func latencyWorkload(outPath string, quick bool, seed int64) error {
 	// the schedule, so each objective reports the run's own query cost,
 	// degraded fraction and forward latency against the default SLOs.
 	rep.SLO = workload.SLOFrom(obs.SLOObjectives{}, before, after, time.Since(began))
+
+	rows, err := replaySweep(srv, ts.URL, queries, quick, seed)
+	if err != nil {
+		return err
+	}
+	rep.Replay = rows
+	rep.Environment.Note += fmt.Sprintf(" Replay rows sweep GOMAXPROCS on a %d-CPU machine; points above num_cpu measure scheduler overcommit, not extra hardware.", runtime.NumCPU())
+
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
@@ -101,6 +111,80 @@ func latencyWorkload(outPath string, quick bool, seed int64) error {
 	}
 	fmt.Printf("qr2bench: workload latency report written to %s\n", outPath)
 	return nil
+}
+
+// replaySweep runs the multi-user trace replay against the already-warm
+// service: the same synthesized trace set at each GOMAXPROCS point,
+// closed-loop first, then one open-loop point at ~60% of the best
+// closed-loop session rate (a load the service demonstrably sustains,
+// so the open-loop row measures latency under a steady arrival stream
+// rather than unbounded queue growth).
+func replaySweep(srv *service.Server, base string, queries []workloadQuery, quick bool, seed int64) ([]workload.ReplayRow, error) {
+	forms := make([]url.Values, len(queries))
+	for i, q := range queries {
+		forms[i] = q.form
+	}
+	users, steps, workers := 24, 8, 8
+	points := []int{1, 2, 4}
+	if quick {
+		users, steps = 12, 4
+		points = []int{1, 2}
+	}
+	traces := workload.SynthTraces(users, steps, seed, forms)
+
+	var rows []workload.ReplayRow
+	runPoint := func(procs int, cfg workload.ReplayConfig) error {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		before := srv.Observability().Snapshot("bench")
+		res, err := workload.Replay(cfg)
+		if err != nil {
+			return err
+		}
+		after := srv.Observability().Snapshot("bench")
+		row := workload.ReplayRow{
+			Mode:          string(cfg.Mode),
+			GOMAXPROCS:    procs,
+			Concurrency:   cfg.Concurrency,
+			RateHz:        cfg.Rate,
+			Users:         len(cfg.Traces),
+			Requests:      res.Requests,
+			Errors:        res.Errors,
+			ThroughputRPS: res.Throughput(),
+			Driver:        res.DriverPercentiles(),
+		}
+		paths := workload.RequestDelta(before, after)
+		for _, p := range obs.SortedKeys(paths) {
+			row.Paths = append(row.Paths, workload.PathLatency{Path: p, Percentiles: paths[p]})
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	for _, procs := range points {
+		if err := runPoint(procs, workload.ReplayConfig{
+			Targets: []string{base}, Traces: traces,
+			Mode: workload.Closed, Concurrency: workers,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Session rate of the best closed point: sessions per second, not
+	// requests per second — open-loop arrivals admit whole sessions.
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.ThroughputRPS > best.ThroughputRPS {
+			best = r
+		}
+	}
+	sessionRate := best.ThroughputRPS * float64(best.Users) / float64(best.Requests)
+	if err := runPoint(points[len(points)-1], workload.ReplayConfig{
+		Targets: []string{base}, Traces: traces,
+		Mode: workload.Open, Rate: sessionRate * 0.6,
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // runOne issues one query (plus its follow-up get-next calls) from a
@@ -120,7 +204,10 @@ func runOne(base string, q workloadQuery) error {
 		Error string `json:"error"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&doc)
-	resp.Body.Close()
+	// Drained, not just closed: on a non-OK status the body above is
+	// never decoded, and an unread body makes net/http discard the
+	// connection instead of pooling it — a fresh dial per request.
+	wdbhttp.DrainClose(resp)
 	if err != nil {
 		return err
 	}
@@ -132,7 +219,7 @@ func runOne(base string, q workloadQuery) error {
 		if err != nil {
 			return err
 		}
-		resp.Body.Close()
+		wdbhttp.DrainClose(resp)
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("next %s: status %d", doc.QID, resp.StatusCode)
 		}

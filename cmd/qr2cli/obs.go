@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"net/url"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wdbhttp"
 )
 
 // runObs implements "qr2cli obs": it pulls every replica's mergeable
@@ -64,6 +64,7 @@ func runObs(args []string) {
 			s.Replica, s.Traces, s.WebQueries, s.Slow)
 	}
 	fmt.Println()
+	printTransports(urls)
 
 	traces := fetchTraces(urls, *topN, *slow)
 	if len(traces) == 0 {
@@ -91,7 +92,10 @@ func fetchSnapshot(base string) (*obs.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	// Drained, not just closed: on a non-OK status the body is never
+	// read, and closing an unread body burns the keep-alive connection —
+	// one fresh dial per poll.
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("/cluster/obs: %s", resp.Status)
 	}
@@ -100,6 +104,74 @@ func fetchSnapshot(base string) (*obs.Snapshot, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// transportDoc mirrors the cluster.transport slice of /api/stats.
+type transportDoc struct {
+	FramesSent     int64   `json:"frames_sent"`
+	FramesRecv     int64   `json:"frames_recv"`
+	BatchesSent    int64   `json:"batches_sent"`
+	BatchedGets    int64   `json:"batched_gets"`
+	BatchOccupancy []int64 `json:"batch_occupancy"`
+	HTTPFallbacks  int64   `json:"http_fallbacks"`
+	V2Dials        int64   `json:"v2_dials"`
+	V2DialFails    int64   `json:"v2_dial_fails"`
+	Peers          []struct {
+		ID    string `json:"id"`
+		Proto string `json:"proto"`
+		Conns int    `json:"conns"`
+	} `json:"peers"`
+}
+
+// printTransports renders each replica's peer-transport state (the same
+// counters /metrics exports as qr2_peer_*): negotiated protocol and live
+// connections per peer, frame/batch totals, and mean batch occupancy.
+func printTransports(urls []string) {
+	printed := false
+	for _, base := range urls {
+		resp, err := http.Get(base + "/api/stats")
+		if err != nil {
+			continue
+		}
+		var doc struct {
+			Cluster *struct {
+				Self      string        `json:"self"`
+				Transport *transportDoc `json:"transport"`
+			} `json:"cluster"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		wdbhttp.DrainClose(resp)
+		if err != nil || doc.Cluster == nil || doc.Cluster.Transport == nil {
+			continue
+		}
+		if !printed {
+			fmt.Println("peer transport (protocol v2):")
+			printed = true
+		}
+		ts := doc.Cluster.Transport
+		// Mean occupancy from the histogram's bucket upper bounds.
+		bounds := []int64{1, 2, 4, 8, 16, 32, 64, 128}
+		var frames, gets int64
+		for i, n := range ts.BatchOccupancy {
+			if i < len(bounds) {
+				frames += n
+				gets += n * bounds[i]
+			}
+		}
+		occ := "-"
+		if frames > 0 {
+			occ = fmt.Sprintf("%.1f", float64(gets)/float64(frames))
+		}
+		fmt.Printf("  replica %-12s frames %d/%d sent/recv  batches %d (%d gets, ~%s/frame)  fallbacks %d  dials %d (%d failed)\n",
+			doc.Cluster.Self, ts.FramesSent, ts.FramesRecv, ts.BatchesSent, ts.BatchedGets, occ,
+			ts.HTTPFallbacks, ts.V2Dials, ts.V2DialFails)
+		for _, p := range ts.Peers {
+			fmt.Printf("    peer %-12s proto %-8s conns %d\n", p.ID, p.Proto, p.Conns)
+		}
+	}
+	if printed {
+		fmt.Println()
+	}
 }
 
 func printPercentiles(title string, hists map[string]*obs.HistData) {
@@ -172,9 +244,8 @@ func fetchTraceRing(base string, n int, slow bool) []obsTraceDoc {
 		log.Printf("qr2cli obs: %s: %v (skipped)", base, err)
 		return nil
 	}
-	defer resp.Body.Close()
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
 		return nil
 	}
 	var list struct {

@@ -55,6 +55,11 @@
 // the adoption arrives with its scope intact, full-wiping on a gap —
 // and stale-epoch admissions are rejected; a recovered peer
 // additionally gets its fallback-admitted entries re-homed to it.
+// Replicas prefer peer protocol v2 — persistent connections carrying
+// length-prefixed binary frames with coalesced forwards (see
+// internal/cluster doc.go) — negotiated per peer on first contact, with
+// automatic fallback to the HTTP v1 endpoints; -peer-v1 pins a replica
+// to v1, -peer-conns and -peer-batch-window tune the v2 transport.
 //
 // Observability: every request is traced through the answer path
 // (internal/obs) — -trace-buffer sizes the /api/trace + /debug/requests
@@ -139,7 +144,13 @@ func main() {
 			"single governed byte budget shared by the answer-cache pool and every dense index's tuple residency; implies -cache-pool (0 = size them separately with -cache-bytes / -dense-resident-bytes)")
 		peers = flag.String("peers", "",
 			"comma-separated id=url replica list (including this one) forming a consistent-hash answer-cache ring; empty = stand-alone")
-		self        = flag.String("self", "", "this replica's id in -peers")
+		self   = flag.String("self", "", "this replica's id in -peers")
+		peerV1 = flag.Bool("peer-v1", false,
+			"pin this replica to peer protocol v1 (JSON over HTTP): never serve or dial the persistent binary v2 transport")
+		peerConns = flag.Int("peer-conns", 0,
+			"persistent v2 connections per peer (0 = default)")
+		peerBatchWindow = flag.Duration("peer-batch-window", 0,
+			"linger before flushing a coalesced v2 lookup frame, trading forward latency for bigger batches (0 = pure group commit)")
 		changeProbe = flag.Duration("change-probe", 0,
 			"period for live change-detection probes against each source (sentinel query replays; a mismatch on a bounded sentinel wipes only that sentinel's region; 0 = boot-time fingerprint only)")
 		sentinels = flag.Int("sentinels", epoch.DefaultSentinels,
@@ -210,6 +221,9 @@ func main() {
 		CachePoolBytes:      *cacheBytes,
 		MemBudget:           *memBudget,
 		SelfID:              *self,
+		DisablePeerV2:       *peerV1,
+		PeerConns:           *peerConns,
+		PeerBatchWindow:     *peerBatchWindow,
 		ChangeProbeInterval: *changeProbe,
 		ChangeSentinels:     *sentinels,
 		TraceBuffer:         *traceBuffer,

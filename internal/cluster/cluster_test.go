@@ -34,6 +34,15 @@ type replica struct {
 	fail atomic.Int64
 }
 
+// kill simulates process death as seen from the network: inbound HTTP is
+// refused and established peer-protocol connections are severed. The
+// down flag alone cannot model the latter — hijacked v2 connections
+// bypass the middleware — while a real crash drops the TCP sockets too.
+func (r *replica) kill() {
+	r.down.Store(true)
+	r.node.CloseV2Conns()
+}
+
 // newCluster builds n replicas over one shared catalog. Every replica
 // fronts the same (conceptual) web database; total web-database cost is
 // the sum of the replicas' inner query counts.
@@ -83,6 +92,9 @@ func newCluster(t testing.TB, n int, opts ...func(*Config)) []*replica {
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		// httptest's Close does not reach hijacked v2 connections; the
+		// node tracks and closes those (and its pooled client conns).
+		t.Cleanup(node.Close)
 		r.inner, r.cache, r.node, r.mux = inner, cache, node, mux
 		r.db = node.Source(cat.Name, cache, inner)
 	}
@@ -238,7 +250,7 @@ func TestDeadPeerFallbackAndRecovery(t *testing.T) {
 	a.node.Quiesce()
 
 	// Kill b. The forward fails, the request is served locally anyway.
-	b.down.Store(true)
+	b.kill()
 	if _, err := a.db.Search(ctx, p); err != nil {
 		t.Fatalf("request failed during peer outage: %v", err)
 	}

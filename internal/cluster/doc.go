@@ -1,0 +1,76 @@
+// Package cluster scales the answer cache beyond one process: a
+// consistent-hash replica ring with a peer protocol for remote
+// answer-cache lookup and admission.
+//
+// QR2's economics depend on amortizing web-database query cost across
+// users. PR 3 pooled every source's answer cache inside one process; at
+// service scale the same amortization must span replicas, and the cheapest
+// design is the routing-broker one: hash every canonical predicate key
+// (namespaced by source) onto a ring of replicas so each cached answer has
+// exactly one owner cluster-wide. A replica that receives a query it does
+// not own proxies the cache lookup to the owner (/cluster/get); on an
+// owner miss it pays the web-database query itself and asynchronously
+// admits the answer to the owner (/cluster/put), so no replica ever pays
+// for an answer any replica already holds.
+//
+// Failure semantics: per-peer health checking (probe + backoff) excludes
+// dead peers from the ring — their key ranges move to the clockwise
+// successor, and virtual nodes keep the remapping bounded to roughly the
+// dead peer's share. A forward that fails mid-flight (the passive
+// detection window before the prober notices) falls back to serving
+// through the local pool, so user requests never fail on a peer outage;
+// the fallback entries are plain LRU citizens that age out once the owner
+// returns and resumes absorbing the key's traffic.
+//
+// # Peer protocol v2
+//
+// The HTTP endpoints above are peer protocol v1, and they price a
+// forwarded resident hit at a full HTTP request: a dial or pool
+// checkout, ~200 bytes of headers each way, JSON framing, and a
+// connection returned only after the body drains. At wire speed — both
+// answers resident, the forward pure overhead — that dominates the
+// forward's cost. Protocol v2 replaces the per-request carrier with
+// persistent connections and length-prefixed binary frames:
+//
+//	uint32 LE frame length (header + payload, excluded itself)
+//	u8     op
+//	u8     flags
+//	uint64 LE request id
+//	payload (op-specific binary codec, see codec.go)
+//
+// Ops: opHello/opHelloAck negotiate, opGet/opGetResp and
+// opPut/opPutResp carry the forward traffic, opRing/opRingResp and
+// opObs/opObsResp move the gossip the v1 endpoints carried, opBatchGet/
+// opBatchResp carry coalesced lookups, opErr maps any failure back into
+// the v1 error model (a 5xx-family code indicts the peer, a 4xx is
+// request-scoped). Frames are capped at maxFrameLen and every decoded
+// count field is bounds-checked against the remaining payload before
+// allocation, so a hostile length can't balloon memory (fuzz_test.go
+// holds the corpus).
+//
+// Negotiation: the dialer sends an HTTP Upgrade (token "qr2-peer/2") to
+// the peer's one listen address; a v2 peer hijacks the connection and
+// speaks frames, a v1 peer answers with a normal HTTP status and the
+// dialer pins the peer to v1 — a mixed ring works with zero
+// configuration. Each peer gets a small connection pool (Config.PeerConns,
+// default DefaultPeerConns); request ids multiplex concurrent RPCs over
+// one connection and responses return out of order.
+//
+// Forward batching: lookups to the same owner pass through a
+// group-commit conveyor. The first lookup of a quiet period leaves
+// immediately as a plain opGet; while any frame is in flight to that
+// peer, later lookups queue and depart together as one opBatchGet when
+// the response returns (or after Config.BatchWindow at the latest, so a
+// stalled response can't hold the queue). One in-flight lookup frame
+// per peer keeps latency flat at low load and lets occupancy grow with
+// offered load — TransportStats.BatchOccupancy histograms it.
+//
+// Fallback: any v2 failure — dial refused, connection severed
+// mid-request, malformed response — retries the identical request over
+// the v1 HTTP endpoint within the same attempt, and only the HTTP
+// verdict decides whether the peer is indicted. That is what keeps
+// callers alive through a peer restart or a mid-burst kill: the dying
+// connection fails all its in-flight RPCs, each falls over to HTTP, and
+// a peer that stays unreachable is indicted and served around by the
+// local-degrade path above. DisableV2 pins a replica to v1 outright.
+package cluster

@@ -170,7 +170,7 @@ func TestRehomeOnRecovery(t *testing.T) {
 
 	// b dies before anyone holds the answer; a's forward fails and the
 	// answer is admitted locally as a stray.
-	b.down.Store(true)
+	b.kill()
 	if _, err := a.db.Search(ctx, p); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestRehomeSkipsEvictedStrays(t *testing.T) {
 	a, b := reps[0], reps[1]
 	p := predOwnedBy(t, reps, b.id)
 
-	b.down.Store(true)
+	b.kill()
 	if _, err := a.db.Search(ctx, p); err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/wdbhttp"
 )
 
 // Per-peer health checking. Peers start alive (optimistic: the common case
@@ -65,7 +67,9 @@ func newHealth(cfg Config) *health {
 			if err != nil {
 				return err
 			}
-			resp.Body.Close()
+			// Drained, not just closed: a probe that discards the "ok" body
+			// unread would burn one keep-alive connection per tick.
+			wdbhttp.DrainClose(resp)
 			if resp.StatusCode != http.StatusOK {
 				return fmt.Errorf("cluster: %s /healthz returned %s", id, resp.Status)
 			}

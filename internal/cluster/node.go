@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -60,6 +61,24 @@ type Config struct {
 	// OnFleetSnapshot receives each merged fleet snapshot right after a
 	// roll-up poll — the service's hook for SLO accounting.
 	OnFleetSnapshot func(*obs.Snapshot)
+	// DisableV2 pins this node to peer protocol v1: it neither serves
+	// GET /cluster/v2 nor dials peers with it, so every peer exchange
+	// stays on the HTTP endpoints. Mixed rings work either way — v2
+	// nodes discover a v1 node through version negotiation — so this
+	// exists for staged rollouts and for testing the mixed-ring path.
+	DisableV2 bool
+	// PeerConns sizes the per-peer persistent connection pool of the v2
+	// transport (default DefaultPeerConns).
+	PeerConns int
+	// BatchWindow makes each v2 batch flusher linger before draining,
+	// trading forward latency for bigger coalesced frames. The zero
+	// default is pure group commit: batches form only from lookups that
+	// arrive while a flush's write syscall is in flight, which costs a
+	// serial caller nothing.
+	BatchWindow time.Duration
+	// MaxBatch caps lookups per coalesced frame (default
+	// DefaultMaxBatch).
+	MaxBatch int
 }
 
 // PeerStats is one peer's membership state.
@@ -116,6 +135,10 @@ type Stats struct {
 	// strays pushed back to their recovered owner and released.
 	Strays  int   `json:"strays"`
 	Rehomed int64 `json:"rehomed"`
+	// Transport is the peer-protocol-v2 transport snapshot (frames,
+	// batches, fallbacks, per-peer negotiated protocol); nil when the
+	// node runs with DisableV2.
+	Transport *TransportStats `json:"transport,omitempty"`
 }
 
 // Node is one replica's view of the cluster: the ring, the peer health
@@ -128,6 +151,13 @@ type Node struct {
 	hc     *http.Client
 	epochs *epoch.Registry  // nil without epoch exchange
 	retry  resilience.Retry // per-RPC retry policy (zero: single attempt)
+
+	// transport is the peer-protocol-v2 client (nil with DisableV2:
+	// every exchange goes over the HTTP endpoints). v2conns tracks
+	// established v2 server connections for CloseV2Conns.
+	transport *transport
+	v2mu      sync.Mutex
+	v2conns   map[net.Conn]struct{}
 
 	// The fleet observability roll-up (see obs.go). snapshotFn exports
 	// the local snapshot; onFleet receives each merged fleet snapshot.
@@ -179,6 +209,10 @@ type flight struct {
 	done chan struct{}
 	res  hidden.Result
 	err  error
+	// followers counts callers that joined this flight (guarded by
+	// Node.mu). The leader copies its result only when someone shares
+	// it — the common uncontended forward keeps the decode's slice.
+	followers int
 }
 
 // New validates the membership and builds the node.
@@ -229,7 +263,18 @@ func New(cfg Config) (*Node, error) {
 		flights:    make(map[string]*flight),
 		strays:     make(map[strayKey]relation.Predicate),
 	}
-	n.health.onRevive = n.peerRevived
+	if !cfg.DisableV2 {
+		n.transport = newTransport(n, cfg)
+	}
+	n.health.onRevive = func(id string) {
+		// A revive is exactly when a peer's protocol may have changed (it
+		// restarted): re-arm v2 negotiation before the re-homing pass so
+		// the pushed strays already ride the renegotiated transport.
+		if n.transport != nil {
+			n.transport.reset(id)
+		}
+		n.peerRevived(id)
+	}
 	return n, nil
 }
 
@@ -271,7 +316,7 @@ func (n *Node) Gossip(ctx context.Context) {
 		if id == n.self || !n.health.alive(id) {
 			continue
 		}
-		doc, err := n.fetchRing(ctx, url)
+		doc, err := n.fetchRing(ctx, id, url)
 		if err != nil {
 			continue // gossip is opportunistic; the health prober owns indictment
 		}
@@ -388,6 +433,7 @@ func (n *Node) Stats() Stats {
 		EpochAdopts:   n.epochAdopts.Load(),
 		Strays:        strays,
 		Rehomed:       n.rehomed.Load(),
+		Transport:     n.transport.stats(),
 	}
 	peers := n.health.snapshot()
 	for _, id := range n.ring.Members() {
@@ -589,6 +635,7 @@ func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidde
 	for {
 		n.mu.Lock()
 		if fl, ok := n.flights[fkey]; ok {
+			fl.followers++
 			n.mu.Unlock()
 			n.coalesced.Add(1)
 			select {
@@ -612,12 +659,18 @@ func (s *clusterSource) Search(ctx context.Context, p relation.Predicate) (hidde
 		fl.res, fl.err = res, err
 		n.mu.Lock()
 		delete(n.flights, fkey)
+		// Read after the delete, under the same lock followers increment
+		// under: no follower can join once the flight is unpublished.
+		shared := fl.followers > 0
 		n.mu.Unlock()
 		close(fl.done)
 		if err != nil {
 			return hidden.Result{}, err
 		}
-		return copyTuples(res), nil
+		if shared {
+			return copyTuples(res), nil
+		}
+		return res, nil
 	}
 }
 

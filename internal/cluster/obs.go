@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wdbhttp"
 )
 
 // The fleet observability roll-up. Each replica serves its own mergeable
@@ -24,8 +25,12 @@ func (n *Node) handleObs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, n.snapshotFn())
 }
 
-// fetchObs pulls one peer's /cluster/obs snapshot.
-func (n *Node) fetchObs(ctx context.Context, url string) (*obs.Snapshot, error) {
+// fetchObs pulls one peer's observability snapshot — over v2 when the
+// peer speaks it, over GET /cluster/obs otherwise.
+func (n *Node) fetchObs(ctx context.Context, id, url string) (*obs.Snapshot, error) {
+	if s, err, handled := n.fetchObsV2(ctx, id); handled {
+		return s, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/cluster/obs", nil)
 	if err != nil {
 		return nil, err
@@ -34,7 +39,7 @@ func (n *Node) fetchObs(ctx context.Context, url string) (*obs.Snapshot, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: /cluster/obs returned %s", resp.Status)
 	}
@@ -60,7 +65,7 @@ func (n *Node) PollObs(ctx context.Context) {
 		if id == n.self || !n.health.alive(id) {
 			continue
 		}
-		s, err := n.fetchObs(ctx, url)
+		s, err := n.fetchObs(ctx, id, url)
 		if err != nil {
 			continue // opportunistic, like gossip
 		}

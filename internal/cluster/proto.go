@@ -192,11 +192,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Register mounts the peer protocol on a mux.
+// Register mounts the peer protocol on a mux: the v1 HTTP endpoints
+// always (they are the fallback transport and the mixed-ring common
+// denominator), and the v2 upgrade endpoint unless Config.DisableV2
+// pinned this node to v1.
 func (n *Node) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /cluster/get", n.handleGet)
 	mux.HandleFunc("POST /cluster/put", n.handlePut)
 	mux.HandleFunc("GET /cluster/ring", n.handleRing)
+	if n.transport != nil {
+		mux.HandleFunc("GET /cluster/v2", n.handleV2)
+	}
 	if n.snapshotFn != nil {
 		mux.HandleFunc("GET /cluster/obs", n.handleObs)
 	}
@@ -239,7 +245,8 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 	// Peek itself is context-free, so the handler records the stage — and
 	// the exported subtree below carries it back to the forwarding caller.
 	tmLk := obs.FromContext(r.Context()).Start(obs.StagePoolLookup)
-	res, found := cs.cache.Peek(pred)
+	// Shared peek: the tuples only flow into encodeTuples below.
+	res, found := cs.cache.PeekShared(pred)
 	tmLk.End(hitMiss(found))
 	doc := getDoc{Found: found, Overflow: res.Overflow, Epoch: seq, Scope: scope}
 	if found {
@@ -291,27 +298,39 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		res.Tuples = append(res.Tuples, relation.Tuple{ID: td.ID, Values: td.Values})
 	}
-	// An untagged put (Epoch 0: the sender has no epoch registry, e.g. a
-	// pre-upgrade binary during a roll) bypasses the gate entirely,
-	// mirroring the send side where seqOf==0 sends no tag — rejecting it
-	// would starve owners of every answer such peers compute.
+	if status, msg := n.admitFromPeer(cs, doc.NS, pred, res, doc.Epoch, doc.Scope); status == putStatusStale {
+		// 409 is deliberate — a 4xx does not indict the (healthy) sender
+		// or receiver.
+		writeJSON(w, http.StatusConflict, errorDoc{Error: msg})
+		return
+	}
+	var out putRespDoc
+	if r.Header.Get(obs.TraceHeader) != "" {
+		out.Trace = obs.FromContext(r.Context()).Export(n.self)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// admitFromPeer is the peer-admission core shared by the v1 HTTP
+// handler and the v2 server, so the epoch gate cannot diverge between
+// transports. An untagged put (seq 0: the sender has no epoch registry,
+// e.g. a pre-upgrade binary during a roll) bypasses the gate entirely,
+// mirroring the send side where seqOf==0 sends no tag — rejecting it
+// would starve owners of every answer such peers compute. A put tagged
+// below the local epoch is refused as stale (the answer may describe
+// the pre-change database, and the wipe that accompanied the bump must
+// stay clean); a sender ahead is adopted — wiping local pre-change
+// state, only the scoped slice when it carried a rect — before its
+// post-change answer is admitted.
+func (n *Node) admitFromPeer(cs *clusterSource, ns string, pred relation.Predicate, res hidden.Result, seq uint64, scope *rectDoc) (int, string) {
 	epochGated := false
-	if local := n.seqOf(doc.NS); local > 0 && doc.Epoch > 0 {
-		if doc.Epoch < local {
-			// The answer was produced under an older source epoch: it may
-			// describe the pre-change database, and the wipe that
-			// accompanied the bump must stay clean. 409 is deliberate —
-			// a 4xx does not indict the (healthy) sender or receiver.
+	if local := n.seqOf(ns); local > 0 && seq > 0 {
+		if seq < local {
 			n.peerStalePuts.Add(1)
-			writeJSON(w, http.StatusConflict, errorDoc{
-				Error: fmt.Sprintf("stale epoch %d for %q (now %d)", doc.Epoch, doc.NS, local)})
-			return
+			return putStatusStale, fmt.Sprintf("stale epoch %d for %q (now %d)", seq, ns, local)
 		}
-		if doc.Epoch > local {
-			// The sender is ahead: adopt (wiping local pre-change state —
-			// only the scoped slice when the sender carried the rect)
-			// before admitting its post-change answer.
-			n.observeScoped(doc.NS, doc.Epoch, doc.Scope)
+		if seq > local {
+			n.observeScoped(ns, seq, scope)
 		}
 		epochGated = true
 	}
@@ -320,7 +339,7 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 		// Fenced on the produced-under epoch: a bump landing between the
 		// staleness check above and the insert drops the admission inside
 		// the cache's own locks instead of racing the wipe.
-		cs.cache.AdmitAt(pred, res, doc.Epoch)
+		cs.cache.AdmitAt(pred, res, seq)
 	} else {
 		cs.cache.Admit(pred, res)
 	}
@@ -329,15 +348,11 @@ func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
 	// pass moves it when the owner recovers.
 	if n.health.anyDead() {
 		key := qcache.KeyOf(pred)
-		if trueOwner, ok := n.ring.Owner(doc.NS+"\x00"+key, nil); ok && trueOwner != n.self {
-			n.noteStray(doc.NS, key, pred)
+		if trueOwner, ok := n.ring.Owner(ns+"\x00"+key, nil); ok && trueOwner != n.self {
+			n.noteStray(ns, key, pred)
 		}
 	}
-	var out putRespDoc
-	if r.Header.Get(obs.TraceHeader) != "" {
-		out.Trace = obs.FromContext(r.Context()).Export(n.self)
-	}
-	writeJSON(w, http.StatusOK, out)
+	return putStatusOK, ""
 }
 
 func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
@@ -365,8 +380,12 @@ func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
-// fetchRing pulls a peer's membership + epoch document.
-func (n *Node) fetchRing(ctx context.Context, url string) (ringDoc, error) {
+// fetchRing pulls a peer's membership + epoch document — over v2 when
+// the peer speaks it, over GET /cluster/ring otherwise.
+func (n *Node) fetchRing(ctx context.Context, id, url string) (ringDoc, error) {
+	if doc, err, handled := n.fetchRingV2(ctx, id); handled {
+		return doc, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/cluster/ring", nil)
 	if err != nil {
 		return ringDoc{}, err
@@ -375,7 +394,7 @@ func (n *Node) fetchRing(ctx context.Context, url string) (ringDoc, error) {
 	if err != nil {
 		return ringDoc{}, err
 	}
-	defer resp.Body.Close()
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return ringDoc{}, fmt.Errorf("cluster: /cluster/ring returned %s", resp.Status)
 	}
@@ -426,7 +445,19 @@ func (n *Node) remoteGet(ctx context.Context, owner, ns string, schema *relation
 	return res, found, err
 }
 
+// remoteGetOnce is one lookup attempt: v2 when the owner speaks it,
+// with an in-attempt failover to HTTP when v2 cannot carry the request
+// (v1 peer, dial failure, a persistent connection dying mid-flight) —
+// so a peer restart costs callers a transport switch, never an error.
 func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (hidden.Result, bool, error) {
+	if res, found, err, handled := n.v2Get(ctx, owner, ns, schema, p, seq); handled {
+		return res, found, err
+	}
+	return n.httpGetOnce(ctx, owner, ns, schema, p, seq)
+}
+
+// httpGetOnce is one lookup attempt over the v1 HTTP endpoint.
+func (n *Node) httpGetOnce(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (hidden.Result, bool, error) {
 	form := wdbhttp.EncodeFilterForm(schema, p)
 	form.Set("ns", ns)
 	if seq > 0 {
@@ -456,7 +487,7 @@ func (n *Node) remoteGetOnce(ctx context.Context, owner, ns string, schema *rela
 	if err != nil {
 		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: get from %s: %w", owner, err)}
 	}
-	defer resp.Body.Close()
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		var ed errorDoc
 		_ = json.NewDecoder(resp.Body).Decode(&ed)
@@ -506,7 +537,17 @@ func (n *Node) put(ctx context.Context, owner, ns string, schema *relation.Schem
 	})
 }
 
+// putOnce is one admission attempt: v2 when the owner speaks it, HTTP
+// as the in-attempt failover (see remoteGetOnce).
 func (n *Node) putOnce(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) error {
+	if err, handled := n.v2Put(ctx, owner, ns, schema, p, res, seq); handled {
+		return err
+	}
+	return n.httpPutOnce(ctx, owner, ns, schema, p, res, seq)
+}
+
+// httpPutOnce is one admission attempt over the v1 HTTP endpoint.
+func (n *Node) httpPutOnce(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) error {
 	body, err := json.Marshal(putDoc{
 		NS:       ns,
 		Filter:   wdbhttp.EncodeFilterForm(schema, p).Encode(),
@@ -546,7 +587,7 @@ func (n *Node) putOnce(ctx context.Context, owner, ns string, schema *relation.S
 			tr.Stitch(out.Trace, began)
 		}
 	}
-	resp.Body.Close()
+	wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: %s /cluster/put returned %s", owner, resp.Status)
 	}

@@ -1,26 +1,3 @@
-// Package cluster scales the answer cache beyond one process: a
-// consistent-hash replica ring with an HTTP peer protocol for remote
-// answer-cache lookup and admission.
-//
-// QR2's economics depend on amortizing web-database query cost across
-// users. PR 3 pooled every source's answer cache inside one process; at
-// service scale the same amortization must span replicas, and the cheapest
-// design is the routing-broker one: hash every canonical predicate key
-// (namespaced by source) onto a ring of replicas so each cached answer has
-// exactly one owner cluster-wide. A replica that receives a query it does
-// not own proxies the cache lookup to the owner (/cluster/get); on an
-// owner miss it pays the web-database query itself and asynchronously
-// admits the answer to the owner (/cluster/put), so no replica ever pays
-// for an answer any replica already holds.
-//
-// Failure semantics: per-peer health checking (probe + backoff) excludes
-// dead peers from the ring — their key ranges move to the clockwise
-// successor, and virtual nodes keep the remapping bounded to roughly the
-// dead peer's share. A forward that fails mid-flight (the passive
-// detection window before the prober notices) falls back to serving
-// through the local pool, so user requests never fail on a peer outage;
-// the fallback entries are plain LRU citizens that age out once the owner
-// returns and resumes absorbing the key's traffic.
 package cluster
 
 import (

@@ -1,0 +1,944 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The client half of peer protocol v2 (see codec.go for the wire format
+// and doc.go for the protocol narrative). Each peer gets a small pool of
+// persistent connections; request IDs multiplex concurrent RPCs over
+// them, so responses return in completion order. Forwarded lookups
+// additionally pass through a per-peer group-commit batcher: the first
+// caller to arrive while no flush is running becomes the flusher and
+// writes its own frame inline (the serial fast path costs no handoff),
+// and callers arriving while that write syscall is in flight queue up
+// and leave in the next flush as one opBatchGet frame.
+//
+// v2 is strictly an optimisation over the v1 HTTP endpoints: any failure
+// to carry a request — the peer negotiated v1, the dial failed, a
+// persistent connection died with the request in flight — surfaces as
+// "unhandled" and the caller re-issues the same request over HTTP, so
+// callers are never dropped and the health/indictment machinery keeps
+// judging peers by the HTTP evidence it already understands.
+
+const (
+	// upgradeProto is the Upgrade token that negotiates v2 on a peer's
+	// ordinary HTTP listener: a v2 server answers 101 and the connection
+	// switches to binary frames; anything else (404 from an older binary,
+	// 503 from a draining one) means the peer doesn't speak v2 now.
+	upgradeProto = "qr2-peer/2"
+	// v1RetryTTL is how long a peer that negotiated v1 is left alone
+	// before the next connect re-probes it (a restart may have upgraded
+	// it; a health revive re-probes immediately).
+	v1RetryTTL = 30 * time.Second
+	// dialRetryTTL spaces re-dials after a failed v2 dial so a dead peer
+	// doesn't eat a connect attempt per forward.
+	dialRetryTTL = time.Second
+	// DefaultPeerConns is the per-peer connection pool size.
+	DefaultPeerConns = 2
+	// DefaultMaxBatch caps how many queued lookups one flush coalesces
+	// into a single opBatchGet frame.
+	DefaultMaxBatch = 64
+)
+
+// A peer's negotiated protocol, as far as this replica knows.
+const (
+	protoUnknown = iota // never connected (or due a re-probe)
+	protoSpeaksV2
+	protoSpeaksV1
+)
+
+func protoName(state int) string {
+	switch state {
+	case protoSpeaksV2:
+		return "v2"
+	case protoSpeaksV1:
+		return "v1"
+	default:
+		return "unknown"
+	}
+}
+
+// errPeerV1 reports that the peer negotiated protocol v1; the caller
+// goes over HTTP, which is not a failure of anything.
+var errPeerV1 = errors.New("cluster: peer does not speak protocol v2")
+
+// transportError marks v2 transport-level failures — dial errors, a
+// connection dying with requests in flight, response timeouts. The
+// caller fails over to HTTP for the same request; only the HTTP
+// attempt's verdict indicts the peer.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "cluster: v2 transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isV2Unavailable reports errors that mean "v2 could not carry this
+// request" — the caller should fall back to HTTP rather than fail.
+func isV2Unavailable(err error) bool {
+	var te *transportError
+	return errors.Is(err, errPeerV1) || errors.As(err, &te)
+}
+
+// OccupancyBounds is the batch-occupancy histogram layout: frames
+// carrying 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, and 65+ lookups. Exported
+// so /metrics can emit TransportStats.BatchOccupancy as a Prometheus
+// histogram with matching le labels.
+var OccupancyBounds = []string{"1", "2", "4", "8", "16", "32", "64", "+Inf"}
+
+func occBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	case n <= 32:
+		return 5
+	case n <= 64:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// TransportStats is a point-in-time snapshot of the v2 transport.
+type TransportStats struct {
+	// FramesSent / FramesRecv count frames both roles moved: RPCs this
+	// replica issued and responses it received, plus requests its v2
+	// server handled and answers it wrote.
+	FramesSent int64 `json:"frames_sent"`
+	FramesRecv int64 `json:"frames_recv"`
+	// BatchesSent counts opBatchGet frames (≥2 coalesced lookups);
+	// BatchedGets the lookups that travelled inside them.
+	BatchesSent int64 `json:"batches_sent"`
+	BatchedGets int64 `json:"batched_gets"`
+	// BatchOccupancy histograms flush sizes: le-1, 2, 4, 8, 16, 32, 64,
+	// +Inf (see OccupancyBounds).
+	BatchOccupancy []int64 `json:"batch_occupancy"`
+	// HTTPFallbacks counts requests v2 accepted but could not complete
+	// (connection died, dial failed, response timed out) that were
+	// re-issued over HTTP. Requests to known-v1 peers are not fallbacks.
+	HTTPFallbacks int64 `json:"http_fallbacks"`
+	// V2Dials / V2DialFails count persistent-connection dials.
+	V2Dials     int64 `json:"v2_dials"`
+	V2DialFails int64 `json:"v2_dial_fails"`
+	// Peers reports each peer's negotiated protocol and live conns.
+	Peers []PeerTransportStats `json:"peers,omitempty"`
+}
+
+// PeerTransportStats is one peer's transport state.
+type PeerTransportStats struct {
+	ID    string `json:"id"`
+	Proto string `json:"proto"` // "v2", "v1", "unknown"
+	Conns int    `json:"conns"`
+}
+
+// transport owns the v2 client state for every peer plus the shared
+// counters (the v2 server increments the frame counters too, so one
+// snapshot describes both roles).
+type transport struct {
+	node       *Node
+	rpcTimeout time.Duration
+	poolSize   int
+	maxBatch   int
+	// batchWindow > 0 makes each flusher linger before draining,
+	// trading latency for bigger batches. 0 (the default) is pure
+	// group commit: batches form only from arrivals during the
+	// in-flight write, which costs serial callers nothing.
+	batchWindow time.Duration
+
+	peers map[string]*peerTransport // immutable after construction
+
+	framesSent    atomic.Int64
+	framesRecv    atomic.Int64
+	batchesSent   atomic.Int64
+	batchedGets   atomic.Int64
+	occupancy     [8]atomic.Int64
+	httpFallbacks atomic.Int64
+	v2Dials       atomic.Int64
+	v2DialFails   atomic.Int64
+}
+
+func newTransport(n *Node, cfg Config) *transport {
+	t := &transport{
+		node:        n,
+		rpcTimeout:  2 * time.Second,
+		poolSize:    cfg.PeerConns,
+		maxBatch:    cfg.MaxBatch,
+		batchWindow: cfg.BatchWindow,
+		peers:       make(map[string]*peerTransport),
+	}
+	if n.hc.Timeout > 0 {
+		t.rpcTimeout = n.hc.Timeout
+	}
+	if t.poolSize <= 0 {
+		t.poolSize = DefaultPeerConns
+	}
+	if t.maxBatch <= 0 {
+		t.maxBatch = DefaultMaxBatch
+	}
+	if t.maxBatch > maxBatchWire {
+		t.maxBatch = maxBatchWire
+	}
+	for id, raw := range n.urls {
+		if id == n.self {
+			continue
+		}
+		pt := &peerTransport{t: t, id: id}
+		if u, err := url.Parse(raw); err == nil && u.Scheme == "http" && u.Host != "" {
+			pt.addr, pt.ok = u.Host, true
+		}
+		pt.slots = make([]*connSlot, t.poolSize)
+		for i := range pt.slots {
+			pt.slots[i] = &connSlot{pt: pt}
+		}
+		t.peers[id] = pt
+	}
+	return t
+}
+
+// peer returns the transport state for a peer id (nil for self/unknown).
+func (t *transport) peer(id string) *peerTransport {
+	if t == nil {
+		return nil
+	}
+	return t.peers[id]
+}
+
+// reset re-arms v2 probing for a peer — the health prober calls it on
+// revive, since a restart is exactly when a v1 peer may have become v2
+// (or vice versa; the next dial renegotiates either way).
+func (t *transport) reset(id string) {
+	if pt := t.peer(id); pt != nil {
+		pt.mu.Lock()
+		pt.state = protoUnknown
+		pt.retryAt = time.Time{}
+		pt.gen++
+		pt.mu.Unlock()
+	}
+}
+
+// close tears down every pooled connection (tests and shutdown).
+func (t *transport) close() {
+	if t == nil {
+		return
+	}
+	for _, pt := range t.peers {
+		for _, s := range pt.slots {
+			s.mu.Lock()
+			if s.pc != nil {
+				s.pc.fail(&transportError{err: errors.New("transport closed")})
+				s.pc = nil
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// stats snapshots the transport counters.
+func (t *transport) stats() *TransportStats {
+	if t == nil {
+		return nil
+	}
+	st := &TransportStats{
+		FramesSent:    t.framesSent.Load(),
+		FramesRecv:    t.framesRecv.Load(),
+		BatchesSent:   t.batchesSent.Load(),
+		BatchedGets:   t.batchedGets.Load(),
+		HTTPFallbacks: t.httpFallbacks.Load(),
+		V2Dials:       t.v2Dials.Load(),
+		V2DialFails:   t.v2DialFails.Load(),
+	}
+	st.BatchOccupancy = make([]int64, len(t.occupancy))
+	for i := range t.occupancy {
+		st.BatchOccupancy[i] = t.occupancy[i].Load()
+	}
+	for _, id := range t.node.ring.Members() {
+		pt := t.peers[id]
+		if pt == nil {
+			continue
+		}
+		pt.mu.Lock()
+		row := PeerTransportStats{ID: id, Proto: protoName(pt.state)}
+		pt.mu.Unlock()
+		for _, s := range pt.slots {
+			s.mu.Lock()
+			if s.pc != nil && !s.pc.isDead() {
+				row.Conns++
+			}
+			s.mu.Unlock()
+		}
+		st.Peers = append(st.Peers, row)
+	}
+	return st
+}
+
+// peerTransport is one peer's connection pool, negotiation state, and
+// lookup batcher.
+type peerTransport struct {
+	t    *transport
+	id   string
+	addr string // host:port from the peer's base URL
+	ok   bool   // addr parsed and scheme is plain http
+
+	mu      sync.Mutex
+	state   int
+	retryAt time.Time // no connect attempts before this (v1 TTL, dial backoff)
+	// gen increments on every reset. A dial records the generation it
+	// started under and its negative verdict (v1, backoff) applies only
+	// if no reset intervened — otherwise a probe that began against the
+	// dying process would overwrite the revive and park the restarted
+	// (possibly upgraded) peer on v1 for the full TTL.
+	gen   uint64
+	slots []*connSlot
+	next  int
+
+	// The lookup batcher, run with a group-commit discipline: at most one
+	// lookup frame is in flight per peer, and that frame's round trip is
+	// the collection window for the next one. A lone caller finds nothing
+	// in flight and sends immediately (no added latency); concurrent
+	// callers arriving during the in-flight RTT queue up and leave
+	// together as one opBatchGet when the response lands. flushing marks
+	// that some goroutine currently owns the drain loop.
+	queue        []*batchCall
+	flushing     bool
+	inflight     int       // lookup frames awaiting their response (0 or 1)
+	inflightConn *peerConn // conn carrying the in-flight frame
+}
+
+// connSlot lazily holds one pooled connection. Dials serialize per slot
+// (concurrent callers on other slots proceed), and a dead connection is
+// replaced on the next acquisition.
+type connSlot struct {
+	pt *peerTransport
+	mu sync.Mutex
+	pc *peerConn
+}
+
+// usable reports whether v2 should be attempted for this peer now, and
+// flips an expired v1 verdict back to unknown so the next dial
+// re-probes.
+func (pt *peerTransport) usable() bool {
+	if pt == nil || !pt.ok {
+		return false
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.state == protoSpeaksV2 {
+		return true
+	}
+	if time.Now().Before(pt.retryAt) {
+		return false
+	}
+	pt.state = protoUnknown
+	return true
+}
+
+func (pt *peerTransport) markV2() {
+	pt.mu.Lock()
+	pt.state = protoSpeaksV2
+	pt.retryAt = time.Time{}
+	pt.mu.Unlock()
+}
+
+func (pt *peerTransport) markV1(gen uint64) {
+	pt.mu.Lock()
+	if pt.gen == gen {
+		pt.state = protoSpeaksV1
+		pt.retryAt = time.Now().Add(v1RetryTTL)
+	}
+	pt.mu.Unlock()
+}
+
+func (pt *peerTransport) dialBackoff(gen uint64) {
+	pt.mu.Lock()
+	if pt.gen == gen {
+		pt.retryAt = time.Now().Add(dialRetryTTL)
+	}
+	pt.mu.Unlock()
+}
+
+// conn returns a live pooled connection, dialing (and negotiating) if
+// the chosen slot's connection is absent or dead.
+func (pt *peerTransport) conn(ctx context.Context) (*peerConn, error) {
+	pt.mu.Lock()
+	slot := pt.slots[pt.next%len(pt.slots)]
+	pt.next++
+	pt.mu.Unlock()
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.pc != nil && !slot.pc.isDead() {
+		return slot.pc, nil
+	}
+	pc, err := pt.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	slot.pc = pc
+	return pc, nil
+}
+
+// dial opens a TCP connection to the peer's ordinary HTTP listener and
+// negotiates v2: an Upgrade request, a 101 response, then a hello /
+// helloAck exchange that pins the magic and version. Any non-101
+// response is the version-negotiation fallback — the peer is a v1
+// binary (or fronted by something that refused the upgrade) and is left
+// alone for v1RetryTTL.
+func (pt *peerTransport) dial(ctx context.Context) (*peerConn, error) {
+	t := pt.t
+	t.v2Dials.Add(1)
+	pt.mu.Lock()
+	gen := pt.gen
+	pt.mu.Unlock()
+	d := net.Dialer{Timeout: t.rpcTimeout}
+	c, err := d.DialContext(ctx, "tcp", pt.addr)
+	if err != nil {
+		t.v2DialFails.Add(1)
+		pt.dialBackoff(gen)
+		return nil, &transportError{err: err}
+	}
+	deadline := time.Now().Add(t.rpcTimeout)
+	_ = c.SetDeadline(deadline)
+	req := "GET /cluster/v2 HTTP/1.1\r\nHost: " + pt.addr +
+		"\r\nConnection: Upgrade\r\nUpgrade: " + upgradeProto + "\r\n\r\n"
+	if _, err := c.Write([]byte(req)); err != nil {
+		c.Close()
+		t.v2DialFails.Add(1)
+		pt.dialBackoff(gen)
+		return nil, &transportError{err: err}
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	httpReq, _ := http.NewRequest(http.MethodGet, "http://"+pt.addr+"/cluster/v2", nil)
+	resp, err := http.ReadResponse(br, httpReq)
+	if err != nil {
+		c.Close()
+		t.v2DialFails.Add(1)
+		pt.dialBackoff(gen)
+		return nil, &transportError{err: err}
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		// The fallback path of version negotiation: drain politely and
+		// remember the verdict so forwards stop paying this probe.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		c.Close()
+		pt.markV1(gen)
+		return nil, errPeerV1
+	}
+	resp.Body.Close()
+	// Application-level handshake on the upgraded stream.
+	var w wireWriter
+	start := beginFrame(&w, opHello, 0, 0)
+	w.str(protoMagic)
+	w.uvarint(protoV2)
+	w.str(t.node.self)
+	endFrame(&w, start)
+	if _, err := c.Write(w.buf); err != nil {
+		c.Close()
+		t.v2DialFails.Add(1)
+		pt.dialBackoff(gen)
+		return nil, &transportError{err: err}
+	}
+	f, err := readFrame(br)
+	if err != nil || f.op != opHelloAck {
+		c.Close()
+		t.v2DialFails.Add(1)
+		pt.dialBackoff(gen)
+		if err == nil {
+			err = fmt.Errorf("cluster: handshake got op %d, want helloAck", f.op)
+		}
+		return nil, &transportError{err: err}
+	}
+	ar := &wireReader{buf: f.payload}
+	version := ar.uvarint()
+	ar.str() // peer's self id; informational
+	if ar.err != nil || version < protoV2 {
+		c.Close()
+		pt.markV1(gen)
+		return nil, errPeerV1
+	}
+	_ = c.SetDeadline(time.Time{})
+	pc := &peerConn{pt: pt, c: c, pending: make(map[uint64]*pcall)}
+	go pc.readLoop(br)
+	pt.markV2()
+	return pc, nil
+}
+
+// peerConn is one live multiplexed connection: a write mutex serializes
+// frame writes, a reader goroutine dispatches responses by request id.
+type peerConn struct {
+	pt *peerTransport
+	c  net.Conn
+
+	wmu    sync.Mutex
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*pcall
+	dead    bool
+	deadErr error
+}
+
+// pcall is one in-flight request: a single round trip delivering into
+// ch, or a batch fanning out to its entries. done (set only by the
+// batcher) runs exactly once when the call completes — response, whole-
+// batch error, or connection death — and releases the peer's in-flight
+// slot so the next batch can leave.
+type pcall struct {
+	ch    chan pcallResult
+	batch []*batchCall
+	done  func()
+}
+
+type pcallResult struct {
+	op      byte
+	payload []byte
+	err     error
+}
+
+// batchCall is one forwarded lookup waiting in (or dispatched from) the
+// batcher. ch has capacity 1 and receives exactly once, so an abandoned
+// caller (context cancelled) never blocks the reader.
+type batchCall struct {
+	payload []byte
+	ch      chan pcallResult
+}
+
+// batchCalls recycles batchCall values (and their channels). A call may
+// be pooled only after its single delivery was RECEIVED — an abandoned
+// call's channel still has a send coming and must go to the collector.
+var batchCalls = sync.Pool{}
+
+func acquireBatchCall(payload []byte) *batchCall {
+	if bc, _ := batchCalls.Get().(*batchCall); bc != nil {
+		bc.payload = payload
+		return bc
+	}
+	return &batchCall{payload: payload, ch: make(chan pcallResult, 1)}
+}
+
+func releaseBatchCall(bc *batchCall) {
+	bc.payload = nil
+	batchCalls.Put(bc)
+}
+
+func (pc *peerConn) isDead() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.dead
+}
+
+// track registers an in-flight request; false means the connection died
+// first and the caller must deliver deadErr itself.
+func (pc *peerConn) track(id uint64, c *pcall) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.dead {
+		return false
+	}
+	pc.pending[id] = c
+	return true
+}
+
+// untrack abandons an in-flight request (context cancel, timeout); a
+// late response is dropped by the reader.
+func (pc *peerConn) untrack(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}
+
+// fail kills the connection and delivers err to every in-flight caller —
+// the moment that turns a peer death into per-request HTTP failovers
+// instead of dropped callers.
+func (pc *peerConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.dead {
+		pc.mu.Unlock()
+		return
+	}
+	pc.dead = true
+	pc.deadErr = err
+	pending := pc.pending
+	pc.pending = nil
+	pc.mu.Unlock()
+	pc.c.Close()
+	for _, call := range pending {
+		if call.batch != nil {
+			failBatch(call.batch, err)
+		} else {
+			call.ch <- pcallResult{err: err}
+		}
+		if call.done != nil {
+			call.done()
+		}
+	}
+}
+
+func failBatch(batch []*batchCall, err error) {
+	for _, bc := range batch {
+		bc.ch <- pcallResult{err: err}
+	}
+}
+
+// send writes one already-framed buffer. A write failure kills the
+// connection (delivering the error to all in-flight callers, including
+// the one whose frame this was).
+func (pc *peerConn) send(buf []byte) error {
+	pc.wmu.Lock()
+	_ = pc.c.SetWriteDeadline(time.Now().Add(pc.pt.t.rpcTimeout))
+	_, err := pc.c.Write(buf)
+	pc.wmu.Unlock()
+	if err != nil {
+		werr := &transportError{err: err}
+		pc.fail(werr)
+		return werr
+	}
+	pc.pt.t.framesSent.Add(1)
+	return nil
+}
+
+// readLoop dispatches response frames until the connection dies.
+func (pc *peerConn) readLoop(br *bufio.Reader) {
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			pc.fail(&transportError{err: err})
+			return
+		}
+		pc.pt.t.framesRecv.Add(1)
+		pc.mu.Lock()
+		call := pc.pending[f.id]
+		delete(pc.pending, f.id)
+		pc.mu.Unlock()
+		if call == nil {
+			continue // caller gave up; late response
+		}
+		if call.batch != nil {
+			deliverBatch(call.batch, f)
+		} else {
+			call.ch <- pcallResult{op: f.op, payload: f.payload}
+		}
+		if call.done != nil {
+			call.done()
+		}
+	}
+}
+
+// deliverBatch splits one opBatchResp frame back out to the callers
+// whose lookups were coalesced into the batch. A whole-batch opErr (or
+// a malformed response) fails every entry; a malformed response is a
+// transport error so callers re-issue over HTTP.
+func deliverBatch(batch []*batchCall, f frame) {
+	if f.op == opErr {
+		failBatch(batch, decodeWireErr(f.payload))
+		return
+	}
+	if f.op != opBatchResp {
+		failBatch(batch, &transportError{err: fmt.Errorf("cluster: batch answered with op %d", f.op)})
+		return
+	}
+	r := &wireReader{buf: f.payload}
+	n := r.count("batch entries", 2)
+	if r.err != nil || n != len(batch) {
+		failBatch(batch, &transportError{err: fmt.Errorf("cluster: batch of %d answered with %d entries", len(batch), n)})
+		return
+	}
+	for i := 0; i < n; i++ {
+		status := r.u8()
+		blob := r.blob()
+		if r.err != nil {
+			for _, bc := range batch[i:] {
+				bc.ch <- pcallResult{err: &transportError{err: r.err}}
+			}
+			return
+		}
+		if status == 0 {
+			batch[i].ch <- pcallResult{op: opGetResp, payload: blob}
+		} else {
+			batch[i].ch <- pcallResult{err: decodeWireErr(blob)}
+		}
+	}
+}
+
+// decodeWireErr decodes an opErr payload (code + message).
+func decodeWireErr(payload []byte) error {
+	r := &wireReader{buf: payload}
+	code := r.uvarint()
+	msg := r.str()
+	if r.err != nil {
+		return &transportError{err: fmt.Errorf("cluster: malformed error frame: %w", r.err)}
+	}
+	return &wireError{code: int(code), msg: msg}
+}
+
+// readFrame reads one length-delimited frame. Frame-layer violations
+// (bad length, truncated stream) are returned as errors and must kill
+// the connection: framing is lost.
+func readFrame(br *bufio.Reader) (frame, error) {
+	f, _, err := readFrameReuse(br, nil)
+	return f, err
+}
+
+// readFrameReuse is readFrame with a caller-owned scratch buffer: when
+// its capacity suffices the frame body lands in it, and the (possibly
+// regrown) buffer comes back for the next call. Only loops whose frame
+// payloads die before the next read may use it — the server loop does;
+// the client read loop hands payload slices across goroutines and must
+// not. The length check runs before any allocation, so a hostile
+// length prefix cannot make either path over-allocate.
+func readFrameReuse(br *bufio.Reader, scratch []byte) (frame, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return frame{}, scratch, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length < frameHeaderLen || length > maxFrameLen {
+		return frame{}, scratch, fmt.Errorf("cluster: frame length %d outside [%d, %d]", length, frameHeaderLen, maxFrameLen)
+	}
+	body := scratch
+	if uint32(cap(body)) < length {
+		body = make([]byte, length)
+	}
+	body = body[:length]
+	if _, err := io.ReadFull(br, body); err != nil {
+		return frame{}, body, err
+	}
+	f, err := parseFrame(body)
+	return f, body, err
+}
+
+// wait blocks for a tracked request's response, honouring the caller's
+// context and the transport's RPC timeout.
+func (pc *peerConn) wait(ctx context.Context, id uint64, ch chan pcallResult) (pcallResult, error) {
+	timer := time.NewTimer(pc.pt.t.rpcTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return pcallResult{}, r.err
+		}
+		if r.op == opErr {
+			return pcallResult{}, decodeWireErr(r.payload)
+		}
+		return r, nil
+	case <-ctx.Done():
+		pc.untrack(id)
+		return pcallResult{}, ctx.Err()
+	case <-timer.C:
+		pc.untrack(id)
+		return pcallResult{}, &transportError{err: fmt.Errorf("cluster: v2 response timeout from %s", pc.pt.id)}
+	}
+}
+
+// roundTrip issues one unbatched RPC (put, ring, obs) and waits for its
+// response frame.
+func (pt *peerTransport) roundTrip(ctx context.Context, op byte, body func(w *wireWriter)) (pcallResult, error) {
+	pc, err := pt.conn(ctx)
+	if err != nil {
+		return pcallResult{}, err
+	}
+	id := pc.nextID.Add(1)
+	call := &pcall{ch: make(chan pcallResult, 1)}
+	if !pc.track(id, call) {
+		return pcallResult{}, pc.deadErr
+	}
+	var w wireWriter
+	start := beginFrame(&w, op, 0, id)
+	body(&w)
+	endFrame(&w, start)
+	if err := pc.send(w.buf); err != nil {
+		return pcallResult{}, err // fail() already delivered to in-flight callers
+	}
+	return pc.wait(ctx, id, call.ch)
+}
+
+// get runs one forwarded lookup through the batcher: enqueue, take the
+// flusher role if it is free, then wait for the fan-out. The entry
+// payload must be a complete opGet body (ns, epoch, scope, wantTrace,
+// predicate).
+// rpcTimers recycles timeout timers across lookups; a fresh timer per
+// forwarded get is two allocations on the hottest path in the package.
+var rpcTimers = sync.Pool{}
+
+// entryBufs recycles the encode buffers forwarded lookups build their
+// wire entries in (see v2Get for the reuse condition).
+var entryBufs = sync.Pool{}
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, _ := rpcTimers.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// releaseTimer returns a timer whose channel was NOT received from; it
+// drains a pending fire so the next acquire starts clean.
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	rpcTimers.Put(t)
+}
+
+func (pt *peerTransport) get(ctx context.Context, entry []byte) (pcallResult, error) {
+	bc := acquireBatchCall(entry)
+	pt.mu.Lock()
+	pt.queue = append(pt.queue, bc)
+	leader := !pt.flushing && pt.inflight == 0
+	if leader {
+		pt.flushing = true
+	}
+	pt.mu.Unlock()
+	if leader {
+		pt.flush(ctx)
+	}
+	timer := acquireTimer(pt.t.rpcTimeout)
+	defer releaseTimer(timer)
+	select {
+	case r := <-bc.ch:
+		releaseBatchCall(bc)
+		if r.err != nil {
+			return pcallResult{}, r.err
+		}
+		if r.op == opErr {
+			// A single-entry drain travels as a plain opGet, so its error
+			// arrives as a raw opErr frame rather than a batch-entry status.
+			return pcallResult{}, decodeWireErr(r.payload)
+		}
+		return r, nil
+	case <-ctx.Done():
+		return pcallResult{}, ctx.Err()
+	case <-timer.C:
+		// A frame unanswered for the full RPC timeout means the connection
+		// has lost a response: kill it so its in-flight slot releases and
+		// queued lookups behind the wedge drain instead of starving.
+		pt.mu.Lock()
+		wedged := pt.inflightConn
+		pt.mu.Unlock()
+		err := &transportError{err: fmt.Errorf("cluster: v2 response timeout from %s", pt.id)}
+		if wedged != nil {
+			wedged.fail(err)
+		}
+		return pcallResult{}, err
+	}
+}
+
+// batchDone releases the peer's in-flight slot and, if lookups queued up
+// during the round trip, starts the next drain — the hand-off that turns
+// one frame's RTT into the next frame's collection window.
+func (pt *peerTransport) batchDone() {
+	pt.mu.Lock()
+	pt.inflight--
+	pt.inflightConn = nil
+	again := len(pt.queue) > 0 && !pt.flushing && pt.inflight == 0
+	if again {
+		pt.flushing = true
+	}
+	pt.mu.Unlock()
+	if again {
+		// Off the reader goroutine: the drain writes to the socket and
+		// must not stall response dispatch behind it.
+		go pt.flush(context.Background())
+	}
+}
+
+// flush drains the queue into frames, stopping as soon as a frame is in
+// flight (its completion re-enters via batchDone) or the queue empties.
+// With the default zero batch window a lone caller's drain is just its
+// own lookup as a plain opGet — nothing slower than an unbatched serial
+// call; a positive window makes the flusher linger first, trading that
+// first lookup's latency for wider batches.
+func (pt *peerTransport) flush(ctx context.Context) {
+	if pt.t.batchWindow > 0 {
+		time.Sleep(pt.t.batchWindow)
+	}
+	runtime.Gosched()
+	for {
+		pt.mu.Lock()
+		if len(pt.queue) == 0 || pt.inflight > 0 {
+			pt.flushing = false
+			pt.mu.Unlock()
+			return
+		}
+		batch := pt.queue
+		if len(batch) > pt.t.maxBatch {
+			pt.queue = append([]*batchCall(nil), batch[pt.t.maxBatch:]...)
+			batch = batch[:pt.t.maxBatch]
+		} else {
+			pt.queue = nil
+		}
+		pt.inflight++
+		pt.mu.Unlock()
+		pt.sendBatch(ctx, batch)
+	}
+}
+
+// sendBatch encodes one drained batch as a frame — opGet for a single
+// lookup, opBatchGet for a coalesced set — and registers the fan-out.
+func (pt *peerTransport) sendBatch(ctx context.Context, batch []*batchCall) {
+	t := pt.t
+	pc, err := pt.conn(ctx)
+	if err != nil {
+		failBatch(batch, err)
+		pt.batchDone()
+		return
+	}
+	id := pc.nextID.Add(1)
+	size := frameHeaderLen + 8
+	for _, bc := range batch {
+		size += 4 + len(bc.payload)
+	}
+	w := wireWriter{buf: make([]byte, 0, size)}
+	var call *pcall
+	if len(batch) == 1 {
+		start := beginFrame(&w, opGet, 0, id)
+		w.buf = append(w.buf, batch[0].payload...)
+		endFrame(&w, start)
+		call = &pcall{ch: batch[0].ch, done: pt.batchDone}
+	} else {
+		start := beginFrame(&w, opBatchGet, 0, id)
+		w.uvarint(uint64(len(batch)))
+		for _, bc := range batch {
+			w.bytes(bc.payload)
+		}
+		endFrame(&w, start)
+		call = &pcall{batch: batch, done: pt.batchDone}
+		t.batchesSent.Add(1)
+		t.batchedGets.Add(int64(len(batch)))
+	}
+	t.occupancy[occBucket(len(batch))].Add(1)
+	if !pc.track(id, call) {
+		failBatch(batch, pc.deadErr)
+		pt.batchDone()
+		return
+	}
+	pt.mu.Lock()
+	pt.inflightConn = pc
+	pt.mu.Unlock()
+	// A send failure needs no hand-delivery or slot release: fail()
+	// inside send already handed the error to everything tracked — this
+	// batch included — and ran each call's done hook.
+	_ = pc.send(w.buf)
+}

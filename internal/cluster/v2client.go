@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// Typed client RPCs over peer protocol v2. Every call returns a
+// `handled` flag alongside its result: false means v2 could not carry
+// the request at all — the transport is disabled, the peer negotiated
+// v1, the dial failed, or a persistent connection died with the frame
+// in flight — and the caller must re-issue the identical request over
+// the v1 HTTP endpoint. That retry-on-another-transport is what keeps
+// callers alive through a peer restart: the dying connection fails all
+// its in-flight calls, each falls over to HTTP within the same attempt,
+// and only the HTTP verdict decides whether the peer is indicted.
+//
+// handled=true means a v2 response (or a definitive protocol error)
+// arrived, and its error mapping mirrors v1 exactly: an opErr in the
+// 5xx family — or a malformed response body — indicts the peer like a
+// transport failure would; a 4xx-family opErr and a stale-epoch put
+// rejection are request-scoped and final.
+
+// v2Fallback classifies an unavailable-v2 error for the fallback
+// bookkeeping: a known-v1 peer is not a fallback activation (v1 is its
+// normal transport), everything else is.
+func (t *transport) v2Fallback(err error) {
+	if !errors.Is(err, errPeerV1) {
+		t.httpFallbacks.Add(1)
+	}
+}
+
+// mapWireErr converts a request-scoped opErr into the v1 error model:
+// 5xx indicts the peer, anything else is a plain request failure.
+func mapWireErr(owner string, err error) error {
+	var we *wireError
+	if errors.As(err, &we) && we.code >= http.StatusInternalServerError {
+		return &peerDownError{err: fmt.Errorf("cluster: v2 get from %s: %w", owner, err)}
+	}
+	return err
+}
+
+// v2Get performs one forwarded residency lookup over v2, going through
+// the owner's batcher so a burst of foreign lookups to the same peer
+// coalesces into one frame.
+func (n *Node) v2Get(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, seq uint64) (hidden.Result, bool, error, bool) {
+	t := n.transport
+	pt := t.peer(owner)
+	if pt == nil || !pt.usable() {
+		return hidden.Result{}, false, nil, false
+	}
+	tr := obs.FromContext(ctx)
+	eb, _ := entryBufs.Get().(*[]byte)
+	if eb == nil {
+		eb = new([]byte)
+		*eb = make([]byte, 0, 192)
+	}
+	w := wireWriter{buf: (*eb)[:0]}
+	appendGetEntry(&w, ns, seq, n.scopeAt(ns, seq), tr != nil, p)
+	var began time.Time
+	if tr != nil {
+		began = time.Now()
+	}
+	r, err := pt.get(ctx, w.buf)
+	if err == nil {
+		// A response proves the frame was written; the entry bytes are
+		// dead and the buffer can be recycled. On error paths the entry
+		// may still sit in the batch queue, so it must not be reused.
+		*eb = w.buf[:0]
+		entryBufs.Put(eb)
+	}
+	if err != nil {
+		if isV2Unavailable(err) {
+			t.v2Fallback(err)
+			return hidden.Result{}, false, nil, false
+		}
+		return hidden.Result{}, false, mapWireErr(owner, err), true
+	}
+	rd := &wireReader{buf: r.payload}
+	resp := decodeGetResponse(rd, schema)
+	if derr := rd.finish(); derr != nil {
+		// A response that doesn't decode indicts the peer, exactly like a
+		// JSON body that doesn't parse on the v1 path.
+		return hidden.Result{}, false, &peerDownError{err: fmt.Errorf("cluster: decode v2 get from %s: %w", owner, derr)}, true
+	}
+	tr.Stitch(resp.trace, began)
+	n.observeScoped(ns, resp.eseq, resp.scope)
+	if !resp.found {
+		return hidden.Result{}, false, nil, true
+	}
+	if resp.eseq > 0 && n.seqOf(ns) > resp.eseq {
+		// The owner answered under an older epoch than this replica now
+		// serves under: treat the residency as a miss, as on v1.
+		return hidden.Result{}, false, nil, true
+	}
+	return resp.resultOf(), true, nil, true
+}
+
+// v2Put pushes one answer over v2. The response's status carries the
+// admission verdict: stale-epoch and refused map to plain errors (the
+// v1 409/4xx — final, never indicting).
+func (n *Node) v2Put(ctx context.Context, owner, ns string, schema *relation.Schema, p relation.Predicate, res hidden.Result, seq uint64) (error, bool) {
+	t := n.transport
+	pt := t.peer(owner)
+	if pt == nil || !pt.usable() {
+		return nil, false
+	}
+	tr := obs.FromContext(ctx)
+	began := time.Now()
+	r, err := pt.roundTrip(ctx, opPut, func(w *wireWriter) {
+		w.str(ns)
+		w.uvarint(seq)
+		appendScope(w, n.scopeAt(ns, seq))
+		w.bool(tr != nil)
+		w.bool(res.Overflow)
+		appendPredicate(w, p)
+		appendTuples(w, res.Tuples, schema.Len())
+	})
+	if err != nil {
+		if isV2Unavailable(err) {
+			t.v2Fallback(err)
+			return nil, false
+		}
+		return mapWireErr(owner, err), true
+	}
+	if r.op != opPutResp {
+		return &peerDownError{err: fmt.Errorf("cluster: v2 put to %s answered op %d", owner, r.op)}, true
+	}
+	rd := &wireReader{buf: r.payload}
+	status := rd.u8()
+	msg := rd.str()
+	st := decodeSubtree(rd)
+	if derr := rd.finish(); derr != nil {
+		return &peerDownError{err: fmt.Errorf("cluster: decode v2 put from %s: %w", owner, derr)}, true
+	}
+	tr.Stitch(st, began)
+	switch status {
+	case putStatusOK:
+		return nil, true
+	case putStatusStale:
+		return fmt.Errorf("cluster: %s rejected stale-epoch put: %s", owner, msg), true
+	default:
+		return fmt.Errorf("cluster: %s refused put: %s", owner, msg), true
+	}
+}
+
+// fetchRingV2 pulls a peer's membership + epoch document over v2.
+func (n *Node) fetchRingV2(ctx context.Context, id string) (ringDoc, error, bool) {
+	t := n.transport
+	pt := t.peer(id)
+	if pt == nil || !pt.usable() {
+		return ringDoc{}, nil, false
+	}
+	r, err := pt.roundTrip(ctx, opRing, func(w *wireWriter) {})
+	if err != nil {
+		if isV2Unavailable(err) {
+			t.v2Fallback(err)
+			return ringDoc{}, nil, false
+		}
+		return ringDoc{}, err, true
+	}
+	if r.op != opRingResp {
+		return ringDoc{}, fmt.Errorf("cluster: v2 ring from %s answered op %d", id, r.op), true
+	}
+	rd := &wireReader{buf: r.payload}
+	doc := ringDoc{Self: rd.str(), VirtualNodes: int(rd.uvarint())}
+	np := rd.count("peers", 4)
+	for i := 0; i < np && rd.err == nil; i++ {
+		doc.Peers = append(doc.Peers, PeerStats{
+			ID:               rd.str(),
+			URL:              rd.str(),
+			Alive:            rd.bool(),
+			ConsecutiveFails: int64(rd.uvarint()),
+		})
+	}
+	ne := rd.count("epochs", 3)
+	for i := 0; i < ne && rd.err == nil; i++ {
+		name := rd.str()
+		seq := rd.uvarint()
+		sc := decodeScope(rd)
+		if doc.Epochs == nil {
+			doc.Epochs = make(map[string]uint64, ne)
+		}
+		doc.Epochs[name] = seq
+		if sc != nil {
+			if doc.Scopes == nil {
+				doc.Scopes = make(map[string]rectDoc, ne)
+			}
+			doc.Scopes[name] = *sc
+		}
+	}
+	if derr := rd.finish(); derr != nil {
+		return ringDoc{}, fmt.Errorf("cluster: decode v2 ring from %s: %w", id, derr), true
+	}
+	return doc, nil, true
+}
+
+// fetchObsV2 pulls a peer's observability snapshot over v2 (a JSON blob
+// inside one frame — same document as GET /cluster/obs).
+func (n *Node) fetchObsV2(ctx context.Context, id string) (*obs.Snapshot, error, bool) {
+	t := n.transport
+	pt := t.peer(id)
+	if pt == nil || !pt.usable() {
+		return nil, nil, false
+	}
+	r, err := pt.roundTrip(ctx, opObs, func(w *wireWriter) {})
+	if err != nil {
+		if isV2Unavailable(err) {
+			t.v2Fallback(err)
+			return nil, nil, false
+		}
+		return nil, err, true
+	}
+	if r.op != opObsResp {
+		return nil, fmt.Errorf("cluster: v2 obs from %s answered op %d", id, r.op), true
+	}
+	rd := &wireReader{buf: r.payload}
+	blob := rd.blob()
+	if derr := rd.finish(); derr != nil {
+		return nil, derr, true
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, err, true
+	}
+	return &s, nil, true
+}

@@ -158,6 +158,7 @@ func (r *Runner) ScenarioClusterRing(ctx context.Context) (Table, error) {
 	}
 	dead := reps[nReplicas-1]
 	dead.down.Store(true)
+	dead.node.CloseV2Conns() // a real crash severs hijacked v2 conns too
 	alive := reps[:nReplicas-1]
 	errs = runPass(passes, alive)
 	for _, rep := range alive {

@@ -17,6 +17,7 @@
 //	S9   source-fault resilience: stall, kill and heal a source mid-run
 //	S10  region-scoped epochs: region-confined mutation, surgical invalidation
 //	S11  cluster observability plane: stitched traces, fleet roll-up, SLO burn rates
+//	S12  wire-speed peer protocol v2: mixed v1/v2 ring, hot trace, mid-burst kill
 //	A1   ablation: parallel vs sequential processing
 //	A2   ablation: dense-region threshold sweep
 //	A3   ablation: tie-group mass vs crawling cost
@@ -164,7 +165,7 @@ func (r *Runner) Config() Config { return r.cfg }
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
-	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "A1", "A2", "A3", "A4", "A5", "A6"}
+	return []string{"F2a", "F2b", "F4", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "A1", "A2", "A3", "A4", "A5", "A6"}
 }
 
 // Run regenerates one experiment by ID.
@@ -198,6 +199,8 @@ func (r *Runner) Run(ctx context.Context, id string) (Table, error) {
 		return r.ScenarioRegionEpochs(ctx)
 	case "S11":
 		return r.ScenarioObservabilityPlane(ctx)
+	case "S12":
+		return r.ScenarioWireSpeed(ctx)
 	case "A1":
 		return r.AblationParallel(ctx)
 	case "A2":

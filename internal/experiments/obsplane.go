@@ -409,7 +409,9 @@ func s11FetchTrace(base, id string) (*s11Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	// Drained, not just closed: the early status return below would
+	// otherwise leave the body unread and burn the pooled connection.
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("experiments: /api/trace returned %d", resp.StatusCode)
 	}
@@ -431,7 +433,7 @@ func s11Snapshot(base string) (*obs.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer wdbhttp.DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("experiments: /cluster/obs returned %d", resp.StatusCode)
 	}

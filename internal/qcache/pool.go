@@ -663,11 +663,26 @@ func (ns *namespace) admitCrawl(pred relation.Predicate, tuples []relation.Tuple
 // — the peer answer-cache protocol serves /cluster/get with it, so a
 // lookup forwarded by another replica can only ever cost memory reads.
 func (ns *namespace) peek(p relation.Predicate) (hidden.Result, bool) {
+	return ns.peekFn(p, (*namespace).lookupLocked)
+}
+
+// peekShared is peek without the defensive tuple-slice copy on the
+// resident path: the returned slice is owned by the cache and must not
+// be mutated or retained. Entries are immutable once admitted
+// (admission copies in, replacement swaps the whole result), so sharing
+// is safe for a reader that only serializes — the peer serve paths,
+// which would otherwise pay one slice copy per forwarded lookup just to
+// throw it away.
+func (ns *namespace) peekShared(p relation.Predicate) (hidden.Result, bool) {
+	return ns.peekFn(p, (*namespace).lookupSharedLocked)
+}
+
+func (ns *namespace) peekFn(p relation.Predicate, lookup func(*namespace, *shard, string) (hidden.Result, bool)) (hidden.Result, bool) {
 	key := KeyOf(p)
 	pkey := ns.prefix + key
 	sh := ns.pool.shardFor(pkey)
 	sh.mu.Lock()
-	res, ok := ns.lookupLocked(sh, pkey)
+	res, ok := lookup(ns, sh, pkey)
 	sh.mu.Unlock()
 	if ok {
 		ns.hits.Add(1)
@@ -779,6 +794,16 @@ func (ns *namespace) touch(key string) {
 // Crawl-admitted entries live under 'R'-marked keys no canonical
 // predicate key collides with, so an exact lookup never sees one.
 func (ns *namespace) lookupLocked(sh *shard, pkey string) (hidden.Result, bool) {
+	res, ok := ns.lookupSharedLocked(sh, pkey)
+	if ok {
+		res = copyResult(res)
+	}
+	return res, ok
+}
+
+// lookupSharedLocked is lookupLocked returning the entry's own tuple
+// slice — see peekShared for the ownership contract.
+func (ns *namespace) lookupSharedLocked(sh *shard, pkey string) (hidden.Result, bool) {
 	el, ok := sh.elems[pkey]
 	if !ok {
 		return hidden.Result{}, false
@@ -791,7 +816,7 @@ func (ns *namespace) lookupLocked(sh *shard, pkey string) (hidden.Result, bool) 
 	}
 	sh.lru.MoveToFront(el)
 	e.hits++
-	return copyResult(e.res), true
+	return e.res, true
 }
 
 // insertLocked adds (or replaces) an entry and evicts from the cold end

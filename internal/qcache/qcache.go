@@ -210,6 +210,15 @@ func (c *Cache) Peek(p relation.Predicate) (hidden.Result, bool) {
 	return c.ns.peek(p)
 }
 
+// PeekShared is Peek without the defensive tuple-slice copy: the
+// returned slice is owned by the cache and must not be mutated or
+// retained past the call's immediate use. It exists for the peer serve
+// paths, which only serialize the result onto the wire — at wire speed
+// the copy Peek makes per forwarded lookup is measurable.
+func (c *Cache) PeekShared(p relation.Predicate) (hidden.Result, bool) {
+	return c.ns.peekShared(p)
+}
+
 // Admit publishes an externally produced answer for p as if the inner
 // database had just returned it: the entry is admitted against the
 // budget, registered for containment reuse when complete, and persisted

@@ -158,6 +158,13 @@ func TestClusterStatsAndMetrics(t *testing.T) {
 		`qr2_cluster_peer_alive{peer="b"} 1`,
 		`qr2_cluster_forwards_total{self="a"}`,
 		`qr2_cluster_fallbacks_total{self="a"}`,
+		`qr2_peer_frames_sent_total{self="a"}`,
+		`qr2_peer_batches_sent_total{self="a"}`,
+		`qr2_peer_http_fallbacks_total{self="a"}`,
+		`qr2_peer_batch_occupancy_bucket{self="a",le="+Inf"}`,
+		`qr2_peer_batch_occupancy_count{self="a"}`,
+		`qr2_peer_proto{self="a",peer="b"}`,
+		`qr2_peer_conns{self="a",peer="b"}`,
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/dense"
 	"repro/internal/epoch"
 	"repro/internal/qcache"
@@ -103,6 +104,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(&b, "# HELP qr2_cluster_strays Tracked fallback-admitted entries awaiting re-homing to their recovered owner.\n# TYPE qr2_cluster_strays gauge\nqr2_cluster_strays{self=\"%s\"} %d\n",
 			escapeLabel(cs.Self), cs.Strays)
+
+		// Peer protocol v2 transport: the qr2_peer_* families. Emitted
+		// whenever the transport exists, so a ring that never managed a
+		// v2 dial still shows zeros (and its fallback counters).
+		if ts := cs.Transport; ts != nil {
+			self := escapeLabel(cs.Self)
+			for _, cr := range []struct {
+				metric, help string
+				value        int64
+			}{
+				{"qr2_peer_frames_sent_total", "Peer protocol v2 frames written (both roles: RPCs issued plus server answers).", ts.FramesSent},
+				{"qr2_peer_frames_recv_total", "Peer protocol v2 frames read (both roles: responses received plus server requests).", ts.FramesRecv},
+				{"qr2_peer_batches_sent_total", "opBatchGet frames sent (two or more lookups coalesced into one frame).", ts.BatchesSent},
+				{"qr2_peer_batched_gets_total", "Forwarded lookups that travelled inside a batch frame.", ts.BatchedGets},
+				{"qr2_peer_http_fallbacks_total", "Requests the v2 transport accepted but re-issued over HTTP v1 (dead conn, failed dial, response timeout).", ts.HTTPFallbacks},
+				{"qr2_peer_v2_dials_total", "Persistent v2 connection dials attempted.", ts.V2Dials},
+				{"qr2_peer_v2_dial_fails_total", "Persistent v2 connection dials that failed or negotiated down.", ts.V2DialFails},
+			} {
+				fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{self=\"%s\"} %d\n",
+					cr.metric, cr.help, cr.metric, cr.metric, self, cr.value)
+			}
+			fmt.Fprintf(&b, "# HELP qr2_peer_batch_occupancy Lookups per flushed v2 lookup frame (batch occupancy).\n# TYPE qr2_peer_batch_occupancy histogram\n")
+			var cum, weighted int64
+			for i, n := range ts.BatchOccupancy {
+				cum += n
+				if i < len(cluster.OccupancyBounds)-1 {
+					// Upper bound × count approximates the sum; exact
+					// enough for occupancy ratios.
+					var ub int64
+					fmt.Sscan(cluster.OccupancyBounds[i], &ub)
+					weighted += ub * n
+				}
+				fmt.Fprintf(&b, "qr2_peer_batch_occupancy_bucket{self=\"%s\",le=\"%s\"} %d\n",
+					self, cluster.OccupancyBounds[i], cum)
+			}
+			fmt.Fprintf(&b, "qr2_peer_batch_occupancy_sum{self=\"%s\"} %d\n", self, weighted)
+			fmt.Fprintf(&b, "qr2_peer_batch_occupancy_count{self=\"%s\"} %d\n", self, cum)
+			fmt.Fprintf(&b, "# HELP qr2_peer_proto Negotiated peer protocol (2, 1, or 0 while unknown).\n# TYPE qr2_peer_proto gauge\n")
+			fmt.Fprintf(&b, "# HELP qr2_peer_conns Live pooled v2 connections per peer.\n# TYPE qr2_peer_conns gauge\n")
+			for _, p := range ts.Peers {
+				proto := 0
+				switch p.Proto {
+				case "v2":
+					proto = 2
+				case "v1":
+					proto = 1
+				}
+				fmt.Fprintf(&b, "qr2_peer_proto{self=\"%s\",peer=\"%s\"} %d\n", self, escapeLabel(p.ID), proto)
+				fmt.Fprintf(&b, "qr2_peer_conns{self=\"%s\",peer=\"%s\"} %d\n", self, escapeLabel(p.ID), p.Conns)
+			}
+		}
 	}
 
 	type row struct {

@@ -174,6 +174,18 @@ type Config struct {
 	// ClusterProbeInterval paces the peer health prober (default 5s).
 	// The prober itself is started by running Cluster().Start.
 	ClusterProbeInterval time.Duration
+	// DisablePeerV2 pins this replica to peer protocol v1 (JSON over
+	// HTTP): it neither serves nor dials the persistent binary
+	// transport. Peers that do speak v2 fall back to v1 against it, so
+	// a mixed-version ring keeps working.
+	DisablePeerV2 bool
+	// PeerConns sizes the per-peer persistent connection pool of the v2
+	// transport (0 = cluster.DefaultPeerConns).
+	PeerConns int
+	// PeerBatchWindow makes each v2 batch flusher linger before
+	// draining, trading forward latency for bigger coalesced frames.
+	// Zero (the default) is pure group commit.
+	PeerBatchWindow time.Duration
 	// ChangeProbeInterval enables live change detection: each source is
 	// probed with sentinel queries on this period (StartChangeProbes runs
 	// the loops), and a digest mismatch bumps the source's epoch — wiping
@@ -333,6 +345,9 @@ func New(cfg Config) (*Server, error) {
 			ProbeInterval: cfg.ClusterProbeInterval,
 			Epochs:        s.epochs,
 			Retry:         cfg.PeerRetry,
+			DisableV2:     cfg.DisablePeerV2,
+			PeerConns:     cfg.PeerConns,
+			BatchWindow:   cfg.PeerBatchWindow,
 		}
 		if s.obsC != nil {
 			// The node polls the fleet's /cluster/obs endpoints each
@@ -941,8 +956,11 @@ func (s *Server) runQuery(ctx context.Context, sess *session.Session, form url.V
 		DenseDepth:        s.cfg.DenseDepth,
 		MaxQueriesPerNext: s.cfg.MaxQueriesPerNext,
 		DenseIndex:        src.ix,
-		Cache:             sess,
-		Normalization:     &norm,
+		// Scoped to the source: one session can interleave queries over
+		// different schemas, and a warm candidate is only a candidate
+		// under its own schema.
+		Cache:         sess.Scoped(src.name),
+		Normalization: &norm,
 	})
 	if err != nil {
 		return nil, http.StatusBadRequest, err

@@ -29,29 +29,53 @@ type Session struct {
 
 	mu         sync.Mutex
 	lastAccess time.Time
-	cache      map[int64]relation.Tuple
-	cursors    map[string]any
+	// cache is keyed by source name, then tuple ID: one user session can
+	// interleave queries against different sources, and their tuples live
+	// in different schemas — matching a predicate from one source against
+	// another source's tuples is meaningless at best (attribute indexes
+	// out of range at worst), so each source gets its own sub-cache.
+	cache   map[string]map[int64]relation.Tuple
+	cursors map[string]any
 }
 
 // ID returns the session's identifier (the cookie value).
 func (s *Session) ID() string { return s.id }
 
-// CacheTuples remembers tuples the middleware has seen on behalf of this
-// user. Later lookups serve them as warm candidates.
-func (s *Session) CacheTuples(ts ...relation.Tuple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Scoped returns a view of the session cache restricted to one source's
+// tuples. It implements the algorithm layer's TupleCache, so a reranker
+// seeded with Scoped(src) only ever sees tuples whose schema matches
+// its predicates.
+func (s *Session) Scoped(source string) ScopedCache {
+	return ScopedCache{s: s, source: source}
+}
+
+// ScopedCache is one source's slice of a session cache.
+type ScopedCache struct {
+	s      *Session
+	source string
+}
+
+// CacheTuples remembers tuples seen on behalf of this user for this
+// source.
+func (c ScopedCache) CacheTuples(ts ...relation.Tuple) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	sub := c.s.cache[c.source]
+	if sub == nil {
+		sub = make(map[int64]relation.Tuple)
+		c.s.cache[c.source] = sub
+	}
 	for _, t := range ts {
-		s.cache[t.ID] = t
+		sub[t.ID] = t
 	}
 }
 
-// CachedMatching returns every cached tuple satisfying p.
-func (s *Session) CachedMatching(p relation.Predicate) []relation.Tuple {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// CachedMatching returns every cached tuple of this source satisfying p.
+func (c ScopedCache) CachedMatching(p relation.Predicate) []relation.Tuple {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
 	var out []relation.Tuple
-	for _, t := range s.cache {
+	for _, t := range c.s.cache[c.source] {
 		if p.Match(t) {
 			out = append(out, t)
 		}
@@ -59,11 +83,26 @@ func (s *Session) CachedMatching(p relation.Predicate) []relation.Tuple {
 	return out
 }
 
-// CacheSize returns the number of cached tuples.
+// CacheTuples remembers tuples under the default (unnamed) source —
+// the single-source embedding where no scoping is needed.
+func (s *Session) CacheTuples(ts ...relation.Tuple) {
+	s.Scoped("").CacheTuples(ts...)
+}
+
+// CachedMatching returns every default-source cached tuple satisfying p.
+func (s *Session) CachedMatching(p relation.Predicate) []relation.Tuple {
+	return s.Scoped("").CachedMatching(p)
+}
+
+// CacheSize returns the number of cached tuples across all sources.
 func (s *Session) CacheSize() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.cache)
+	n := 0
+	for _, sub := range s.cache {
+		n += len(sub)
+	}
+	return n
 }
 
 // Cursor returns the opaque cursor stored under key.
@@ -136,7 +175,7 @@ func (m *Manager) New() (*Session, error) {
 	s := &Session{
 		id:         hex.EncodeToString(raw),
 		lastAccess: m.now(),
-		cache:      make(map[int64]relation.Tuple),
+		cache:      make(map[string]map[int64]relation.Tuple),
 		cursors:    make(map[string]any),
 	}
 	m.sessions[s.id] = s

@@ -171,3 +171,39 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("CacheSize = %d", s.CacheSize())
 	}
 }
+
+// TestScopedCacheIsolatesSources is the regression test for the
+// cross-source panic: one session interleaving queries over different
+// schemas must never offer one source's tuples as candidates for
+// another source's predicate (whose attribute indexes may not even
+// exist in those tuples).
+func TestScopedCacheIsolatesSources(t *testing.T) {
+	m := NewManager(0, 0)
+	s, err := m.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diamonds := s.Scoped("diamonds")
+	homes := s.Scoped("homes")
+	diamonds.CacheTuples(relation.Tuple{ID: 1, Values: []float64{10, 20}})
+	homes.CacheTuples(relation.Tuple{ID: 1, Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}})
+
+	// A predicate on attribute 8 is valid for homes, out of range for
+	// the diamonds tuples — which scoping keeps it away from.
+	p := relation.Predicate{}.WithInterval(8, relation.Closed(0, 100))
+	if got := len(homes.CachedMatching(p)); got != 1 {
+		t.Fatalf("homes matched %d tuples, want 1", got)
+	}
+	if got := len(diamonds.CachedMatching(relation.Predicate{})); got != 1 {
+		t.Fatalf("diamonds holds %d tuples, want 1", got)
+	}
+	// Same tuple ID in both scopes must not collide.
+	if s.CacheSize() != 2 {
+		t.Fatalf("CacheSize = %d, want 2", s.CacheSize())
+	}
+	// The unscoped methods are the "" scope.
+	s.CacheTuples(relation.Tuple{ID: 7, Values: []float64{1}})
+	if got := len(s.CachedMatching(relation.Predicate{})); got != 1 {
+		t.Fatalf("default scope matched %d, want 1", got)
+	}
+}

@@ -272,11 +272,15 @@ func (e *StatusError) Error() string {
 // HTTPStatus implements the resilience layer's status interface.
 func (e *StatusError) HTTPStatus() int { return e.Code }
 
-// drainClose consumes any unread body bytes before closing so the
+// DrainClose consumes any unread body bytes before closing so the
 // keep-alive connection returns to the transport's pool instead of
 // being torn down — under retry storms, re-dialing every connection
-// multiplies the damage. The limit bounds a hostile unbounded body.
-func drainClose(r *http.Response) {
+// multiplies the damage. An early-return error path that closes an
+// undrained body silently costs a re-dial per request, which is why
+// every HTTP client in this codebase (the source-facing client here,
+// the cluster peer protocol, the health prober) defers this instead of
+// a bare Body.Close. The limit bounds a hostile unbounded body.
+func DrainClose(r *http.Response) {
 	_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20))
 	r.Body.Close()
 }
@@ -379,7 +383,7 @@ func (c *Client) fetchSchema(ctx context.Context) (schemaDoc, error) {
 	if err != nil {
 		return schemaDoc{}, fmt.Errorf("wdbhttp: fetch schema: %w", err)
 	}
-	defer drainClose(resp)
+	defer DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return schemaDoc{}, &StatusError{
 			Op: "schema endpoint", Code: resp.StatusCode, Status: resp.Status,
@@ -441,7 +445,7 @@ func (c *Client) Search(ctx context.Context, p relation.Predicate) (res hidden.R
 	if err != nil {
 		return hidden.Result{}, fmt.Errorf("wdbhttp: search: %w", err)
 	}
-	defer drainClose(resp)
+	defer DrainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		var ed errorDoc
 		_ = json.NewDecoder(resp.Body).Decode(&ed)

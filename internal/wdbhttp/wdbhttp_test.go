@@ -2,8 +2,10 @@ package wdbhttp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -294,5 +296,62 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestDrainCloseReusesConnections is the regression test for the
+// connection-reuse bug: closing a response body that was never read —
+// the shape of every "fire the request, only check the status" call
+// site and of every early-return error path — makes net/http discard
+// the connection, so each request pays a fresh dial. DrainClose must
+// keep the whole exchange on one connection, whether the body was
+// decoded first or not.
+func TestDrainCloseReusesConnections(t *testing.T) {
+	var dials atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	}))
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			dials.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	const reqs = 8
+	do := func(decode bool, close func(*http.Response)) int64 {
+		client := &http.Client{Transport: &http.Transport{}}
+		defer client.CloseIdleConnections()
+		dials.Store(0)
+		for i := 0; i < reqs; i++ {
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decode {
+				var doc struct {
+					OK bool `json:"ok"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			close(resp)
+		}
+		return dials.Load()
+	}
+
+	if got := do(false, DrainClose); got != 1 {
+		t.Fatalf("unread + DrainClose: %d requests cost %d dials, want 1", reqs, got)
+	}
+	if got := do(true, DrainClose); got != 1 {
+		t.Fatalf("decode + DrainClose: %d requests cost %d dials, want 1", reqs, got)
+	}
+	// The buggy shape: status checked, body never read, bare close. One
+	// dial per request — this is what DrainClose exists to prevent.
+	if got := do(false, func(r *http.Response) { r.Body.Close() }); got != reqs {
+		t.Fatalf("unread + bare Close: %d requests cost %d dials, want %d (one per request) — if this starts reusing connections, net/http changed and DrainClose may be droppable", reqs, got, reqs)
 	}
 }

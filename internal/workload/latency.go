@@ -20,6 +20,27 @@ type LatencyReport struct {
 	// SLO reports the run's burn rate against each query-cost objective
 	// (see SLOFrom); empty when the workload did not measure it.
 	SLO []obs.SLOStatus `json:"slo,omitempty"`
+	// Replay holds the multi-user trace-replay rows: one row per
+	// (mode, GOMAXPROCS) point of the concurrency sweep.
+	Replay []ReplayRow `json:"replay,omitempty"`
+}
+
+// ReplayRow is one measured point of the trace-replay sweep: a replay
+// of the same multi-user trace set at one GOMAXPROCS setting in one
+// admission mode. Driver is the exact-sample latency distribution the
+// load driver observed; Paths attributes the same requests by answer
+// path from the service's own histograms (via RequestDelta).
+type ReplayRow struct {
+	Mode          string          `json:"mode"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Concurrency   int             `json:"concurrency,omitempty"`
+	RateHz        float64         `json:"rate_hz,omitempty"`
+	Users         int             `json:"users"`
+	Requests      uint64          `json:"requests"`
+	Errors        uint64          `json:"errors"`
+	ThroughputRPS float64         `json:"throughput_rps"`
+	Driver        obs.Percentiles `json:"driver_latency"`
+	Paths         []PathLatency   `json:"request_latency_by_path"`
 }
 
 // LatencyEnv records where the numbers were taken.
